@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper figure has one benchmark module. Each benchmark runs the
+corresponding harness once (``benchmark.pedantic(rounds=1)`` — these are
+end-to-end experiment regenerations, not micro-benchmarks), prints the
+regenerated table, and asserts the *qualitative shape* the paper reports
+(who wins, what grows, where crossovers fall). Shape assertions use the
+analytic ``expected_average_error`` where available because it is
+noise-free; the empirical errors are printed alongside.
+
+Scale: ``bench`` grids (see ``repro.experiments.config.BENCH_GRID``). Set
+``REPRO_FULL_SCALE=1`` to regenerate the paper-sized grids instead (slow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import format_table
+
+BENCH_SCALE = "bench"
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Run one figure harness exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        lambda: figure_fn(scale=BENCH_SCALE, **kwargs), rounds=1, iterations=1
+    )
+    return result
+
+
+def print_result(result, group_keys=()):
+    """Print both the empirical and the analytic tables for the figure."""
+    print()
+    print(format_table(result, group_keys=group_keys))
+    print(format_table(result, value_key="expected_average_error", group_keys=group_keys))
+
+
+def series_or_skip(result, mechanism, value_key="expected_average_error", **filters):
+    """Fetch a series and skip the assertion when it is empty (mechanism
+    disabled at this scale)."""
+    xs, ys = result.series(mechanism, value_key=value_key, **filters)
+    if ys.size == 0:
+        pytest.skip(f"{mechanism} produced no data points at bench scale")
+    return np.asarray(xs, dtype=float), ys
+
+
+def geometric_mean(values):
+    values = np.asarray(values, dtype=float)
+    values = values[values > 0]
+    return float(np.exp(np.mean(np.log(values)))) if values.size else float("nan")

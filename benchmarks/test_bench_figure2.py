@@ -1,0 +1,28 @@
+"""Figure 2: LRM error and decomposition time vs the relaxation gamma.
+
+Paper shapes: error roughly flat in gamma over five orders of magnitude;
+error scales as 1/eps^2; decomposition time does not explode as gamma
+shrinks (the paper reports *larger* gamma running faster).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_result, run_figure
+from repro.experiments.figures import figure2_gamma
+
+
+def test_figure2_gamma(benchmark):
+    result = run_figure(benchmark, figure2_gamma, workload_kinds=("WRange", "WRelated"))
+    print_result(result, group_keys=("workload", "epsilon"))
+
+    for kind in ("WRange", "WRelated"):
+        # Error scales quadratically in 1/eps (decomposition is shared).
+        _, high_eps = result.series("LRM", workload=kind, epsilon=1.0)
+        _, low_eps = result.series("LRM", workload=kind, epsilon=0.1)
+        assert np.all(low_eps > high_eps), f"{kind}: eps=0.1 must be noisier than eps=1"
+
+        # Flat in gamma: max/min within two orders (paper: visually flat).
+        assert high_eps.max() <= 100 * high_eps.min() + 1e-12, f"{kind}: error not flat in gamma"
+
+    # Decomposition time recorded for every gamma.
+    assert all(row["fit_seconds"] >= 0 for row in result.rows)

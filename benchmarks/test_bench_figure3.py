@@ -1,0 +1,31 @@
+"""Figure 3: LRM error and time vs decomposition rank r = ratio * rank(W).
+
+Paper shapes: error far worse for ratio < 1 (W cannot be represented, a
+structural residual remains); stable for ratio >= 1.2.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_result, run_figure
+from repro.experiments.figures import figure3_rank_ratio
+
+
+def test_figure3_rank_ratio(benchmark):
+    result = run_figure(benchmark, figure3_rank_ratio, workload_kinds=("WRelated",))
+    print_result(result, group_keys=("workload", "epsilon"))
+
+    ratios, errors = result.series(
+        "LRM", value_key="average_squared_error", workload="WRelated", epsilon=0.1
+    )
+    by_ratio = dict(zip(ratios, errors))
+    # ratio 0.8 cannot represent W -> structural error dominates.
+    assert by_ratio[0.8] > by_ratio[1.2], "rank below rank(W) must hurt accuracy"
+
+    # Structural residual is zero once ratio >= 1 (exact closure applies).
+    for row in result.rows:
+        if row["mechanism"] == "LRM" and row["rank_ratio"] >= 1.0:
+            assert row["structural_error"] <= 1e-6 * max(row["rank"], 1)
+
+    # Stability region: ratios >= 1.2 within a factor ~30 of each other.
+    stable = np.array([v for r, v in by_ratio.items() if r >= 1.2])
+    assert stable.max() <= 30 * stable.min()

@@ -1,0 +1,39 @@
+"""Figure 4: all mechanisms vs domain size n on WDiscrete (eps = 0.1).
+
+Paper shapes: MM worst; LM's error grows linearly with n; LRM's error
+stops growing once n exceeds the rank cap min(m, n) and wins at large n.
+"""
+
+from benchmarks.conftest import geometric_mean, print_result, run_figure, series_or_skip
+from repro.experiments.figures import figure4_domain_size_wdiscrete
+
+_DATASETS = ("search_logs", "net_trace")
+
+
+def test_figure4_wdiscrete(benchmark):
+    result = run_figure(benchmark, figure4_domain_size_wdiscrete, datasets=_DATASETS)
+    print_result(result, group_keys=("dataset",))
+
+    for dataset in _DATASETS:
+        _, mm = series_or_skip(result, "MM", dataset=dataset)
+        _, lrm = series_or_skip(result, "LRM", dataset=dataset)
+        # MM is the worst performer wherever it runs (paper Section 6.2).
+        assert geometric_mean(mm) > geometric_mean(lrm[: mm.size])
+
+        # LM grows linearly with n; LRM's rank-capped error grows slower.
+        ns, lm = series_or_skip(result, "LM", dataset=dataset)
+        growth_lm = lm[-1] / lm[0]
+        growth_lrm = lrm[-1] / lrm[0]
+        assert growth_lm > 1.5, "LM error must grow with the domain"
+        assert growth_lrm < growth_lm * 1.05, "LRM must not grow faster than LM"
+
+        # At the largest domain LRM is the most accurate mechanism.
+        last_n = ns[-1]
+        errors_at_last = {
+            row["mechanism"]: row["expected_average_error"]
+            for row in result.rows
+            if row.get("dataset") == dataset
+            and row.get("n") == last_n
+            and row.get("expected_average_error") is not None
+        }
+        assert errors_at_last["LRM"] == min(errors_at_last.values())

@@ -1,0 +1,37 @@
+"""Figure 6: all mechanisms vs domain size n on WRelated (eps = 0.1).
+
+Paper shapes: LRM wins with growing margins as n increases because
+rank(W) = s is fixed while every other mechanism's error scales with n;
+MM worst.
+"""
+
+from benchmarks.conftest import geometric_mean, print_result, run_figure, series_or_skip
+from repro.experiments.figures import figure6_domain_size_wrelated
+
+_DATASETS = ("search_logs", "net_trace")
+
+
+def test_figure6_wrelated(benchmark):
+    result = run_figure(benchmark, figure6_domain_size_wrelated, datasets=_DATASETS)
+    print_result(result, group_keys=("dataset",))
+
+    for dataset in _DATASETS:
+        ns, lm = series_or_skip(result, "LM", dataset=dataset)
+        _, lrm = series_or_skip(result, "LRM", dataset=dataset)
+
+        # LM scales linearly with n; LRM flattens (rank fixed at s).
+        assert lm[-1] / lm[0] > 1.5
+        assert lrm[-1] / lrm[0] < lm[-1] / lm[0]
+
+        # LRM/LM ratio improves with n (the growing-margin shape).
+        assert lrm[-1] / lm[-1] < lrm[0] / lm[0]
+
+        # LRM beats WM and HM everywhere on this workload.
+        _, wm = series_or_skip(result, "WM", dataset=dataset)
+        _, hm = series_or_skip(result, "HM", dataset=dataset)
+        assert geometric_mean(lrm) < geometric_mean(wm)
+        assert geometric_mean(lrm) < geometric_mean(hm)
+
+        # MM worst wherever it runs.
+        _, mm = series_or_skip(result, "MM", dataset=dataset)
+        assert geometric_mean(mm) > geometric_mean(lrm[: mm.size])

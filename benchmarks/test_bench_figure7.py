@@ -1,0 +1,31 @@
+"""Figure 7: mechanisms vs batch size m on WRange (eps = 0.1).
+
+Paper shapes: LRM best when m << n; the gap narrows as m approaches n
+(random range batches lose the low-rank property).
+"""
+
+from benchmarks.conftest import print_result, run_figure, series_or_skip
+from repro.experiments.figures import figure7_query_size_wrange
+
+_DATASETS = ("search_logs", "net_trace")
+
+
+def test_figure7_wrange(benchmark):
+    result = run_figure(benchmark, figure7_query_size_wrange, datasets=_DATASETS)
+    print_result(result, group_keys=("dataset",))
+
+    for dataset in _DATASETS:
+        ms, lm = series_or_skip(result, "LM", dataset=dataset)
+        _, lrm = series_or_skip(result, "LRM", dataset=dataset)
+
+        # LRM beats every competitor at the smallest batch (m << n regime).
+        _, wm = series_or_skip(result, "WM", dataset=dataset)
+        _, hm = series_or_skip(result, "HM", dataset=dataset)
+        assert lrm[0] < min(lm[0], wm[0], hm[0])
+
+        # The advantage shrinks as m grows toward n (random ranges lose the
+        # low-rank property): LRM/LM ratio degrades monotonically in spirit.
+        assert lrm[-1] / lm[-1] > lrm[0] / lm[0]
+
+        # WM/HM present at every m.
+        assert wm.size == ms.size and hm.size == ms.size

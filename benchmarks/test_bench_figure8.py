@@ -1,0 +1,32 @@
+"""Figure 8: mechanisms vs batch size m on WRelated (eps = 0.1).
+
+Paper shapes: LRM dominates at every m because rank(W) = s stays low
+regardless of the batch size.
+"""
+
+from benchmarks.conftest import print_result, run_figure, series_or_skip
+from repro.experiments.figures import figure8_query_size_wrelated
+
+_DATASETS = ("search_logs", "social_network")
+
+
+def test_figure8_wrelated(benchmark):
+    result = run_figure(benchmark, figure8_query_size_wrelated, datasets=_DATASETS)
+    print_result(result, group_keys=("dataset",))
+
+    for dataset in _DATASETS:
+        ms, lm = series_or_skip(result, "LM", dataset=dataset)
+        _, wm = series_or_skip(result, "WM", dataset=dataset)
+        _, hm = series_or_skip(result, "HM", dataset=dataset)
+        _, lrm = series_or_skip(result, "LRM", dataset=dataset)
+
+        # LRM beats every competitor at the smallest batch. (At full scale
+        # the paper shows dominance at every m; at bench scale the default
+        # rank s = 0.4 min(m, n) makes the largest batch the unfavourable
+        # s^2 ~ n regime, where LRM stays within a small factor of LM.)
+        assert lrm[0] < min(lm[0], wm[0], hm[0])
+        assert lrm[-1] <= 5 * lm[-1]
+
+        # LRM always beats the range-query specialists on WRelated.
+        for i, m in enumerate(ms):
+            assert lrm[i] < min(wm[i], hm[i]), f"LRM behind WM/HM at m={m} ({dataset})"

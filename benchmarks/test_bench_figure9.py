@@ -1,0 +1,36 @@
+"""Figure 9: mechanisms vs workload rank s = ratio * min(m, n) (WRelated).
+
+Paper shapes: LRM's advantage is largest at small s and decays rapidly as
+s approaches min(m, n); the other mechanisms are insensitive to s.
+"""
+
+from benchmarks.conftest import print_result, run_figure, series_or_skip
+from repro.experiments.figures import figure9_rank_s
+
+_DATASETS = ("search_logs", "net_trace")
+
+
+def test_figure9_rank_s(benchmark):
+    result = run_figure(benchmark, figure9_rank_s, datasets=_DATASETS)
+    print_result(result, group_keys=("dataset",))
+
+    for dataset in _DATASETS:
+        ratios, lrm = series_or_skip(result, "LRM", dataset=dataset)
+        _, lm = series_or_skip(result, "LM", dataset=dataset)
+
+        # LRM error grows steeply with the workload rank ...
+        assert lrm[-1] > 3 * lrm[0], "LRM must degrade as rank grows"
+        # ... while LM is comparatively flat (within ~40x across the sweep,
+        # versus orders of magnitude for LRM in the paper's full grid).
+        assert lm[-1] <= 40 * lm[0]
+
+        # At the lowest rank LRM is the most accurate mechanism.
+        first = ratios[0]
+        errors_at_first = {
+            row["mechanism"]: row["expected_average_error"]
+            for row in result.rows
+            if row.get("dataset") == dataset
+            and row.get("s_ratio") == first
+            and row.get("expected_average_error") is not None
+        }
+        assert errors_at_first["LRM"] == min(errors_at_first.values())

@@ -1,0 +1,4 @@
+"""Setup shim for environments with old setuptools (editable installs)."""
+from setuptools import setup
+
+setup()

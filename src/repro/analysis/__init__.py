@@ -1,0 +1,48 @@
+"""Analysis: empirical error measurement, analytic formulas, comparisons."""
+
+from repro.analysis.comparison import ComparisonRow, compare_mechanisms
+from repro.analysis.diagnostics import (
+    decomposition_report,
+    format_decomposition_report,
+    sparkline,
+)
+from repro.analysis.postprocess import (
+    clamp_non_negative,
+    postprocess_answers,
+    project_consistent,
+    round_counts,
+)
+from repro.analysis.error import (
+    MeasuredError,
+    average_squared_error,
+    measure_mechanism,
+    squared_error,
+)
+from repro.analysis.theory import (
+    decomposition_expected_error,
+    noise_on_data_error,
+    noise_on_results_error,
+    nor_beats_nod,
+    strategy_expected_error,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "MeasuredError",
+    "clamp_non_negative",
+    "postprocess_answers",
+    "project_consistent",
+    "round_counts",
+    "average_squared_error",
+    "compare_mechanisms",
+    "decomposition_expected_error",
+    "decomposition_report",
+    "format_decomposition_report",
+    "sparkline",
+    "measure_mechanism",
+    "noise_on_data_error",
+    "noise_on_results_error",
+    "nor_beats_nod",
+    "squared_error",
+    "strategy_expected_error",
+]

@@ -1,0 +1,152 @@
+"""Side-by-side mechanism comparison — the engine behind Figures 4-9.
+
+:func:`compare_mechanisms` fits a list of mechanisms on one workload,
+measures each one's empirical (and, where available, analytic) error on the
+same data vector, and returns structured rows ready for reporting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.error import measure_mechanism
+from repro.exceptions import ReproError
+from repro.linalg.validation import as_vector, check_positive, check_positive_int, ensure_rng
+from repro.mechanisms.base import as_workload
+from repro.mechanisms.registry import make_mechanism
+
+__all__ = ["ComparisonRow", "compare_mechanisms"]
+
+
+class ComparisonRow:
+    """One mechanism's outcome in a comparison.
+
+    ``error`` is ``None`` when the mechanism failed (e.g. MM on a domain too
+    large for its O(n^3) solver within the configured budget); the failure
+    reason is kept in ``failure``.
+    """
+
+    def __init__(
+        self,
+        mechanism,
+        average_squared_error=None,
+        expected_average_error=None,
+        fit_seconds=None,
+        answer_seconds=None,
+        failure=None,
+    ):
+        self.mechanism = mechanism
+        self.average_squared_error = average_squared_error
+        self.expected_average_error = expected_average_error
+        self.fit_seconds = fit_seconds
+        self.answer_seconds = answer_seconds
+        self.failure = failure
+
+    @property
+    def ok(self):
+        """True when the mechanism produced a measurement."""
+        return self.failure is None
+
+    def as_dict(self):
+        """Plain-dict view for CSV/JSON reporting."""
+        return {
+            "mechanism": self.mechanism,
+            "average_squared_error": self.average_squared_error,
+            "expected_average_error": self.expected_average_error,
+            "fit_seconds": self.fit_seconds,
+            "answer_seconds": self.answer_seconds,
+            "failure": self.failure,
+        }
+
+    def __repr__(self):
+        if not self.ok:
+            return f"ComparisonRow({self.mechanism}, failed: {self.failure})"
+        return f"ComparisonRow({self.mechanism}, avg={self.average_squared_error:.4g})"
+
+
+def compare_mechanisms(
+    workload,
+    x,
+    epsilon,
+    mechanisms=("LM", "WM", "HM", "LRM"),
+    trials=20,
+    rng=None,
+    mechanism_kwargs=None,
+    include_expected=True,
+):
+    """Fit and measure several mechanisms on one workload and data vector.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`repro.workloads.Workload` or raw matrix.
+    x:
+        Data vector of unit counts.
+    epsilon:
+        Privacy budget per release.
+    mechanisms:
+        Iterable of registry labels and/or pre-constructed (unfitted)
+        mechanism instances.
+    trials:
+        Independent releases per mechanism (the paper uses 20).
+    rng:
+        Seed or generator shared across mechanisms (each consumes from it).
+    mechanism_kwargs:
+        Optional dict mapping label -> constructor kwargs, e.g.
+        ``{"LRM": {"gamma": 1.0}}``.
+    include_expected:
+        Also record the analytic expected average error where the mechanism
+        provides one.
+
+    Returns
+    -------
+    list[ComparisonRow]
+        One row per requested mechanism, in input order. A mechanism whose
+        ``fit`` or measurement raises a library error is reported as failed
+        rather than aborting the whole comparison.
+    """
+    workload = as_workload(workload)
+    x = as_vector(x, "x", size=workload.domain_size)
+    epsilon = check_positive(epsilon, "epsilon")
+    trials = check_positive_int(trials, "trials")
+    rng = ensure_rng(rng)
+    mechanism_kwargs = dict(mechanism_kwargs or {})
+
+    rows = []
+    for spec in mechanisms:
+        if isinstance(spec, str):
+            label = spec.strip().upper()
+            try:
+                mechanism = make_mechanism(label, **mechanism_kwargs.get(label, {}))
+            except ReproError as exc:
+                rows.append(ComparisonRow(label, failure=str(exc)))
+                continue
+        else:
+            mechanism = spec
+            label = getattr(mechanism, "name", type(mechanism).__name__)
+
+        started = time.perf_counter()
+        try:
+            mechanism.fit(workload)
+        except ReproError as exc:
+            rows.append(ComparisonRow(label, failure=f"fit failed: {exc}"))
+            continue
+        fit_seconds = time.perf_counter() - started
+
+        measured = measure_mechanism(mechanism, x, epsilon, trials=trials, rng=rng)
+        expected = None
+        if include_expected:
+            try:
+                expected = mechanism.average_expected_error(epsilon)
+            except NotImplementedError:
+                expected = None
+        rows.append(
+            ComparisonRow(
+                label,
+                average_squared_error=measured.average_squared_error,
+                expected_average_error=expected,
+                fit_seconds=fit_seconds,
+                answer_seconds=measured.answer_seconds,
+            )
+        )
+    return rows

@@ -1,0 +1,124 @@
+"""Decomposition diagnostics: understand what the ALM solver produced.
+
+Turns a :class:`repro.core.alm.Decomposition` (plus its workload) into a
+human-readable report: convergence trace, scale/sensitivity accounting,
+column-budget utilisation of ``L``, and the position of the achieved error
+between the Section-4 bounds. Used by the tour example and handy when
+tuning solver budgets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alm import Decomposition
+from repro.core.bounds import hardt_talwar_lower_bound, lrm_error_upper_bound
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_matrix, check_positive
+from repro.privacy.sensitivity import column_l1_norms, column_l2_norms
+
+__all__ = ["decomposition_report", "format_decomposition_report", "sparkline"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, width=40):
+    """Log-scale text sparkline of a positive series (solver traces)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Down-sample by taking the mean of equal chunks.
+        chunks = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in chunks])
+    positive = np.maximum(values, 1e-300)
+    logs = np.log10(positive)
+    low, high = float(logs.min()), float(logs.max())
+    span = max(high - low, 1e-12)
+    indices = ((logs - low) / span * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def decomposition_report(decomposition, workload=None, epsilon=1.0):
+    """Structured diagnostics for a decomposition.
+
+    Returns a dict with convergence, accounting, column-utilisation and
+    (when the workload is provided) bound-comparison sections.
+    """
+    if not isinstance(decomposition, Decomposition):
+        raise ValidationError("decomposition_report expects a Decomposition")
+    epsilon = check_positive(epsilon, "epsilon")
+
+    norms = (
+        column_l1_norms(decomposition.l)
+        if decomposition.norm == "l1"
+        else column_l2_norms(decomposition.l)
+    )
+    saturated = float(np.mean(norms > 1.0 - 1e-6))
+    report = {
+        "rank": decomposition.rank,
+        "norm": decomposition.norm,
+        "converged": decomposition.converged,
+        "iterations": decomposition.iterations,
+        "residual_norm": decomposition.residual_norm,
+        "scale": decomposition.scale,
+        "sensitivity": decomposition.sensitivity,
+        "expected_noise_error": decomposition.expected_noise_error(epsilon),
+        "column_budget": {
+            "mean": float(norms.mean()),
+            "max": float(norms.max()),
+            "saturated_fraction": saturated,
+        },
+        "trace": {
+            "tau": [entry["tau"] for entry in decomposition.history],
+            "objective": [entry["objective"] for entry in decomposition.history],
+        },
+    }
+    if workload is not None:
+        matrix = getattr(workload, "matrix", None)
+        if matrix is None:
+            matrix = as_matrix(workload, "workload")
+        singular_values = np.linalg.svd(matrix, compute_uv=False)
+        achieved = decomposition.expected_noise_error(epsilon)
+        upper = lrm_error_upper_bound(singular_values, epsilon)
+        lower = hardt_talwar_lower_bound(singular_values, epsilon)
+        nod = 2.0 * float(np.sum(matrix**2)) / (epsilon * epsilon)
+        report["bounds"] = {
+            "lemma3_upper": upper,
+            "hardt_talwar_lower": lower,
+            "noise_on_data": nod,
+            "achieved": achieved,
+            "fraction_of_upper": achieved / upper if upper > 0 else np.inf,
+            "vs_noise_on_data": nod / achieved if achieved > 0 else np.inf,
+        }
+    return report
+
+
+def format_decomposition_report(decomposition, workload=None, epsilon=1.0):
+    """Render :func:`decomposition_report` as a readable text block."""
+    report = decomposition_report(decomposition, workload=workload, epsilon=epsilon)
+    lines = [
+        f"decomposition: rank {report['rank']} ({report['norm']}), "
+        f"{'converged' if report['converged'] else 'NOT converged'} "
+        f"after {report['iterations']} iterations",
+        f"  residual ||W - BL||_F : {report['residual_norm']:.3e}",
+        f"  scale tr(B^T B)       : {report['scale']:.6g}",
+        f"  sensitivity Delta(L)  : {report['sensitivity']:.6f}",
+        f"  expected noise error  : {report['expected_noise_error']:.6g}  (eps={epsilon})",
+        "  column budget          : mean {mean:.3f}, max {max:.3f}, "
+        "{saturated_fraction:.0%} saturated".format(**report["column_budget"]),
+    ]
+    taus = report["trace"]["tau"]
+    if taus:
+        lines.append(f"  residual trace         : {sparkline(taus)}")
+        lines.append(f"  objective trace        : {sparkline(report['trace']['objective'])}")
+    if "bounds" in report:
+        bounds = report["bounds"]
+        lines.append(
+            f"  bounds: lower {bounds['hardt_talwar_lower']:.4g} <= "
+            f"achieved {bounds['achieved']:.4g} <= upper {bounds['lemma3_upper']:.4g}"
+        )
+        lines.append(
+            f"  vs noise-on-data       : {bounds['vs_noise_on_data']:.2f}x better"
+        )
+    return "\n".join(lines) + "\n"

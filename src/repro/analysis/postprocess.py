@@ -1,0 +1,78 @@
+"""Post-processing of noisy releases.
+
+Differential privacy is closed under post-processing: any data-independent
+transformation of a private release stays private. These helpers implement
+the standard accuracy-improving transforms a consumer of LRM answers
+applies:
+
+* non-negativity clamping (counts cannot be negative),
+* integer rounding (counts are integers),
+* least-squares *consistency*: when the batch contains linearly dependent
+  queries (the whole premise of the paper — e.g. ``q1 = q2 + q3``), the
+  noisy answers generally violate those identities; projecting onto the
+  row-space-consistent set removes the violation and never increases the
+  L2 error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.validation import as_matrix, as_vector, check_shape_compatible
+
+__all__ = [
+    "clamp_non_negative",
+    "round_counts",
+    "project_consistent",
+    "postprocess_answers",
+]
+
+
+def clamp_non_negative(answers):
+    """Clamp negative answers to zero (valid for counting queries with
+    non-negative weights)."""
+    answers = as_vector(answers, "answers")
+    return np.maximum(answers, 0.0)
+
+
+def round_counts(answers):
+    """Round answers to the nearest integer (counting queries)."""
+    answers = as_vector(answers, "answers")
+    return np.round(answers)
+
+
+def project_consistent(workload_matrix, answers, rcond=1e-12):
+    """Project noisy answers onto the consistent set ``{W x : x in R^n}``.
+
+    Noisy answers to linearly dependent queries are generally inconsistent
+    (``y1 != y2 + y3`` even though ``q1 = q2 + q3``). The orthogonal
+    projection onto the column space of ``W`` — ``y <- W W^+ y`` — restores
+    every such identity and, being a projection of the noise, can only
+    shrink its L2 norm. Useful when consumers rely on the identities.
+    """
+    w = as_matrix(workload_matrix, "W")
+    answers = as_vector(answers, "answers", size=w.shape[0])
+    # Orthonormal basis of col(W) via QR of the (economy) SVD.
+    u, sigma, _ = np.linalg.svd(w, full_matrices=False)
+    tol = max(w.shape) * np.finfo(np.float64).eps * (sigma[0] if sigma.size else 0.0)
+    basis = u[:, sigma > max(tol, rcond * (sigma[0] if sigma.size else 0.0))]
+    return basis @ (basis.T @ answers)
+
+
+def postprocess_answers(workload_matrix, answers, non_negative=False, integral=False,
+                        consistent=True):
+    """Apply the standard post-processing pipeline to a noisy release.
+
+    Order: consistency projection (a global L2 improvement), then
+    non-negativity, then rounding — the order practitioners use because
+    clamping/rounding are non-linear and would break consistency if applied
+    first. Returns a new array.
+    """
+    answers = as_vector(answers, "answers")
+    if consistent:
+        answers = project_consistent(workload_matrix, answers)
+    if non_negative:
+        answers = clamp_non_negative(answers)
+    if integral:
+        answers = round_counts(answers)
+    return answers

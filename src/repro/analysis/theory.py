@@ -1,0 +1,95 @@
+"""Closed-form expected errors and strategy diagnostics.
+
+Complements :mod:`repro.analysis.error` (Monte-Carlo) with the analytic
+calculus used throughout the paper:
+
+* generic strategy-mechanism error ``2 Delta(A)^2 / eps^2 * ||W A^+||_F^2``,
+* the Section-1/Section-3.2 baseline formulas,
+* the Lemma-1 decomposition error ``2 Phi Delta^2 / eps^2``,
+* the NOD-vs-NOR dominance test (``M_R`` beats ``M_D`` iff
+  ``m * max_j sum_i W_ij^2 < sum_ij W_ij^2``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_matrix, check_positive
+from repro.privacy.sensitivity import l1_sensitivity
+
+__all__ = [
+    "strategy_expected_error",
+    "noise_on_data_error",
+    "noise_on_results_error",
+    "decomposition_expected_error",
+    "nor_beats_nod",
+]
+
+
+def strategy_expected_error(workload_matrix, strategy_matrix, epsilon, rcond=1e-12):
+    """Expected squared error of answering ``W`` through strategy ``A``.
+
+    Matrix-mechanism calculus: release ``A x + Lap(Delta(A)/eps)`` and
+    recombine with the pseudo-inverse, giving error
+
+        2 * Delta(A)^2 / eps^2 * ||W A^+||_F^2.
+
+    ``W`` must lie in the row space of ``A`` (otherwise the strategy cannot
+    answer the workload and this raises).
+    """
+    w = as_matrix(workload_matrix, "W")
+    a = as_matrix(strategy_matrix, "A")
+    epsilon = check_positive(epsilon, "epsilon")
+    if a.shape[1] != w.shape[1]:
+        raise ValidationError(
+            f"strategy has {a.shape[1]} columns but workload has {w.shape[1]}"
+        )
+    pinv = np.linalg.pinv(a, rcond=rcond)
+    recombination = w @ pinv
+    # Verify the strategy actually supports the workload.
+    residual = recombination @ a - w
+    if np.linalg.norm(residual) > 1e-6 * max(np.linalg.norm(w), 1.0):
+        raise ValidationError("workload is not in the row space of the strategy")
+    delta = l1_sensitivity(a)
+    scale = delta / epsilon
+    return 2.0 * scale * scale * float(np.sum(recombination**2))
+
+
+def noise_on_data_error(workload_matrix, epsilon, unit_sensitivity=1.0):
+    """``M_D`` expected squared error: ``2 Delta^2 ||W||_F^2 / eps^2`` (Eq. 4)."""
+    w = as_matrix(workload_matrix, "W")
+    epsilon = check_positive(epsilon, "epsilon")
+    scale = float(unit_sensitivity) / epsilon
+    return 2.0 * scale * scale * float(np.sum(w**2))
+
+
+def noise_on_results_error(workload_matrix, epsilon):
+    """``M_R`` expected squared error: ``2 m Delta(W)^2 / eps^2`` (Eq. 5)."""
+    w = as_matrix(workload_matrix, "W")
+    epsilon = check_positive(epsilon, "epsilon")
+    delta = l1_sensitivity(w)
+    scale = delta / epsilon
+    return 2.0 * w.shape[0] * scale * scale
+
+
+def decomposition_expected_error(b, l, epsilon):
+    """Lemma 1: ``2 Phi(B, L) Delta(B, L)^2 / eps^2`` for a decomposition."""
+    b = as_matrix(b, "B")
+    l = as_matrix(l, "L")
+    epsilon = check_positive(epsilon, "epsilon")
+    if b.shape[1] != l.shape[0]:
+        raise ValidationError(f"B has {b.shape[1]} columns but L has {l.shape[0]} rows")
+    phi = float(np.sum(b**2))
+    delta = l1_sensitivity(l)
+    return 2.0 * phi * delta * delta / (epsilon * epsilon)
+
+
+def nor_beats_nod(workload_matrix):
+    """Section 3.2's dominance test: noise-on-results beats noise-on-data
+    iff ``m * max_j sum_i W_ij^2 < sum_j sum_i W_ij^2`` — impossible once
+    ``m >= n``. Returns a bool."""
+    w = as_matrix(workload_matrix, "W")
+    m = w.shape[0]
+    column_squares = np.sum(w**2, axis=0)
+    return bool(m * column_squares.max() < column_squares.sum())

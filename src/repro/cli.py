@@ -1,0 +1,137 @@
+"""Command-line interface: regenerate any paper figure or table.
+
+Examples::
+
+    python -m repro.cli table1
+    python -m repro.cli figure4
+    python -m repro.cli figure6 --scale full --json out.json
+    python -m repro.cli all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import PARAMETER_GRID, resolve_scale
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.reporting import ascii_chart, format_table, summarize_result
+
+__all__ = ["main", "build_parser"]
+
+_GROUP_KEYS = {
+    "figure2": ("workload", "epsilon"),
+    "figure3": ("workload", "epsilon"),
+    "figure4": ("dataset",),
+    "figure5": ("dataset",),
+    "figure6": ("dataset",),
+    "figure7": ("dataset",),
+    "figure8": ("dataset",),
+    "figure9": ("dataset",),
+}
+
+
+def build_parser():
+    """Build the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lrm",
+        description="Reproduce tables/figures of the Low-Rank Mechanism paper (VLDB 2012).",
+    )
+    targets = ["table1", "all", "decompose"] + sorted(ALL_FIGURES)
+    parser.add_argument("target", choices=targets, help="what to regenerate")
+    parser.add_argument(
+        "--workload", metavar="NPY", default=None,
+        help="decompose: .npy file holding the workload matrix W",
+    )
+    parser.add_argument(
+        "--out", metavar="NPZ", default=None,
+        help="decompose: where to save the decomposition archive",
+    )
+    parser.add_argument("--rank", type=int, default=None, help="decompose: decomposition rank")
+    parser.add_argument(
+        "--gamma", type=float, default=1e-2,
+        help="decompose: relative relaxation tolerance (default 1e-2)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["reduced", "full"],
+        default=None,
+        help="sweep grid size (default: reduced, or REPRO_FULL_SCALE=1)",
+    )
+    parser.add_argument("--seed", type=int, default=2012, help="experiment seed")
+    parser.add_argument("--json", metavar="PATH", default=None, help="also write results as JSON")
+    parser.add_argument("--csv", metavar="PATH", default=None, help="also write results as CSV")
+    parser.add_argument(
+        "--chart", action="store_true", help="also render an ASCII chart of the series"
+    )
+    return parser
+
+
+def _print_table1(out):
+    out.write("Table 1: parameters used in the experiments\n")
+    for key, values in PARAMETER_GRID.items():
+        out.write(f"  {key:>12}: {', '.join(str(v) for v in values)}\n")
+
+
+def _run_figure(name, scale, seed, out, json_path=None, csv_path=None, chart=False):
+    out.write(f"Running {name} (scale={resolve_scale(scale)}) ...\n")
+    result = ALL_FIGURES[name](scale=scale, seed=seed)
+    out.write(format_table(result, group_keys=_GROUP_KEYS.get(name, ())))
+    if chart:
+        out.write(ascii_chart(result))
+    out.write("geometric-mean error per mechanism: ")
+    summary = summarize_result(result)
+    out.write(
+        ", ".join(f"{k}={v:.4g}" if v is not None else f"{k}=-" for k, v in summary.items())
+    )
+    out.write("\n")
+    if json_path:
+        result.to_json(json_path)
+        out.write(f"wrote {json_path}\n")
+    if csv_path:
+        result.to_csv(csv_path)
+        out.write(f"wrote {csv_path}\n")
+    return result
+
+
+def _run_decompose(args, out):
+    import numpy as np
+
+    from repro.analysis.diagnostics import format_decomposition_report
+    from repro.core.alm import decompose_workload
+    from repro.io.serialization import save_decomposition
+
+    if not args.workload:
+        out.write("decompose requires --workload pointing at a .npy matrix\n")
+        return 2
+    matrix = np.load(args.workload)
+    out.write(f"decomposing workload {matrix.shape} from {args.workload} ...\n")
+    decomposition = decompose_workload(
+        matrix, rank=args.rank, gamma=args.gamma, seed=args.seed
+    )
+    out.write(format_decomposition_report(decomposition, workload=matrix))
+    if args.out:
+        save_decomposition(decomposition, args.out)
+        out.write(f"wrote {args.out}\n")
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.target == "table1":
+        _print_table1(out)
+        return 0
+    if args.target == "decompose":
+        return _run_decompose(args, out)
+    if args.target == "all":
+        for name in sorted(ALL_FIGURES):
+            _run_figure(name, args.scale, args.seed, out, chart=args.chart)
+        return 0
+    _run_figure(args.target, args.scale, args.seed, out, args.json, args.csv, chart=args.chart)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

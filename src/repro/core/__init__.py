@@ -1,0 +1,36 @@
+"""Core package: the Low-Rank Mechanism and its optimisation machinery."""
+
+from repro.core.alm import Decomposition, choose_rank, decompose_workload, svd_warm_start
+from repro.core.bounds import (
+    approximation_ratio,
+    bound_summary,
+    hardt_talwar_lower_bound,
+    lrm_error_upper_bound,
+    relaxed_error_bound,
+)
+from repro.core.kron import KronLowRankMechanism, kron_apply
+from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
+from repro.core.nesterov import (
+    NesterovResult,
+    nesterov_projected_gradient,
+    quadratic_l_subproblem,
+)
+
+__all__ = [
+    "Decomposition",
+    "GaussianLowRankMechanism",
+    "KronLowRankMechanism",
+    "LowRankMechanism",
+    "NesterovResult",
+    "approximation_ratio",
+    "bound_summary",
+    "choose_rank",
+    "decompose_workload",
+    "hardt_talwar_lower_bound",
+    "kron_apply",
+    "lrm_error_upper_bound",
+    "nesterov_projected_gradient",
+    "quadratic_l_subproblem",
+    "relaxed_error_bound",
+    "svd_warm_start",
+]

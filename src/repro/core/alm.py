@@ -1,0 +1,683 @@
+"""Workload matrix decomposition via inexact Augmented Lagrangian (Algorithm 1).
+
+This is the optimisation engine of the Low-Rank Mechanism. Given a workload
+``W (m x n)`` and a target rank ``r``, it finds ``B (m x r)`` and
+``L (r x n)`` solving the relaxed program of Formula (8):
+
+    minimise   tr(B^T B)
+    subject to ||W - B L||_F <= gamma,
+               sum_i |L_ij| <= 1  for every column j.
+
+The inexact ALM scheme of Section 5 handles the coupling constraint with a
+multiplier ``pi`` and penalty ``beta``, minimising at each outer step the
+bi-convex Lagrangian subproblem
+
+    J(B, L) = 1/2 tr(B^T B) + <pi, W - B L> + beta/2 ||W - B L||_F^2
+
+by block descent: the ``B``-step has the closed form of Eq. (9),
+
+    B = (beta W L^T + pi L^T) (beta L L^T + I)^{-1},
+
+and the ``L``-step runs Algorithm 2 (:mod:`repro.core.nesterov`). Following
+the paper, ``beta`` doubles every 10 outer iterations and the multiplier is
+updated as ``pi <- pi + beta (W - B L)``. Theorem 4 guarantees
+``|tr(B_k^T B_k) - tr(B*^T B*)| <= O(1/beta_{k-1})``, i.e. rapid convergence
+once the doubling kicks in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.exceptions import DecompositionError, ValidationError
+from repro.linalg.projection import project_columns_l1, project_columns_l2
+from repro.linalg.validation import as_matrix, check_positive, check_positive_int, ensure_rng
+from repro.core.nesterov import nesterov_projected_gradient, quadratic_l_subproblem
+from repro.privacy.sensitivity import l1_sensitivity, l2_sensitivity
+
+
+def _norm_tools(norm):
+    """Sensitivity and feasibility-projection functions for a norm choice.
+
+    ``"l1"`` is the paper's program (Laplace noise, eps-DP); ``"l2"`` is
+    the Gaussian / (eps, delta)-DP companion program, where the column
+    constraint is an L2 ball and the sensitivity the max column L2 norm.
+    """
+    key = str(norm).lower()
+    if key == "l1":
+        return l1_sensitivity, project_columns_l1
+    if key == "l2":
+        return l2_sensitivity, project_columns_l2
+    raise ValidationError(f"norm must be 'l1' or 'l2', got {norm!r}")
+
+__all__ = ["Decomposition", "decompose_workload", "svd_warm_start", "choose_rank"]
+
+
+@dataclass
+class Decomposition:
+    """Result of :func:`decompose_workload`.
+
+    Attributes
+    ----------
+    b:
+        Scale factor ``B`` of shape (m, r); ``Phi = tr(B^T B)`` drives noise.
+    l:
+        Strategy factor ``L`` of shape (r, n) with per-column L1 norm <= 1.
+    residual_norm:
+        ``||W - B L||_F`` at termination (the paper's ``tau``).
+    objective:
+        ``tr(B^T B)``.
+    iterations:
+        Number of outer ALM iterations performed.
+    converged:
+        True when a gamma-feasible decomposition was found (the returned
+        pair is then the best such candidate seen).
+    history:
+        Per-outer-iteration dicts with ``tau``, ``objective``, ``beta``
+        and ``feasible`` (plus a final ``phase: "refine"`` entry).
+    norm:
+        Column-constraint norm of the program: "l1" (paper / Laplace) or
+        "l2" (Gaussian companion).
+    """
+
+    b: np.ndarray
+    l: np.ndarray
+    residual_norm: float
+    objective: float
+    iterations: int
+    converged: bool
+    history: list = field(default_factory=list)
+    norm: str = "l1"
+
+    @property
+    def rank(self):
+        """Decomposition rank ``r`` (columns of B)."""
+        return self.b.shape[1]
+
+    @property
+    def sensitivity(self):
+        """Query sensitivity ``Delta(B, L)`` — the max column norm of ``L``
+        under the decomposition's norm (L1 per Definition 2, or L2 for the
+        Gaussian variant)."""
+        sensitivity_fn, _ = _norm_tools(self.norm)
+        return sensitivity_fn(self.l)
+
+    @property
+    def scale(self):
+        """Query scale ``Phi(B, L) = tr(B^T B)`` (Definition 1)."""
+        return float(np.sum(self.b**2))
+
+    def expected_noise_error(self, epsilon):
+        """Lemma 1 (Laplace noise): expected squared noise error
+        ``2 Phi(B, L) Delta(B, L)^2 / eps^2``. For an L2 decomposition used
+        with the Gaussian mechanism, use
+        :meth:`expected_gaussian_noise_error` instead.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        delta = self.sensitivity
+        return 2.0 * self.scale * delta * delta / (epsilon * epsilon)
+
+    def expected_gaussian_noise_error(self, epsilon, failure_delta):
+        """Gaussian-mechanism analogue of Lemma 1:
+        ``Phi(B, L) * sigma^2`` with
+        ``sigma = Delta_2(L) sqrt(2 ln(1.25/delta)) / eps``."""
+        from repro.privacy.noise import gaussian_sigma
+
+        sigma = gaussian_sigma(max(self.sensitivity, 1e-300), epsilon, failure_delta)
+        return self.scale * sigma * sigma
+
+    def reconstruction(self):
+        """The product ``B L`` (approximation of W)."""
+        return self.b @ self.l
+
+
+def choose_rank(workload_matrix, rank=None, rank_ratio=1.2):
+    """Pick the decomposition rank ``r``.
+
+    Defaults to the paper's recommended ``r = ceil(rank_ratio * rank(W))``
+    (Section 6.1 concludes ``rank(W)`` to ``1.2 rank(W)`` balances accuracy
+    and speed), clamped to at most ``m`` (more columns in B than queries
+    never helps) and at least 1.
+    """
+    w = as_matrix(workload_matrix, "W")
+    if rank is not None:
+        rank = check_positive_int(rank, "rank")
+        return min(rank, max(w.shape))
+    rank_ratio = check_positive(rank_ratio, "rank_ratio")
+    base = int(np.linalg.matrix_rank(w))
+    return max(min(int(np.ceil(rank_ratio * base)), max(w.shape)), 1)
+
+
+def svd_warm_start(workload_matrix, rank, rng=None, norm="l1"):
+    """Feasible starting point from the Lemma 3 construction.
+
+    With thin SVD ``W = U S V^T`` truncated to ``k = min(rank, #factors)``:
+    ``B0 = sqrt(k) U S`` and ``L0 = V^T / sqrt(k)``. Columns of ``V^T`` have
+    L2 norm <= 1, hence L1 norm <= sqrt(k), so ``L0`` is feasible. Extra
+    rows (rank > k) are filled with tiny random noise so the optimiser can
+    recruit them; ``L0`` is re-projected to stay feasible.
+
+    With ``norm="l2"`` the ``sqrt(k)`` balancing is unnecessary (columns of
+    ``V^T`` are already inside the L2 ball): ``B0 = U S``, ``L0 = V^T``.
+    """
+    w = as_matrix(workload_matrix, "W")
+    rank = check_positive_int(rank, "rank")
+    rng = ensure_rng(rng)
+    _, projection_fn = _norm_tools(norm)
+    m, n = w.shape
+    u, sigma, vt = np.linalg.svd(w, full_matrices=False)
+    k = min(rank, sigma.size)
+    root = np.sqrt(max(k, 1)) if str(norm).lower() == "l1" else 1.0
+    b0 = np.zeros((m, rank))
+    l0 = np.zeros((rank, n))
+    b0[:, :k] = root * u[:, :k] * sigma[:k]
+    l0[:k, :] = vt[:k, :] / root
+    if rank > k:
+        l0[k:, :] = rng.standard_normal((rank - k, n)) * (1e-3 / np.sqrt(n))
+    return b0, projection_fn(l0, 1.0)
+
+
+def _update_b(w, l, pi, beta):
+    """Closed-form B-step (Eq. 9): ``B = (beta W + pi) L^T (beta L L^T + I)^{-1}``."""
+    r = l.shape[0]
+    rhs = (beta * w + pi) @ l.T
+    system = beta * (l @ l.T) + np.eye(r)
+    try:
+        cho = sla.cho_factor(system, lower=True, check_finite=False)
+        return sla.cho_solve(cho, rhs.T, check_finite=False).T
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - system is PD by construction
+        raise DecompositionError("B-step normal equations not positive definite") from exc
+
+
+def _least_squares_b(w, l, ridge=1e-12):
+    """Residual-minimising ``B = W L^+`` (ridge-stabilised normal equations)."""
+    r = l.shape[0]
+    gram = l @ l.T + ridge * np.eye(r)
+    return np.linalg.solve(gram, l @ w.T).T
+
+
+def _exact_closure(w, l, svd):
+    """Exact residual elimination when ``rank(L-span) >= rank(W)``.
+
+    The optimal ``L`` has rows inside the row space of ``W`` (directions
+    outside it cost L1 budget without helping represent ``W``). Projecting
+    the phase-1 iterate there — ``L <- (L V) V^T`` with ``W = U S V^T`` —
+    keeps its optimised shape, and whenever ``G = L V`` has full column
+    rank, ``B = U S G^+`` reproduces ``W`` *exactly*. Returns
+    ``(B, L, tau)`` or ``None`` when the closure is not applicable
+    (``r < rank(W)`` or a degenerate ``G``).
+    """
+    u, sigma, vt, k = svd
+    if k == 0 or l.shape[0] < k:
+        return None
+    g = l @ vt.T  # (r, k)
+    if np.linalg.matrix_rank(g) < k:
+        return None
+    l_exact = g @ vt
+    b = (u * sigma) @ np.linalg.pinv(g)
+    tau = float(np.linalg.norm(w - b @ l_exact))
+    return b, l_exact, tau
+
+
+def _thin_svd(w, energy_tol=0.0):
+    """Thin SVD of ``w`` truncated to its numerical rank: (U, sigma, Vt, k).
+
+    With ``energy_tol > 0``, additionally drops the smallest singular
+    directions whose cumulative energy stays within
+    ``energy_tol * ||w||_F`` — the Formula-(8) relaxation in spectral form:
+    representing only the retained directions leaves a residual of exactly
+    the dropped tail energy, which is <= gamma. Dropping near-null
+    directions is what keeps ``B = U S G^+`` from exploding on workloads
+    with tiny trailing eigenvalues (the motivation the paper gives for the
+    relaxed program in Section 4.2).
+    """
+    u, sigma, vt = np.linalg.svd(w, full_matrices=False)
+    tol = max(w.shape) * np.finfo(np.float64).eps * (sigma[0] if sigma.size else 0.0)
+    k = int(np.sum(sigma > tol))
+    if energy_tol > 0.0 and k > 1:
+        budget = (energy_tol * float(np.linalg.norm(w))) ** 2
+        tail = np.cumsum(sigma[::-1] ** 2)[::-1]  # tail[j] = sum_{i >= j} sigma_i^2
+        while k > 1 and tail[k - 1] <= budget:
+            k -= 1
+    return u[:, :k], sigma[:k], vt[:k, :], k
+
+
+def _refine_residual(w, b, l, target, max_iters, nesterov_iters, svd=None, projection=None):
+    """Drive ``||W - B L||_F`` toward zero while keeping the optimised shape.
+
+    Mirrors the paper's treatment of Formula (8) "with gamma -> 0". First
+    tries the exact row-space closure (:func:`_exact_closure`), retrying
+    with a slight blend toward the always-valid Lemma-3 SVD factor if the
+    phase-1 iterate dropped a direction; when the closure does not apply
+    (decomposition rank below ``rank(W)``), falls back to alternating the
+    least-squares optimum ``B = W L^+`` (an exact residual minimiser
+    costing one r x r solve) with pure data-fitting Nesterov steps on
+    ``L``. The scale ``tr(B^T B)`` moves only marginally because the
+    subspace is already chosen.
+    """
+    if projection is None:
+        projection = project_columns_l1
+    if svd is None:
+        svd = _thin_svd(w)
+    closed = _exact_closure(w, l, svd)
+    if closed is not None and closed[2] <= max(target, 1e-9):
+        return closed
+    _, _, vt, k = svd
+    if k > 0 and l.shape[0] >= k:
+        # Blend in the feasible SVD factor to restore any dropped direction.
+        l_svd = np.zeros_like(l)
+        l_svd[:k, :] = vt / np.sqrt(k)
+        blended = projection(0.9 * l + 0.1 * l_svd, 1.0)
+        closed = _exact_closure(w, blended, svd)
+        if closed is not None and closed[2] <= max(target, 1e-9):
+            return closed
+    zero_pi = np.zeros_like(w)
+    b = _least_squares_b(w, l)
+    tau = float(np.linalg.norm(w - b @ l))
+    for _ in range(max_iters):
+        if tau <= target:
+            break
+        candidate_objective, candidate_gradient = quadratic_l_subproblem(b, w, zero_pi, 1.0)
+        lipschitz = max(float(np.linalg.eigvalsh(b.T @ b)[-1]), 1e-12)
+        l_candidate = nesterov_projected_gradient(
+            candidate_objective,
+            candidate_gradient,
+            l,
+            radius=1.0,
+            max_iters=nesterov_iters,
+            lipschitz_init=lipschitz,
+            projection=projection,
+        ).solution
+        b_candidate = _least_squares_b(w, l_candidate)
+        new_tau = float(np.linalg.norm(w - b_candidate @ l_candidate))
+        if new_tau >= tau * (1.0 - 1e-4):
+            if new_tau < tau:
+                b, l, tau = b_candidate, l_candidate, new_tau
+            break
+        b, l, tau = b_candidate, l_candidate, new_tau
+    return b, l, tau
+
+
+def decompose_workload(
+    workload_matrix,
+    rank=None,
+    rank_ratio=1.2,
+    gamma=1e-2,
+    gamma_is_relative=True,
+    beta0=10.0,
+    beta_max=1e10,
+    beta_growth=2.0,
+    beta_period=10,
+    beta_shrink=0.85,
+    beta_floor=1.0,
+    max_outer=150,
+    max_inner=8,
+    nesterov_iters=60,
+    inner_tol=1e-7,
+    stall_iters=30,
+    refine=True,
+    refine_iters=10,
+    phase1_tol=2e-2,
+    restarts=1,
+    init_perturbation=0.0,
+    norm="l1",
+    seed=0,
+):
+    """Algorithm 1: ALM workload matrix decomposition.
+
+    Three engineering refinements (documented in DESIGN.md, all preserving
+    the optimisation problem exactly) are layered on the paper's Algorithm 1:
+
+    1. **Normalisation.** The workload is internally scaled to unit
+       Frobenius norm and ``B`` rescaled back at the end; by the Lemma-2
+       argument the optimal ``L`` is unchanged, and the penalty schedule
+       becomes workload-magnitude independent.
+    2. **Lemma-2 rescaling.** After every outer iteration the pair is
+       rescaled to ``(Delta L^{-1} ... )`` — concretely ``B <- Delta * B``,
+       ``L <- L / Delta`` with ``Delta`` the current sensitivity — an exact
+       move that keeps ``B L`` fixed, restores the constraint boundary and
+       strictly reduces ``tr(B^T B)``.
+    3. **Best-feasible tracking with adaptive penalty.** Feasible iterates
+       (``tau`` within the phase-1 working tolerance) are recorded and the
+       best (lowest ``tr(B^T B)``) kept; while feasible the penalty
+       *shrinks* so the scale term regains weight, while infeasible it
+       grows on the paper's double-every-10 schedule. This prevents the
+       premature exit at the first (typically warm-start-like) feasible
+       point.
+    4. **Residual refinement.** Matching the paper's implementation of
+       Formula (8) "with gamma -> 0", a cheap second phase alternates the
+       exact least-squares ``B = W L^+`` with pure data-fitting ``L`` steps,
+       driving the structural residual toward zero (down to ``gamma``)
+       without disturbing the optimised scale. Without this phase the
+       data-dependent structural error ``||(W - B L) x||^2`` dominates on
+       realistic count magnitudes.
+
+    Parameters
+    ----------
+    workload_matrix:
+        The (m x n) workload ``W`` (a raw array or
+        :class:`repro.workloads.Workload`'s ``.matrix``).
+    rank:
+        Decomposition rank ``r``; ``None`` uses
+        ``ceil(rank_ratio * rank(W))``.
+    rank_ratio:
+        Multiplier applied to ``rank(W)`` when ``rank`` is None (paper
+        default 1.2, Section 6.1).
+    gamma:
+        Relaxation tolerance on ``||W - B L||_F`` (Formula 8). Interpreted
+        relative to ``||W||_F`` when ``gamma_is_relative`` (default), else
+        absolute, as in the paper's Figure 2 sweep.
+    gamma_is_relative:
+        See above.
+    beta0, beta_max:
+        Initial penalty (in normalised units) and the cap that terminates
+        the outer loop.
+    beta_growth, beta_period:
+        While infeasible, ``beta`` is multiplied by ``beta_growth`` every
+        ``beta_period`` outer iterations (the paper doubles every 10).
+    beta_shrink, beta_floor:
+        While feasible, ``beta`` is multiplied by ``beta_shrink`` (floored
+        at ``beta_floor``) so the scale objective regains weight.
+    max_outer:
+        Cap on outer ALM iterations.
+    max_inner:
+        Block-descent sweeps (B-step + L-step) per outer iteration.
+    nesterov_iters:
+        Iteration budget for each Algorithm-2 call.
+    inner_tol:
+        Relative change threshold that ends the inner sweeps early.
+    stall_iters:
+        Terminate once this many consecutive outer iterations fail to
+        improve the best feasible objective.
+    refine, refine_iters:
+        Enable the residual-refinement phase and its iteration cap.
+    phase1_tol:
+        Working feasibility tolerance (relative to ``||W||_F``) of the
+        adaptive phase; the effective phase-1 tolerance is
+        ``max(gamma, phase1_tol)`` and refinement then tightens the
+        residual to ``gamma`` (or numerical zero, whichever binds first).
+    restarts:
+        Number of independent solves; the first uses the SVD warm start,
+        later ones perturb it randomly to escape local stationary points of
+        the bi-convex subproblem (the program is non-convex jointly in
+        ``(B, L)``). The best result (feasible first, then lowest scale)
+        is returned.
+    init_perturbation:
+        Relative magnitude of the random warm-start perturbation (used
+        internally by restarts; 0 keeps the pure SVD start).
+    seed:
+        Seed for the warm start's random padding.
+
+    Returns
+    -------
+    Decomposition
+        ``converged`` is True iff a feasible iterate was found; in that
+        case ``(b, l)`` is the best feasible pair seen.
+
+    Raises
+    ------
+    DecompositionError
+        If the solver terminates with a residual so large the decomposition
+        is unusable (residual > ||W||_F).
+    """
+    if restarts > 1:
+        candidates = []
+        for index in range(int(restarts)):
+            candidates.append(
+                decompose_workload(
+                    workload_matrix,
+                    rank=rank,
+                    rank_ratio=rank_ratio,
+                    gamma=gamma,
+                    gamma_is_relative=gamma_is_relative,
+                    beta0=beta0,
+                    beta_max=beta_max,
+                    beta_growth=beta_growth,
+                    beta_period=beta_period,
+                    beta_shrink=beta_shrink,
+                    beta_floor=beta_floor,
+                    max_outer=max_outer,
+                    max_inner=max_inner,
+                    nesterov_iters=nesterov_iters,
+                    inner_tol=inner_tol,
+                    stall_iters=stall_iters,
+                    refine=refine,
+                    refine_iters=refine_iters,
+                    phase1_tol=phase1_tol,
+                    restarts=1,
+                    init_perturbation=0.0 if index == 0 else 0.5,
+                    norm=norm,
+                    seed=seed + index,
+                )
+            )
+        return min(
+            candidates, key=lambda d: (not d.converged, d.objective, d.residual_norm)
+        )
+
+    w_original = as_matrix(workload_matrix, "W")
+    sensitivity_fn, projection_fn = _norm_tools(norm)
+    gamma = check_positive(gamma, "gamma")
+    beta0 = check_positive(beta0, "beta0")
+    beta_max = check_positive(beta_max, "beta_max")
+    beta_growth = check_positive(beta_growth, "beta_growth")
+    beta_period = check_positive_int(beta_period, "beta_period")
+    beta_shrink = check_positive(beta_shrink, "beta_shrink")
+    beta_floor = check_positive(beta_floor, "beta_floor")
+    max_outer = check_positive_int(max_outer, "max_outer")
+    max_inner = check_positive_int(max_inner, "max_inner")
+    stall_iters = check_positive_int(stall_iters, "stall_iters")
+
+    # Normalise to ||W||_F = 1 (see docstring); rescale B at the end.
+    w_norm = float(np.linalg.norm(w_original))
+    if w_norm == 0.0:
+        raise DecompositionError("cannot decompose an all-zero workload")
+    w = w_original / w_norm
+    gamma_scaled = gamma if gamma_is_relative else gamma / w_norm
+    # The working tolerance tracks gamma but is clamped: below phase1_tol the
+    # adaptive phase cannot find feasible iterates to improve on, above
+    # ~2.5x phase1_tol "feasible" stops meaning "covers W" and the penalty
+    # schedule degenerates (everything looks feasible, beta only shrinks).
+    phase1_tol = check_positive(phase1_tol, "phase1_tol")
+    phase1_tolerance = min(max(gamma_scaled, phase1_tol), 2.5 * phase1_tol)
+    refine_iters = check_positive_int(refine_iters, "refine_iters")
+
+    r = choose_rank(w, rank=rank, rank_ratio=rank_ratio)
+    b, l = svd_warm_start(w, r, rng=seed, norm=norm)
+    if init_perturbation > 0.0:
+        perturb_rng = ensure_rng(seed)
+        scale = init_perturbation * max(float(np.abs(l).max()), 1e-6)
+        l = projection_fn(l + scale * perturb_rng.standard_normal(l.shape), 1.0)
+        b = _least_squares_b(w, l)
+    delta = sensitivity_fn(l)
+    if delta > 0:
+        b, l = b * delta, l / delta
+
+    pi = np.zeros_like(w)
+    beta = beta0
+    history = []
+    tau = float(np.linalg.norm(w - b @ l))
+    iterations = 0
+    stall = 0
+    best_pair = None
+    best_objective = np.inf
+    best_tau = tau
+    best_raw_objective = np.inf
+    # Closure tolerance: a closed candidate may leave exactly the dropped
+    # spectral tail (<= gamma) as residual. The truncation itself is capped
+    # at 1e-3 relative energy: the structural error it induces scales with
+    # the (unknown at fit time) data magnitude, so only genuinely negligible
+    # directions are dropped regardless of how loose gamma is.
+    svd = _thin_svd(w, energy_tol=min(gamma_scaled, 1e-3))
+    closure_tol = gamma_scaled + 1e-9
+
+    def _record_candidate(candidate_b, candidate_l):
+        nonlocal best_objective, best_pair
+        candidate_objective = float(np.sum(candidate_b**2))
+        if candidate_objective < best_objective * (1.0 - 1e-6):
+            best_objective = candidate_objective
+            best_pair = (candidate_b.copy(), candidate_l.copy())
+            return True
+        return False
+
+    # The warm start itself is a valid candidate: guarantees the returned
+    # decomposition is never worse than the scaled-SVD (Lemma 3) strategy.
+    warm_closed = _exact_closure(w, l, svd)
+    if warm_closed is not None and warm_closed[2] <= closure_tol:
+        warm_b, warm_l = warm_closed[0], warm_closed[1]
+        warm_delta = sensitivity_fn(warm_l)
+        if warm_delta > 0:
+            _record_candidate(warm_b * warm_delta, warm_l / warm_delta)
+
+    # Diagonal-SVD candidate: L = diag(d) V^T with d_k ~ sigma_k^{2/3}, the
+    # optimal per-direction budget allocation for a diagonal G. Unlike the
+    # uniform warm start it degrades gracefully on near-singular spectra
+    # (tiny directions get tiny budget instead of forcing B to blow up).
+    u_svd, sigma_svd, vt_svd, k_svd = svd
+    if 0 < k_svd <= r:
+        d = sigma_svd ** (2.0 / 3.0)
+        l_diag = np.zeros((r, w.shape[1]))
+        l_diag[:k_svd] = d[:, None] * vt_svd
+        diag_delta = sensitivity_fn(l_diag)
+        if diag_delta > 0:
+            l_diag /= diag_delta
+            b_diag = np.zeros((w.shape[0], r))
+            b_diag[:, :k_svd] = u_svd * (sigma_svd * diag_delta / d)
+            _record_candidate(b_diag, l_diag)
+
+    for k in range(1, max_outer + 1):
+        if beta > beta_max:
+            break
+        iterations = k
+        # --- Approximately solve the Lagrangian subproblem (lines 4-6). ---
+        previous_value = None
+        for _ in range(max_inner):
+            b = _update_b(w, l, pi, beta)
+            objective_fn, gradient_fn = quadratic_l_subproblem(b, w, pi, beta)
+            btb = b.T @ b
+            lipschitz = beta * max(float(np.linalg.eigvalsh(btb)[-1]), 1e-12)
+            result = nesterov_projected_gradient(
+                objective_fn,
+                gradient_fn,
+                l,
+                radius=1.0,
+                max_iters=nesterov_iters,
+                lipschitz_init=lipschitz,
+                projection=projection_fn,
+            )
+            l = result.solution
+            inner_residual = w - b @ l
+            subproblem_value = (
+                0.5 * float(np.sum(b**2))
+                + float(np.sum(pi * inner_residual))
+                + 0.5 * beta * float(np.sum(inner_residual**2))
+            )
+            if previous_value is not None:
+                change = abs(previous_value - subproblem_value)
+                if change <= inner_tol * max(abs(previous_value), 1.0):
+                    break
+            previous_value = subproblem_value
+
+        # --- Exact Lemma-2 rescaling onto the sensitivity boundary. ---
+        delta = sensitivity_fn(l)
+        if delta > 0:
+            b, l = b * delta, l / delta
+
+        residual = w - b @ l
+        tau = float(np.linalg.norm(residual))
+        objective = float(np.sum(b**2))
+        feasible = tau <= phase1_tolerance
+        history.append(
+            {
+                "tau": tau * w_norm,
+                "objective": objective * w_norm**2,
+                "beta": beta,
+                "feasible": feasible,
+            }
+        )
+        if feasible:
+            # Judge the candidate by what it will actually become: the
+            # exactly-closed pair (residual forced to ~0). Selecting on the
+            # raw objective would favour iterates whose low tr(B^T B) is an
+            # artefact of under-covering W, which the closure then pays for
+            # with an exploding B. When the closure is applicable in
+            # principle (r >= rank(W)) but this iterate's L has collapsed
+            # below rank(W), the iterate is skipped entirely.
+            closure_applicable = svd[3] > 0 and l.shape[0] >= svd[3]
+            closed = _exact_closure(w, l, svd)
+            candidate = None
+            if closed is not None and closed[2] <= closure_tol:
+                candidate_b, candidate_l = closed[0], closed[1]
+                delta_c = sensitivity_fn(candidate_l)
+                if delta_c > 0:
+                    candidate_b, candidate_l = candidate_b * delta_c, candidate_l / delta_c
+                candidate = (candidate_b, candidate_l)
+            elif not closure_applicable:
+                candidate = (b, l)
+            recorded = candidate is not None and _record_candidate(*candidate)
+            # Keep exploring while the raw trajectory still moves, even if
+            # it has not yet beaten the pre-seeded SVD candidates.
+            moving = (
+                tau < best_tau * (1.0 - 1e-9)
+                or objective < best_raw_objective * (1.0 - 1e-9)
+            )
+            best_tau = min(best_tau, tau)
+            best_raw_objective = min(best_raw_objective, objective)
+            stall = 0 if (recorded or moving) else stall + 1
+            # Feasible: give the scale term more weight.
+            beta = max(beta * beta_shrink, beta_floor)
+        else:
+            if tau < best_tau * (1.0 - 1e-9):
+                stall = 0
+            else:
+                stall += 1
+            best_tau = min(best_tau, tau)
+            # Infeasible: the paper's penalty and multiplier updates.
+            if k % beta_period == 0:
+                beta *= beta_growth
+            pi = pi + beta * residual
+        if stall >= stall_iters:
+            break
+
+    if best_pair is not None:
+        b, l = best_pair
+        tau = float(np.linalg.norm(w - b @ l))
+
+    if refine:
+        # --- Phase 2: drive the residual down to gamma (the spectral-tail
+        # truncation means "down to the dropped tail energy"). ---
+        target = max(gamma_scaled, 1e-9)
+        b, l, tau = _refine_residual(
+            w, b, l, target, refine_iters, nesterov_iters, svd=svd, projection=projection_fn
+        )
+        delta = sensitivity_fn(l)
+        if delta > 0:
+            b, l = b * delta, l / delta
+            tau = float(np.linalg.norm(w - b @ l))
+        history.append(
+            {
+                "tau": tau * w_norm,
+                "objective": float(np.sum(b**2)) * w_norm**2,
+                "beta": beta,
+                "feasible": tau <= gamma_scaled,
+                "phase": "refine",
+            }
+        )
+
+    if tau > 1.0 + 1e-9:
+        raise DecompositionError(
+            f"decomposition failed: residual {tau * w_norm:.3e} exceeds ||W||_F; "
+            "increase rank or iterations"
+        )
+    return Decomposition(
+        b=b * w_norm,
+        l=l,
+        residual_norm=tau * w_norm,
+        objective=float(np.sum(b**2)) * w_norm**2,
+        iterations=iterations,
+        converged=best_pair is not None or tau <= gamma_scaled,
+        history=history,
+        norm=str(norm).lower(),
+    )

@@ -1,0 +1,127 @@
+"""Theoretical error bounds for the Low-Rank Mechanism (Section 4).
+
+Implements, with overflow-safe arithmetic:
+
+* **Lemma 3** — upper bound on LRM's expected squared error:
+  ``sum_k lambda_k^2 * r / eps^2`` for a rank-``r`` workload with singular
+  values ``lambda_k`` (via the feasible SVD decomposition
+  ``B = sqrt(r) U S``, ``L = V^T / sqrt(r)``).
+* **Lemma 4** — Hardt-Talwar geometric lower bound for *any* eps-DP
+  mechanism: ``Omega(((2^r / r!) * prod lambda_k)^{2/r} * r^3 / eps^2)``,
+  evaluated in log space with ``gammaln`` so large ranks do not overflow.
+* **Theorem 2** — the ``O(C^2 r)`` approximation ratio, ``C`` being the
+  ratio of extreme non-zero singular values; the concrete constant from the
+  proof is ``(C/4)^2 * r`` once ``r > 5``.
+* **Theorem 3** — error bound for the relaxed program:
+  ``2 tr(B^T B) / eps^2 + gamma * sum_i x_i^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_matrix, as_vector, check_positive
+
+__all__ = [
+    "lrm_error_upper_bound",
+    "hardt_talwar_lower_bound",
+    "approximation_ratio",
+    "relaxed_error_bound",
+    "bound_summary",
+]
+
+
+def _nonzero_singular_values(singular_values, tol=None):
+    values = as_vector(singular_values, "singular_values")
+    if np.any(values < 0):
+        raise ValidationError("singular values must be non-negative")
+    values = np.sort(values)[::-1]
+    if tol is None:
+        tol = values.size * np.finfo(np.float64).eps * (values[0] if values.size else 0.0)
+    nonzero = values[values > tol]
+    if nonzero.size == 0:
+        raise ValidationError("workload has rank zero; bounds undefined")
+    return nonzero
+
+
+def lrm_error_upper_bound(singular_values, epsilon):
+    """Lemma 3: ``(sum_k lambda_k^2) * r / eps^2``.
+
+    The bound comes from the always-feasible decomposition built from the
+    SVD; the optimal decomposition can only do better.
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    values = _nonzero_singular_values(singular_values)
+    r = values.size
+    return float(np.sum(values**2)) * r / (epsilon * epsilon)
+
+
+def hardt_talwar_lower_bound(singular_values, epsilon):
+    """Lemma 4: lower bound on any eps-DP mechanism's squared error.
+
+        ((2^r / r!) * prod_k lambda_k)^{2/r} * r^3 / eps^2
+
+    Computed in log space: ``log term = (2/r) (r log 2 - log r! +
+    sum log lambda_k)``; the constant hidden by the Omega is taken as 1.
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    values = _nonzero_singular_values(singular_values)
+    r = values.size
+    log_term = (2.0 / r) * (r * np.log(2.0) - gammaln(r + 1.0) + np.sum(np.log(values)))
+    return float(np.exp(log_term)) * r**3 / (epsilon * epsilon)
+
+
+def approximation_ratio(singular_values, exact=False):
+    """Theorem 2: approximation factor of LRM vs. the optimal mechanism.
+
+    Returns ``(C/4)^2 * r`` where ``C = lambda_1 / lambda_r`` over the
+    non-zero spectrum. Theorem 2 states this for ``r > 5`` (the step
+    ``r! < (r/2)^r`` needs it); with ``exact=False`` (default) the formula
+    is evaluated for any rank as an indicative value, while ``exact=True``
+    raises for ``r <= 5``.
+    """
+    values = _nonzero_singular_values(singular_values)
+    r = values.size
+    if exact and r <= 5:
+        raise ValidationError(f"Theorem 2 requires rank > 5, got r={r}")
+    c = float(values[0] / values[-1])
+    return (c / 4.0) ** 2 * r
+
+
+def relaxed_error_bound(b, gamma, x, epsilon):
+    """Theorem 3: expected squared error of relaxed LRM is at most
+
+        2 tr(B^T B) / eps^2 + gamma * sum_i x_i^2.
+
+    Note the structural term depends on the data (which is why the paper
+    cannot tune gamma analytically and sweeps it in Figure 2).
+    """
+    b = as_matrix(b, "B")
+    gamma = check_positive(gamma, "gamma")
+    x = as_vector(x, "x")
+    epsilon = check_positive(epsilon, "epsilon")
+    noise_term = 2.0 * float(np.sum(b**2)) / (epsilon * epsilon)
+    structural_term = gamma * float(np.sum(x**2))
+    return noise_term + structural_term
+
+
+def bound_summary(workload, epsilon):
+    """Convenience report: upper/lower bounds and the Theorem-2 ratio.
+
+    Accepts a :class:`repro.workloads.Workload` (or anything with
+    ``singular_values``) and returns a dict with keys ``upper_bound``,
+    ``lower_bound``, ``bound_gap`` and ``approximation_ratio``.
+    """
+    values = getattr(workload, "singular_values", None)
+    if values is None:
+        values = np.linalg.svd(as_matrix(workload, "workload"), compute_uv=False)
+    upper = lrm_error_upper_bound(values, epsilon)
+    lower = hardt_talwar_lower_bound(values, epsilon)
+    return {
+        "upper_bound": upper,
+        "lower_bound": lower,
+        "bound_gap": upper / lower if lower > 0 else np.inf,
+        "approximation_ratio": approximation_ratio(values),
+    }

@@ -1,0 +1,35 @@
+"""Dataset substrate: synthetic paper datasets and domain transforms."""
+
+from repro.data.datasets import (
+    NET_TRACE_SIZE,
+    SEARCH_LOGS_SIZE,
+    SOCIAL_NETWORK_SIZE,
+    dataset_names,
+    load_dataset,
+    net_trace,
+    search_logs,
+    social_network,
+)
+from repro.data.histogram import (
+    DomainMapper,
+    grid_histogram_from_records,
+    histogram_from_records,
+)
+from repro.data.transforms import merge_to_domain, normalize_counts, pad_to_length
+
+__all__ = [
+    "DomainMapper",
+    "NET_TRACE_SIZE",
+    "SEARCH_LOGS_SIZE",
+    "SOCIAL_NETWORK_SIZE",
+    "dataset_names",
+    "grid_histogram_from_records",
+    "histogram_from_records",
+    "load_dataset",
+    "merge_to_domain",
+    "net_trace",
+    "normalize_counts",
+    "pad_to_length",
+    "search_logs",
+    "social_network",
+]

@@ -1,0 +1,148 @@
+"""Histogram front-end: from raw records to unit counts and range queries.
+
+The paper (and the whole matrix-mechanism literature) starts from a vector
+of *unit counts*; real deployments start from raw records. This module
+bridges the two:
+
+* :func:`histogram_from_records` bins scalar records into a unit-count
+  vector over explicit or equi-width bin edges;
+* :func:`grid_histogram_from_records` does the same for two attributes,
+  producing the flattened row-major grid that
+  :func:`repro.workloads.generators.marginals_workload` queries;
+* :class:`DomainMapper` converts value-space range predicates
+  (``lo <= value <= hi``) into workload weight rows over the bins, so an
+  analyst can phrase queries in their own units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_vector, check_positive_int
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "histogram_from_records",
+    "grid_histogram_from_records",
+    "DomainMapper",
+]
+
+
+def _resolve_edges(records, bins, value_range=None):
+    if np.isscalar(bins):
+        bins = check_positive_int(int(bins), "bins")
+        if value_range is None:
+            low, high = float(records.min()), float(records.max())
+        else:
+            low, high = map(float, value_range)
+        if not low < high:
+            raise ValidationError(f"need a non-degenerate range, got [{low}, {high}]")
+        return np.linspace(low, high, bins + 1)
+    edges = np.asarray(bins, dtype=np.float64)
+    if edges.ndim != 1 or edges.size < 2:
+        raise ValidationError("bin edges must be a 1-D array with >= 2 entries")
+    if np.any(np.diff(edges) <= 0):
+        raise ValidationError("bin edges must be strictly increasing")
+    return edges
+
+
+def histogram_from_records(records, bins, value_range=None):
+    """Bin scalar records into a unit-count vector.
+
+    Parameters
+    ----------
+    records:
+        1-D array of raw record values (one entry per individual — the
+        thing differential privacy protects).
+    bins:
+        Either a bin count (equi-width over ``value_range`` or the data
+        range) or an explicit strictly-increasing edge array.
+    value_range:
+        Optional (low, high) for equi-width binning; records outside are
+        clipped into the boundary bins so every record is counted once.
+
+    Returns
+    -------
+    (counts, edges):
+        ``counts`` has length ``len(edges) - 1``; ``sum(counts) ==
+        len(records)``.
+    """
+    records = as_vector(records, "records")
+    edges = _resolve_edges(records, bins, value_range)
+    clipped = np.clip(records, edges[0], edges[-1])
+    counts, _ = np.histogram(clipped, bins=edges)
+    return counts.astype(np.float64), edges
+
+
+def grid_histogram_from_records(records_x, records_y, bins_x, bins_y,
+                                range_x=None, range_y=None):
+    """Bin paired records into a flattened 2-D grid histogram.
+
+    Returns ``(counts, edges_x, edges_y)`` where ``counts`` is the
+    row-major flattening of the (bins_x, bins_y) grid — the domain layout
+    of :func:`repro.workloads.generators.marginals_workload`.
+    """
+    records_x = as_vector(records_x, "records_x")
+    records_y = as_vector(records_y, "records_y", size=records_x.size)
+    edges_x = _resolve_edges(records_x, bins_x, range_x)
+    edges_y = _resolve_edges(records_y, bins_y, range_y)
+    clipped_x = np.clip(records_x, edges_x[0], edges_x[-1])
+    clipped_y = np.clip(records_y, edges_y[0], edges_y[-1])
+    grid, _, _ = np.histogram2d(clipped_x, clipped_y, bins=[edges_x, edges_y])
+    return grid.ravel(), edges_x, edges_y
+
+
+class DomainMapper:
+    """Translate value-space predicates into workload rows over the bins.
+
+    Parameters
+    ----------
+    edges:
+        The bin-edge array returned by :func:`histogram_from_records`.
+
+    Examples
+    --------
+    >>> counts, edges = histogram_from_records([1.0, 2.5, 7.0], bins=4,
+    ...                                        value_range=(0, 8))
+    >>> mapper = DomainMapper(edges)
+    >>> row = mapper.range_row(0.0, 3.9)  # weight 1 on bins inside [0, 3.9]
+    """
+
+    def __init__(self, edges):
+        edges = as_vector(edges, "edges")
+        if edges.size < 2 or np.any(np.diff(edges) <= 0):
+            raise ValidationError("edges must be strictly increasing with >= 2 entries")
+        self.edges = edges
+
+    @property
+    def domain_size(self):
+        """Number of bins."""
+        return self.edges.size - 1
+
+    def bin_of(self, value):
+        """Index of the bin containing ``value`` (clipped to the domain)."""
+        value = float(np.clip(value, self.edges[0], self.edges[-1]))
+        index = int(np.searchsorted(self.edges, value, side="right") - 1)
+        return min(max(index, 0), self.domain_size - 1)
+
+    def range_row(self, low, high):
+        """Weight row selecting every bin overlapping ``[low, high]``."""
+        if not low <= high:
+            raise ValidationError(f"need low <= high, got [{low}, {high}]")
+        start = self.bin_of(low)
+        end = self.bin_of(high)
+        row = np.zeros(self.domain_size)
+        row[start : end + 1] = 1.0
+        return row
+
+    def range_workload(self, intervals, name="ValueRanges"):
+        """Workload of range queries given as ``(low, high)`` value pairs."""
+        rows = [self.range_row(low, high) for low, high in intervals]
+        if not rows:
+            raise ValidationError("need at least one interval")
+        return Workload(
+            np.asarray(rows),
+            name=name,
+            metadata={"intervals": [tuple(map(float, pair)) for pair in intervals]},
+        )

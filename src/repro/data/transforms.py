@@ -1,0 +1,60 @@
+"""Dataset transforms used by the experiment harness.
+
+Section 6: "To evaluate the impact of data domain cardinality on real
+datasets, we transform the original counts into a vector of fixed size n
+(domain size), by merging consecutive counts in order." That operation,
+plus a couple of convenience transforms, lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_vector, check_positive_int
+
+__all__ = ["merge_to_domain", "pad_to_length", "normalize_counts"]
+
+
+def merge_to_domain(x, n):
+    """Merge consecutive counts of ``x`` into a vector of length ``n``.
+
+    The first ``len(x) mod n`` buckets absorb one extra source cell each, so
+    every source count lands in exactly one output bucket and the total mass
+    is preserved. Requires ``n <= len(x)``.
+    """
+    x = as_vector(x, "x")
+    n = check_positive_int(n, "n")
+    size = x.size
+    if n > size:
+        raise ValidationError(f"cannot merge {size} counts into a larger domain of {n}")
+    if n == size:
+        return x.copy()
+    base = size // n
+    extra = size % n
+    sizes = np.full(n, base, dtype=np.int64)
+    sizes[:extra] += 1
+    boundaries = np.concatenate(([0], np.cumsum(sizes)))
+    return np.add.reduceat(x, boundaries[:-1])
+
+
+def pad_to_length(x, n, value=0.0):
+    """Right-pad ``x`` with ``value`` up to length ``n`` (n >= len(x))."""
+    x = as_vector(x, "x")
+    n = check_positive_int(n, "n")
+    if n < x.size:
+        raise ValidationError(f"cannot pad length {x.size} down to {n}; use merge_to_domain")
+    if n == x.size:
+        return x.copy()
+    padded = np.full(n, float(value))
+    padded[: x.size] = x
+    return padded
+
+
+def normalize_counts(x):
+    """Scale ``x`` to sum to 1 (empirical distribution); all-zero passes through."""
+    x = as_vector(x, "x")
+    total = x.sum()
+    if total == 0.0:
+        return x.copy()
+    return x / total

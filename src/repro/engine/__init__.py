@@ -1,0 +1,18 @@
+"""Deployment layer: budget-managed query engine and mechanism selection."""
+
+from repro.engine.query_engine import PrivateQueryEngine, Release
+from repro.engine.selection import (
+    DEFAULT_CANDIDATES,
+    MechanismChoice,
+    rank_mechanisms,
+    select_mechanism,
+)
+
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "MechanismChoice",
+    "PrivateQueryEngine",
+    "Release",
+    "rank_mechanisms",
+    "select_mechanism",
+]

@@ -1,0 +1,223 @@
+"""A budget-managed differentially private query engine.
+
+:class:`PrivateQueryEngine` is the deployment wrapper a downstream system
+would actually adopt: it holds the sensitive unit counts, enforces a total
+privacy budget across releases (sequential composition), caches the
+expensive per-workload mechanism fits, picks the best mechanism
+automatically, and applies standard post-processing.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.engine import PrivateQueryEngine
+>>> from repro.workloads import wrelated
+>>> engine = PrivateQueryEngine(np.arange(64.0), total_budget=1.0, seed=0)
+>>> release = engine.answer_workload(wrelated(8, 64, s=2, seed=1), epsilon=0.25)
+>>> engine.remaining_budget
+0.75
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.postprocess import postprocess_answers
+from repro.engine.selection import DEFAULT_CANDIDATES, select_mechanism
+from repro.exceptions import ReproError, ValidationError
+from repro.linalg.validation import as_vector, check_positive, ensure_rng
+from repro.mechanisms.base import Mechanism, as_workload
+from repro.mechanisms.registry import make_mechanism
+from repro.privacy.budget import PrivacyBudget
+
+__all__ = ["PrivateQueryEngine", "Release"]
+
+
+@dataclass
+class Release:
+    """One differentially private release produced by the engine.
+
+    Attributes
+    ----------
+    answers:
+        The (possibly post-processed) noisy answer vector.
+    mechanism:
+        Label of the mechanism that produced it.
+    epsilon:
+        Budget consumed by this release.
+    expected_error:
+        Analytic expected total squared error at release time (None when
+        the mechanism has no closed form).
+    workload_key:
+        Cache key of the workload (for auditing).
+    """
+
+    answers: np.ndarray
+    mechanism: str
+    epsilon: float
+    expected_error: float = None
+    workload_key: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class PrivateQueryEngine:
+    """Answer batches of linear queries over one dataset under a global
+    eps-DP budget.
+
+    Parameters
+    ----------
+    data:
+        The sensitive unit-count vector (length ``n``).
+    total_budget:
+        Total eps available across all releases (sequential composition).
+    candidates:
+        Mechanism labels tried by ``mechanism="auto"``.
+    mechanism_kwargs:
+        Per-label constructor overrides, e.g. ``{"LRM": {"max_outer": 60}}``.
+    seed:
+        Seed for the engine's noise generator (each release consumes from
+        one stream, so repeated runs of the same script are reproducible).
+    """
+
+    def __init__(self, data, total_budget, candidates=DEFAULT_CANDIDATES,
+                 mechanism_kwargs=None, seed=None):
+        self._data = as_vector(data, "data")
+        self._budget = PrivacyBudget(check_positive(total_budget, "total_budget"))
+        self.candidates = tuple(candidates)
+        self.mechanism_kwargs = dict(mechanism_kwargs or {})
+        self._rng = ensure_rng(seed)
+        self._mechanism_cache = {}
+        self._releases = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def domain_size(self):
+        """Number of unit counts held by the engine."""
+        return self._data.size
+
+    @property
+    def remaining_budget(self):
+        """Unspent privacy budget."""
+        return self._budget.remaining
+
+    @property
+    def spent_budget(self):
+        """Budget consumed so far."""
+        return self._budget.spent
+
+    @property
+    def releases(self):
+        """Audit log: every release made so far (most recent last)."""
+        return list(self._releases)
+
+    def can_answer(self, epsilon):
+        """True iff a release at ``epsilon`` would fit in the budget."""
+        return self._budget.can_spend(epsilon)
+
+    # ------------------------------------------------------------------ #
+    # Fitting / cache
+    # ------------------------------------------------------------------ #
+    def _workload_key(self, workload):
+        matrix = workload.matrix
+        return f"{workload.shape[0]}x{workload.shape[1]}:{hash(matrix.tobytes())}"
+
+    def prepare(self, workload, epsilon_hint=0.1, mechanism="auto"):
+        """Fit (and cache) the mechanism for a workload without answering.
+
+        Useful to pay the decomposition cost up front; consumes no budget.
+        Returns the fitted mechanism.
+        """
+        workload = as_workload(workload)
+        if workload.domain_size != self.domain_size:
+            raise ValidationError(
+                f"workload domain {workload.domain_size} != engine domain {self.domain_size}"
+            )
+        key = (self._workload_key(workload), str(mechanism).upper())
+        if key in self._mechanism_cache:
+            return self._mechanism_cache[key]
+
+        if isinstance(mechanism, Mechanism):
+            fitted = mechanism.fit(workload)
+        elif str(mechanism).lower() == "auto":
+            fitted = select_mechanism(
+                workload,
+                check_positive(epsilon_hint, "epsilon_hint"),
+                candidates=self.candidates,
+                mechanism_kwargs=self.mechanism_kwargs,
+            )
+        else:
+            label = str(mechanism).upper()
+            fitted = make_mechanism(label, **self.mechanism_kwargs.get(label, {}))
+            fitted.fit(workload)
+        self._mechanism_cache[key] = fitted
+        return fitted
+
+    # ------------------------------------------------------------------ #
+    # Answering
+    # ------------------------------------------------------------------ #
+    def answer_workload(
+        self,
+        workload,
+        epsilon,
+        mechanism="auto",
+        non_negative=False,
+        integral=False,
+        consistent=False,
+    ):
+        """One eps-DP release of the workload's answers.
+
+        Parameters
+        ----------
+        workload:
+            Batch of linear queries (a Workload or raw matrix).
+        epsilon:
+            Budget for this release; deducted from the engine total.
+        mechanism:
+            ``"auto"`` (analytic selection), a registry label, or an
+            unfitted mechanism instance.
+        non_negative, integral, consistent:
+            Post-processing switches (privacy-free, see
+            :mod:`repro.analysis.postprocess`).
+
+        Returns
+        -------
+        Release
+        """
+        workload = as_workload(workload)
+        epsilon = check_positive(epsilon, "epsilon")
+        fitted = self.prepare(workload, epsilon_hint=epsilon, mechanism=mechanism)
+        # Spend only after the fit succeeded (fits are data-independent).
+        self._budget.spend(epsilon)
+        answers = fitted.answer(self._data, epsilon, self._rng)
+        if non_negative or integral or consistent:
+            answers = postprocess_answers(
+                workload.matrix,
+                answers,
+                non_negative=non_negative,
+                integral=integral,
+                consistent=consistent,
+            )
+        try:
+            expected = float(fitted.expected_squared_error(epsilon))
+        except (NotImplementedError, ReproError):
+            expected = None
+        release = Release(
+            answers=answers,
+            mechanism=getattr(fitted, "name", type(fitted).__name__),
+            epsilon=epsilon,
+            expected_error=expected,
+            workload_key=self._workload_key(workload),
+            metadata={"shape": workload.shape},
+        )
+        self._releases.append(release)
+        return release
+
+    def answer_queries(self, weight_rows, epsilon, **kwargs):
+        """Convenience: answer a list of weight vectors as one batch."""
+        matrix = np.asarray(weight_rows, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        return self.answer_workload(matrix, epsilon, **kwargs)

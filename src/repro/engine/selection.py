@@ -1,0 +1,119 @@
+"""Automatic mechanism selection.
+
+Given a workload and a privacy budget, every mechanism in this package
+exposes an *analytic* expected squared error — a data-independent quantity
+that can be compared before any budget is spent. This module ranks
+candidate mechanisms by that quantity and returns the winner, which is how
+the query engine implements ``mechanism="auto"``.
+
+Selection is data-independent (it looks only at the workload and epsilon),
+so it consumes no privacy budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import ReproError, ValidationError
+from repro.linalg.validation import check_positive
+from repro.mechanisms.base import as_workload
+from repro.mechanisms.registry import make_mechanism
+
+__all__ = ["MechanismChoice", "rank_mechanisms", "select_mechanism", "DEFAULT_CANDIDATES"]
+
+#: Default candidate set for pure eps-DP: the paper's contenders. MM is
+#: excluded by default for its O(n^3) fit cost; add it explicitly if wanted.
+DEFAULT_CANDIDATES = ("LM", "NOR", "WM", "HM", "SVDM", "LRM")
+
+
+class MechanismChoice:
+    """One candidate's outcome in a selection round.
+
+    Attributes
+    ----------
+    label:
+        Registry label of the mechanism.
+    mechanism:
+        The *fitted* mechanism instance (None when fitting failed).
+    expected_error:
+        Analytic expected total squared error at the probe epsilon
+        (None when unavailable).
+    fit_seconds:
+        Wall-clock cost of fitting.
+    failure:
+        Error message when the candidate could not be evaluated.
+    """
+
+    def __init__(self, label, mechanism=None, expected_error=None, fit_seconds=None, failure=None):
+        self.label = label
+        self.mechanism = mechanism
+        self.expected_error = expected_error
+        self.fit_seconds = fit_seconds
+        self.failure = failure
+
+    @property
+    def ok(self):
+        """True when the candidate produced a comparable expected error."""
+        return self.failure is None and self.expected_error is not None
+
+    def __repr__(self):
+        if not self.ok:
+            return f"MechanismChoice({self.label}, failed: {self.failure})"
+        return f"MechanismChoice({self.label}, expected={self.expected_error:.4g})"
+
+
+def rank_mechanisms(workload, epsilon, candidates=DEFAULT_CANDIDATES, mechanism_kwargs=None):
+    """Fit each candidate and rank by analytic expected error (ascending).
+
+    Returns a list of :class:`MechanismChoice`, best first; failed
+    candidates sort last. Candidates may be registry labels or unfitted
+    mechanism instances.
+    """
+    workload = as_workload(workload)
+    epsilon = check_positive(epsilon, "epsilon")
+    mechanism_kwargs = dict(mechanism_kwargs or {})
+
+    choices = []
+    for spec in candidates:
+        if isinstance(spec, str):
+            label = spec.strip().upper()
+            try:
+                mechanism = make_mechanism(label, **mechanism_kwargs.get(label, {}))
+            except ReproError as exc:
+                choices.append(MechanismChoice(label, failure=str(exc)))
+                continue
+        else:
+            mechanism = spec
+            label = getattr(mechanism, "name", type(mechanism).__name__)
+        started = time.perf_counter()
+        try:
+            mechanism.fit(workload)
+            expected = mechanism.expected_squared_error(epsilon)
+        except (ReproError, NotImplementedError) as exc:
+            choices.append(MechanismChoice(label, failure=str(exc)))
+            continue
+        choices.append(
+            MechanismChoice(
+                label,
+                mechanism=mechanism,
+                expected_error=float(expected),
+                fit_seconds=time.perf_counter() - started,
+            )
+        )
+    choices.sort(key=lambda c: (not c.ok, c.expected_error if c.ok else float("inf")))
+    return choices
+
+
+def select_mechanism(workload, epsilon, candidates=DEFAULT_CANDIDATES, mechanism_kwargs=None):
+    """Return the fitted mechanism with the lowest analytic expected error.
+
+    Raises :class:`ValidationError` if no candidate could be evaluated.
+    """
+    choices = rank_mechanisms(
+        workload, epsilon, candidates=candidates, mechanism_kwargs=mechanism_kwargs
+    )
+    for choice in choices:
+        if choice.ok:
+            return choice.mechanism
+    failures = "; ".join(f"{c.label}: {c.failure}" for c in choices)
+    raise ValidationError(f"no usable mechanism among candidates ({failures})")

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class. The subclasses
+distinguish the three failure modes a user can hit:
+
+* bad inputs (:class:`ValidationError`),
+* an optimizer that was asked for something it cannot deliver
+  (:class:`DecompositionError`),
+* use of a mechanism before it was fitted (:class:`NotFittedError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input matrix, vector or parameter failed validation."""
+
+
+class DecompositionError(ReproError, RuntimeError):
+    """The workload decomposition solver could not produce a usable result."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A mechanism method requiring ``fit()`` was called before fitting."""
+
+
+class PrivacyBudgetError(ReproError, ValueError):
+    """A privacy-budget operation would overspend or is otherwise invalid."""

@@ -1,0 +1,52 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 6)."""
+
+from repro.experiments.config import (
+    BENCH_GRID,
+    DEFAULTS,
+    FULL_GRID,
+    PARAMETER_GRID,
+    REDUCED_GRID,
+    default_gamma,
+    grid_for_scale,
+    resolve_scale,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure2_gamma,
+    figure3_rank_ratio,
+    figure4_domain_size_wdiscrete,
+    figure5_domain_size_wrange,
+    figure6_domain_size_wrelated,
+    figure7_query_size_wrange,
+    figure8_query_size_wrelated,
+    figure9_rank_s,
+)
+from repro.experiments.reporting import ascii_chart, format_series, format_table, summarize_result
+from repro.experiments.runner import ExperimentResult, dataset_vector, run_comparison_point
+
+__all__ = [
+    "ALL_FIGURES",
+    "BENCH_GRID",
+    "DEFAULTS",
+    "ExperimentResult",
+    "FULL_GRID",
+    "PARAMETER_GRID",
+    "REDUCED_GRID",
+    "ascii_chart",
+    "dataset_vector",
+    "default_gamma",
+    "figure2_gamma",
+    "figure3_rank_ratio",
+    "figure4_domain_size_wdiscrete",
+    "figure5_domain_size_wrange",
+    "figure6_domain_size_wrelated",
+    "figure7_query_size_wrange",
+    "figure8_query_size_wrelated",
+    "figure9_rank_s",
+    "format_series",
+    "format_table",
+    "grid_for_scale",
+    "resolve_scale",
+    "run_comparison_point",
+    "summarize_result",
+]

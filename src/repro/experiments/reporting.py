@@ -1,0 +1,153 @@
+"""Text reporting: render ExperimentResults as the paper's tables/series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["format_table", "format_series", "summarize_result", "ascii_chart"]
+
+
+def _format_value(value, width=12):
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.4g}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(result, value_key="average_squared_error", group_keys=()):
+    """Render an :class:`ExperimentResult` as a fixed-width text table.
+
+    Rows are sweep values, columns are mechanisms; one table per distinct
+    combination of ``group_keys`` (e.g. ``("dataset",)`` to mirror the
+    paper's per-dataset sub-figures).
+    """
+    if not isinstance(result, ExperimentResult):
+        raise ValidationError("format_table expects an ExperimentResult")
+    if not result.rows:
+        return f"{result.name}: (no rows)\n"
+
+    group_keys = tuple(group_keys)
+    groups = []
+    for row in result.rows:
+        key = tuple(row.get(k) for k in group_keys)
+        if key not in groups:
+            groups.append(key)
+
+    mechanisms = result.mechanisms()
+    sweep = result.sweep_parameter
+    lines = [f"== {result.name} ({value_key}) =="]
+    for group in groups:
+        if group_keys:
+            label = ", ".join(f"{k}={v}" for k, v in zip(group_keys, group))
+            lines.append(f"-- {label} --")
+        sweep_values = []
+        for row in result.rows:
+            if tuple(row.get(k) for k in group_keys) != group:
+                continue
+            if row[sweep] not in sweep_values:
+                sweep_values.append(row[sweep])
+        header = sweep.rjust(12) + "".join(name.rjust(12) for name in mechanisms)
+        lines.append(header)
+        for value in sweep_values:
+            cells = [_format_value(value)]
+            for name in mechanisms:
+                cell = None
+                for row in result.rows:
+                    if (
+                        row.get("mechanism") == name
+                        and row[sweep] == value
+                        and tuple(row.get(k) for k in group_keys) == group
+                    ):
+                        cell = row.get(value_key)
+                        break
+                cells.append(_format_value(cell))
+            lines.append("".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(result, mechanism, value_key="average_squared_error", **filters):
+    """One mechanism's sweep series as aligned ``x y`` text lines."""
+    xs, ys = result.series(mechanism, value_key=value_key, **filters)
+    lines = [f"{result.name} / {mechanism} ({value_key})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x!s:>10}  {y:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_chart(
+    result,
+    mechanisms=None,
+    value_key="average_squared_error",
+    width=64,
+    height=16,
+    log_y=True,
+    **filters,
+):
+    """Render an ExperimentResult as a terminal line chart (no matplotlib).
+
+    One plot character per mechanism (its first letter); the y axis is
+    log10 of the error by default, matching the paper's log-scale figures.
+    Returns the chart as a string.
+    """
+    if not isinstance(result, ExperimentResult):
+        raise ValidationError("ascii_chart expects an ExperimentResult")
+    mechanisms = list(mechanisms) if mechanisms is not None else result.mechanisms()
+    series = {}
+    for name in mechanisms:
+        xs, ys = result.series(name, value_key=value_key, **filters)
+        if ys.size:
+            series[name] = (np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))
+    if not series:
+        return f"{result.name}: (no data)\n"
+
+    all_y = np.concatenate([ys for _, ys in series.values()])
+    if log_y:
+        all_y = np.log10(np.maximum(all_y, 1e-300))
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+    all_x = np.concatenate([xs for xs, _ in series.values()])
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    if x_max - x_min < 1e-12:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, (xs, ys) in series.items():
+        marker = name[0].upper()
+        values = np.log10(np.maximum(ys, 1e-300)) if log_y else ys
+        for x, y in zip(xs, values):
+            col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    axis_label = "log10(error)" if log_y else "error"
+    lines = [f"{result.name}: {value_key} vs {result.sweep_parameter} ({axis_label})"]
+    lines.append(f"  top={y_max:.2f}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"  bottom={y_min:.2f}   x: {x_min:g} .. {x_max:g}")
+    legend = ", ".join(f"{name[0].upper()}={name}" for name in series)
+    lines.append(f"  legend: {legend}")
+    return "\n".join(lines) + "\n"
+
+
+def summarize_result(result, value_key="average_squared_error"):
+    """Compact per-mechanism summary: geometric-mean error over the sweep.
+
+    Useful for quick 'who wins overall' checks; the geometric mean matches
+    the figures' log-scale comparison.
+    """
+    summary = {}
+    for mechanism in result.mechanisms():
+        _, ys = result.series(mechanism, value_key=value_key)
+        if ys.size == 0:
+            summary[mechanism] = None
+            continue
+        positive = ys[ys > 0]
+        summary[mechanism] = float(np.exp(np.mean(np.log(positive)))) if positive.size else 0.0
+    return summary

@@ -1,0 +1,143 @@
+"""Generic experiment running utilities shared by all figure harnesses."""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.comparison import compare_mechanisms
+from repro.data.datasets import load_dataset
+from repro.data.transforms import merge_to_domain
+from repro.exceptions import ValidationError
+from repro.linalg.validation import ensure_rng
+
+__all__ = ["ExperimentResult", "dataset_vector", "run_comparison_point"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment (one paper figure).
+
+    ``rows`` is a list of flat dicts; every row carries at least
+    ``mechanism`` and the sweep parameter named by ``sweep_parameter``,
+    plus ``average_squared_error`` (None for failures).
+    """
+
+    name: str
+    sweep_parameter: str
+    rows: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_row(self, **row):
+        """Append one measurement row."""
+        self.rows.append(dict(row))
+
+    def mechanisms(self):
+        """Distinct mechanism labels present, in first-seen order."""
+        seen = []
+        for row in self.rows:
+            label = row.get("mechanism")
+            if label is not None and label not in seen:
+                seen.append(label)
+        return seen
+
+    def series(self, mechanism, value_key="average_squared_error", **filters):
+        """(xs, ys) arrays for one mechanism, filtered by extra row keys.
+
+        Rows whose value is ``None`` (mechanism failures) are skipped.
+        """
+        xs, ys = [], []
+        for row in self.rows:
+            if row.get("mechanism") != mechanism:
+                continue
+            if any(row.get(key) != value for key, value in filters.items()):
+                continue
+            value = row.get(value_key)
+            if value is None:
+                continue
+            xs.append(row[self.sweep_parameter])
+            ys.append(value)
+        return np.asarray(xs), np.asarray(ys)
+
+    def to_json(self, path=None, indent=2):
+        """Serialise to JSON (returns the string; writes when ``path``)."""
+        payload = {
+            "name": self.name,
+            "sweep_parameter": self.sweep_parameter,
+            "metadata": self.metadata,
+            "rows": self.rows,
+        }
+        text = json.dumps(payload, indent=indent, default=float)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def to_csv(self, path=None):
+        """Serialise rows to CSV (returns the string; writes when ``path``)."""
+        if not self.rows:
+            raise ValidationError("no rows to serialise")
+        columns = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        lines = [",".join(columns)]
+        for row in self.rows:
+            lines.append(",".join("" if row.get(c) is None else str(row.get(c)) for c in columns))
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+
+def dataset_vector(dataset, n, seed=2012):
+    """Load a named dataset and merge it down to domain size ``n``.
+
+    Accepts a dataset name (Section 6 datasets) or a raw vector, which is
+    merged (or rejected if shorter than ``n``).
+    """
+    if isinstance(dataset, str):
+        raw = load_dataset(dataset, seed=seed)
+    else:
+        raw = np.asarray(dataset, dtype=np.float64)
+    return merge_to_domain(raw, n)
+
+
+def run_comparison_point(
+    result,
+    workload,
+    x,
+    epsilon,
+    mechanisms,
+    trials,
+    rng,
+    mechanism_kwargs=None,
+    **row_extras,
+):
+    """Measure ``mechanisms`` at one sweep point and append rows to ``result``."""
+    rows = compare_mechanisms(
+        workload,
+        x,
+        epsilon,
+        mechanisms=mechanisms,
+        trials=trials,
+        rng=rng,
+        mechanism_kwargs=mechanism_kwargs,
+    )
+    for row in rows:
+        result.add_row(
+            mechanism=row.mechanism,
+            average_squared_error=row.average_squared_error,
+            expected_average_error=row.expected_average_error,
+            fit_seconds=row.fit_seconds,
+            answer_seconds=row.answer_seconds,
+            failure=row.failure,
+            epsilon=epsilon,
+            **row_extras,
+        )
+    return rows

@@ -1,0 +1,15 @@
+"""Persistence: save/load decompositions and fitted mechanisms."""
+
+from repro.io.serialization import (
+    load_decomposition,
+    load_fitted_lrm,
+    save_decomposition,
+    save_fitted_lrm,
+)
+
+__all__ = [
+    "load_decomposition",
+    "load_fitted_lrm",
+    "save_decomposition",
+    "save_fitted_lrm",
+]

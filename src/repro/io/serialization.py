@@ -1,0 +1,145 @@
+"""Persistence for decompositions and fitted mechanisms.
+
+The ALM decomposition is the expensive part of LRM (seconds to minutes);
+production deployments fit once per workload and answer many times. These
+helpers save a :class:`repro.core.alm.Decomposition` (or a fitted
+:class:`repro.core.lrm.LowRankMechanism`) to a single ``.npz`` file and
+restore it without re-optimising.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.alm import Decomposition
+from repro.exceptions import ValidationError
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "save_decomposition",
+    "load_decomposition",
+    "save_fitted_lrm",
+    "load_fitted_lrm",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_decomposition(decomposition, path):
+    """Write a :class:`Decomposition` to ``path`` (``.npz``)."""
+    if not isinstance(decomposition, Decomposition):
+        raise ValidationError("save_decomposition expects a Decomposition")
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "residual_norm": decomposition.residual_norm,
+        "objective": decomposition.objective,
+        "iterations": decomposition.iterations,
+        "converged": decomposition.converged,
+        "norm": decomposition.norm,
+        "history": decomposition.history,
+    }
+    np.savez_compressed(
+        path,
+        b=decomposition.b,
+        l=decomposition.l,
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_decomposition(path):
+    """Read a :class:`Decomposition` previously written by
+    :func:`save_decomposition`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            b = archive["b"]
+            l = archive["l"]
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        except KeyError as exc:
+            raise ValidationError(f"not a decomposition archive: missing {exc}") from exc
+    version = metadata.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValidationError(f"unsupported decomposition format version {version}")
+    return Decomposition(
+        b=b,
+        l=l,
+        residual_norm=float(metadata["residual_norm"]),
+        objective=float(metadata["objective"]),
+        iterations=int(metadata["iterations"]),
+        converged=bool(metadata["converged"]),
+        history=list(metadata.get("history", [])),
+        norm=str(metadata.get("norm", "l1")),
+    )
+
+
+def save_fitted_lrm(mechanism, path):
+    """Persist a fitted :class:`LowRankMechanism` (workload + decomposition).
+
+    The saved archive restores a mechanism that answers identically; the
+    solver configuration is not needed again and is not stored.
+    """
+    from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
+
+    if not isinstance(mechanism, LowRankMechanism):
+        raise ValidationError("save_fitted_lrm expects a LowRankMechanism")
+    if not mechanism.is_fitted:
+        raise ValidationError("mechanism must be fitted before saving")
+    decomposition = mechanism.decomposition
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "class": type(mechanism).__name__,
+        "delta": getattr(mechanism, "delta", None),
+        "workload_name": mechanism.workload.name,
+        "decomposition": {
+            "residual_norm": decomposition.residual_norm,
+            "objective": decomposition.objective,
+            "iterations": decomposition.iterations,
+            "converged": decomposition.converged,
+            "norm": decomposition.norm,
+        },
+    }
+    np.savez_compressed(
+        path,
+        workload=mechanism.workload.matrix,
+        b=decomposition.b,
+        l=decomposition.l,
+        metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_fitted_lrm(path):
+    """Restore a fitted LRM saved by :func:`save_fitted_lrm`."""
+    from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
+
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            workload_matrix = archive["workload"]
+            b = archive["b"]
+            l = archive["l"]
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        except KeyError as exc:
+            raise ValidationError(f"not a fitted-LRM archive: missing {exc}") from exc
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise ValidationError("unsupported fitted-LRM format version")
+
+    class_name = metadata.get("class", "LowRankMechanism")
+    if class_name == "GaussianLowRankMechanism":
+        mechanism = GaussianLowRankMechanism(delta=metadata.get("delta") or 1e-6)
+    else:
+        mechanism = LowRankMechanism()
+    details = metadata["decomposition"]
+    decomposition = Decomposition(
+        b=b,
+        l=l,
+        residual_norm=float(details["residual_norm"]),
+        objective=float(details["objective"]),
+        iterations=int(details["iterations"]),
+        converged=bool(details["converged"]),
+        history=[],
+        norm=str(details.get("norm", "l1")),
+    )
+    # Install the restored state without re-running the solver.
+    mechanism._workload = Workload(workload_matrix, name=metadata.get("workload_name", "restored"))
+    mechanism._decomposition = decomposition
+    return mechanism

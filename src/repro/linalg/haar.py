@@ -1,0 +1,166 @@
+"""Unnormalised Haar wavelet transform over a power-of-two domain.
+
+This is the strategy substrate behind the Wavelet Mechanism (WM) baseline
+(Xiao, Wang, Gehrke, ICDE 2010 — reference [28] in the paper). We use the
+*unnormalised* Haar family:
+
+* row 0 ("root"): the total sum, coefficient ``c_0 = sum_j x_j``;
+* one "detail" row per internal node of the dyadic tree: for a block of
+  ``s`` consecutive cells, the coefficient is
+  ``(sum of left s/2 cells) - (sum of right s/2 cells)``.
+
+For a domain of size ``n = 2^h`` this yields exactly ``n`` rows and the
+transform matrix ``A`` is invertible. Every data cell participates in the
+root row plus one detail row per level, each with coefficient magnitude 1,
+so the L1 column norm (query sensitivity, Definition 2) is uniformly
+
+    Delta(A) = 1 + log2(n).
+
+The inverse transform distributes each coefficient back over its block:
+the column of ``A^{-1}`` for the root is ``1/n`` everywhere, and for a
+detail row over a block of size ``s`` it is ``+1/s`` on the left half and
+``-1/s`` on the right half. All four operators (analysis, synthesis and
+their adjoint/inverse-on-rows forms) run in ``O(n log n)`` without ever
+materialising a dense matrix; a sparse CSR form is available for tests.
+
+Coefficient ordering used everywhere in this module: index 0 is the root,
+followed by detail coefficients level by level — block size ``n`` first
+(one coefficient), then block size ``n/2`` (two), ..., down to block size 2
+(``n/2`` coefficients). Within a level, blocks run left to right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_matrix, as_vector
+
+__all__ = [
+    "is_power_of_two",
+    "next_power_of_two",
+    "haar_sensitivity",
+    "haar_analysis",
+    "haar_synthesis",
+    "haar_inverse_rows",
+    "haar_matrix",
+]
+
+
+def is_power_of_two(n):
+    """True iff ``n`` is a positive power of two."""
+    return isinstance(n, (int, np.integer)) and n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n):
+    """Smallest power of two that is >= ``n`` (n must be >= 1)."""
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def _check_domain(n):
+    if not is_power_of_two(n):
+        raise ValidationError(f"Haar transform requires a power-of-two domain, got n={n}")
+
+
+def haar_sensitivity(n):
+    """L1 sensitivity of the Haar strategy: ``1 + log2(n)``."""
+    _check_domain(n)
+    return 1.0 + float(np.log2(n)) if n > 1 else 1.0
+
+
+def haar_analysis(x):
+    """Forward transform ``A x``: root total followed by level-order details.
+
+    ``x`` must have power-of-two length. Runs in O(n log n).
+    """
+    x = as_vector(x, "x")
+    n = x.size
+    _check_domain(n)
+    coefficients = [np.array([x.sum()])]
+    sums = x
+    # Collect detail coefficients top-down: block size n, n/2, ..., 2.
+    levels = []
+    while sums.size > 1:
+        pairs = sums.reshape(-1, 2)
+        levels.append(pairs[:, 0] - pairs[:, 1])
+        sums = pairs.sum(axis=1)
+    # ``levels`` currently runs bottom-up (block size 2 first); reverse it.
+    coefficients.extend(reversed(levels))
+    return np.concatenate(coefficients)
+
+
+def haar_synthesis(c):
+    """Inverse transform ``A^{-1} c``: reconstruct cell values from
+    coefficients produced by :func:`haar_analysis` (same ordering)."""
+    c = as_vector(c, "c")
+    n = c.size
+    _check_domain(n)
+    sums = np.array([c[0]])
+    offset = 1
+    while sums.size < n:
+        details = c[offset : offset + sums.size]
+        offset += sums.size
+        left = (sums + details) / 2.0
+        right = (sums - details) / 2.0
+        sums = np.empty(2 * left.size)
+        sums[0::2] = left
+        sums[1::2] = right
+    return sums
+
+
+def haar_inverse_rows(w):
+    """Compute ``W A^{-1}`` for a row-matrix ``W`` without forming ``A``.
+
+    Row ``i`` of the result is ``(A^{-1})^T w_i``; by the block structure of
+    ``A^{-1}`` its root entry is ``mean(w_i)`` and its detail entry for a
+    block of size ``s`` is ``(left-half sum - right-half sum) / s``.
+    Runs in ``O(m n log n)``; used to evaluate the analytic expected error
+    ``2 Delta^2 / eps^2 * ||W A^{-1}||_F^2`` of the Wavelet Mechanism.
+    """
+    w = as_matrix(w, "w")
+    m, n = w.shape
+    _check_domain(n)
+    columns = [w.sum(axis=1, keepdims=True) / n]
+    block = n
+    while block >= 2:
+        reshaped = w.reshape(m, n // block, block)
+        half = block // 2
+        left = reshaped[:, :, :half].sum(axis=2)
+        right = reshaped[:, :, half:].sum(axis=2)
+        columns.append((left - right) / block)
+        block //= 2
+    return np.concatenate(columns, axis=1)
+
+
+def haar_matrix(n, sparse=True):
+    """Materialise the Haar strategy matrix ``A`` (n x n).
+
+    Intended for tests and small domains; the mechanisms use the fast
+    operators above. With ``sparse=True`` returns CSR, else a dense array.
+    """
+    _check_domain(n)
+    rows, cols, vals = [], [], []
+    # Root row.
+    rows.extend([0] * n)
+    cols.extend(range(n))
+    vals.extend([1.0] * n)
+    row_index = 1
+    block = n
+    while block >= 2:
+        half = block // 2
+        for start in range(0, n, block):
+            for j in range(start, start + half):
+                rows.append(row_index)
+                cols.append(j)
+                vals.append(1.0)
+            for j in range(start + half, start + block):
+                rows.append(row_index)
+                cols.append(j)
+                vals.append(-1.0)
+            row_index += 1
+        block //= 2
+    matrix = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    return matrix if sparse else matrix.toarray()

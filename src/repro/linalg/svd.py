@@ -1,0 +1,105 @@
+"""SVD utilities used throughout the Low-Rank Mechanism.
+
+The paper's analysis (Section 3.3, Lemma 3/4, Theorem 2) is phrased in terms
+of the singular values of the workload matrix ``W`` — which it calls
+"eigenvalues" of the decomposition ``W = U Sigma V``. This module provides:
+
+* numerically robust rank computation,
+* singular-value extraction and the eigenvalue ratio ``C = lambda_1/lambda_r``,
+* truncated low-rank approximation,
+* the SVD-based feasible decomposition used to warm-start Algorithm 1
+  (the construction from the proof of Lemma 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_matrix, check_positive_int
+
+__all__ = [
+    "singular_values",
+    "matrix_rank",
+    "effective_rank",
+    "eigenvalue_ratio",
+    "low_rank_approximation",
+    "svd_decomposition",
+    "frobenius_norm",
+]
+
+
+def singular_values(matrix):
+    """Return the singular values of ``matrix`` in non-ascending order."""
+    matrix = as_matrix(matrix, "matrix")
+    return np.linalg.svd(matrix, compute_uv=False)
+
+
+def matrix_rank(matrix, tol=None):
+    """Numerical rank of ``matrix`` (count of singular values above ``tol``).
+
+    ``tol`` defaults to numpy's standard ``max(m, n) * eps * sigma_max``.
+    """
+    matrix = as_matrix(matrix, "matrix")
+    return int(np.linalg.matrix_rank(matrix, tol=tol))
+
+
+def effective_rank(matrix, energy=0.99):
+    """Smallest k such that the top-k singular values hold ``energy`` of the
+    squared spectral mass.
+
+    Used to pick a compact decomposition rank when the workload is only
+    *approximately* low rank (the motivation for the relaxed Formula (8)).
+    """
+    if not 0.0 < energy <= 1.0:
+        raise ValidationError(f"energy must be in (0, 1], got {energy}")
+    sigma = singular_values(matrix)
+    total = float(np.sum(sigma**2))
+    if total == 0.0:
+        return 0
+    cumulative = np.cumsum(sigma**2) / total
+    return int(np.searchsorted(cumulative, energy - 1e-12) + 1)
+
+
+def eigenvalue_ratio(matrix, tol=None):
+    """Ratio ``C = lambda_1 / lambda_r`` between the largest and smallest
+    non-zero singular values (Theorem 2's conditioning constant)."""
+    matrix = as_matrix(matrix, "matrix")
+    sigma = np.linalg.svd(matrix, compute_uv=False)
+    if tol is None:
+        tol = max(matrix.shape) * np.finfo(np.float64).eps * (sigma[0] if sigma.size else 0.0)
+    nonzero = sigma[sigma > tol]
+    if nonzero.size == 0:
+        raise ValidationError("matrix has rank zero; eigenvalue ratio undefined")
+    return float(nonzero[0] / nonzero[-1])
+
+
+def low_rank_approximation(matrix, rank):
+    """Best rank-``rank`` approximation of ``matrix`` in Frobenius norm
+    (Eckart-Young), returned as a dense array of the original shape."""
+    matrix = as_matrix(matrix, "matrix")
+    rank = check_positive_int(rank, "rank")
+    u, sigma, vt = np.linalg.svd(matrix, full_matrices=False)
+    k = min(rank, sigma.size)
+    return (u[:, :k] * sigma[:k]) @ vt[:k, :]
+
+
+def svd_decomposition(matrix, rank=None):
+    """Thin SVD ``(U, sigma, Vt)`` optionally truncated to ``rank`` factors."""
+    matrix = as_matrix(matrix, "matrix")
+    u, sigma, vt = np.linalg.svd(matrix, full_matrices=False)
+    if rank is not None:
+        rank = check_positive_int(rank, "rank")
+        k = min(rank, sigma.size)
+        u, sigma, vt = u[:, :k], sigma[:k], vt[:k, :]
+    return u, sigma, vt
+
+
+def frobenius_norm(matrix):
+    """Frobenius norm ``||W||_F`` (Section 3.3)."""
+    matrix = as_matrix(matrix, "matrix", allow_sparse=True)
+    if hasattr(matrix, "toarray") and not isinstance(matrix, np.ndarray):
+        import scipy.sparse.linalg as spla
+
+        return float(spla.norm(matrix))
+    return float(np.linalg.norm(matrix))

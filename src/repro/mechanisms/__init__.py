@@ -1,0 +1,35 @@
+"""Mechanisms: Laplace baselines, WM, HM, MM and the registry."""
+
+from repro.mechanisms.base import Mechanism, as_workload
+from repro.mechanisms.baselines import (
+    LaplaceMechanism,
+    NoiseOnDataMechanism,
+    NoiseOnResultsMechanism,
+)
+from repro.mechanisms.gaussian import (
+    GaussianNoiseOnDataMechanism,
+    GaussianNoiseOnResultsMechanism,
+)
+from repro.mechanisms.hierarchical import HierarchicalMechanism
+from repro.mechanisms.matrix_mechanism import MatrixMechanism
+from repro.mechanisms.registry import PAPER_MECHANISMS, make_mechanism, mechanism_names
+from repro.mechanisms.strategy import StrategyMechanism, SVDStrategyMechanism
+from repro.mechanisms.wavelet import WaveletMechanism
+
+__all__ = [
+    "GaussianNoiseOnDataMechanism",
+    "GaussianNoiseOnResultsMechanism",
+    "HierarchicalMechanism",
+    "LaplaceMechanism",
+    "MatrixMechanism",
+    "Mechanism",
+    "NoiseOnDataMechanism",
+    "NoiseOnResultsMechanism",
+    "PAPER_MECHANISMS",
+    "SVDStrategyMechanism",
+    "StrategyMechanism",
+    "WaveletMechanism",
+    "as_workload",
+    "make_mechanism",
+    "mechanism_names",
+]

@@ -1,0 +1,155 @@
+"""Mechanism framework: the shared interface every mechanism implements.
+
+A *mechanism* answers a fixed batch workload ``W`` under
+eps-differential privacy. The lifecycle mirrors scikit-learn:
+
+1. ``mechanism.fit(workload)`` — any per-workload optimisation (a no-op for
+   the Laplace baselines, an SDP for MM, the ALM decomposition for LRM).
+2. ``mechanism.answer(x, epsilon, rng)`` — one noisy release of ``W x``.
+3. ``mechanism.expected_squared_error(epsilon)`` — the analytic expected
+   total squared error ``E ||y_noisy - W x||_2^2`` where available, and
+4. ``mechanism.empirical_squared_error(x, epsilon, trials, rng)`` — the
+   Monte-Carlo estimate the paper's experiments report (20 trials).
+
+Every ``answer`` call is an independent eps-DP release; repeated calls
+compose sequentially (use :class:`repro.privacy.PrivacyBudget` to track).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.validation import as_vector, check_positive, check_positive_int, ensure_rng
+from repro.workloads.workload import Workload
+
+__all__ = ["Mechanism", "as_workload"]
+
+
+def as_workload(workload):
+    """Coerce a :class:`Workload` or raw matrix into a :class:`Workload`."""
+    if isinstance(workload, Workload):
+        return workload
+    return Workload(workload)
+
+
+class Mechanism(abc.ABC):
+    """Abstract base class for batch linear-query mechanisms.
+
+    Subclasses implement ``_fit`` (optional) and ``_answer`` (required), and
+    override ``expected_squared_error`` when a closed form exists.
+    """
+
+    #: Short name used in experiment tables (e.g. "LRM", "WM").
+    name = "mechanism"
+
+    def __init__(self):
+        self._workload = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, workload):
+        """Prepare the mechanism for the given workload; returns ``self``."""
+        workload = as_workload(workload)
+        self._workload = workload
+        self._fit(workload)
+        return self
+
+    def _fit(self, workload):
+        """Subclass hook; default is a no-op."""
+
+    @property
+    def workload(self):
+        """The fitted workload (raises if ``fit`` has not been called)."""
+        self._check_fitted()
+        return self._workload
+
+    @property
+    def is_fitted(self):
+        """True once ``fit`` has been called."""
+        return self._workload is not None
+
+    def _check_fitted(self):
+        if self._workload is None:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before use")
+
+    # ------------------------------------------------------------------ #
+    # Answering
+    # ------------------------------------------------------------------ #
+    def answer(self, x, epsilon, rng=None):
+        """One eps-differentially-private release of the batch answer.
+
+        Parameters
+        ----------
+        x:
+            Data vector of length ``n`` (the unit counts).
+        epsilon:
+            Privacy budget for this release.
+        rng:
+            ``None``, an int seed, or a :class:`numpy.random.Generator`.
+
+        Returns
+        -------
+        numpy.ndarray
+            Noisy answers of length ``m``.
+        """
+        self._check_fitted()
+        x = as_vector(x, "x", size=self._workload.domain_size)
+        epsilon = check_positive(epsilon, "epsilon")
+        rng = ensure_rng(rng)
+        return self._answer(x, epsilon, rng)
+
+    @abc.abstractmethod
+    def _answer(self, x, epsilon, rng):
+        """Produce one noisy answer vector; inputs are pre-validated."""
+
+    # ------------------------------------------------------------------ #
+    # Error accounting
+    # ------------------------------------------------------------------ #
+    def expected_squared_error(self, epsilon):
+        """Analytic expected total squared error ``E ||y - W x||^2``.
+
+        Subclasses with a closed form override this; the default raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no analytic error formula; "
+            "use empirical_squared_error"
+        )
+
+    def average_expected_error(self, epsilon):
+        """Per-query analytic expected error (total divided by ``m``),
+        the paper's *Average Squared Error* in expectation."""
+        self._check_fitted()
+        return self.expected_squared_error(epsilon) / self._workload.num_queries
+
+    def empirical_squared_error(self, x, epsilon, trials=20, rng=None):
+        """Monte-Carlo total squared error, averaged over ``trials`` runs.
+
+        This is the measurement protocol of Section 6: each algorithm is
+        executed repeatedly (20 times in the paper) and the mean squared L2
+        distance to the exact answers is reported.
+        """
+        self._check_fitted()
+        trials = check_positive_int(trials, "trials")
+        x = as_vector(x, "x", size=self._workload.domain_size)
+        rng = ensure_rng(rng)
+        exact = self._workload.answer(x)
+        total = 0.0
+        for _ in range(trials):
+            noisy = self.answer(x, epsilon, rng)
+            residual = noisy - exact
+            total += float(residual @ residual)
+        return total / trials
+
+    def empirical_average_error(self, x, epsilon, trials=20, rng=None):
+        """Per-query Monte-Carlo error (the figure-axis metric)."""
+        self._check_fitted()
+        sse = self.empirical_squared_error(x, epsilon, trials=trials, rng=rng)
+        return sse / self._workload.num_queries
+
+    def __repr__(self):
+        fitted = f"fitted shape={self._workload.shape}" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}({fitted})"

@@ -1,0 +1,37 @@
+"""Differential-privacy substrate: Laplace noise, sensitivity, budgets."""
+
+from repro.privacy.budget import PrivacyBudget, compose_sequential, split_budget
+from repro.privacy.noise import (
+    expected_squared_gaussian_noise,
+    expected_squared_noise,
+    gaussian_noise,
+    gaussian_sigma,
+    laplace_noise,
+    laplace_scale,
+    laplace_variance,
+)
+from repro.privacy.sensitivity import (
+    column_l1_norms,
+    column_l2_norms,
+    l1_sensitivity,
+    l2_sensitivity,
+    scale_to_sensitivity,
+)
+
+__all__ = [
+    "PrivacyBudget",
+    "column_l1_norms",
+    "column_l2_norms",
+    "expected_squared_gaussian_noise",
+    "gaussian_noise",
+    "gaussian_sigma",
+    "l2_sensitivity",
+    "compose_sequential",
+    "expected_squared_noise",
+    "l1_sensitivity",
+    "laplace_noise",
+    "laplace_scale",
+    "laplace_variance",
+    "scale_to_sensitivity",
+    "split_budget",
+]

@@ -1,0 +1,105 @@
+"""Privacy budget accounting.
+
+The paper answers a whole batch with one privacy budget ``eps``; this module
+provides the small bookkeeping layer a downstream system needs when it runs
+several mechanisms (or repeated experiments) against the same dataset:
+sequential composition (budgets add up) and explicit spend tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PrivacyBudgetError
+from repro.linalg.validation import check_positive
+
+__all__ = ["PrivacyBudget", "compose_sequential", "split_budget"]
+
+
+@dataclass
+class PrivacyBudget:
+    """A mutable eps-differential-privacy budget with spend tracking.
+
+    Examples
+    --------
+    >>> budget = PrivacyBudget(1.0)
+    >>> eps = budget.spend(0.25)
+    >>> budget.remaining
+    0.75
+    """
+
+    total: float
+    _spent: float = field(default=0.0, repr=False)
+
+    def __post_init__(self):
+        self.total = check_positive(self.total, "total budget")
+        if self._spent < 0 or self._spent > self.total + 1e-12:
+            raise PrivacyBudgetError(f"invalid initial spend {self._spent} for total {self.total}")
+
+    @property
+    def spent(self):
+        """Budget consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self):
+        """Budget still available."""
+        return max(self.total - self._spent, 0.0)
+
+    def can_spend(self, epsilon):
+        """True iff ``epsilon`` can be spent without exceeding the total."""
+        epsilon = check_positive(epsilon, "epsilon")
+        return epsilon <= self.remaining + 1e-12
+
+    def spend(self, epsilon):
+        """Consume ``epsilon`` from the budget and return it.
+
+        Raises :class:`PrivacyBudgetError` if the budget would be exceeded —
+        sequential composition means budgets of successive releases add up.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        if not self.can_spend(epsilon):
+            raise PrivacyBudgetError(
+                f"cannot spend eps={epsilon}: only {self.remaining} of {self.total} remains"
+            )
+        self._spent += epsilon
+        return epsilon
+
+    def spend_fraction(self, fraction):
+        """Consume ``fraction`` (in (0, 1]) of the *remaining* budget."""
+        if not 0.0 < fraction <= 1.0:
+            raise PrivacyBudgetError(f"fraction must be in (0, 1], got {fraction}")
+        epsilon = self.remaining * fraction
+        if epsilon <= 0.0:
+            raise PrivacyBudgetError("no budget remaining")
+        self._spent += epsilon
+        return epsilon
+
+    def reset(self):
+        """Forget all spending (useful between independent experiments)."""
+        self._spent = 0.0
+
+
+def compose_sequential(*epsilons):
+    """Total budget consumed by sequential composition: the plain sum."""
+    if not epsilons:
+        raise PrivacyBudgetError("at least one epsilon is required")
+    return float(sum(check_positive(eps, "epsilon") for eps in epsilons))
+
+
+def split_budget(total, parts, weights=None):
+    """Split ``total`` into ``parts`` sub-budgets, optionally weighted.
+
+    Returns a list of per-part epsilons summing to ``total`` (sequential
+    composition makes the combined release ``total``-DP).
+    """
+    total = check_positive(total, "total")
+    if parts < 1:
+        raise PrivacyBudgetError(f"parts must be >= 1, got {parts}")
+    if weights is None:
+        return [total / parts] * parts
+    if len(weights) != parts:
+        raise PrivacyBudgetError(f"need {parts} weights, got {len(weights)}")
+    weights = [check_positive(weight, "weight") for weight in weights]
+    weight_sum = sum(weights)
+    return [total * weight / weight_sum for weight in weights]

@@ -1,0 +1,109 @@
+"""Noise primitives: Laplace (Section 3.1) and Gaussian (the (eps, delta)
+extension).
+
+The Laplace Mechanism adds i.i.d. zero-mean Laplace noise with scale
+``Delta / eps`` to each coordinate of a query answer, where ``Delta`` is the
+L1 sensitivity of the query set. The variance of ``Lap(s)`` is ``2 s^2``, so
+the expected squared error of an m-dimensional answer is ``2 m Delta^2/eps^2``.
+
+The Gaussian mechanism supports the relaxed (eps, delta)-differential
+privacy used by the L2 branch of the matrix-mechanism line (and flagged as
+future work in the paper): noise ``N(0, sigma^2)`` with
+``sigma = Delta_2 * sqrt(2 ln(1.25/delta)) / eps`` calibrated to the *L2*
+sensitivity satisfies (eps, delta)-DP for eps < 1 (Dwork & Roth, Thm A.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import check_positive, check_positive_int, ensure_rng
+
+__all__ = [
+    "laplace_noise",
+    "laplace_scale",
+    "laplace_variance",
+    "expected_squared_noise",
+    "gaussian_sigma",
+    "gaussian_noise",
+    "expected_squared_gaussian_noise",
+]
+
+
+def laplace_scale(sensitivity, epsilon):
+    """Noise scale ``Delta / eps`` calibrated for eps-differential privacy."""
+    sensitivity = check_positive(sensitivity, "sensitivity")
+    epsilon = check_positive(epsilon, "epsilon")
+    return sensitivity / epsilon
+
+
+def laplace_variance(scale):
+    """Variance of a Laplace variable with the given scale: ``2 scale^2``."""
+    scale = check_positive(scale, "scale")
+    return 2.0 * scale * scale
+
+
+def laplace_noise(size, sensitivity, epsilon, rng=None):
+    """Draw ``size`` i.i.d. Laplace samples with scale ``sensitivity/epsilon``.
+
+    Parameters
+    ----------
+    size:
+        Number of samples (positive int) or a shape tuple.
+    sensitivity, epsilon:
+        L1 sensitivity of the query set and the privacy budget.
+    rng:
+        ``None``, an int seed, or a :class:`numpy.random.Generator`.
+    """
+    if isinstance(size, tuple):
+        for dim in size:
+            check_positive_int(dim, "size dimension")
+    else:
+        size = (check_positive_int(size, "size"),)
+    scale = laplace_scale(sensitivity, epsilon)
+    rng = ensure_rng(rng)
+    return rng.laplace(loc=0.0, scale=scale, size=size)
+
+
+def expected_squared_noise(count, sensitivity, epsilon):
+    """Expected total squared error of adding Laplace noise to ``count``
+    answers at the given sensitivity: ``2 * count * (Delta/eps)^2``."""
+    count = check_positive_int(count, "count")
+    scale = laplace_scale(sensitivity, epsilon)
+    return float(count) * laplace_variance(scale)
+
+
+def gaussian_sigma(l2_sensitivity, epsilon, delta):
+    """Standard deviation of the analytic Gaussian mechanism:
+    ``Delta_2 * sqrt(2 ln(1.25/delta)) / eps`` ((eps, delta)-DP, eps < 1)."""
+    l2_sensitivity = check_positive(l2_sensitivity, "l2_sensitivity")
+    epsilon = check_positive(epsilon, "epsilon")
+    delta = check_positive(delta, "delta")
+    if delta >= 1.0:
+        raise ValidationError(f"delta must be < 1, got {delta}")
+    return l2_sensitivity * np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon
+
+
+def gaussian_noise(size, l2_sensitivity, epsilon, delta, rng=None):
+    """Draw i.i.d. Gaussian mechanism noise for ``size`` answers.
+
+    Parameters mirror :func:`laplace_noise`, with the L2 sensitivity and the
+    additional failure probability ``delta``.
+    """
+    if isinstance(size, tuple):
+        for dim in size:
+            check_positive_int(dim, "size dimension")
+    else:
+        size = (check_positive_int(size, "size"),)
+    sigma = gaussian_sigma(l2_sensitivity, epsilon, delta)
+    rng = ensure_rng(rng)
+    return rng.normal(loc=0.0, scale=sigma, size=size)
+
+
+def expected_squared_gaussian_noise(count, l2_sensitivity, epsilon, delta):
+    """Expected total squared error of the Gaussian mechanism on ``count``
+    answers: ``count * sigma^2``."""
+    count = check_positive_int(count, "count")
+    sigma = gaussian_sigma(l2_sensitivity, epsilon, delta)
+    return float(count) * sigma * sigma

@@ -1,0 +1,79 @@
+"""L1 sensitivity of linear query workloads (Section 3.2, Definition 2).
+
+For a linear workload ``W`` over unit counts with per-record influence
+``Delta`` (1 for counting queries), adding or removing one record changes the
+exact answer vector by at most the largest column L1 norm of ``W``:
+
+    Delta(W) = max_j sum_i |W_ij|.
+
+The same quantity, applied to the decomposition factor ``L``, is the "query
+sensitivity" ``Delta(B, L)`` of Definition 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.validation import as_matrix
+
+__all__ = [
+    "l1_sensitivity",
+    "l2_sensitivity",
+    "column_l1_norms",
+    "column_l2_norms",
+    "scale_to_sensitivity",
+]
+
+
+def column_l1_norms(matrix):
+    """Per-column L1 norms ``sum_i |M_ij|`` as a 1-D array."""
+    matrix = as_matrix(matrix, "matrix", allow_sparse=True)
+    if sp.issparse(matrix):
+        return np.asarray(abs(matrix).sum(axis=0)).ravel()
+    return np.abs(matrix).sum(axis=0)
+
+
+def l1_sensitivity(matrix):
+    """Maximum column L1 norm of ``matrix`` (Definition 2).
+
+    Returns 0.0 for an all-zero matrix (noise-free degenerate workload).
+    """
+    return float(column_l1_norms(matrix).max())
+
+
+def column_l2_norms(matrix):
+    """Per-column L2 norms ``sqrt(sum_i M_ij^2)`` as a 1-D array."""
+    matrix = as_matrix(matrix, "matrix", allow_sparse=True)
+    if sp.issparse(matrix):
+        return np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=0)).ravel())
+    return np.sqrt(np.sum(matrix**2, axis=0))
+
+
+def l2_sensitivity(matrix):
+    """Maximum column L2 norm — the sensitivity relevant to the Gaussian
+    mechanism / (eps, delta)-DP (the matrix mechanism's ``||A||_2``)."""
+    return float(column_l2_norms(matrix).max())
+
+
+def scale_to_sensitivity(b, l, target=1.0):
+    """Rescale a decomposition ``(B, L)`` so ``Delta(L) == target``.
+
+    Lemma 2 of the paper: replacing ``(B, L)`` with
+    ``(alpha B, L / alpha)`` leaves the product and the error objective
+    ``Phi(B, L) Delta(B, L)^2`` unchanged. This helper picks
+    ``alpha = Delta(L) / target`` so the rescaled ``L`` has sensitivity
+    exactly ``target``, which is how the optimality program of Theorem 1
+    fixes sensitivity to 1.
+
+    Returns the rescaled pair ``(B', L')``; raises if ``L`` is all zeros.
+    """
+    b = as_matrix(b, "B")
+    l = as_matrix(l, "L")
+    delta = l1_sensitivity(l)
+    if delta <= 0.0:
+        from repro.exceptions import ValidationError
+
+        raise ValidationError("L has zero sensitivity; decomposition is degenerate")
+    alpha = delta / float(target)
+    return b * alpha, l / alpha

@@ -1,0 +1,31 @@
+"""Workload substrate: the Workload class and Section 6 generators."""
+
+from repro.workloads.generators import (
+    WORKLOAD_KINDS,
+    allrange_workload,
+    identity_workload,
+    marginals_workload,
+    prefix_workload,
+    sliding_window_workload,
+    total_workload,
+    wdiscrete,
+    workload_by_name,
+    wrange,
+    wrelated,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "WORKLOAD_KINDS",
+    "Workload",
+    "allrange_workload",
+    "identity_workload",
+    "marginals_workload",
+    "prefix_workload",
+    "sliding_window_workload",
+    "total_workload",
+    "wdiscrete",
+    "workload_by_name",
+    "wrange",
+    "wrelated",
+]

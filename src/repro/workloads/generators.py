@@ -1,0 +1,171 @@
+"""Workload generators from Section 6 of the paper, plus common extras.
+
+The three evaluation workloads:
+
+* **WDiscrete** — each weight is ``+1`` with probability ``p = 0.02`` and
+  ``-1`` otherwise (dense, high-sensitivity, essentially full rank).
+* **WRange** — random range (interval) queries: endpoints ``a <= b`` drawn
+  uniformly from the domain; weights 1 inside ``[a, b]``, 0 outside.
+* **WRelated** — explicitly low-rank: ``W = C A`` with a base query matrix
+  ``A (s x n)`` and correlation matrix ``C (m x s)``, both with i.i.d.
+  standard-normal entries, so ``rank(W) = s`` almost surely.
+
+Extras useful for examples and tests: identity (NOD's implicit strategy),
+the total-sum query, and the full prefix-sum workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import (
+    check_positive_int,
+    check_probability,
+    ensure_rng,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "wdiscrete",
+    "wrange",
+    "wrelated",
+    "identity_workload",
+    "total_workload",
+    "prefix_workload",
+    "allrange_workload",
+    "marginals_workload",
+    "sliding_window_workload",
+    "workload_by_name",
+    "WORKLOAD_KINDS",
+]
+
+#: Names of the three paper workloads, accepted by :func:`workload_by_name`.
+WORKLOAD_KINDS = ("WDiscrete", "WRange", "WRelated")
+
+
+def wdiscrete(m, n, p=0.02, seed=None):
+    """Random discrete workload: ``W_ij = +1`` w.p. ``p``, else ``-1``."""
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p")
+    rng = ensure_rng(seed)
+    matrix = np.where(rng.random((m, n)) < p, 1.0, -1.0)
+    return Workload(matrix, name="WDiscrete", metadata={"m": m, "n": n, "p": p})
+
+
+def wrange(m, n, seed=None):
+    """Random range-query workload: uniform interval ``[a, b]`` per query."""
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    rng = ensure_rng(seed)
+    starts = rng.integers(0, n, size=m)
+    ends = rng.integers(0, n, size=m)
+    low = np.minimum(starts, ends)
+    high = np.maximum(starts, ends)
+    matrix = np.zeros((m, n))
+    for i in range(m):
+        matrix[i, low[i] : high[i] + 1] = 1.0
+    return Workload(matrix, name="WRange", metadata={"m": m, "n": n})
+
+
+def wrelated(m, n, s=None, seed=None):
+    """Low-rank correlated workload ``W = C A`` with ``rank(W) = s``.
+
+    ``s`` defaults to the paper's bold setting ``0.4 * min(m, n)`` (at least
+    one base query).
+    """
+    m = check_positive_int(m, "m")
+    n = check_positive_int(n, "n")
+    if s is None:
+        s = max(int(round(0.4 * min(m, n))), 1)
+    s = check_positive_int(s, "s")
+    if s > min(m, n):
+        raise ValidationError(f"s={s} exceeds min(m, n)={min(m, n)}")
+    rng = ensure_rng(seed)
+    base = rng.standard_normal((s, n))
+    correlation = rng.standard_normal((m, s))
+    return Workload(correlation @ base, name="WRelated", metadata={"m": m, "n": n, "s": s})
+
+
+def identity_workload(n):
+    """The identity workload: one query per unit count (NOD's strategy)."""
+    n = check_positive_int(n, "n")
+    return Workload(np.eye(n), name="Identity", metadata={"n": n})
+
+
+def total_workload(n):
+    """Single query summing every unit count."""
+    n = check_positive_int(n, "n")
+    return Workload(np.ones((1, n)), name="Total", metadata={"n": n})
+
+
+def prefix_workload(n):
+    """All prefix sums ``x_1 + ... + x_k`` for ``k = 1..n`` (lower triangular
+    all-ones matrix); the classic continual-counting workload."""
+    n = check_positive_int(n, "n")
+    return Workload(np.tril(np.ones((n, n))), name="Prefix", metadata={"n": n})
+
+
+def allrange_workload(n):
+    """All ``n (n + 1) / 2`` contiguous range queries over the domain.
+
+    The canonical benchmark workload of the matrix-mechanism literature;
+    quadratic in ``n``, so keep ``n`` modest.
+    """
+    n = check_positive_int(n, "n")
+    rows = []
+    for start in range(n):
+        for end in range(start, n):
+            row = np.zeros(n)
+            row[start : end + 1] = 1.0
+            rows.append(row)
+    return Workload(np.asarray(rows), name="AllRange", metadata={"n": n})
+
+
+def marginals_workload(rows, cols):
+    """Row and column marginals of a ``rows x cols`` grid domain.
+
+    The domain vector is the grid flattened row-major (``n = rows * cols``);
+    the batch asks every row sum followed by every column sum — a strongly
+    correlated (rank ``rows + cols - 1``) workload where LRM shines.
+    """
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    n = rows * cols
+    matrix = np.zeros((rows + cols, n))
+    for i in range(rows):
+        matrix[i, i * cols : (i + 1) * cols] = 1.0
+    for j in range(cols):
+        matrix[rows + j, j::cols] = 1.0
+    return Workload(matrix, name="Marginals", metadata={"rows": rows, "cols": cols})
+
+
+def sliding_window_workload(n, window):
+    """All length-``window`` moving sums over the domain (``n - window + 1``
+    queries); the moving-average workload of streaming analytics."""
+    n = check_positive_int(n, "n")
+    window = check_positive_int(window, "window")
+    if window > n:
+        raise ValidationError(f"window {window} exceeds domain size {n}")
+    m = n - window + 1
+    matrix = np.zeros((m, n))
+    for i in range(m):
+        matrix[i, i : i + window] = 1.0
+    return Workload(matrix, name="SlidingWindow", metadata={"n": n, "window": window})
+
+
+def workload_by_name(kind, m, n, s=None, p=0.02, seed=None):
+    """Construct one of the paper's three workloads by name.
+
+    ``kind`` is matched case-insensitively against
+    ``{"WDiscrete", "WRange", "WRelated"}``.
+    """
+    key = str(kind).strip().lower()
+    if key == "wdiscrete":
+        return wdiscrete(m, n, p=p, seed=seed)
+    if key == "wrange":
+        return wrange(m, n, seed=seed)
+    if key == "wrelated":
+        return wrelated(m, n, s=s, seed=seed)
+    raise ValidationError(f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}")

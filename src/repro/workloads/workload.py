@@ -1,0 +1,201 @@
+"""The :class:`Workload` abstraction: a batch of linear counting queries.
+
+Section 3.2 of the paper represents a batch of ``m`` linear queries over
+``n`` unit counts as a workload matrix ``W`` (m x n); the exact batch answer
+is ``W x``. This class wraps that matrix together with cached spectral
+quantities the Low-Rank Mechanism and its analysis need repeatedly (rank,
+singular values, sensitivity), plus provenance metadata so experiment output
+is self-describing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.svd import eigenvalue_ratio, matrix_rank, singular_values
+from repro.linalg.validation import as_matrix, as_vector, check_shape_compatible
+from repro.privacy.sensitivity import l1_sensitivity
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """An immutable batch of ``m`` linear queries over ``n`` unit counts.
+
+    Parameters
+    ----------
+    matrix:
+        The (m x n) workload matrix ``W``.
+    name:
+        Human-readable label (e.g. ``"WRange"``); used in reports.
+    metadata:
+        Optional dict of generation parameters, stored as provenance.
+
+    Examples
+    --------
+    >>> w = Workload([[1.0, 1.0], [1.0, 0.0]], name="demo")
+    >>> w.answer([3.0, 4.0])
+    array([7., 3.])
+    """
+
+    def __init__(self, matrix, name="workload", metadata=None):
+        self._matrix = as_matrix(matrix, "workload matrix")
+        self._matrix.setflags(write=False)
+        self.name = str(name)
+        self.metadata = dict(metadata or {})
+        self._rank = None
+        self._singular_values = None
+        self._sensitivity = None
+
+    # ------------------------------------------------------------------ #
+    # Basic shape / access
+    # ------------------------------------------------------------------ #
+    @property
+    def matrix(self):
+        """The underlying read-only (m x n) array."""
+        return self._matrix
+
+    @property
+    def num_queries(self):
+        """Number of queries ``m`` (rows)."""
+        return self._matrix.shape[0]
+
+    @property
+    def domain_size(self):
+        """Number of unit counts ``n`` (columns)."""
+        return self._matrix.shape[1]
+
+    @property
+    def shape(self):
+        """``(m, n)``."""
+        return self._matrix.shape
+
+    def __repr__(self):
+        return f"Workload(name={self.name!r}, shape={self.shape})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return self.shape == other.shape and np.array_equal(self._matrix, other._matrix)
+
+    def __hash__(self):
+        return hash((self.name, self.shape, self._matrix.tobytes()))
+
+    # ------------------------------------------------------------------ #
+    # Query answering
+    # ------------------------------------------------------------------ #
+    def answer(self, x):
+        """Exact batch answer ``W x`` for the data vector ``x``."""
+        x = as_vector(x, "x")
+        check_shape_compatible(self._matrix, x, "W", "x")
+        return self._matrix @ x
+
+    def row(self, index):
+        """Weight vector of query ``index`` (a copy)."""
+        if not 0 <= index < self.num_queries:
+            raise ValidationError(f"query index {index} out of range [0, {self.num_queries})")
+        return self._matrix[index].copy()
+
+    # ------------------------------------------------------------------ #
+    # Cached spectral quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self):
+        """Numerical rank of ``W`` (Section 3.3)."""
+        if self._rank is None:
+            self._rank = matrix_rank(self._matrix)
+        return self._rank
+
+    @property
+    def singular_values(self):
+        """Singular values of ``W`` in non-ascending order (the paper's
+        "eigenvalues" ``lambda_1 >= ... >= lambda_s``)."""
+        if self._singular_values is None:
+            values = singular_values(self._matrix)
+            values.setflags(write=False)
+            self._singular_values = values
+        return self._singular_values
+
+    @property
+    def sensitivity(self):
+        """L1 sensitivity ``max_j sum_i |W_ij|`` of the batch."""
+        if self._sensitivity is None:
+            self._sensitivity = l1_sensitivity(self._matrix)
+        return self._sensitivity
+
+    @property
+    def frobenius_squared(self):
+        """``||W||_F^2``, the squared sum of all entries."""
+        return float(np.sum(self._matrix**2))
+
+    @property
+    def eigenvalue_ratio(self):
+        """Conditioning constant ``C = lambda_1 / lambda_r`` of Theorem 2."""
+        return eigenvalue_ratio(self._matrix)
+
+    def is_low_rank(self):
+        """True iff ``rank(W) < min(m, n)``, i.e. rows or columns are
+        linearly dependent and LRM has structure to exploit."""
+        return self.rank < min(self.shape)
+
+    # ------------------------------------------------------------------ #
+    # Derived workloads
+    # ------------------------------------------------------------------ #
+    def subset(self, indices):
+        """New workload restricted to the given query rows."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValidationError("subset needs at least one query index")
+        if indices.min() < 0 or indices.max() >= self.num_queries:
+            raise ValidationError("subset indices out of range")
+        return Workload(
+            self._matrix[indices],
+            name=f"{self.name}[subset]",
+            metadata={**self.metadata, "parent": self.name},
+        )
+
+    def stack(self, other):
+        """Concatenate two workloads over the same domain (rows stacked)."""
+        if not isinstance(other, Workload):
+            raise ValidationError("stack expects another Workload")
+        if other.domain_size != self.domain_size:
+            raise ValidationError(
+                f"domain mismatch: {self.domain_size} vs {other.domain_size}"
+            )
+        return Workload(
+            np.vstack([self._matrix, other._matrix]),
+            name=f"{self.name}+{other.name}",
+            metadata={"parents": [self.name, other.name]},
+        )
+
+    def scaled(self, factor):
+        """Workload with every weight multiplied by ``factor`` (e.g. to turn
+        counts into weighted averages)."""
+        factor = float(factor)
+        if factor == 0.0:
+            raise ValidationError("scaling by zero produces a degenerate workload")
+        return Workload(
+            self._matrix * factor,
+            name=f"{factor}*{self.name}",
+            metadata={**self.metadata, "scaled_by": factor},
+        )
+
+    def kron(self, other):
+        """Kronecker-product workload over the product domain.
+
+        For a multi-attribute domain laid out row-major as
+        ``x[(i, j)] = x_flat[i * n2 + j]``, the batch asking "query ``a``
+        on attribute 1 AND query ``b`` on attribute 2" for every pair
+        ``(a, b)`` is exactly ``W1 (x) W2`` — the construction behind
+        marginal and hierarchical multi-dimensional workloads (HDMM-style).
+        The resulting rank is ``rank(W1) * rank(W2)``, so products of
+        low-rank pieces stay low-rank for LRM.
+        """
+        if not isinstance(other, Workload):
+            raise ValidationError("kron expects another Workload")
+        return Workload(
+            np.kron(self._matrix, other._matrix),
+            name=f"{self.name}(x){other.name}",
+            metadata={"parents": [self.name, other.name], "kron": True},
+        )

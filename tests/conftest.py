@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import wdiscrete, wrange, wrelated
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_related():
+    """A small, strongly low-rank WRelated workload (16 x 64, rank 3)."""
+    return wrelated(m=16, n=64, s=3, seed=7)
+
+
+@pytest.fixture
+def small_range():
+    """A small WRange workload (16 x 32)."""
+    return wrange(m=16, n=32, seed=7)
+
+
+@pytest.fixture
+def small_discrete():
+    """A small WDiscrete workload (12 x 24)."""
+    return wdiscrete(m=12, n=24, seed=7)
+
+
+@pytest.fixture
+def fast_lrm_kwargs():
+    """LowRankMechanism budgets small enough for unit tests."""
+    return {"max_outer": 25, "max_inner": 4, "nesterov_iters": 25, "stall_iters": 6}

@@ -1,0 +1,173 @@
+"""Unit tests for the ALM workload decomposition (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alm import (
+    Decomposition,
+    choose_rank,
+    decompose_workload,
+    svd_warm_start,
+)
+from repro.exceptions import DecompositionError, ValidationError
+from repro.privacy.sensitivity import l1_sensitivity
+from repro.workloads import wrelated
+
+FAST = {"max_outer": 25, "max_inner": 4, "nesterov_iters": 25, "stall_iters": 6}
+
+
+class TestChooseRank:
+    def test_explicit_rank_wins(self):
+        assert choose_rank(np.eye(8), rank=3) == 3
+
+    def test_default_uses_ratio(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((10, 5)) @ rng.standard_normal((5, 20))
+        assert choose_rank(w, rank_ratio=1.2) == 6  # ceil(1.2 * 5)
+
+    def test_clamped_to_dimensions(self):
+        assert choose_rank(np.eye(4), rank=100) == 4
+
+    def test_minimum_one(self):
+        w = np.zeros((3, 3))
+        w[0, 0] = 1.0
+        assert choose_rank(w, rank_ratio=0.1) >= 1
+
+
+class TestSvdWarmStart:
+    def test_shapes(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((6, 10))
+        b, l = svd_warm_start(w, 8)
+        assert b.shape == (6, 8)
+        assert l.shape == (8, 10)
+
+    def test_feasible(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((5, 12))
+        _, l = svd_warm_start(w, 5)
+        assert np.all(np.abs(l).sum(axis=0) <= 1 + 1e-9)
+
+    def test_reconstructs_w_when_rank_sufficient(self):
+        rng = np.random.default_rng(3)
+        w = rng.standard_normal((6, 3)) @ rng.standard_normal((3, 9))
+        b, l = svd_warm_start(w, 3)
+        assert np.allclose(b @ l, w, atol=1e-8)
+
+    def test_rows_beyond_svd_factors_small(self):
+        # A 4 x 6 matrix has at most 4 SVD factors; row 5 is random padding.
+        rng = np.random.default_rng(4)
+        w = rng.standard_normal((4, 2)) @ rng.standard_normal((2, 6))
+        _, l = svd_warm_start(w, 5)
+        assert np.abs(l[4:]).max() < 1e-2
+
+
+class TestDecomposeWorkload:
+    def test_returns_decomposition(self):
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        dec = decompose_workload(w, **FAST)
+        assert isinstance(dec, Decomposition)
+
+    def test_product_close_to_w(self):
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        dec = decompose_workload(w, **FAST)
+        assert dec.residual_norm <= 1e-6 * np.linalg.norm(w)
+
+    def test_l_feasible(self):
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        dec = decompose_workload(w, **FAST)
+        assert np.all(np.abs(dec.l).sum(axis=0) <= 1 + 1e-8)
+
+    def test_sensitivity_at_boundary(self):
+        # The Lemma-2 rescaling puts the max column exactly on the boundary.
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        dec = decompose_workload(w, **FAST)
+        assert dec.sensitivity == pytest.approx(1.0, abs=1e-6)
+
+    def test_beats_noise_on_data_in_favorable_regime(self):
+        # Low rank, wide domain: LRM must beat the trivial B=W, L=I.
+        wl = wrelated(16, 256, s=3, seed=1)
+        dec = decompose_workload(wl.matrix, **FAST)
+        assert dec.expected_noise_error(1.0) < 2 * wl.frobenius_squared
+
+    def test_rank_parameter_respected(self):
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        dec = decompose_workload(w, rank=5, **FAST)
+        assert dec.rank == 5
+
+    def test_rank_below_workload_rank_leaves_residual(self):
+        w = wrelated(10, 30, s=6, seed=2).matrix
+        dec = decompose_workload(w, rank=2, **FAST)
+        assert dec.residual_norm > 1e-3 * np.linalg.norm(w)
+
+    def test_history_populated(self):
+        w = wrelated(8, 16, s=2, seed=3).matrix
+        dec = decompose_workload(w, **FAST)
+        assert len(dec.history) >= 1
+        assert {"tau", "objective", "beta"} <= set(dec.history[0])
+
+    def test_expected_noise_error_formula(self):
+        w = wrelated(8, 16, s=2, seed=3).matrix
+        dec = decompose_workload(w, **FAST)
+        expected = 2 * np.sum(dec.b**2) * l1_sensitivity(dec.l) ** 2
+        assert dec.expected_noise_error(1.0) == pytest.approx(expected)
+
+    def test_error_scales_with_epsilon(self):
+        w = wrelated(8, 16, s=2, seed=3).matrix
+        dec = decompose_workload(w, **FAST)
+        assert dec.expected_noise_error(0.1) == pytest.approx(100 * dec.expected_noise_error(1.0))
+
+    def test_zero_workload_raises(self):
+        with pytest.raises(DecompositionError):
+            decompose_workload(np.zeros((3, 3)))
+
+    def test_gamma_absolute_mode(self):
+        w = wrelated(8, 16, s=2, seed=4).matrix
+        dec = decompose_workload(w, gamma=0.5, gamma_is_relative=False, **FAST)
+        assert dec.residual_norm <= 0.5 + 1e-9
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValidationError):
+            decompose_workload(np.eye(3), gamma=0.0)
+
+    def test_deterministic(self):
+        w = wrelated(8, 16, s=2, seed=5).matrix
+        a = decompose_workload(w, seed=1, **FAST)
+        b = decompose_workload(w, seed=1, **FAST)
+        assert np.allclose(a.b, b.b)
+        assert np.allclose(a.l, b.l)
+
+    def test_reconstruction_method(self):
+        w = wrelated(6, 12, s=2, seed=6).matrix
+        dec = decompose_workload(w, **FAST)
+        assert np.allclose(dec.reconstruction(), dec.b @ dec.l)
+
+    def test_identity_workload(self):
+        # W = I has rank n; decomposition should roughly recover NOD quality.
+        n = 16
+        dec = decompose_workload(np.eye(n), **FAST)
+        nod_error = 2.0 * n
+        assert dec.expected_noise_error(1.0) <= nod_error * 3.0
+
+    def test_scale_invariance(self):
+        # Decomposing c*W scales the error objective by c^2 (the solver
+        # normalises internally; floating-point path differences allow a
+        # small relative drift in the solution found).
+        w = wrelated(8, 16, s=2, seed=7).matrix
+        a = decompose_workload(w, seed=1, **FAST)
+        b = decompose_workload(10 * w, seed=1, **FAST)
+        assert b.expected_noise_error(1.0) == pytest.approx(
+            100 * a.expected_noise_error(1.0), rel=0.15
+        )
+
+    def test_restarts_never_worse(self):
+        w = np.array(
+            [
+                [1.0, 1.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 1.0],
+            ]
+        )
+        single = decompose_workload(w, rank=2, seed=0, **FAST)
+        multi = decompose_workload(w, rank=2, seed=0, restarts=4, **FAST)
+        assert multi.expected_noise_error(1.0) <= single.expected_noise_error(1.0) + 1e-9

@@ -1,0 +1,167 @@
+"""Unit tests for the analysis package: error metrics, theory, comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import ComparisonRow, compare_mechanisms
+from repro.analysis.error import (
+    MeasuredError,
+    average_squared_error,
+    measure_mechanism,
+    squared_error,
+)
+from repro.analysis.theory import (
+    decomposition_expected_error,
+    noise_on_data_error,
+    noise_on_results_error,
+    nor_beats_nod,
+    strategy_expected_error,
+)
+from repro.exceptions import ValidationError
+from repro.mechanisms.baselines import NoiseOnDataMechanism
+from repro.workloads import wrange, wrelated
+
+
+class TestErrorMetrics:
+    def test_squared_error(self):
+        assert squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(5.0)
+
+    def test_average(self):
+        assert average_squared_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(2.5)
+
+    def test_zero_for_identical(self):
+        assert squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            squared_error([1.0], [1.0, 2.0])
+
+
+class TestMeasureMechanism:
+    def test_returns_measured_error(self):
+        wl = wrange(5, 16, seed=0)
+        mech = NoiseOnDataMechanism().fit(wl)
+        measured = measure_mechanism(mech, np.ones(16), 1.0, trials=10, rng=0)
+        assert isinstance(measured, MeasuredError)
+        assert measured.trials == 10
+        assert measured.total_squared_error > 0
+        assert measured.average_squared_error == pytest.approx(
+            measured.total_squared_error / 5
+        )
+
+    def test_requires_fitted(self):
+        with pytest.raises(ValidationError):
+            measure_mechanism(NoiseOnDataMechanism(), np.ones(4), 1.0)
+
+    def test_timing_recorded(self):
+        wl = wrange(4, 8, seed=1)
+        mech = NoiseOnDataMechanism().fit(wl)
+        measured = measure_mechanism(mech, np.ones(8), 1.0, trials=5, rng=0)
+        assert measured.answer_seconds >= 0.0
+
+    def test_convergence_to_expectation(self):
+        wl = wrange(8, 32, seed=2)
+        mech = NoiseOnDataMechanism().fit(wl)
+        measured = measure_mechanism(mech, np.ones(32), 1.0, trials=3000, rng=3)
+        assert measured.total_squared_error == pytest.approx(
+            mech.expected_squared_error(1.0), rel=0.1
+        )
+
+
+class TestTheory:
+    def test_nod_formula(self):
+        w = np.array([[1.0, 2.0]])
+        assert noise_on_data_error(w, 1.0) == pytest.approx(2 * 5)
+
+    def test_nor_formula(self):
+        w = np.array([[1.0, 1.0], [1.0, 0.0]])  # sensitivity 2, m = 2
+        assert noise_on_results_error(w, 1.0) == pytest.approx(2 * 2 * 4)
+
+    def test_decomposition_error_identity(self):
+        # B = W, L = I reproduces the NOD formula.
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((4, 6))
+        assert decomposition_expected_error(w, np.eye(6), 1.0) == pytest.approx(
+            noise_on_data_error(w, 1.0)
+        )
+
+    def test_decomposition_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            decomposition_expected_error(np.ones((2, 3)), np.ones((2, 4)), 1.0)
+
+    def test_strategy_identity_matches_nod(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((5, 8))
+        assert strategy_expected_error(w, np.eye(8), 1.0) == pytest.approx(
+            noise_on_data_error(w, 1.0)
+        )
+
+    def test_strategy_self_matches_nor_for_full_rank(self):
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((4, 4))
+        assert strategy_expected_error(w, w, 1.0) == pytest.approx(
+            noise_on_results_error(w, 1.0)
+        )
+
+    def test_strategy_unsupported_workload_raises(self):
+        # Strategy spans only the first coordinate; workload needs both.
+        strategy = np.array([[1.0, 0.0]])
+        w = np.array([[0.0, 1.0]])
+        with pytest.raises(ValidationError, match="row space"):
+            strategy_expected_error(w, strategy, 1.0)
+
+    def test_nor_beats_nod_logic(self):
+        # m < n with uniform columns: NOR wins; identity (m = n): never.
+        w_wide = np.ones((1, 10))
+        assert nor_beats_nod(w_wide)
+        assert not nor_beats_nod(np.eye(4))
+
+
+class TestCompareMechanisms:
+    def test_rows_structure(self):
+        wl = wrange(4, 16, seed=0)
+        rows = compare_mechanisms(
+            wl, np.ones(16), 1.0, mechanisms=("LM", "NOR"), trials=3, rng=0
+        )
+        assert [row.mechanism for row in rows] == ["LM", "NOR"]
+        assert all(row.ok for row in rows)
+        assert all(row.average_squared_error > 0 for row in rows)
+
+    def test_expected_error_included(self):
+        wl = wrange(4, 16, seed=0)
+        rows = compare_mechanisms(wl, np.ones(16), 1.0, mechanisms=("LM",), trials=2, rng=0)
+        assert rows[0].expected_average_error == pytest.approx(
+            NoiseOnDataMechanism().fit(wl).average_expected_error(1.0)
+        )
+
+    def test_accepts_instances(self):
+        wl = wrange(4, 16, seed=0)
+        rows = compare_mechanisms(
+            wl, np.ones(16), 1.0, mechanisms=(NoiseOnDataMechanism(),), trials=2, rng=0
+        )
+        assert rows[0].mechanism == "LM"
+
+    def test_unknown_label_reported_as_failure(self):
+        wl = wrange(4, 16, seed=0)
+        rows = compare_mechanisms(wl, np.ones(16), 1.0, mechanisms=("NOPE",), trials=2, rng=0)
+        assert not rows[0].ok
+        assert "unknown mechanism" in rows[0].failure
+
+    def test_mechanism_kwargs_forwarded(self):
+        wl = wrelated(6, 12, s=2, seed=0)
+        rows = compare_mechanisms(
+            wl,
+            np.ones(12),
+            1.0,
+            mechanisms=("LRM",),
+            trials=2,
+            rng=0,
+            mechanism_kwargs={"LRM": {"max_outer": 5, "max_inner": 2, "nesterov_iters": 10}},
+        )
+        assert rows[0].ok
+
+    def test_as_dict(self):
+        row = ComparisonRow("LM", average_squared_error=1.0)
+        payload = row.as_dict()
+        assert payload["mechanism"] == "LM"
+        assert payload["failure"] is None

@@ -1,0 +1,110 @@
+"""Unit tests for the Section-4 error bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    approximation_ratio,
+    bound_summary,
+    hardt_talwar_lower_bound,
+    lrm_error_upper_bound,
+    relaxed_error_bound,
+)
+from repro.exceptions import ValidationError
+from repro.workloads import wrelated
+
+
+class TestUpperBound:
+    def test_formula(self):
+        # r = 2, sum lambda^2 = 5, eps = 1 -> 10
+        assert lrm_error_upper_bound([2.0, 1.0], 1.0) == pytest.approx(10.0)
+
+    def test_epsilon_scaling(self):
+        assert lrm_error_upper_bound([1.0], 0.1) == pytest.approx(100 * lrm_error_upper_bound([1.0], 1.0))
+
+    def test_ignores_zero_eigenvalues(self):
+        assert lrm_error_upper_bound([2.0, 0.0], 1.0) == pytest.approx(4.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            lrm_error_upper_bound([-1.0], 1.0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            lrm_error_upper_bound([0.0, 0.0], 1.0)
+
+
+class TestLowerBound:
+    def test_formula_rank_one(self):
+        # r=1: ((2/1) * lambda)^2 * 1 = 4 lambda^2
+        assert hardt_talwar_lower_bound([3.0], 1.0) == pytest.approx(36.0)
+
+    def test_formula_rank_two(self):
+        # r=2: ((4/2) * l1 l2)^{1} * 8 = 16 l1 l2
+        assert hardt_talwar_lower_bound([2.0, 1.0], 1.0) == pytest.approx(2 * 2 * 1 * 8)
+
+    def test_no_overflow_at_large_rank(self):
+        values = np.full(500, 2.0)
+        assert np.isfinite(hardt_talwar_lower_bound(values, 1.0))
+
+    def test_epsilon_scaling(self):
+        assert hardt_talwar_lower_bound([1.0, 2.0], 0.5) == pytest.approx(
+            4 * hardt_talwar_lower_bound([1.0, 2.0], 1.0)
+        )
+
+    def test_monotone_in_eigenvalues(self):
+        small = hardt_talwar_lower_bound([1.0, 1.0], 1.0)
+        large = hardt_talwar_lower_bound([2.0, 2.0], 1.0)
+        assert large > small
+
+
+class TestApproximationRatio:
+    def test_uniform_spectrum(self):
+        # C = 1 -> ratio = r / 16
+        assert approximation_ratio(np.ones(8)) == pytest.approx(8 / 16)
+
+    def test_grows_with_conditioning(self):
+        flat = approximation_ratio([1.0] * 6)
+        skewed = approximation_ratio([10.0] + [1.0] * 5)
+        assert skewed > flat
+
+    def test_exact_mode_requires_rank(self):
+        with pytest.raises(ValidationError):
+            approximation_ratio(np.ones(3), exact=True)
+
+    def test_exact_mode_large_rank_ok(self):
+        assert approximation_ratio(np.ones(6), exact=True) > 0
+
+
+class TestRelaxedBound:
+    def test_formula(self):
+        b = np.ones((2, 2))  # tr = 4
+        x = np.array([1.0, 2.0])  # sum sq = 5
+        assert relaxed_error_bound(b, 0.5, x, 1.0) == pytest.approx(2 * 4 + 0.5 * 5)
+
+    def test_noise_term_epsilon_scaling(self):
+        b = np.eye(2)
+        x = np.zeros(3) + 1e-300  # negligible structural term
+        assert relaxed_error_bound(b, 1e-12, x, 0.1) == pytest.approx(
+            2 * 2 / 0.01, rel=1e-6
+        )
+
+
+class TestBoundSummary:
+    def test_upper_at_least_lower_for_real_workload(self):
+        wl = wrelated(12, 24, s=3, seed=0)
+        summary = bound_summary(wl, 1.0)
+        assert summary["upper_bound"] > 0
+        assert summary["lower_bound"] > 0
+        assert summary["bound_gap"] == pytest.approx(
+            summary["upper_bound"] / summary["lower_bound"]
+        )
+
+    def test_accepts_raw_matrix(self):
+        summary = bound_summary(np.eye(4), 1.0)
+        assert set(summary) == {"upper_bound", "lower_bound", "bound_gap", "approximation_ratio"}
+
+    def test_uniform_spectrum_gap_modest(self):
+        # Theorem 2: with C = 1 the gap is O(r); identity workload has C = 1.
+        summary = bound_summary(np.eye(16), 1.0)
+        assert summary["bound_gap"] <= 16

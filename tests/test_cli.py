@@ -1,0 +1,76 @@
+"""Unit tests for the CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table1_target(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.target == "table1"
+
+    def test_figure_targets(self):
+        for i in range(2, 10):
+            args = build_parser().parse_args([f"figure{i}"])
+            assert args.target == f"figure{i}"
+
+    def test_invalid_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["figure2", "--scale", "full"])
+        assert args.scale == "full"
+
+    def test_invalid_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure2", "--scale", "giant"])
+
+    def test_seed_flag(self):
+        assert build_parser().parse_args(["figure2", "--seed", "7"]).seed == 7
+
+
+class TestMain:
+    def test_table1_prints_grid(self):
+        out = io.StringIO()
+        assert main(["table1"], out=out) == 0
+        text = out.getvalue()
+        assert "Table 1" in text
+        assert "8192" in text
+        assert "gamma" in text
+
+    def test_table1_lists_all_parameters(self):
+        out = io.StringIO()
+        main(["table1"], out=out)
+        for key in ("gamma", "rank_ratio", "n", "m", "s_ratio", "epsilon"):
+            assert key in out.getvalue()
+
+    def test_chart_flag_parsed(self):
+        args = build_parser().parse_args(["figure2", "--chart"])
+        assert args.chart is True
+
+    def test_decompose_end_to_end(self, tmp_path):
+        import numpy as np
+
+        from repro.io.serialization import load_decomposition
+        from repro.workloads import wrelated
+
+        workload_path = tmp_path / "w.npy"
+        out_path = tmp_path / "dec.npz"
+        np.save(workload_path, wrelated(6, 16, s=2, seed=0).matrix)
+        out = io.StringIO()
+        code = main(
+            ["decompose", "--workload", str(workload_path), "--out", str(out_path)],
+            out=out,
+        )
+        assert code == 0
+        assert "sensitivity Delta(L)" in out.getvalue()
+        restored = load_decomposition(out_path)
+        assert restored.b.shape[0] == 6
+
+    def test_decompose_requires_workload(self):
+        out = io.StringIO()
+        assert main(["decompose"], out=out) == 2

@@ -1,0 +1,153 @@
+"""Unit tests for the dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    NET_TRACE_SIZE,
+    SEARCH_LOGS_SIZE,
+    SOCIAL_NETWORK_SIZE,
+    dataset_names,
+    load_dataset,
+    net_trace,
+    search_logs,
+    social_network,
+)
+from repro.data.transforms import merge_to_domain, normalize_counts, pad_to_length
+from repro.exceptions import ValidationError
+
+
+class TestSearchLogs:
+    def test_default_size_matches_paper(self):
+        assert search_logs(size=4096).size == 4096
+        assert SEARCH_LOGS_SIZE == 65_536
+
+    def test_non_negative_integers(self):
+        x = search_logs(size=2048, seed=0)
+        assert np.all(x >= 0)
+        assert np.allclose(x, np.round(x))
+
+    def test_deterministic(self):
+        assert np.array_equal(search_logs(size=512, seed=1), search_logs(size=512, seed=1))
+
+    def test_seed_changes_data(self):
+        assert not np.array_equal(search_logs(size=512, seed=1), search_logs(size=512, seed=2))
+
+    def test_has_bursts(self):
+        x = search_logs(size=4096, seed=0)
+        # bursty: max should dwarf the median background
+        assert x.max() > 10 * np.median(x)
+
+
+class TestNetTrace:
+    def test_sizes(self):
+        assert net_trace(size=1024).size == 1024
+        assert NET_TRACE_SIZE == 32_768
+
+    def test_heavy_tail(self):
+        x = net_trace(size=8192, seed=0)
+        assert np.median(x) <= 1.0  # most hosts quiet
+        assert x.max() > 1000.0  # some hosts very hot
+
+    def test_non_negative(self):
+        assert np.all(net_trace(size=1024, seed=3) >= 0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValidationError):
+            net_trace(size=16, zipf_exponent=1.0)
+
+
+class TestSocialNetwork:
+    def test_sizes(self):
+        assert social_network(size=500).size == 500
+        assert SOCIAL_NETWORK_SIZE == 11_342
+
+    def test_power_law_decay(self):
+        x = social_network(size=2000, seed=0)
+        # counts at low degrees dominate the tail by orders of magnitude
+        assert x[:10].sum() > 100 * max(x[-100:].sum(), 1.0)
+
+    def test_total_users_approximate(self):
+        x = social_network(size=2000, seed=0, users=1_000_000)
+        assert x.sum() == pytest.approx(1_000_000, rel=0.05)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValidationError):
+            social_network(size=16, gamma=0.5)
+
+
+class TestLoadDataset:
+    def test_names(self):
+        assert dataset_names() == ["search_logs", "net_trace", "social_network"]
+
+    def test_loads_each(self):
+        for name in dataset_names():
+            assert load_dataset(name, size=256).size == 256
+
+    def test_name_normalisation(self):
+        a = load_dataset("Search Logs", size=128, seed=5)
+        b = load_dataset("search_logs", size=128, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("census")
+
+
+class TestMergeToDomain:
+    def test_preserves_total(self):
+        x = np.arange(100.0)
+        merged = merge_to_domain(x, 7)
+        assert merged.sum() == pytest.approx(x.sum())
+
+    def test_output_size(self):
+        assert merge_to_domain(np.ones(100), 7).size == 7
+
+    def test_even_split(self):
+        merged = merge_to_domain(np.ones(8), 4)
+        assert np.allclose(merged, 2.0)
+
+    def test_uneven_split_front_loaded(self):
+        merged = merge_to_domain(np.ones(10), 4)
+        # 10 = 3+3+2+2
+        assert np.allclose(merged, [3.0, 3.0, 2.0, 2.0])
+
+    def test_identity_when_same_size(self):
+        x = np.arange(5.0)
+        assert np.array_equal(merge_to_domain(x, 5), x)
+
+    def test_rejects_expansion(self):
+        with pytest.raises(ValidationError):
+            merge_to_domain(np.ones(4), 8)
+
+    def test_order_preserved(self):
+        x = np.concatenate([np.zeros(50), np.ones(50)])
+        merged = merge_to_domain(x, 2)
+        assert merged[0] == 0.0
+        assert merged[1] == 50.0
+
+
+class TestPadAndNormalize:
+    def test_pad_length(self):
+        padded = pad_to_length(np.ones(3), 5)
+        assert padded.size == 5
+        assert np.allclose(padded, [1, 1, 1, 0, 0])
+
+    def test_pad_custom_value(self):
+        assert pad_to_length(np.ones(1), 2, value=9.0)[1] == 9.0
+
+    def test_pad_rejects_shrink(self):
+        with pytest.raises(ValidationError):
+            pad_to_length(np.ones(5), 3)
+
+    def test_pad_same_size_copies(self):
+        x = np.ones(3)
+        padded = pad_to_length(x, 3)
+        padded[0] = 5.0
+        assert x[0] == 1.0
+
+    def test_normalize(self):
+        assert normalize_counts(np.array([1.0, 3.0])).sum() == pytest.approx(1.0)
+
+    def test_normalize_zero_vector(self):
+        assert np.array_equal(normalize_counts(np.zeros(3)), np.zeros(3))

@@ -1,0 +1,94 @@
+"""Unit tests for decomposition diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import (
+    decomposition_report,
+    format_decomposition_report,
+    sparkline,
+)
+from repro.core.alm import decompose_workload
+from repro.exceptions import ValidationError
+from repro.workloads import wrelated
+
+FAST = {"max_outer": 20, "max_inner": 4, "nesterov_iters": 20, "stall_iters": 6}
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    wl = wrelated(10, 40, s=3, seed=0)
+    return wl, decompose_workload(wl.matrix, **FAST)
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(range(1, 200), width=40)) == 40
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1.0, 10.0, 100.0])) == 3
+
+    def test_monotone_series_monotone_chars(self):
+        chars = sparkline([1.0, 10.0, 100.0, 1000.0])
+        levels = " .:-=+*#%@"
+        positions = [levels.index(c) for c in chars]
+        assert positions == sorted(positions)
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert len(sparkline([5.0, 5.0, 5.0])) == 3
+
+
+class TestReport:
+    def test_keys(self, fitted):
+        _, dec = fitted
+        report = decomposition_report(dec)
+        assert {"rank", "converged", "scale", "sensitivity", "column_budget", "trace"} <= set(
+            report
+        )
+
+    def test_bounds_section_with_workload(self, fitted):
+        wl, dec = fitted
+        report = decomposition_report(dec, workload=wl, epsilon=0.5)
+        bounds = report["bounds"]
+        assert bounds["achieved"] == pytest.approx(dec.expected_noise_error(0.5))
+        assert bounds["lemma3_upper"] > 0
+        assert bounds["vs_noise_on_data"] > 0
+
+    def test_column_budget_sane(self, fitted):
+        _, dec = fitted
+        budget = decomposition_report(dec)["column_budget"]
+        assert 0 <= budget["saturated_fraction"] <= 1
+        assert budget["max"] <= 1 + 1e-6
+
+    def test_accepts_raw_matrix_workload(self, fitted):
+        wl, dec = fitted
+        report = decomposition_report(dec, workload=wl.matrix)
+        assert "bounds" in report
+
+    def test_rejects_non_decomposition(self):
+        with pytest.raises(ValidationError):
+            decomposition_report({"b": np.eye(2)})
+
+    def test_epsilon_scaling(self, fitted):
+        _, dec = fitted
+        low = decomposition_report(dec, epsilon=1.0)["expected_noise_error"]
+        high = decomposition_report(dec, epsilon=0.1)["expected_noise_error"]
+        assert high == pytest.approx(100 * low)
+
+
+class TestFormat:
+    def test_contains_sections(self, fitted):
+        wl, dec = fitted
+        text = format_decomposition_report(dec, workload=wl)
+        assert "residual ||W - BL||_F" in text
+        assert "sensitivity Delta(L)" in text
+        assert "bounds:" in text
+        assert "residual trace" in text
+
+    def test_without_workload_no_bounds(self, fitted):
+        _, dec = fitted
+        text = format_decomposition_report(dec)
+        assert "bounds:" not in text

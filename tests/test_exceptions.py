@@ -1,0 +1,40 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.exceptions import (
+    DecompositionError,
+    NotFittedError,
+    PrivacyBudgetError,
+    ReproError,
+    ValidationError,
+)
+
+
+def test_validation_error_is_repro_error():
+    assert issubclass(ValidationError, ReproError)
+
+
+def test_validation_error_is_value_error():
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_decomposition_error_is_runtime_error():
+    assert issubclass(DecompositionError, RuntimeError)
+    assert issubclass(DecompositionError, ReproError)
+
+
+def test_not_fitted_error_is_runtime_error():
+    assert issubclass(NotFittedError, RuntimeError)
+    assert issubclass(NotFittedError, ReproError)
+
+
+def test_privacy_budget_error_is_value_error():
+    assert issubclass(PrivacyBudgetError, ValueError)
+    assert issubclass(PrivacyBudgetError, ReproError)
+
+
+def test_catching_base_class_catches_all():
+    for exc_type in (ValidationError, DecompositionError, NotFittedError, PrivacyBudgetError):
+        with pytest.raises(ReproError):
+            raise exc_type("boom")

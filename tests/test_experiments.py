@@ -1,0 +1,167 @@
+"""Unit tests for the experiment harness (config, runner, figures, reporting)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import (
+    BENCH_GRID,
+    DEFAULTS,
+    FULL_GRID,
+    PARAMETER_GRID,
+    REDUCED_GRID,
+    default_gamma,
+    grid_for_scale,
+    resolve_scale,
+)
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.reporting import format_series, format_table, summarize_result
+from repro.experiments.runner import ExperimentResult, dataset_vector
+
+
+class TestConfig:
+    def test_table1_transcription(self):
+        assert PARAMETER_GRID["n"] == (128, 256, 512, 1024, 2048, 4096, 8192)
+        assert PARAMETER_GRID["m"] == (64, 128, 256, 512, 1024)
+        assert PARAMETER_GRID["gamma"] == (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+        assert len(PARAMETER_GRID["rank_ratio"]) == 9
+        assert len(PARAMETER_GRID["s_ratio"]) == 10
+
+    def test_defaults_sane(self):
+        assert DEFAULTS["rank_ratio"] == 1.2
+        assert DEFAULTS["epsilon"] in PARAMETER_GRID["epsilon"]
+
+    def test_resolve_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert resolve_scale() == "reduced"
+
+    def test_resolve_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert resolve_scale() == "full"
+
+    def test_resolve_scale_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert resolve_scale("bench") == "bench"
+
+    def test_resolve_scale_invalid(self):
+        with pytest.raises(ValidationError):
+            resolve_scale("huge")
+
+    def test_grids_have_same_keys(self):
+        assert set(FULL_GRID) == set(REDUCED_GRID) == set(BENCH_GRID)
+
+    def test_grid_for_scale_copies(self):
+        grid = grid_for_scale("bench")
+        grid["trials"] = 999
+        assert BENCH_GRID["trials"] != 999
+
+    def test_default_gamma_relative(self):
+        w = np.eye(4) * 10  # ||W||_F = 20
+        assert default_gamma(w, relative=0.01) == pytest.approx(0.2)
+
+
+class TestExperimentResult:
+    def _make(self):
+        result = ExperimentResult(name="demo", sweep_parameter="n")
+        result.add_row(mechanism="LM", n=10, average_squared_error=1.0)
+        result.add_row(mechanism="LM", n=20, average_squared_error=2.0)
+        result.add_row(mechanism="LRM", n=10, average_squared_error=0.5)
+        result.add_row(mechanism="LRM", n=20, average_squared_error=None)
+        return result
+
+    def test_mechanisms_order(self):
+        assert self._make().mechanisms() == ["LM", "LRM"]
+
+    def test_series(self):
+        xs, ys = self._make().series("LM")
+        assert np.array_equal(xs, [10, 20])
+        assert np.array_equal(ys, [1.0, 2.0])
+
+    def test_series_skips_none(self):
+        xs, ys = self._make().series("LRM")
+        assert np.array_equal(xs, [10])
+
+    def test_series_filters(self):
+        result = ExperimentResult(name="demo", sweep_parameter="n")
+        result.add_row(mechanism="LM", n=1, dataset="a", average_squared_error=1.0)
+        result.add_row(mechanism="LM", n=1, dataset="b", average_squared_error=2.0)
+        _, ys = result.series("LM", dataset="b")
+        assert np.array_equal(ys, [2.0])
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "result.json"
+        self._make().to_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert len(payload["rows"]) == 4
+
+    def test_csv_output(self, tmp_path):
+        path = tmp_path / "result.csv"
+        self._make().to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("mechanism,n,")
+        assert len(lines) == 5
+
+    def test_csv_empty_raises(self):
+        with pytest.raises(ValidationError):
+            ExperimentResult(name="x", sweep_parameter="n").to_csv()
+
+
+class TestDatasetVector:
+    def test_named_dataset_merged(self):
+        x = dataset_vector("social_network", 64)
+        assert x.size == 64
+
+    def test_raw_vector_merged(self):
+        x = dataset_vector(np.ones(100), 10)
+        assert np.allclose(x, 10.0)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            dataset_vector("net_trace", 32, seed=1), dataset_vector("net_trace", 32, seed=1)
+        )
+
+
+class TestReporting:
+    def _result(self):
+        result = ExperimentResult(name="demo", sweep_parameter="n")
+        for n in (10, 20):
+            result.add_row(mechanism="LM", n=n, average_squared_error=float(n))
+            result.add_row(mechanism="LRM", n=n, average_squared_error=n / 10.0)
+        return result
+
+    def test_format_table_contains_values(self):
+        text = format_table(self._result())
+        assert "LM" in text and "LRM" in text
+        assert "10" in text
+
+    def test_format_table_grouping(self):
+        result = ExperimentResult(name="demo", sweep_parameter="n")
+        result.add_row(mechanism="LM", n=1, dataset="d1", average_squared_error=1.0)
+        result.add_row(mechanism="LM", n=1, dataset="d2", average_squared_error=2.0)
+        text = format_table(result, group_keys=("dataset",))
+        assert "dataset=d1" in text and "dataset=d2" in text
+
+    def test_format_series(self):
+        text = format_series(self._result(), "LM")
+        assert "demo / LM" in text
+
+    def test_summarize_geometric_mean(self):
+        summary = summarize_result(self._result())
+        assert summary["LM"] == pytest.approx(np.sqrt(10 * 20))
+        assert summary["LRM"] == pytest.approx(np.sqrt(1 * 2))
+
+    def test_format_table_rejects_non_result(self):
+        with pytest.raises(ValidationError):
+            format_table({"rows": []})
+
+
+class TestFigureRegistry:
+    def test_all_eight_figures_present(self):
+        assert sorted(ALL_FIGURES) == [f"figure{i}" for i in range(2, 10)]
+
+    def test_figures_callable_with_scale(self):
+        for fn in ALL_FIGURES.values():
+            assert callable(fn)

@@ -1,0 +1,183 @@
+"""Unit tests for the Gaussian / (eps, delta)-DP extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.alm import decompose_workload
+from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
+from repro.exceptions import ValidationError
+from repro.linalg.projection import project_columns_l2
+from repro.mechanisms.gaussian import (
+    GaussianNoiseOnDataMechanism,
+    GaussianNoiseOnResultsMechanism,
+)
+from repro.privacy.noise import (
+    expected_squared_gaussian_noise,
+    gaussian_noise,
+    gaussian_sigma,
+)
+from repro.privacy.sensitivity import column_l2_norms, l2_sensitivity
+from repro.workloads import wrange, wrelated
+
+FAST = {"max_outer": 25, "max_inner": 4, "nesterov_iters": 25, "stall_iters": 6}
+
+
+class TestGaussianNoise:
+    def test_sigma_formula(self):
+        expected = 2.0 * np.sqrt(2 * np.log(1.25 / 1e-5)) / 0.5
+        assert gaussian_sigma(2.0, 0.5, 1e-5) == pytest.approx(expected)
+
+    def test_sigma_rejects_delta_one(self):
+        with pytest.raises(ValidationError):
+            gaussian_sigma(1.0, 1.0, 1.0)
+
+    def test_noise_shape_and_determinism(self):
+        a = gaussian_noise(6, 1.0, 1.0, 1e-6, rng=3)
+        b = gaussian_noise(6, 1.0, 1.0, 1e-6, rng=3)
+        assert a.shape == (6,)
+        assert np.array_equal(a, b)
+
+    def test_empirical_variance(self):
+        sigma = gaussian_sigma(1.0, 1.0, 1e-6)
+        samples = gaussian_noise(200_000, 1.0, 1.0, 1e-6, rng=0)
+        assert np.var(samples) == pytest.approx(sigma**2, rel=0.05)
+
+    def test_expected_squared_matches_sigma(self):
+        sigma = gaussian_sigma(1.0, 0.5, 1e-6)
+        assert expected_squared_gaussian_noise(10, 1.0, 0.5, 1e-6) == pytest.approx(
+            10 * sigma**2
+        )
+
+
+class TestL2Sensitivity:
+    def test_column_norms(self):
+        matrix = np.array([[3.0, 1.0], [4.0, 0.0]])
+        assert np.allclose(column_l2_norms(matrix), [5.0, 1.0])
+
+    def test_sensitivity(self):
+        assert l2_sensitivity(np.array([[3.0, 1.0], [4.0, 0.0]])) == pytest.approx(5.0)
+
+    def test_l2_at_most_l1(self):
+        from repro.privacy.sensitivity import l1_sensitivity
+
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((5, 7))
+        assert l2_sensitivity(m) <= l1_sensitivity(m) + 1e-12
+
+
+class TestL2Projection:
+    def test_inside_unchanged(self):
+        matrix = np.full((3, 2), 0.1)
+        assert np.allclose(project_columns_l2(matrix), matrix)
+
+    def test_outside_on_sphere(self):
+        matrix = np.array([[3.0], [4.0]])
+        result = project_columns_l2(matrix)
+        assert np.linalg.norm(result) == pytest.approx(1.0)
+        # Direction preserved.
+        assert np.allclose(result.ravel(), [0.6, 0.8])
+
+    def test_columns_feasible(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((6, 10)) * 5
+        result = project_columns_l2(matrix)
+        assert np.all(np.sqrt(np.sum(result**2, axis=0)) <= 1 + 1e-9)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((4, 5)) * 3
+        once = project_columns_l2(matrix)
+        assert np.allclose(project_columns_l2(once), once)
+
+
+class TestL2Decomposition:
+    def test_norm_recorded(self):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, norm="l2", **FAST)
+        assert dec.norm == "l2"
+
+    def test_l2_feasible(self):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, norm="l2", **FAST)
+        assert np.all(np.sqrt(np.sum(dec.l**2, axis=0)) <= 1 + 1e-8)
+
+    def test_reconstructs_w(self):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, norm="l2", **FAST)
+        assert dec.residual_norm <= 1e-6 * np.linalg.norm(wl.matrix)
+
+    def test_sensitivity_at_l2_boundary(self):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, norm="l2", **FAST)
+        assert dec.sensitivity == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValidationError):
+            decompose_workload(np.eye(3), norm="linf")
+
+    def test_gaussian_error_formula(self):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, norm="l2", **FAST)
+        sigma = gaussian_sigma(dec.sensitivity, 1.0, 1e-6)
+        assert dec.expected_gaussian_noise_error(1.0, 1e-6) == pytest.approx(
+            dec.scale * sigma**2
+        )
+
+
+class TestGaussianBaselines:
+    def test_glm_analytic_error(self):
+        wl = wrange(6, 16, seed=0)
+        mech = GaussianNoiseOnDataMechanism(delta=1e-6).fit(wl)
+        sigma = gaussian_sigma(1.0, 0.5, 1e-6)
+        assert mech.expected_squared_error(0.5) == pytest.approx(
+            sigma**2 * wl.frobenius_squared
+        )
+
+    def test_glm_empirical_matches_analytic(self):
+        wl = wrange(6, 16, seed=0)
+        mech = GaussianNoiseOnDataMechanism(delta=1e-6).fit(wl)
+        empirical = mech.empirical_squared_error(np.ones(16), 0.5, trials=2000, rng=1)
+        assert empirical == pytest.approx(mech.expected_squared_error(0.5), rel=0.1)
+
+    def test_gnor_analytic_error(self):
+        wl = wrange(6, 16, seed=0)
+        mech = GaussianNoiseOnResultsMechanism(delta=1e-6).fit(wl)
+        sigma = gaussian_sigma(l2_sensitivity(wl.matrix), 0.5, 1e-6)
+        assert mech.expected_squared_error(0.5) == pytest.approx(6 * sigma**2)
+
+    def test_rejects_delta_ge_one(self):
+        with pytest.raises(ValidationError):
+            GaussianNoiseOnDataMechanism(delta=1.0)
+
+
+class TestGaussianLRM:
+    def test_answer_shape(self, fast_lrm_kwargs):
+        wl = wrelated(8, 32, s=2, seed=0)
+        mech = GaussianLowRankMechanism(delta=1e-6, **fast_lrm_kwargs).fit(wl)
+        assert mech.answer(np.ones(32), 0.5, rng=0).shape == (8,)
+
+    def test_uses_l2_decomposition(self, fast_lrm_kwargs):
+        wl = wrelated(8, 32, s=2, seed=0)
+        mech = GaussianLowRankMechanism(delta=1e-6, **fast_lrm_kwargs).fit(wl)
+        assert mech.decomposition.norm == "l2"
+
+    def test_empirical_matches_analytic(self, fast_lrm_kwargs):
+        wl = wrelated(8, 32, s=2, seed=0)
+        mech = GaussianLowRankMechanism(delta=1e-6, **fast_lrm_kwargs).fit(wl)
+        x = np.ones(32) * 10
+        empirical = mech.empirical_squared_error(x, 0.5, trials=2000, rng=1)
+        assert empirical == pytest.approx(mech.expected_squared_error(0.5, x=x), rel=0.15)
+
+    def test_beats_gaussian_nod_on_low_rank(self, fast_lrm_kwargs):
+        wl = wrelated(16, 256, s=3, seed=1)
+        glrm = GaussianLowRankMechanism(delta=1e-6, **fast_lrm_kwargs).fit(wl)
+        glm = GaussianNoiseOnDataMechanism(delta=1e-6).fit(wl)
+        assert glrm.expected_squared_error(0.5) < glm.expected_squared_error(0.5)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValidationError):
+            GaussianLowRankMechanism(delta=2.0)
+
+    def test_name(self):
+        assert GaussianLowRankMechanism.name == "GLRM"
+        assert issubclass(GaussianLowRankMechanism, LowRankMechanism)

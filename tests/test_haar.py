@@ -1,0 +1,139 @@
+"""Unit tests for the Haar wavelet substrate (WM's strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.haar import (
+    haar_analysis,
+    haar_inverse_rows,
+    haar_matrix,
+    haar_sensitivity,
+    haar_synthesis,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two_true(self):
+        for n in (1, 2, 4, 8, 1024):
+            assert is_power_of_two(n)
+
+    def test_is_power_of_two_false(self):
+        for n in (0, 3, 6, 12, 100, -4):
+            assert not is_power_of_two(n)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1000) == 1024
+
+    def test_next_power_of_two_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            next_power_of_two(0)
+
+
+class TestSensitivity:
+    def test_values(self):
+        assert haar_sensitivity(1) == 1.0
+        assert haar_sensitivity(2) == 2.0
+        assert haar_sensitivity(8) == 4.0
+        assert haar_sensitivity(1024) == 11.0
+
+    def test_matches_matrix_column_norm(self):
+        for n in (2, 4, 16):
+            matrix = haar_matrix(n, sparse=False)
+            col_norms = np.abs(matrix).sum(axis=0)
+            assert np.allclose(col_norms, haar_sensitivity(n))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValidationError):
+            haar_sensitivity(6)
+
+
+class TestAnalysisSynthesis:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32, 128])
+    def test_round_trip(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        assert np.allclose(haar_synthesis(haar_analysis(x)), x)
+
+    def test_analysis_matches_matrix(self):
+        rng = np.random.default_rng(0)
+        for n in (2, 8, 16):
+            x = rng.standard_normal(n)
+            matrix = haar_matrix(n, sparse=False)
+            assert np.allclose(haar_analysis(x), matrix @ x)
+
+    def test_root_is_total(self):
+        x = np.arange(8.0)
+        assert haar_analysis(x)[0] == pytest.approx(x.sum())
+
+    def test_first_detail_is_half_difference(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        coefficients = haar_analysis(x)
+        assert coefficients[1] == pytest.approx((1 + 2) - (3 + 4))
+
+    def test_constant_vector_has_zero_details(self):
+        coefficients = haar_analysis(np.full(16, 5.0))
+        assert coefficients[0] == pytest.approx(80.0)
+        assert np.allclose(coefficients[1:], 0.0)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.standard_normal(16), rng.standard_normal(16)
+        assert np.allclose(
+            haar_analysis(2 * x + 3 * y), 2 * haar_analysis(x) + 3 * haar_analysis(y)
+        )
+
+    def test_rejects_non_power_length(self):
+        with pytest.raises(ValidationError):
+            haar_analysis(np.ones(6))
+
+    def test_synthesis_rejects_non_power_length(self):
+        with pytest.raises(ValidationError):
+            haar_synthesis(np.ones(5))
+
+
+class TestInverseRows:
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_matches_dense_inverse(self, n):
+        rng = np.random.default_rng(n)
+        w = rng.standard_normal((5, n))
+        dense = haar_matrix(n, sparse=False)
+        assert np.allclose(haar_inverse_rows(w), w @ np.linalg.inv(dense))
+
+    def test_range_query_has_few_coefficients(self):
+        # A dyadic range touches O(log n) wavelet basis elements.
+        n = 64
+        w = np.zeros((1, n))
+        w[0, 16:32] = 1.0  # exactly one dyadic block
+        coefficients = haar_inverse_rows(w)
+        assert np.count_nonzero(np.abs(coefficients) > 1e-12) <= int(np.log2(n)) + 1
+
+    def test_identity_workload_recovers_inverse(self):
+        n = 8
+        dense = haar_matrix(n, sparse=False)
+        rows = haar_inverse_rows(np.eye(n))
+        assert np.allclose(rows, np.linalg.inv(dense))
+
+
+class TestHaarMatrix:
+    def test_shape(self):
+        assert haar_matrix(8).shape == (8, 8)
+
+    def test_invertible(self):
+        dense = haar_matrix(16, sparse=False)
+        assert np.linalg.matrix_rank(dense) == 16
+
+    def test_sparse_dense_agree(self):
+        assert np.allclose(haar_matrix(8).toarray(), haar_matrix(8, sparse=False))
+
+    def test_row_zero_is_ones(self):
+        assert np.allclose(haar_matrix(4, sparse=False)[0], 1.0)
+
+    def test_detail_rows_sum_to_zero(self):
+        dense = haar_matrix(16, sparse=False)
+        assert np.allclose(dense[1:].sum(axis=1), 0.0)

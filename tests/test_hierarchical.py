@@ -1,0 +1,69 @@
+"""Unit tests for the Hierarchical Mechanism (HM)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.baselines import NoiseOnDataMechanism
+from repro.mechanisms.hierarchical import HierarchicalMechanism
+from repro.workloads import Workload, wrange
+
+
+class TestHierarchicalMechanism:
+    def test_answer_shape(self):
+        w = wrange(6, 16, seed=0)
+        mech = HierarchicalMechanism().fit(w)
+        assert mech.answer(np.ones(16), 1.0, rng=0).shape == (6,)
+
+    def test_sensitivity_is_tree_height(self):
+        mech = HierarchicalMechanism().fit(wrange(4, 16, seed=0))
+        assert mech.strategy_sensitivity == 5.0  # log2(16) + 1
+
+    def test_num_nodes(self):
+        mech = HierarchicalMechanism().fit(wrange(4, 16, seed=0))
+        assert mech.num_nodes == 31
+
+    def test_padding(self):
+        mech = HierarchicalMechanism().fit(wrange(4, 10, seed=0))
+        assert mech.strategy_sensitivity == 5.0  # padded to 16
+        assert mech.answer(np.ones(10), 1.0, rng=0).shape == (4,)
+
+    def test_unbiased(self):
+        w = wrange(4, 8, seed=1)
+        mech = HierarchicalMechanism().fit(w)
+        x = np.arange(8.0) * 5
+        rng = np.random.default_rng(0)
+        mean_answer = np.mean([mech.answer(x, 1.0, rng) for _ in range(4000)], axis=0)
+        assert np.allclose(mean_answer, w.answer(x), atol=3.0)
+
+    def test_empirical_matches_analytic(self):
+        w = wrange(8, 32, seed=2)
+        mech = HierarchicalMechanism().fit(w)
+        x = np.ones(32) * 100
+        empirical = mech.empirical_squared_error(x, 1.0, trials=2000, rng=3)
+        assert empirical == pytest.approx(mech.expected_squared_error(1.0), rel=0.15)
+
+    def test_analytic_error_against_dense_algebra(self):
+        from repro.linalg.trees import tree_matrix, tree_sensitivity
+
+        w = wrange(5, 16, seed=4)
+        mech = HierarchicalMechanism().fit(w)
+        dense = tree_matrix(16, sparse=False)
+        recombination = w.matrix @ np.linalg.pinv(dense)
+        delta = tree_sensitivity(16)
+        expected = 2 * delta**2 * np.sum(recombination**2)
+        assert mech.expected_squared_error(1.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_beats_lm_on_large_range_workload(self):
+        # The paper's Figure 5 places the HM/LM crossover at n ~ 512;
+        # test comfortably past it.
+        w = wrange(32, 2048, seed=5)
+        hm = HierarchicalMechanism().fit(w)
+        lm = NoiseOnDataMechanism().fit(w)
+        assert hm.expected_squared_error(1.0) < lm.expected_squared_error(1.0)
+
+    def test_total_query_cheap(self):
+        # The total is the root node; consistency only sharpens it.
+        w = Workload(np.ones((1, 64)))
+        mech = HierarchicalMechanism().fit(w)
+        delta = mech.strategy_sensitivity
+        assert mech.expected_squared_error(1.0) <= 2 * delta**2 + 1e-9

@@ -1,0 +1,94 @@
+"""Unit tests for the Low-Rank Mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.lrm import LowRankMechanism
+from repro.exceptions import NotFittedError, ValidationError
+from repro.mechanisms.baselines import NoiseOnDataMechanism
+from repro.workloads import wrange, wrelated
+
+
+class TestLowRankMechanism:
+    def test_answer_shape(self, small_related, fast_lrm_kwargs):
+        mech = LowRankMechanism(**fast_lrm_kwargs).fit(small_related)
+        x = np.ones(small_related.domain_size)
+        assert mech.answer(x, 1.0, rng=0).shape == (small_related.num_queries,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LowRankMechanism().answer(np.ones(4), 1.0)
+
+    def test_unfitted_decomposition_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = LowRankMechanism().decomposition
+
+    def test_effective_rank(self, small_related, fast_lrm_kwargs):
+        mech = LowRankMechanism(**fast_lrm_kwargs).fit(small_related)
+        # default ratio 1.2 over rank 3 -> 4
+        assert mech.effective_rank == 4
+
+    def test_explicit_rank(self, small_related, fast_lrm_kwargs):
+        mech = LowRankMechanism(rank=6, **fast_lrm_kwargs).fit(small_related)
+        assert mech.effective_rank == 6
+
+    def test_unbiased(self, fast_lrm_kwargs):
+        wl = wrelated(m=8, n=32, s=2, seed=0)
+        mech = LowRankMechanism(**fast_lrm_kwargs).fit(wl)
+        x = np.arange(32.0)
+        rng = np.random.default_rng(1)
+        mean_answer = np.mean([mech.answer(x, 1.0, rng) for _ in range(4000)], axis=0)
+        exact = wl.answer(x)
+        tolerance = 0.05 * np.abs(exact).max() + 3
+        assert np.allclose(mean_answer, exact, atol=tolerance)
+
+    def test_empirical_matches_analytic(self, fast_lrm_kwargs):
+        wl = wrelated(m=8, n=32, s=2, seed=0)
+        mech = LowRankMechanism(**fast_lrm_kwargs).fit(wl)
+        x = np.ones(32) * 10
+        empirical = mech.empirical_squared_error(x, 1.0, trials=2000, rng=2)
+        analytic = mech.expected_squared_error(1.0, x=x)
+        assert empirical == pytest.approx(analytic, rel=0.15)
+
+    def test_beats_nod_on_low_rank(self, fast_lrm_kwargs):
+        wl = wrelated(m=16, n=256, s=3, seed=1)
+        lrm = LowRankMechanism(**fast_lrm_kwargs).fit(wl)
+        nod = NoiseOnDataMechanism().fit(wl)
+        assert lrm.expected_squared_error(0.1) < nod.expected_squared_error(0.1)
+
+    def test_structural_error_term(self, fast_lrm_kwargs):
+        wl = wrange(m=12, n=32, seed=2)
+        mech = LowRankMechanism(rank=3, **fast_lrm_kwargs).fit(wl)  # rank too low
+        x = np.ones(32) * 100
+        with_structural = mech.expected_squared_error(1.0, x=x)
+        noise_only = mech.expected_squared_error(1.0)
+        assert with_structural > noise_only
+
+    def test_error_quadratic_in_inverse_epsilon(self, small_related, fast_lrm_kwargs):
+        mech = LowRankMechanism(**fast_lrm_kwargs).fit(small_related)
+        assert mech.expected_squared_error(0.1) == pytest.approx(
+            100 * mech.expected_squared_error(1.0)
+        )
+
+    def test_upper_bound_holds(self, small_related, fast_lrm_kwargs):
+        # Lemma 3: the fitted decomposition cannot exceed the SVD bound
+        # by a meaningful factor (allow slack for the relaxation).
+        mech = LowRankMechanism(**fast_lrm_kwargs).fit(small_related)
+        assert mech.expected_squared_error(1.0) <= 2.5 * mech.theoretical_upper_bound(1.0)
+
+    def test_deterministic_given_seeds(self, small_related, fast_lrm_kwargs):
+        a = LowRankMechanism(seed=3, **fast_lrm_kwargs).fit(small_related)
+        b = LowRankMechanism(seed=3, **fast_lrm_kwargs).fit(small_related)
+        x = np.ones(small_related.domain_size)
+        assert np.allclose(a.answer(x, 1.0, rng=5), b.answer(x, 1.0, rng=5))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            LowRankMechanism(rank=0)
+        with pytest.raises(ValidationError):
+            LowRankMechanism(gamma=-1.0)
+        with pytest.raises(ValidationError):
+            LowRankMechanism(rank_ratio=0.0)
+
+    def test_name(self):
+        assert LowRankMechanism.name == "LRM"

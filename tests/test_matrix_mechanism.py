@@ -1,0 +1,103 @@
+"""Unit tests for the Matrix Mechanism (MM, Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.matrix_mechanism import (
+    MatrixMechanism,
+    smoothed_max,
+    smoothed_max_gradient,
+)
+from repro.workloads import Workload, wrange, wrelated
+
+
+class TestSmoothedMax:
+    def test_upper_bounds_max(self):
+        v = np.array([1.0, 3.0, 2.0])
+        assert smoothed_max(v, 0.1) >= 3.0
+
+    def test_uniform_approximation_bound(self):
+        # max(v) <= f_mu(v) <= max(v) + mu log n (Appendix B).
+        v = np.array([1.0, 3.0, 2.0, 0.5])
+        mu = 0.05
+        assert smoothed_max(v, mu) <= 3.0 + mu * np.log(4) + 1e-12
+
+    def test_tightens_as_mu_shrinks(self):
+        v = np.array([1.0, 2.0])
+        assert abs(smoothed_max(v, 0.01) - 2.0) < abs(smoothed_max(v, 1.0) - 2.0)
+
+    def test_stable_for_large_values(self):
+        v = np.array([1e8, 1e8 - 1])
+        assert np.isfinite(smoothed_max(v, 0.1))
+
+    def test_gradient_is_softmax(self):
+        v = np.array([1.0, 2.0, 3.0])
+        grad = smoothed_max_gradient(v, 0.5)
+        assert grad.sum() == pytest.approx(1.0)
+        assert np.all(grad > 0)
+        assert np.argmax(grad) == 2
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(5)
+        mu = 0.3
+        grad = smoothed_max_gradient(v, mu)
+        for i in range(5):
+            delta = np.zeros(5)
+            delta[i] = 1e-6
+            numeric = (smoothed_max(v + delta, mu) - smoothed_max(v - delta, mu)) / 2e-6
+            assert grad[i] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+
+class TestMatrixMechanism:
+    def test_fit_and_answer_shape(self):
+        w = wrange(6, 16, seed=0)
+        mech = MatrixMechanism(max_iters=15).fit(w)
+        assert mech.answer(np.ones(16), 1.0, rng=0).shape == (6,)
+
+    def test_strategy_is_full_rank_square(self):
+        w = wrange(4, 8, seed=1)
+        mech = MatrixMechanism(max_iters=10).fit(w)
+        assert mech.strategy_matrix.shape == (8, 8)
+        assert np.linalg.matrix_rank(mech.strategy_matrix) == 8
+
+    def test_strategy_symmetric_psd(self):
+        w = wrange(4, 8, seed=1)
+        mech = MatrixMechanism(max_iters=10).fit(w)
+        a = mech.strategy_matrix
+        assert np.allclose(a, a.T, atol=1e-8)
+        assert np.all(np.linalg.eigvalsh(a) > -1e-9)
+
+    def test_objective_decreases(self):
+        w = wrelated(8, 12, s=3, seed=2)
+        mech = MatrixMechanism(max_iters=25).fit(w)
+        history = mech.objective_history
+        assert history[-1] <= history[0] + 1e-9
+
+    def test_unbiased(self):
+        w = wrange(4, 8, seed=3)
+        mech = MatrixMechanism(max_iters=10).fit(w)
+        x = np.arange(8.0) * 7
+        rng = np.random.default_rng(0)
+        mean_answer = np.mean([mech.answer(x, 1.0, rng) for _ in range(4000)], axis=0)
+        assert np.allclose(mean_answer, w.answer(x), atol=np.abs(w.answer(x)).max() * 0.1 + 5)
+
+    def test_empirical_matches_analytic(self):
+        w = wrange(6, 16, seed=4)
+        mech = MatrixMechanism(max_iters=10).fit(w)
+        x = np.ones(16) * 10
+        empirical = mech.empirical_squared_error(x, 1.0, trials=2000, rng=5)
+        assert empirical == pytest.approx(mech.expected_squared_error(1.0), rel=0.15)
+
+    def test_identity_workload_near_identity_strategy(self):
+        # For W = I the optimal M is (a multiple of) the identity.
+        w = Workload(np.eye(6))
+        mech = MatrixMechanism(max_iters=40).fit(w)
+        lm_error = 2 * 6  # identity strategy, sensitivity 1, eps 1
+        assert mech.expected_squared_error(1.0) <= lm_error * 1.5
+
+    def test_sensitivity_uses_l1_norm(self):
+        w = wrange(4, 8, seed=6)
+        mech = MatrixMechanism(max_iters=10).fit(w)
+        expected = np.abs(mech.strategy_matrix).sum(axis=0).max()
+        assert mech.strategy_sensitivity == pytest.approx(expected)

@@ -1,0 +1,139 @@
+"""Unit tests for the Nesterov projected-gradient solver (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nesterov import (
+    NesterovResult,
+    nesterov_projected_gradient,
+    quadratic_l_subproblem,
+)
+from repro.linalg.projection import project_columns_l1
+
+
+def _simple_quadratic(target):
+    """G(L) = 0.5 ||L - target||_F^2 with gradient L - target."""
+
+    def objective(l):
+        return 0.5 * float(np.sum((l - target) ** 2))
+
+    def gradient(l):
+        return l - target
+
+    return objective, gradient
+
+
+class TestNesterovSolver:
+    def test_unconstrained_minimum_inside_ball(self):
+        target = np.full((3, 2), 0.1)
+        objective, gradient = _simple_quadratic(target)
+        result = nesterov_projected_gradient(objective, gradient, np.zeros((3, 2)))
+        assert np.allclose(result.solution, target, atol=1e-6)
+
+    def test_constrained_minimum_is_projection(self):
+        # Minimum of ||L - T||^2 over the feasible set is the projection of T.
+        rng = np.random.default_rng(0)
+        target = rng.standard_normal((4, 3)) * 3
+        objective, gradient = _simple_quadratic(target)
+        result = nesterov_projected_gradient(objective, gradient, np.zeros((4, 3)), max_iters=500)
+        assert np.allclose(result.solution, project_columns_l1(target), atol=1e-5)
+
+    def test_solution_always_feasible(self):
+        rng = np.random.default_rng(1)
+        target = rng.standard_normal((5, 7)) * 10
+        objective, gradient = _simple_quadratic(target)
+        result = nesterov_projected_gradient(objective, gradient, np.zeros((5, 7)), max_iters=50)
+        assert np.all(np.abs(result.solution).sum(axis=0) <= 1 + 1e-9)
+
+    def test_infeasible_start_projected(self):
+        target = np.zeros((2, 2))
+        objective, gradient = _simple_quadratic(target)
+        start = np.full((2, 2), 5.0)
+        result = nesterov_projected_gradient(objective, gradient, start, max_iters=1)
+        assert np.all(np.abs(result.solution).sum(axis=0) <= 1 + 1e-9)
+
+    def test_objective_history_decreases_overall(self):
+        rng = np.random.default_rng(2)
+        target = rng.standard_normal((3, 4))
+        objective, gradient = _simple_quadratic(target)
+        result = nesterov_projected_gradient(objective, gradient, np.zeros((3, 4)), max_iters=100)
+        assert result.objective_history[-1] <= result.objective_history[0] + 1e-12
+
+    def test_returns_result_type(self):
+        objective, gradient = _simple_quadratic(np.zeros((2, 2)))
+        result = nesterov_projected_gradient(objective, gradient, np.zeros((2, 2)), max_iters=3)
+        assert isinstance(result, NesterovResult)
+        assert result.iterations <= 3
+
+    def test_converges_flag(self):
+        objective, gradient = _simple_quadratic(np.zeros((2, 2)))
+        result = nesterov_projected_gradient(objective, gradient, np.zeros((2, 2)), max_iters=100)
+        assert result.converged
+
+    def test_respects_custom_radius(self):
+        rng = np.random.default_rng(3)
+        target = rng.standard_normal((3, 3)) * 5
+        objective, gradient = _simple_quadratic(target)
+        result = nesterov_projected_gradient(
+            objective, gradient, np.zeros((3, 3)), radius=2.0, max_iters=300
+        )
+        assert np.all(np.abs(result.solution).sum(axis=0) <= 2 + 1e-8)
+
+    def test_custom_projection_l2(self):
+        from repro.linalg.projection import project_columns_l2
+
+        rng = np.random.default_rng(7)
+        target = rng.standard_normal((4, 5)) * 3
+        objective, gradient = _simple_quadratic(target)
+        result = nesterov_projected_gradient(
+            objective,
+            gradient,
+            np.zeros((4, 5)),
+            max_iters=400,
+            projection=project_columns_l2,
+        )
+        # The minimiser over per-column L2 balls is the per-column radial
+        # projection of the target.
+        assert np.allclose(result.solution, project_columns_l2(target), atol=1e-5)
+        assert np.all(np.sqrt(np.sum(result.solution**2, axis=0)) <= 1 + 1e-8)
+
+
+class TestQuadraticLSubproblem:
+    def test_objective_matches_formula(self):
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal((5, 3))
+        w = rng.standard_normal((5, 6))
+        pi = rng.standard_normal((5, 6))
+        beta = 2.5
+        objective, _ = quadratic_l_subproblem(b, w, pi, beta)
+        l = rng.standard_normal((3, 6)) * 0.1
+        expected = 0.5 * beta * np.trace(l.T @ b.T @ b @ l) - np.trace((beta * w + pi).T @ b @ l)
+        assert objective(l) == pytest.approx(expected)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal((4, 2))
+        w = rng.standard_normal((4, 3))
+        pi = rng.standard_normal((4, 3))
+        objective, gradient = quadratic_l_subproblem(b, w, pi, 1.7)
+        l = rng.standard_normal((2, 3)) * 0.1
+        grad = gradient(l)
+        for i in range(2):
+            for j in range(3):
+                delta = np.zeros((2, 3))
+                delta[i, j] = 1e-6
+                numeric = (objective(l + delta) - objective(l - delta)) / 2e-6
+                assert grad[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_solving_subproblem_fits_w(self):
+        # With pi = 0 and large beta, the minimiser approximately solves
+        # min ||W - B L|| over the feasible set.
+        rng = np.random.default_rng(6)
+        b = rng.standard_normal((6, 2))
+        l_true = project_columns_l1(rng.standard_normal((2, 8)))
+        w = b @ l_true
+        objective, gradient = quadratic_l_subproblem(b, w, np.zeros_like(w), 100.0)
+        result = nesterov_projected_gradient(
+            objective, gradient, np.zeros((2, 8)), max_iters=800, lipschitz_init=100.0
+        )
+        assert np.linalg.norm(w - b @ result.solution) < 1e-2 * np.linalg.norm(w)

@@ -1,0 +1,148 @@
+"""Unit tests for L1-ball / simplex projections (Algorithm 2's Formula 11)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.projection import (
+    l1_ball_distance,
+    project_columns_l1,
+    project_l1_ball,
+    project_simplex,
+)
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex(self):
+        v = np.array([0.5, 0.5])
+        assert np.allclose(project_simplex(v), v)
+
+    def test_sums_to_radius(self):
+        result = project_simplex(np.array([3.0, 1.0, 0.2]), radius=1.0)
+        assert result.sum() == pytest.approx(1.0)
+        assert np.all(result >= 0)
+
+    def test_custom_radius(self):
+        result = project_simplex(np.array([5.0, 5.0]), radius=4.0)
+        assert result.sum() == pytest.approx(4.0)
+
+    def test_single_coordinate(self):
+        assert project_simplex(np.array([7.0]), radius=2.0) == pytest.approx([2.0])
+
+    def test_dominant_coordinate_takes_all(self):
+        result = project_simplex(np.array([10.0, 0.0, 0.0]))
+        assert np.allclose(result, [1.0, 0.0, 0.0])
+
+    def test_negative_entries_zeroed(self):
+        result = project_simplex(np.array([-5.0, 2.0]))
+        assert result[0] == 0.0
+        assert result[1] == pytest.approx(1.0)
+
+    def test_matches_quadratic_characterisation(self):
+        # The projection minimises ||w - v||; compare against a brute-force
+        # check: no feasible perturbation improves the distance.
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(6)
+        w = project_simplex(v)
+        base = np.sum((w - v) ** 2)
+        for _ in range(200):
+            candidate = np.abs(rng.standard_normal(6))
+            candidate /= candidate.sum()
+            assert np.sum((candidate - v) ** 2) >= base - 1e-9
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValidationError):
+            project_simplex(np.ones(3), radius=0.0)
+
+
+class TestProjectL1Ball:
+    def test_inside_unchanged(self):
+        v = np.array([0.2, -0.3])
+        assert np.allclose(project_l1_ball(v), v)
+
+    def test_inside_returns_copy(self):
+        v = np.array([0.1, 0.1])
+        result = project_l1_ball(v)
+        result[0] = 99.0
+        assert v[0] == 0.1
+
+    def test_outside_lands_on_boundary(self):
+        result = project_l1_ball(np.array([3.0, -4.0]))
+        assert np.abs(result).sum() == pytest.approx(1.0)
+
+    def test_preserves_signs(self):
+        result = project_l1_ball(np.array([3.0, -4.0]))
+        assert result[0] >= 0
+        assert result[1] <= 0
+
+    def test_idempotent(self):
+        v = np.array([5.0, -2.0, 1.0])
+        once = project_l1_ball(v)
+        twice = project_l1_ball(once)
+        assert np.allclose(once, twice)
+
+    def test_is_true_projection(self):
+        rng = np.random.default_rng(1)
+        v = rng.standard_normal(5) * 3
+        w = project_l1_ball(v)
+        base = np.sum((w - v) ** 2)
+        for _ in range(200):
+            candidate = rng.standard_normal(5)
+            norm = np.abs(candidate).sum()
+            if norm > 1:
+                candidate /= norm
+            assert np.sum((candidate - v) ** 2) >= base - 1e-9
+
+
+class TestProjectColumnsL1:
+    def test_all_inside_unchanged(self):
+        matrix = np.full((3, 4), 0.1)
+        assert np.allclose(project_columns_l1(matrix), matrix)
+
+    def test_columns_feasible_after(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((6, 10)) * 5
+        result = project_columns_l1(matrix)
+        assert np.all(np.abs(result).sum(axis=0) <= 1.0 + 1e-9)
+
+    def test_matches_per_column_projection(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.standard_normal((5, 8)) * 2
+        result = project_columns_l1(matrix)
+        for j in range(matrix.shape[1]):
+            expected = project_l1_ball(matrix[:, j])
+            assert np.allclose(result[:, j], expected)
+
+    def test_mixed_inside_outside(self):
+        matrix = np.array([[0.1, 5.0], [0.1, -5.0]])
+        result = project_columns_l1(matrix)
+        assert np.allclose(result[:, 0], matrix[:, 0])  # inside untouched
+        assert np.abs(result[:, 1]).sum() == pytest.approx(1.0)
+
+    def test_custom_radius(self):
+        matrix = np.array([[4.0], [4.0]])
+        result = project_columns_l1(matrix, radius=2.0)
+        assert np.abs(result).sum() == pytest.approx(2.0)
+
+    def test_does_not_mutate_input(self):
+        matrix = np.full((2, 2), 3.0)
+        copy = matrix.copy()
+        project_columns_l1(matrix)
+        assert np.array_equal(matrix, copy)
+
+    def test_single_row_matrix(self):
+        result = project_columns_l1(np.array([[2.0, -3.0, 0.5]]))
+        assert np.allclose(result, [[1.0, -1.0, 0.5]])
+
+
+class TestL1BallDistance:
+    def test_zero_for_feasible(self):
+        assert l1_ball_distance(np.full((3, 2), 0.1)) == 0.0
+
+    def test_positive_for_infeasible(self):
+        assert l1_ball_distance(np.full((3, 2), 1.0)) > 0.0
+
+    def test_scales_with_violation(self):
+        near = l1_ball_distance(np.full((2, 1), 0.6))
+        far = l1_ball_distance(np.full((2, 1), 5.0))
+        assert far > near

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+# Numerical projections occasionally exceed hypothesis's default 200 ms
+# deadline on loaded CI machines; the properties themselves are exact.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
+
+from repro.core.nesterov import quadratic_l_subproblem
+from repro.linalg.haar import haar_analysis, haar_synthesis
+from repro.linalg.projection import project_columns_l1, project_l1_ball, project_simplex
+from repro.linalg.trees import tree_apply, tree_apply_transpose, tree_consistency, tree_matrix
+from repro.privacy.sensitivity import l1_sensitivity, scale_to_sensitivity
+
+_floats = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+def _vector(min_size=1, max_size=32):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=_floats)
+
+
+def _matrix(max_rows=8, max_cols=8):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(1, max_rows), st.integers(1, max_cols)),
+        elements=_floats,
+    )
+
+
+class TestProjectionProperties:
+    @given(_vector())
+    @settings(max_examples=50)
+    def test_l1_projection_feasible(self, v):
+        assert np.abs(project_l1_ball(v)).sum() <= 1 + 1e-8
+
+    @given(_vector())
+    @settings(max_examples=50)
+    def test_l1_projection_idempotent(self, v):
+        once = project_l1_ball(v)
+        assert np.allclose(project_l1_ball(once), once, atol=1e-9)
+
+    @given(_vector())
+    @settings(max_examples=50)
+    def test_l1_projection_never_increases_norm(self, v):
+        assert np.abs(project_l1_ball(v)).sum() <= np.abs(v).sum() + 1e-9
+
+    @given(_vector())
+    @settings(max_examples=50)
+    def test_simplex_projection_on_simplex(self, v):
+        w = project_simplex(v)
+        assert np.all(w >= 0)
+        np.testing.assert_allclose(w.sum(), 1.0, rtol=1e-7)
+
+    @given(_matrix())
+    @settings(max_examples=50)
+    def test_column_projection_feasible(self, m):
+        result = project_columns_l1(m)
+        assert np.all(np.abs(result).sum(axis=0) <= 1 + 1e-8)
+
+    @given(_matrix())
+    @settings(max_examples=50)
+    def test_column_projection_shrinks_toward_input(self, m):
+        # Projection never moves farther than the origin would.
+        result = project_columns_l1(m)
+        assert np.linalg.norm(result - m) <= np.linalg.norm(m) + 1e-9
+
+
+class TestHaarProperties:
+    @given(st.integers(0, 6), st.integers(0, 2**16))
+    @settings(max_examples=40)
+    def test_round_trip_any_power_of_two(self, log_n, seed):
+        n = 2**log_n
+        x = np.random.default_rng(seed).standard_normal(n)
+        assert np.allclose(haar_synthesis(haar_analysis(x)), x, atol=1e-9)
+
+    @given(st.integers(1, 5), st.integers(0, 2**16))
+    @settings(max_examples=40)
+    def test_parseval_like_energy_bound(self, log_n, seed):
+        # The unnormalised transform is invertible; energy is controlled
+        # within the frame bounds (no zero vector maps to zero).
+        n = 2**log_n
+        x = np.random.default_rng(seed).standard_normal(n)
+        coefficients = haar_analysis(x)
+        if np.linalg.norm(x) > 1e-9:
+            assert np.linalg.norm(coefficients) > 0
+
+
+class TestTreeProperties:
+    @given(st.integers(1, 5), st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_adjoint_identity(self, log_n, seed):
+        n = 2**log_n
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(2 * n - 1)
+        lhs = np.dot(tree_apply(x), y)
+        rhs = np.dot(x, tree_apply_transpose(y))
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    @given(st.integers(1, 4), st.integers(0, 2**16))
+    @settings(max_examples=20)
+    def test_consistency_is_least_squares(self, log_n, seed):
+        n = 2**log_n
+        noisy = np.random.default_rng(seed).standard_normal(2 * n - 1)
+        dense = tree_matrix(n, sparse=False)
+        expected = np.linalg.pinv(dense) @ noisy
+        np.testing.assert_allclose(tree_consistency(noisy), expected, atol=1e-8)
+
+    @given(st.integers(1, 5), st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_consistency_exact_on_clean_input(self, log_n, seed):
+        n = 2**log_n
+        x = np.random.default_rng(seed).standard_normal(n)
+        np.testing.assert_allclose(tree_consistency(tree_apply(x)), x, atol=1e-9)
+
+
+class TestSensitivityProperties:
+    @given(_matrix())
+    @settings(max_examples=50)
+    def test_sensitivity_non_negative(self, m):
+        assert l1_sensitivity(m) >= 0
+
+    @given(_matrix(), st.floats(0.1, 10.0))
+    @settings(max_examples=50)
+    def test_sensitivity_scales_linearly(self, m, c):
+        np.testing.assert_allclose(l1_sensitivity(c * m), c * l1_sensitivity(m), rtol=1e-9)
+
+    @given(
+        arrays(np.float64, (3, 2), elements=_floats),
+        arrays(np.float64, (2, 4), elements=_floats),
+    )
+    @settings(max_examples=50)
+    def test_lemma2_invariance(self, b, l):
+        # Phi * Delta^2 invariant under the rescaling, when L is non-zero.
+        if l1_sensitivity(l) <= 1e-9:
+            return
+        before = np.sum(b**2) * l1_sensitivity(l) ** 2
+        b2, l2 = scale_to_sensitivity(b, l)
+        after = np.sum(b2**2) * l1_sensitivity(l2) ** 2
+        np.testing.assert_allclose(after, before, rtol=1e-7)
+
+
+class TestSubproblemProperties:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30)
+    def test_gradient_consistent_with_objective(self, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((4, 2))
+        w = rng.standard_normal((4, 5))
+        pi = rng.standard_normal((4, 5))
+        objective, gradient = quadratic_l_subproblem(b, w, pi, 2.0)
+        l = rng.standard_normal((2, 5)) * 0.2
+        direction = rng.standard_normal((2, 5))
+        direction /= np.linalg.norm(direction)
+        step = 1e-6
+        numeric = (objective(l + step * direction) - objective(l - step * direction)) / (2 * step)
+        analytic = float(np.sum(gradient(l) * direction))
+        np.testing.assert_allclose(numeric, analytic, rtol=1e-3, atol=1e-5)

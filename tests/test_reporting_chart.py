@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.reporting import ascii_chart
+from repro.experiments.runner import ExperimentResult
+
+
+def _result():
+    result = ExperimentResult(name="demo", sweep_parameter="n")
+    for n, lm, lrm in [(64, 1e4, 1e3), (128, 2e4, 1.1e3), (256, 4e4, 1.2e3)]:
+        result.add_row(mechanism="LM", n=n, average_squared_error=lm)
+        result.add_row(mechanism="LRM", n=n, average_squared_error=lrm)
+    return result
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(_result())
+        assert "L=LM" in chart or "L=LRM" in chart
+        assert "legend:" in chart
+        assert "log10(error)" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart(_result(), width=40, height=10)
+        grid_lines = [line for line in chart.splitlines() if line.startswith("  |")]
+        assert len(grid_lines) == 10
+        assert all(len(line) == 3 + 40 for line in grid_lines)
+
+    def test_marker_positions_monotone(self):
+        # LM grows: its markers should never move downward as x increases.
+        chart = ascii_chart(_result(), mechanisms=["LM"], width=30, height=12)
+        grid = [line[3:] for line in chart.splitlines() if line.startswith("  |")]
+        positions = {}
+        for row_index, row in enumerate(grid):
+            for col_index, char in enumerate(row):
+                if char == "L":
+                    positions[col_index] = row_index
+        cols = sorted(positions)
+        rows = [positions[c] for c in cols]
+        assert rows == sorted(rows, reverse=True)
+
+    def test_single_mechanism_filter(self):
+        chart = ascii_chart(_result(), mechanisms=["LRM"])
+        assert "L=LRM" in chart
+
+    def test_empty_series_message(self):
+        result = ExperimentResult(name="empty", sweep_parameter="n")
+        assert "(no data)" in ascii_chart(result)
+
+    def test_rejects_non_result(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([1, 2, 3])
+
+    def test_linear_scale(self):
+        chart = ascii_chart(_result(), log_y=False)
+        assert "log10" not in chart

@@ -1,0 +1,103 @@
+"""Unit tests for decomposition / mechanism persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.alm import decompose_workload
+from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
+from repro.exceptions import ValidationError
+from repro.io.serialization import (
+    load_decomposition,
+    load_fitted_lrm,
+    save_decomposition,
+    save_fitted_lrm,
+)
+from repro.workloads import wrelated
+
+FAST = {"max_outer": 20, "max_inner": 4, "nesterov_iters": 20, "stall_iters": 6}
+
+
+class TestDecompositionRoundTrip:
+    def test_round_trip_preserves_factors(self, tmp_path):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, **FAST)
+        path = tmp_path / "dec.npz"
+        save_decomposition(dec, path)
+        restored = load_decomposition(path)
+        assert np.array_equal(restored.b, dec.b)
+        assert np.array_equal(restored.l, dec.l)
+
+    def test_round_trip_preserves_metadata(self, tmp_path):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, norm="l2", **FAST)
+        path = tmp_path / "dec.npz"
+        save_decomposition(dec, path)
+        restored = load_decomposition(path)
+        assert restored.norm == "l2"
+        assert restored.converged == dec.converged
+        assert restored.iterations == dec.iterations
+        assert restored.residual_norm == pytest.approx(dec.residual_norm)
+        assert len(restored.history) == len(dec.history)
+
+    def test_derived_quantities_survive(self, tmp_path):
+        wl = wrelated(8, 24, s=2, seed=0)
+        dec = decompose_workload(wl.matrix, **FAST)
+        path = tmp_path / "dec.npz"
+        save_decomposition(dec, path)
+        restored = load_decomposition(path)
+        assert restored.sensitivity == pytest.approx(dec.sensitivity)
+        assert restored.expected_noise_error(1.0) == pytest.approx(
+            dec.expected_noise_error(1.0)
+        )
+
+    def test_rejects_non_decomposition(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_decomposition({"b": 1}, tmp_path / "x.npz")
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(ValidationError):
+            load_decomposition(path)
+
+
+class TestFittedMechanismRoundTrip:
+    def test_restored_mechanism_answers_identically(self, tmp_path):
+        wl = wrelated(8, 24, s=2, seed=0)
+        mech = LowRankMechanism(**FAST).fit(wl)
+        path = tmp_path / "lrm.npz"
+        save_fitted_lrm(mech, path)
+        restored = load_fitted_lrm(path)
+        x = np.arange(24.0)
+        assert np.allclose(restored.answer(x, 1.0, rng=5), mech.answer(x, 1.0, rng=5))
+
+    def test_restored_expected_error_matches(self, tmp_path):
+        wl = wrelated(8, 24, s=2, seed=0)
+        mech = LowRankMechanism(**FAST).fit(wl)
+        path = tmp_path / "lrm.npz"
+        save_fitted_lrm(mech, path)
+        restored = load_fitted_lrm(path)
+        assert restored.expected_squared_error(0.5) == pytest.approx(
+            mech.expected_squared_error(0.5)
+        )
+
+    def test_gaussian_class_restored(self, tmp_path):
+        wl = wrelated(8, 24, s=2, seed=0)
+        mech = GaussianLowRankMechanism(delta=1e-7, **FAST).fit(wl)
+        path = tmp_path / "glrm.npz"
+        save_fitted_lrm(mech, path)
+        restored = load_fitted_lrm(path)
+        assert isinstance(restored, GaussianLowRankMechanism)
+        assert restored.delta == pytest.approx(1e-7)
+        assert restored.decomposition.norm == "l2"
+
+    def test_rejects_unfitted(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_fitted_lrm(LowRankMechanism(), tmp_path / "x.npz")
+
+    def test_rejects_wrong_type(self, tmp_path):
+        from repro.mechanisms.baselines import NoiseOnDataMechanism
+
+        mech = NoiseOnDataMechanism().fit(np.eye(3))
+        with pytest.raises(ValidationError):
+            save_fitted_lrm(mech, tmp_path / "x.npz")

@@ -1,0 +1,131 @@
+"""Unit tests for repro.linalg.svd."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.svd import (
+    effective_rank,
+    eigenvalue_ratio,
+    frobenius_norm,
+    low_rank_approximation,
+    matrix_rank,
+    singular_values,
+    svd_decomposition,
+)
+
+
+def _rank_k_matrix(m, n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)) @ rng.standard_normal((k, n))
+
+
+class TestSingularValues:
+    def test_sorted_descending(self):
+        values = singular_values(_rank_k_matrix(6, 8, 4))
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_identity(self):
+        assert np.allclose(singular_values(np.eye(3)), [1.0, 1.0, 1.0])
+
+    def test_known_diagonal(self):
+        matrix = np.diag([3.0, 1.0, 2.0])
+        assert np.allclose(singular_values(matrix), [3.0, 2.0, 1.0])
+
+
+class TestMatrixRank:
+    def test_full_rank(self):
+        assert matrix_rank(np.eye(4)) == 4
+
+    def test_low_rank(self):
+        assert matrix_rank(_rank_k_matrix(10, 12, 3)) == 3
+
+    def test_rank_one(self):
+        assert matrix_rank(np.outer(np.ones(5), np.arange(1, 4))) == 1
+
+
+class TestEffectiveRank:
+    def test_full_energy(self):
+        assert effective_rank(np.eye(3), energy=1.0) == 3
+
+    def test_dominant_direction(self):
+        matrix = np.diag([100.0, 0.1, 0.1])
+        assert effective_rank(matrix, energy=0.99) == 1
+
+    def test_rejects_bad_energy(self):
+        with pytest.raises(ValidationError):
+            effective_rank(np.eye(2), energy=0.0)
+
+    def test_zero_matrix(self):
+        # all-zero matrix is rejected upstream? No: as_matrix allows zeros.
+        assert effective_rank(np.zeros((2, 2))) == 0
+
+
+class TestEigenvalueRatio:
+    def test_identity_is_one(self):
+        assert eigenvalue_ratio(np.eye(4)) == pytest.approx(1.0)
+
+    def test_known_ratio(self):
+        assert eigenvalue_ratio(np.diag([8.0, 2.0])) == pytest.approx(4.0)
+
+    def test_ignores_zero_eigenvalues(self):
+        matrix = np.diag([8.0, 2.0, 0.0])
+        assert eigenvalue_ratio(matrix) == pytest.approx(4.0)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(ValidationError):
+            eigenvalue_ratio(np.zeros((3, 3)))
+
+
+class TestLowRankApproximation:
+    def test_exact_when_rank_sufficient(self):
+        matrix = _rank_k_matrix(6, 7, 2)
+        assert np.allclose(low_rank_approximation(matrix, 2), matrix)
+
+    def test_rank_of_result(self):
+        approx = low_rank_approximation(_rank_k_matrix(8, 8, 5), 2)
+        assert matrix_rank(approx) == 2
+
+    def test_eckart_young_optimality(self):
+        matrix = _rank_k_matrix(6, 6, 5, seed=3)
+        approx = low_rank_approximation(matrix, 2)
+        sigma = singular_values(matrix)
+        expected_error = np.sqrt(np.sum(sigma[2:] ** 2))
+        assert np.linalg.norm(matrix - approx) == pytest.approx(expected_error, rel=1e-9)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValidationError):
+            low_rank_approximation(np.eye(3), 0)
+
+
+class TestSvdDecomposition:
+    def test_reconstruction(self):
+        matrix = _rank_k_matrix(5, 9, 3)
+        u, sigma, vt = svd_decomposition(matrix)
+        assert np.allclose((u * sigma) @ vt, matrix)
+
+    def test_truncation_shapes(self):
+        u, sigma, vt = svd_decomposition(_rank_k_matrix(5, 9, 4), rank=2)
+        assert u.shape == (5, 2)
+        assert sigma.shape == (2,)
+        assert vt.shape == (2, 9)
+
+    def test_orthogonality(self):
+        u, _, vt = svd_decomposition(_rank_k_matrix(6, 6, 6, seed=5))
+        assert np.allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-10)
+        assert np.allclose(vt @ vt.T, np.eye(vt.shape[0]), atol=1e-10)
+
+
+class TestFrobeniusNorm:
+    def test_known_value(self):
+        assert frobenius_norm(np.array([[3.0, 4.0]])) == pytest.approx(5.0)
+
+    def test_matches_numpy(self):
+        matrix = _rank_k_matrix(4, 5, 3, seed=9)
+        assert frobenius_norm(matrix) == pytest.approx(np.linalg.norm(matrix))
+
+    def test_sparse_input(self):
+        import scipy.sparse as sp
+
+        matrix = sp.eye(4) * 2.0
+        assert frobenius_norm(matrix) == pytest.approx(4.0)

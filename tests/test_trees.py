@@ -1,0 +1,148 @@
+"""Unit tests for the hierarchical tree substrate (HM's strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.trees import (
+    tree_apply,
+    tree_apply_transpose,
+    tree_consistency,
+    tree_matrix,
+    tree_num_nodes,
+    tree_pseudoinverse_rows,
+    tree_sensitivity,
+)
+
+
+class TestBasics:
+    def test_num_nodes(self):
+        assert tree_num_nodes(1) == 1
+        assert tree_num_nodes(8) == 15
+        assert tree_num_nodes(1024) == 2047
+
+    def test_sensitivity(self):
+        assert tree_sensitivity(1) == 1.0
+        assert tree_sensitivity(8) == 4.0
+        assert tree_sensitivity(1024) == 11.0
+
+    def test_sensitivity_matches_matrix(self):
+        for n in (2, 8, 16):
+            dense = tree_matrix(n, sparse=False)
+            assert np.abs(dense).sum(axis=0).max() == tree_sensitivity(n)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValidationError):
+            tree_num_nodes(6)
+
+
+class TestApply:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64])
+    def test_matches_matrix(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        dense = tree_matrix(n, sparse=False)
+        assert np.allclose(tree_apply(x), dense @ x)
+
+    def test_root_is_total(self):
+        x = np.arange(16.0)
+        assert tree_apply(x)[0] == pytest.approx(x.sum())
+
+    def test_leaves_are_data(self):
+        x = np.arange(8.0)
+        nodes = tree_apply(x)
+        assert np.allclose(nodes[-8:], x)
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_transpose_matches_matrix(self, n):
+        rng = np.random.default_rng(n + 1)
+        y = rng.standard_normal(2 * n - 1)
+        dense = tree_matrix(n, sparse=False)
+        assert np.allclose(tree_apply_transpose(y), dense.T @ y)
+
+    def test_transpose_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            tree_apply_transpose(np.ones(6))
+
+    def test_adjoint_identity(self):
+        # <A x, y> == <x, A^T y> for random x, y.
+        rng = np.random.default_rng(9)
+        n = 32
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(2 * n - 1)
+        assert np.dot(tree_apply(x), y) == pytest.approx(np.dot(x, tree_apply_transpose(y)))
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_matches_pseudoinverse(self, n):
+        rng = np.random.default_rng(n)
+        noisy = rng.standard_normal(2 * n - 1)
+        dense = tree_matrix(n, sparse=False)
+        expected = np.linalg.pinv(dense) @ noisy
+        assert np.allclose(tree_consistency(noisy), expected)
+
+    def test_noise_free_recovers_data(self):
+        x = np.arange(16.0)
+        assert np.allclose(tree_consistency(tree_apply(x)), x)
+
+    def test_consistency_reduces_leaf_error(self):
+        # Averaged over noise draws, the consistent estimate beats raw leaves.
+        rng = np.random.default_rng(3)
+        n = 32
+        x = rng.integers(0, 100, n).astype(float)
+        exact = tree_apply(x)
+        raw_error = 0.0
+        consistent_error = 0.0
+        for _ in range(100):
+            noisy = exact + rng.laplace(0, 5.0, exact.size)
+            raw_error += np.sum((noisy[-n:] - x) ** 2)
+            consistent_error += np.sum((tree_consistency(noisy) - x) ** 2)
+        assert consistent_error < raw_error
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValidationError):
+            tree_consistency(np.ones(4))
+
+    def test_rejects_bad_branching(self):
+        with pytest.raises(ValidationError):
+            tree_consistency(np.ones(7), branching=3)
+
+
+class TestPseudoinverseRows:
+    @pytest.mark.parametrize("n", [4, 16])
+    def test_matches_dense(self, n):
+        rng = np.random.default_rng(n)
+        w = rng.standard_normal((3, n))
+        dense = tree_matrix(n, sparse=False)
+        expected = w @ np.linalg.pinv(dense)
+        assert np.allclose(tree_pseudoinverse_rows(w), expected, atol=1e-6)
+
+    def test_norm_matches_dense(self):
+        rng = np.random.default_rng(5)
+        n = 32
+        w = rng.standard_normal((4, n))
+        dense = tree_matrix(n, sparse=False)
+        expected = np.sum((w @ np.linalg.pinv(dense)) ** 2)
+        actual = np.sum(tree_pseudoinverse_rows(w) ** 2)
+        assert actual == pytest.approx(expected, rel=1e-6)
+
+
+class TestTreeMatrix:
+    def test_shape(self):
+        assert tree_matrix(8).shape == (15, 8)
+
+    def test_binary_entries(self):
+        dense = tree_matrix(8, sparse=False)
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+
+    def test_every_level_covers_domain(self):
+        n = 8
+        dense = tree_matrix(n, sparse=False)
+        offset = 0
+        size = 1
+        while size <= n:
+            level = dense[offset : offset + size]
+            assert np.allclose(level.sum(axis=0), 1.0)
+            offset += size
+            size *= 2

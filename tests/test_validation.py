@@ -1,0 +1,187 @@
+"""Unit tests for repro.linalg.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import (
+    as_matrix,
+    as_vector,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_shape_compatible,
+    ensure_rng,
+)
+
+
+class TestAsMatrix:
+    def test_list_of_lists(self):
+        result = as_matrix([[1, 2], [3, 4]])
+        assert result.dtype == np.float64
+        assert result.shape == (2, 2)
+
+    def test_preserves_values(self):
+        assert np.array_equal(as_matrix([[1.5, -2.0]]), np.array([[1.5, -2.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            as_matrix([1.0, 2.0])
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            as_matrix(np.zeros((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            as_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            as_matrix([[np.inf, 1.0]])
+
+    def test_sparse_rejected_by_default(self):
+        with pytest.raises(ValidationError, match="dense"):
+            as_matrix(sp.eye(3))
+
+    def test_sparse_allowed_when_requested(self):
+        result = as_matrix(sp.eye(3), allow_sparse=True)
+        assert sp.issparse(result)
+        assert result.shape == (3, 3)
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValidationError, match="workload"):
+            as_matrix([1.0], name="workload")
+
+
+class TestAsVector:
+    def test_basic(self):
+        result = as_vector([1, 2, 3])
+        assert result.shape == (3,)
+        assert result.dtype == np.float64
+
+    def test_column_vector_flattened(self):
+        assert as_vector(np.ones((3, 1))).shape == (3,)
+
+    def test_row_vector_flattened(self):
+        assert as_vector(np.ones((1, 3))).shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            as_vector(np.ones((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            as_vector([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            as_vector([np.nan])
+
+    def test_size_check_passes(self):
+        assert as_vector([1, 2], size=2).size == 2
+
+    def test_size_check_fails(self):
+        with pytest.raises(ValidationError, match="length 3"):
+            as_vector([1, 2], size=3)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(0.5) == 0.5
+
+    def test_accepts_positive_int(self):
+        assert check_positive(3) == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_positive(float("nan"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive("1.0")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(5) == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True)
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(4)) == 4
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_accepts_interior(self):
+        assert check_probability(0.25) == 0.25
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.1)
+
+
+class TestShapeCompatible:
+    def test_compatible(self):
+        check_shape_compatible(np.ones((2, 3)), np.ones(3))
+
+    def test_incompatible(self):
+        with pytest.raises(ValidationError, match="columns"):
+            check_shape_compatible(np.ones((2, 3)), np.ones(4))
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(3)
+        b = ensure_rng(42).random(3)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("seed")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            ensure_rng(True)

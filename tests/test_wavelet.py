@@ -1,0 +1,73 @@
+"""Unit tests for the Wavelet Mechanism (WM)."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.wavelet import WaveletMechanism
+from repro.mechanisms.baselines import NoiseOnDataMechanism
+from repro.workloads import Workload, wrange
+
+
+class TestWaveletMechanism:
+    def test_answer_shape(self):
+        w = wrange(6, 16, seed=0)
+        mech = WaveletMechanism().fit(w)
+        assert mech.answer(np.ones(16), 1.0, rng=0).shape == (6,)
+
+    def test_sensitivity_value(self):
+        mech = WaveletMechanism().fit(wrange(4, 16, seed=0))
+        assert mech.strategy_sensitivity == 1 + 4  # 1 + log2(16)
+
+    def test_padding_to_power_of_two(self):
+        w = wrange(4, 12, seed=0)  # pads to 16
+        mech = WaveletMechanism().fit(w)
+        assert mech.strategy_sensitivity == 5.0
+        assert mech.answer(np.ones(12), 1.0, rng=0).shape == (4,)
+
+    def test_unbiased(self):
+        w = wrange(4, 8, seed=1)
+        mech = WaveletMechanism().fit(w)
+        x = np.arange(8.0) * 10
+        rng = np.random.default_rng(0)
+        mean_answer = np.mean([mech.answer(x, 1.0, rng) for _ in range(4000)], axis=0)
+        assert np.allclose(mean_answer, w.answer(x), atol=3.0)
+
+    def test_empirical_matches_analytic(self):
+        w = wrange(8, 32, seed=2)
+        mech = WaveletMechanism().fit(w)
+        x = np.ones(32) * 100
+        empirical = mech.empirical_squared_error(x, 1.0, trials=2000, rng=3)
+        assert empirical == pytest.approx(mech.expected_squared_error(1.0), rel=0.15)
+
+    def test_analytic_error_against_dense_algebra(self):
+        from repro.linalg.haar import haar_matrix, haar_sensitivity
+
+        w = wrange(5, 16, seed=4)
+        mech = WaveletMechanism().fit(w)
+        dense = haar_matrix(16, sparse=False)
+        recombination = w.matrix @ np.linalg.inv(dense)
+        delta = haar_sensitivity(16)
+        expected = 2 * delta**2 * np.sum(recombination**2)
+        assert mech.expected_squared_error(1.0) == pytest.approx(expected, rel=1e-9)
+
+    def test_beats_lm_on_large_range_workload(self):
+        # The Privelet selling point: polylog error for ranges on large domains.
+        w = wrange(32, 512, seed=5)
+        wm = WaveletMechanism().fit(w)
+        lm = NoiseOnDataMechanism().fit(w)
+        assert wm.expected_squared_error(1.0) < lm.expected_squared_error(1.0)
+
+    def test_total_query_error_small(self):
+        # The total-sum query is a single wavelet coefficient.
+        w = Workload(np.ones((1, 64)))
+        mech = WaveletMechanism().fit(w)
+        delta = mech.strategy_sensitivity
+        # W A^{-1} = e_0 (root coefficient row), norm 1.
+        assert mech.expected_squared_error(1.0) == pytest.approx(2 * delta**2)
+
+    def test_error_cached_across_epsilon(self):
+        w = wrange(4, 16, seed=6)
+        mech = WaveletMechanism().fit(w)
+        e1 = mech.expected_squared_error(1.0)
+        e2 = mech.expected_squared_error(0.5)
+        assert e2 == pytest.approx(4 * e1)

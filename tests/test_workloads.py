@@ -1,0 +1,192 @@
+"""Unit tests for the Workload class and the Section-6 generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads import (
+    WORKLOAD_KINDS,
+    Workload,
+    identity_workload,
+    prefix_workload,
+    total_workload,
+    wdiscrete,
+    workload_by_name,
+    wrange,
+    wrelated,
+)
+
+
+class TestWorkloadClass:
+    def test_shape_properties(self):
+        w = Workload(np.ones((3, 5)))
+        assert w.num_queries == 3
+        assert w.domain_size == 5
+        assert w.shape == (3, 5)
+
+    def test_answer(self):
+        w = Workload([[1.0, 1.0], [1.0, 0.0]])
+        assert np.allclose(w.answer([3.0, 4.0]), [7.0, 3.0])
+
+    def test_answer_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            Workload(np.ones((2, 3))).answer([1.0, 2.0])
+
+    def test_matrix_read_only(self):
+        w = Workload(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            w.matrix[0, 0] = 5.0
+
+    def test_rank_cached_and_correct(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((8, 2)) @ rng.standard_normal((2, 10))
+        w = Workload(matrix)
+        assert w.rank == 2
+        assert w.rank == 2  # cached path
+
+    def test_singular_values_descending(self):
+        w = Workload(np.diag([1.0, 3.0, 2.0]))
+        assert np.allclose(w.singular_values, [3.0, 2.0, 1.0])
+
+    def test_sensitivity(self):
+        w = Workload([[1.0, -2.0], [1.0, 1.0]])
+        assert w.sensitivity == 3.0
+
+    def test_frobenius_squared(self):
+        assert Workload([[3.0, 4.0]]).frobenius_squared == pytest.approx(25.0)
+
+    def test_is_low_rank(self):
+        rng = np.random.default_rng(1)
+        low = rng.standard_normal((6, 2)) @ rng.standard_normal((2, 8))
+        assert Workload(low).is_low_rank()
+        assert not Workload(np.eye(4)).is_low_rank()
+
+    def test_row_access(self):
+        w = Workload([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose(w.row(1), [3.0, 4.0])
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Workload(np.eye(2)).row(5)
+
+    def test_equality(self):
+        a = Workload(np.eye(2))
+        b = Workload(np.eye(2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Workload(np.eye(2)) != Workload(np.ones((2, 2)))
+
+    def test_subset(self):
+        w = Workload(np.arange(6.0).reshape(3, 2))
+        sub = w.subset([0, 2])
+        assert sub.shape == (2, 2)
+        assert np.allclose(sub.matrix[1], [4.0, 5.0])
+
+    def test_subset_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Workload(np.eye(2)).subset([3])
+
+    def test_stack(self):
+        stacked = Workload(np.eye(2)).stack(Workload(np.ones((1, 2))))
+        assert stacked.shape == (3, 2)
+
+    def test_stack_domain_mismatch(self):
+        with pytest.raises(ValidationError):
+            Workload(np.eye(2)).stack(Workload(np.eye(3)))
+
+    def test_repr(self):
+        assert "shape=(2, 2)" in repr(Workload(np.eye(2), name="demo"))
+
+
+class TestWDiscrete:
+    def test_shape(self):
+        assert wdiscrete(5, 9, seed=0).shape == (5, 9)
+
+    def test_entries_are_plus_minus_one(self):
+        w = wdiscrete(10, 20, seed=0)
+        assert set(np.unique(w.matrix)) <= {-1.0, 1.0}
+
+    def test_probability_respected(self):
+        w = wdiscrete(100, 200, p=0.02, seed=0)
+        fraction_positive = np.mean(w.matrix == 1.0)
+        assert fraction_positive == pytest.approx(0.02, abs=0.005)
+
+    def test_p_one_gives_all_ones(self):
+        assert np.all(wdiscrete(3, 3, p=1.0, seed=0).matrix == 1.0)
+
+    def test_deterministic(self):
+        assert wdiscrete(4, 4, seed=3) == wdiscrete(4, 4, seed=3)
+
+
+class TestWRange:
+    def test_shape_and_binary(self):
+        w = wrange(8, 16, seed=0)
+        assert w.shape == (8, 16)
+        assert set(np.unique(w.matrix)) <= {0.0, 1.0}
+
+    def test_rows_are_contiguous_ranges(self):
+        w = wrange(50, 32, seed=1)
+        for row in w.matrix:
+            ones = np.flatnonzero(row)
+            assert ones.size >= 1
+            assert np.array_equal(ones, np.arange(ones[0], ones[-1] + 1))
+
+    def test_deterministic(self):
+        assert wrange(4, 8, seed=5) == wrange(4, 8, seed=5)
+
+
+class TestWRelated:
+    def test_shape(self):
+        assert wrelated(6, 12, s=2, seed=0).shape == (6, 12)
+
+    def test_rank_equals_s(self):
+        w = wrelated(20, 40, s=4, seed=0)
+        assert w.rank == 4
+
+    def test_default_s(self):
+        w = wrelated(10, 30, seed=0)
+        assert w.metadata["s"] == 4  # 0.4 * min(10, 30)
+
+    def test_s_cannot_exceed_min_dim(self):
+        with pytest.raises(ValidationError):
+            wrelated(4, 10, s=5)
+
+    def test_deterministic(self):
+        assert wrelated(4, 8, s=2, seed=9) == wrelated(4, 8, s=2, seed=9)
+
+
+class TestSpecialWorkloads:
+    def test_identity(self):
+        w = identity_workload(4)
+        assert np.array_equal(w.matrix, np.eye(4))
+        assert w.sensitivity == 1.0
+
+    def test_total(self):
+        w = total_workload(5)
+        assert w.shape == (1, 5)
+        assert w.answer(np.arange(5.0))[0] == 10.0
+
+    def test_prefix(self):
+        w = prefix_workload(4)
+        assert np.allclose(w.answer(np.ones(4)), [1.0, 2.0, 3.0, 4.0])
+        assert w.sensitivity == 4.0  # first column appears in every prefix
+
+
+class TestWorkloadByName:
+    def test_all_kinds(self):
+        for kind in WORKLOAD_KINDS:
+            w = workload_by_name(kind, m=4, n=8, seed=0)
+            assert w.shape == (4, 8)
+
+    def test_case_insensitive(self):
+        assert workload_by_name("wrange", m=3, n=6, seed=1).name == "WRange"
+
+    def test_wrelated_s_forwarded(self):
+        w = workload_by_name("WRelated", m=8, n=8, s=2, seed=0)
+        assert w.rank == 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            workload_by_name("WMystery", m=2, n=2)
