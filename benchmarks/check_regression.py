@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_solver.json`` reports and fail on fit-time regression.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.20]
+
+Cells are matched on ``(workload, m, n, s)`` and compared on
+``fit_seconds_best``. The check exits non-zero when the **median** per-cell
+slowdown of the candidate exceeds the threshold (default 20%), so future PRs
+can keep the solver perf trajectory honest::
+
+    PYTHONPATH=src pytest benchmarks/test_bench_solver_perf.py -m perf   # old tree
+    cp benchmarks/BENCH_solver.json /tmp/before.json
+    ... apply changes, rerun the benchmark ...
+    python benchmarks/check_regression.py /tmp/before.json benchmarks/BENCH_solver.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def _cell_key(cell):
+    return (cell["workload"], cell["m"], cell["n"], cell.get("s"))
+
+
+def _load_cells(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    return {_cell_key(cell): cell for cell in report["cells"]}
+
+
+def compare(baseline_path, candidate_path, threshold):
+    """Return (exit_code, lines) comparing candidate against baseline."""
+    baseline = _load_cells(baseline_path)
+    candidate = _load_cells(candidate_path)
+    shared = sorted(set(baseline) & set(candidate), key=str)
+    if not shared:
+        return 2, ["no matching cells between the two reports"]
+
+    lines = [f"{'cell':<28} {'base':>9} {'cand':>9} {'slowdown':>9}"]
+    slowdowns = []
+    for key in shared:
+        base_t = float(baseline[key]["fit_seconds_best"])
+        cand_t = float(candidate[key]["fit_seconds_best"])
+        slowdown = cand_t / base_t - 1.0
+        slowdowns.append(slowdown)
+        name = f"{key[0]} {key[1]}x{key[2]}"
+        lines.append(f"{name:<28} {base_t:>8.3f}s {cand_t:>8.3f}s {slowdown:>+8.1%}")
+
+    median_slowdown = statistics.median(slowdowns)
+    lines.append(f"median slowdown: {median_slowdown:+.1%} (threshold {threshold:.0%})")
+    missing = sorted(set(baseline) ^ set(candidate), key=str)
+    if missing:
+        lines.append(f"note: {len(missing)} cell(s) present in only one report")
+    if median_slowdown > threshold:
+        lines.append("REGRESSION: candidate is slower than the baseline allows")
+        return 1, lines
+    lines.append("ok: within the regression budget")
+    return 0, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_solver.json")
+    parser.add_argument("candidate", help="candidate BENCH_solver.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated median fit-time slowdown (fraction, default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    code, lines = compare(args.baseline, args.candidate, args.threshold)
+    print("\n".join(lines))
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Opt-in solver perf benchmark: ``LowRankMechanism.fit`` across a grid.
+
+Runs the ALM decomposition end-to-end on a fixed grid of workloads with the
+bench LRM budget, emits ``benchmarks/BENCH_solver.json`` (so future PRs have
+a fit-time trajectory to regress against — see
+``benchmarks/check_regression.py``), and compares against the committed seed
+baseline ``benchmarks/baselines/BENCH_solver_seed.json``:
+
+* **speed** — the median per-cell speedup vs the seed solver must be >= 3x
+  (the solver hot-path overhaul's target);
+* **quality** — each cell's decomposition objective ``tr(B^T B)`` must stay
+  within its baseline ``objective_rtol`` (default 2%; the near-full-rank
+  ``wrange``/``wdiscrete`` cells carry 25% because the bi-convex ALM is
+  basin-chaotic there — see the baseline file's notes), and the
+  geometric-mean objective ratio across the grid must not regress (net
+  quality is preserved even when individual chaotic cells wander).
+
+Timing uses best-of-``REPRO_BENCH_REPS`` (default 5) wall-clock after one
+untimed warm-up fit per cell — the robust statistic on shared machines.
+Baselines are machine-specific: regenerate the seed file on new hardware per
+its embedded description before trusting the speedup assertion there.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_solver_perf.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.lrm import LowRankMechanism
+from repro.workloads.generators import workload_by_name
+
+pytestmark = pytest.mark.perf
+
+_HERE = Path(__file__).resolve().parent
+SEED_BASELINE_PATH = _HERE / "baselines" / "BENCH_solver_seed.json"
+OUTPUT_PATH = _HERE / "BENCH_solver.json"
+
+#: Minimum acceptable median fit-time speedup vs the seed baseline.
+TARGET_MEDIAN_SPEEDUP = 3.0
+#: Default per-cell objective regression tolerance (cells may override via
+#: "objective_rtol" in the baseline file).
+DEFAULT_OBJECTIVE_RTOL = 0.02
+#: The grid-wide geometric-mean objective ratio must stay below this.
+MAX_NET_OBJECTIVE_RATIO = 1.0
+
+
+def _run_grid(budget, reps):
+    baseline = json.loads(SEED_BASELINE_PATH.read_text())
+    cells = []
+    for seed_cell in baseline["cells"]:
+        workload = workload_by_name(
+            seed_cell["workload"],
+            seed_cell["m"],
+            seed_cell["n"],
+            s=seed_cell["s"],
+            seed=2012,
+        )
+        LowRankMechanism(seed=0, **budget).fit(workload)  # untimed warm-up
+        times = []
+        mechanism = None
+        for _ in range(reps):
+            mechanism = LowRankMechanism(seed=0, **budget)
+            start = time.perf_counter()
+            mechanism.fit(workload)
+            times.append(time.perf_counter() - start)
+        decomposition = mechanism.decomposition
+        cells.append(
+            {
+                "workload": seed_cell["workload"],
+                "m": seed_cell["m"],
+                "n": seed_cell["n"],
+                "s": seed_cell["s"],
+                "fit_seconds_all": times,
+                "fit_seconds_best": min(times),
+                "objective": decomposition.objective,
+                "residual_norm": decomposition.residual_norm,
+                "iterations": decomposition.iterations,
+                "perf_phases": {
+                    phase: dict(entry) for phase, entry in decomposition.perf.items()
+                },
+                "seed_fit_seconds_best": seed_cell["fit_seconds_best"],
+                "seed_objective": seed_cell["objective"],
+                "speedup_vs_seed": seed_cell["fit_seconds_best"] / min(times),
+                "objective_vs_seed": decomposition.objective / seed_cell["objective"],
+                "objective_rtol": seed_cell.get("objective_rtol", DEFAULT_OBJECTIVE_RTOL),
+            }
+        )
+    return baseline, cells
+
+
+def test_solver_fit_speed_vs_seed():
+    baseline = json.loads(SEED_BASELINE_PATH.read_text())
+    reps = int(os.environ.get("REPRO_BENCH_REPS", "5"))
+    _, cells = _run_grid(dict(baseline["budget"]), reps)
+
+    speedups = [cell["speedup_vs_seed"] for cell in cells]
+    median_speedup = float(np.median(speedups))
+    report = {
+        "label": os.environ.get("REPRO_BENCH_LABEL", "current"),
+        "budget": baseline["budget"],
+        "reps": reps,
+        "cells": cells,
+        "median_speedup_vs_seed": median_speedup,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2))
+
+    print()
+    print(f"{'workload':<12} {'shape':>9} {'seed':>8} {'now':>8} {'speedup':>8} {'obj ratio':>10}")
+    for cell in cells:
+        shape = f"{cell['m']}x{cell['n']}"
+        print(
+            f"{cell['workload']:<12} {shape:>9} "
+            f"{cell['seed_fit_seconds_best']:>7.2f}s {cell['fit_seconds_best']:>7.2f}s "
+            f"{cell['speedup_vs_seed']:>7.2f}x {cell['objective_vs_seed']:>10.4f}"
+        )
+    print(f"median speedup vs seed: {median_speedup:.2f}x  (report: {OUTPUT_PATH})")
+
+    for cell in cells:
+        assert cell["objective_vs_seed"] <= 1.0 + cell["objective_rtol"], (
+            f"{cell['workload']} {cell['m']}x{cell['n']}: objective regressed "
+            f"{(cell['objective_vs_seed'] - 1) * 100:.2f}% vs seed "
+            f"(tolerance {cell['objective_rtol']:.0%})"
+        )
+    net_ratio = float(
+        np.exp(np.mean(np.log([cell["objective_vs_seed"] for cell in cells])))
+    )
+    assert net_ratio <= MAX_NET_OBJECTIVE_RATIO + 1e-9, (
+        f"grid-wide geometric-mean objective ratio {net_ratio:.4f} regressed vs seed"
+    )
+    assert median_speedup >= TARGET_MEDIAN_SPEEDUP, (
+        f"median fit speedup {median_speedup:.2f}x below the "
+        f"{TARGET_MEDIAN_SPEEDUP}x target; see {OUTPUT_PATH} for per-cell data"
+    )

@@ -23,19 +23,68 @@ the paper, ``beta`` doubles every 10 outer iterations and the multiplier is
 updated as ``pi <- pi + beta (W - B L)``. Theorem 4 guarantees
 ``|tr(B_k^T B_k) - tr(B*^T B*)| <= O(1/beta_{k-1})``, i.e. rapid convergence
 once the doubling kicks in.
+
+Performance notes
+-----------------
+The solver hot path is organised around three invariants (see also the
+"Performance notes" section of ROADMAP.md):
+
+1. **Single spectral cache.** Exactly one dense SVD of ``W`` is computed
+   per :func:`decompose_workload` call (or zero when the caller passes a
+   precomputed ``svd=`` triple, e.g. ``Workload.thin_svd``). Its factors
+   are threaded into :func:`choose_rank`, :func:`svd_warm_start`, the
+   truncated :func:`_thin_svd` cache, :func:`_exact_closure` and
+   :func:`_refine_residual`. For large matrices with an explicit ``rank``,
+   the factorisation is a seeded randomized range-finder SVD
+   (:func:`repro.linalg.randomized.randomized_svd`). ``use_cache=False``
+   restores the historical recompute-everywhere behaviour (an escape hatch
+   for A/B testing; results agree to solver tolerance).
+2. **Power-iteration Lipschitz + quadratic Algorithm 2.** The Nesterov
+   step size needs ``lambda_max(B^T B)`` on every inner sweep. Instead of
+   a dense ``eigvalsh``, it is obtained by power iteration warm-started
+   from the previous sweep's eigenvector
+   (:func:`repro.linalg.randomized.power_iteration_lmax`). The L-step is
+   dispatched through Algorithm 2's ``quadratic=(K, C)`` fast path, whose
+   backtracking tests majorisation via the curvature identity
+   ``<d, K d> <= omega <d, d>`` and recycles cached Hessian products — no
+   objective evaluations and one matmul per trial.
+3. **Gram-trick residuals.** Inner sweeps never materialise the dense
+   ``m x n`` residual: with cached ``B^T W`` (r x n) and ``B^T B`` (r x r),
+
+       ||W - B L||_F^2 = ||W||^2 - 2 tr(L^T (B^T W)) + tr((B^T B)(L L^T)),
+
+   and the multiplier inner product ``<pi, W - B L>`` follows from the same
+   products. The ``m x n`` residual is formed only at multiplier updates
+   (infeasible iterations) and at final reporting.
+
+Per-phase wall-clock and FLOP-proxy counters are surfaced in
+``Decomposition.perf`` and per-iteration ``elapsed``/``flops`` keys in
+``Decomposition.history``; ``benchmarks/test_bench_solver_perf.py`` tracks
+the resulting fit-time trajectory across PRs.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.linalg as sla
 
 from repro.exceptions import DecompositionError, ValidationError
-from repro.linalg.projection import project_columns_l1, project_columns_l2
+from repro.linalg.projection import (
+    _project_columns_l1_core,
+    _project_columns_l2_core,
+    project_columns_l1,
+)
+from repro.linalg.randomized import (
+    RANDOMIZED_SVD_MIN_DIM,
+    power_iteration_lmax,
+    randomized_svd,
+)
+from repro.linalg.svd import rank_tolerance
 from repro.linalg.validation import as_matrix, check_positive, check_positive_int, ensure_rng
-from repro.core.nesterov import nesterov_projected_gradient, quadratic_l_subproblem
+from repro.core.nesterov import nesterov_projected_gradient
 from repro.privacy.sensitivity import l1_sensitivity, l2_sensitivity
 
 
@@ -48,9 +97,12 @@ def _norm_tools(norm):
     """
     key = str(norm).lower()
     if key == "l1":
-        return l1_sensitivity, project_columns_l1
+        # The validation-free projection cores are safe here: every matrix
+        # that reaches them is produced by the solver's own arithmetic on
+        # inputs already validated at the public entry points.
+        return l1_sensitivity, _project_columns_l1_core
     if key == "l2":
-        return l2_sensitivity, project_columns_l2
+        return l2_sensitivity, _project_columns_l2_core
     raise ValidationError(f"norm must be 'l1' or 'l2', got {norm!r}")
 
 __all__ = ["Decomposition", "decompose_workload", "svd_warm_start", "choose_rank"]
@@ -76,11 +128,18 @@ class Decomposition:
         True when a gamma-feasible decomposition was found (the returned
         pair is then the best such candidate seen).
     history:
-        Per-outer-iteration dicts with ``tau``, ``objective``, ``beta``
-        and ``feasible`` (plus a final ``phase: "refine"`` entry).
+        Per-outer-iteration dicts with ``tau``, ``objective``, ``beta``,
+        ``feasible``, plus wall-clock ``elapsed`` seconds and a ``flops``
+        multiply-add proxy for the iteration (and a final
+        ``phase: "refine"`` entry).
     norm:
         Column-constraint norm of the program: "l1" (paper / Laplace) or
         "l2" (Gaussian companion).
+    perf:
+        Per-phase performance summary: ``{phase: {"seconds", "flops"}}``
+        for phases ``spectral`` (the one SVD), ``init`` (rank choice +
+        warm start + candidate seeding), ``phase1`` (outer ALM loop) and
+        ``refine``, plus ``total``.
     """
 
     b: np.ndarray
@@ -91,6 +150,7 @@ class Decomposition:
     converged: bool
     history: list = field(default_factory=list)
     norm: str = "l1"
+    perf: dict = field(default_factory=dict)
 
     @property
     def rank(self):
@@ -134,24 +194,33 @@ class Decomposition:
         return self.b @ self.l
 
 
-def choose_rank(workload_matrix, rank=None, rank_ratio=1.2):
+def choose_rank(workload_matrix, rank=None, rank_ratio=1.2, singular_values=None):
     """Pick the decomposition rank ``r``.
 
     Defaults to the paper's recommended ``r = ceil(rank_ratio * rank(W))``
     (Section 6.1 concludes ``rank(W)`` to ``1.2 rank(W)`` balances accuracy
     and speed), clamped to at most ``m`` (more columns in B than queries
     never helps) and at least 1.
+
+    ``singular_values`` may supply precomputed singular values of ``W`` so
+    the numerical rank is read off the shared spectral cache instead of a
+    fresh SVD.
     """
     w = as_matrix(workload_matrix, "W")
+    m = w.shape[0]
     if rank is not None:
         rank = check_positive_int(rank, "rank")
-        return min(rank, max(w.shape))
+        return min(rank, m)
     rank_ratio = check_positive(rank_ratio, "rank_ratio")
-    base = int(np.linalg.matrix_rank(w))
-    return max(min(int(np.ceil(rank_ratio * base)), max(w.shape)), 1)
+    if singular_values is None:
+        base = int(np.linalg.matrix_rank(w))
+    else:
+        sigma = np.asarray(singular_values, dtype=np.float64)
+        base = int(np.sum(sigma > rank_tolerance(w.shape, sigma)))
+    return max(min(int(np.ceil(rank_ratio * base)), m), 1)
 
 
-def svd_warm_start(workload_matrix, rank, rng=None, norm="l1"):
+def svd_warm_start(workload_matrix, rank, rng=None, norm="l1", svd=None):
     """Feasible starting point from the Lemma 3 construction.
 
     With thin SVD ``W = U S V^T`` truncated to ``k = min(rank, #factors)``:
@@ -162,13 +231,19 @@ def svd_warm_start(workload_matrix, rank, rng=None, norm="l1"):
 
     With ``norm="l2"`` the ``sqrt(k)`` balancing is unnecessary (columns of
     ``V^T`` are already inside the L2 ball): ``B0 = U S``, ``L0 = V^T``.
+
+    ``svd`` may supply a precomputed thin-SVD triple ``(U, sigma, Vt)`` of
+    ``W`` (the shared spectral cache) to skip the factorisation here.
     """
     w = as_matrix(workload_matrix, "W")
     rank = check_positive_int(rank, "rank")
     rng = ensure_rng(rng)
     _, projection_fn = _norm_tools(norm)
     m, n = w.shape
-    u, sigma, vt = np.linalg.svd(w, full_matrices=False)
+    if svd is None:
+        u, sigma, vt = np.linalg.svd(w, full_matrices=False)
+    else:
+        u, sigma, vt = svd
     k = min(rank, sigma.size)
     root = np.sqrt(max(k, 1)) if str(norm).lower() == "l1" else 1.0
     b0 = np.zeros((m, rank))
@@ -180,10 +255,11 @@ def svd_warm_start(workload_matrix, rank, rng=None, norm="l1"):
     return b0, projection_fn(l0, 1.0)
 
 
-def _update_b(w, l, pi, beta):
-    """Closed-form B-step (Eq. 9): ``B = (beta W + pi) L^T (beta L L^T + I)^{-1}``."""
+def _update_b(target, l, beta):
+    """Closed-form B-step (Eq. 9) with precomputed ``target = beta W + pi``:
+    ``B = target L^T (beta L L^T + I)^{-1}``."""
     r = l.shape[0]
-    rhs = (beta * w + pi) @ l.T
+    rhs = target @ l.T
     system = beta * (l @ l.T) + np.eye(r)
     try:
         cho = sla.cho_factor(system, lower=True, check_finite=False)
@@ -199,6 +275,19 @@ def _least_squares_b(w, l, ridge=1e-12):
     return np.linalg.solve(gram, l @ w.T).T
 
 
+@dataclass
+class _ThinSvd:
+    """Truncated spectral cache of ``W``: the retained thin factors, the
+    retained count ``k`` and the Frobenius norm of everything dropped
+    (spectral tail + energy never captured by a randomized sketch)."""
+
+    u: np.ndarray
+    sigma: np.ndarray
+    vt: np.ndarray
+    k: int
+    tail_norm: float
+
+
 def _exact_closure(w, l, svd):
     """Exact residual elimination when ``rank(L-span) >= rank(W)``.
 
@@ -206,24 +295,39 @@ def _exact_closure(w, l, svd):
     outside it cost L1 budget without helping represent ``W``). Projecting
     the phase-1 iterate there — ``L <- (L V) V^T`` with ``W = U S V^T`` —
     keeps its optimised shape, and whenever ``G = L V`` has full column
-    rank, ``B = U S G^+`` reproduces ``W`` *exactly*. Returns
-    ``(B, L, tau)`` or ``None`` when the closure is not applicable
-    (``r < rank(W)`` or a degenerate ``G``).
+    rank, ``B = U S G^+`` reproduces the retained spectrum: the residual is
+    the cached spectral-tail norm plus the (usually negligible) numerical
+    defect of the pseudo-inverse, both computable without any dense m x n
+    product. Returns ``(B, L, tau)`` or ``None`` when the closure is not
+    applicable (``r < rank(W)`` or a degenerate ``G``).
     """
-    u, sigma, vt, k = svd
+    k = svd.k
     if k == 0 or l.shape[0] < k:
         return None
-    g = l @ vt.T  # (r, k)
-    if np.linalg.matrix_rank(g) < k:
+    g = l @ svd.vt.T  # (r, k)
+    # One small SVD of G serves both the rank test and the pseudo-inverse.
+    ug, sg, vgt = np.linalg.svd(g, full_matrices=False)
+    if int(np.sum(sg > rank_tolerance(g.shape, sg))) < k:
         return None
-    l_exact = g @ vt
-    b = (u * sigma) @ np.linalg.pinv(g)
-    tau = float(np.linalg.norm(w - b @ l_exact))
+    l_exact = g @ svd.vt
+    g_pinv = (vgt.T / sg) @ ug.T
+    b = (svd.u * svd.sigma) @ g_pinv
+    # B L = U S (G^+ G) Vt, so beyond the spectral tail the closure misses
+    # exactly ||S (I - G^+ G)||_F (U, Vt orthonormal). In exact arithmetic
+    # G^+ G = I here, but for an ill-conditioned G (sigma_min barely above
+    # the rank tolerance) the computed pseudo-inverse leaves an O(eps*kappa)
+    # defect that can reach ||W|| itself — this O(r k^2) term is the guard
+    # the historical dense ||W - B L|| check provided.
+    defect = g_pinv @ g
+    defect[np.diag_indices(k)] -= 1.0
+    defect *= svd.sigma[:, None]
+    tau = float(np.sqrt(svd.tail_norm**2 + np.vdot(defect, defect)))
     return b, l_exact, tau
 
 
-def _thin_svd(w, energy_tol=0.0):
-    """Thin SVD of ``w`` truncated to its numerical rank: (U, sigma, Vt, k).
+def _thin_svd(w, energy_tol=0.0, svd=None):
+    """Thin SVD of ``w`` truncated to its numerical rank, as a
+    :class:`_ThinSvd` cache entry.
 
     With ``energy_tol > 0``, additionally drops the smallest singular
     directions whose cumulative energy stays within
@@ -233,16 +337,34 @@ def _thin_svd(w, energy_tol=0.0):
     directions is what keeps ``B = U S G^+`` from exploding on workloads
     with tiny trailing eigenvalues (the motivation the paper gives for the
     relaxed program in Section 4.2).
+
+    ``svd`` may supply the precomputed (possibly sketch-truncated) thin
+    triple ``(U, sigma, Vt)`` so no factorisation happens here.
     """
-    u, sigma, vt = np.linalg.svd(w, full_matrices=False)
-    tol = max(w.shape) * np.finfo(np.float64).eps * (sigma[0] if sigma.size else 0.0)
-    k = int(np.sum(sigma > tol))
+    if svd is None:
+        u, sigma, vt = np.linalg.svd(w, full_matrices=False)
+    else:
+        u, sigma, vt = svd
+    k = int(np.sum(sigma > rank_tolerance(w.shape, sigma)))
+    # Energy the factorisation never saw (only non-zero for a randomized
+    # sketch truncated below min(m, n)).
+    if sigma.size < min(w.shape):
+        unseen = max(float(np.vdot(w, w)) - float(np.sum(sigma**2)), 0.0)
+    else:
+        unseen = 0.0
+    # tail[j] = unseen + sum_{i >= j} sigma_i^2
+    tail = np.concatenate([np.cumsum((sigma**2)[::-1])[::-1], [0.0]]) + unseen
     if energy_tol > 0.0 and k > 1:
         budget = (energy_tol * float(np.linalg.norm(w))) ** 2
-        tail = np.cumsum(sigma[::-1] ** 2)[::-1]  # tail[j] = sum_{i >= j} sigma_i^2
         while k > 1 and tail[k - 1] <= budget:
             k -= 1
-    return u[:, :k], sigma[:k], vt[:k, :], k
+    return _ThinSvd(
+        u=u[:, :k],
+        sigma=sigma[:k],
+        vt=vt[:k, :],
+        k=k,
+        tail_norm=float(np.sqrt(max(tail[k], 0.0))),
+    )
 
 
 def _refine_residual(w, b, l, target, max_iters, nesterov_iters, svd=None, projection=None):
@@ -265,31 +387,33 @@ def _refine_residual(w, b, l, target, max_iters, nesterov_iters, svd=None, proje
     closed = _exact_closure(w, l, svd)
     if closed is not None and closed[2] <= max(target, 1e-9):
         return closed
-    _, _, vt, k = svd
+    k = svd.k
     if k > 0 and l.shape[0] >= k:
         # Blend in the feasible SVD factor to restore any dropped direction.
         l_svd = np.zeros_like(l)
-        l_svd[:k, :] = vt / np.sqrt(k)
+        l_svd[:k, :] = svd.vt / np.sqrt(k)
         blended = projection(0.9 * l + 0.1 * l_svd, 1.0)
         closed = _exact_closure(w, blended, svd)
         if closed is not None and closed[2] <= max(target, 1e-9):
             return closed
-    zero_pi = np.zeros_like(w)
     b = _least_squares_b(w, l)
     tau = float(np.linalg.norm(w - b @ l))
+    lip_vector = None
     for _ in range(max_iters):
         if tau <= target:
             break
-        candidate_objective, candidate_gradient = quadratic_l_subproblem(b, w, zero_pi, 1.0)
-        lipschitz = max(float(np.linalg.eigvalsh(b.T @ b)[-1]), 1e-12)
+        btb = b.T @ b
+        bt_target = b.T @ w
+        lmax, lip_vector = power_iteration_lmax(btb, v0=lip_vector)
         l_candidate = nesterov_projected_gradient(
-            candidate_objective,
-            candidate_gradient,
+            None,
+            None,
             l,
             radius=1.0,
             max_iters=nesterov_iters,
-            lipschitz_init=lipschitz,
+            lipschitz_init=max(lmax * (1.0 + 1e-6), 1e-12),
             projection=projection,
+            quadratic=(btb, bt_target),
         ).solution
         b_candidate = _least_squares_b(w, l_candidate)
         new_tau = float(np.linalg.norm(w - b_candidate @ l_candidate))
@@ -299,6 +423,22 @@ def _refine_residual(w, b, l, target, max_iters, nesterov_iters, svd=None, proje
             break
         b, l, tau = b_candidate, l_candidate, new_tau
     return b, l, tau
+
+
+def _spectral_triple(w, rank, rng):
+    """The single dense factorisation behind the spectral cache.
+
+    Exact LAPACK thin SVD by default; a seeded randomized range-finder SVD
+    when an explicit ``rank`` keeps the sketch far below a large small
+    dimension (rank discovery for ``rank=None`` needs the full spectrum).
+    """
+    m, n = w.shape
+    small = min(m, n)
+    if rank is not None and small > RANDOMIZED_SVD_MIN_DIM:
+        sketch_rank = min(int(rank), m)
+        if sketch_rank + 10 < 0.8 * small:
+            return randomized_svd(w, sketch_rank, oversample=10, n_iter=4, rng=rng)
+    return np.linalg.svd(w, full_matrices=False)
 
 
 def decompose_workload(
@@ -325,6 +465,8 @@ def decompose_workload(
     init_perturbation=0.0,
     norm="l1",
     seed=0,
+    use_cache=True,
+    svd=None,
 ):
     """Algorithm 1: ALM workload matrix decomposition.
 
@@ -354,6 +496,10 @@ def decompose_workload(
        without disturbing the optimised scale. Without this phase the
        data-dependent structural error ``||(W - B L) x||^2`` dominates on
        realistic count magnitudes.
+
+    See the module docstring's *Performance notes* for the hot-path
+    organisation (single spectral cache, power-iteration Lipschitz,
+    Gram-trick residual accounting).
 
     Parameters
     ----------
@@ -410,6 +556,15 @@ def decompose_workload(
         internally by restarts; 0 keeps the pure SVD start).
     seed:
         Seed for the warm start's random padding.
+    use_cache:
+        Share one spectral factorisation across every stage of the solve
+        (default). ``False`` restores the historical behaviour where each
+        stage recomputes its own SVD — results agree to solver tolerance;
+        the flag exists as an escape hatch and for regression testing.
+    svd:
+        Optional precomputed thin-SVD triple ``(U, sigma, Vt)`` of the
+        *unnormalised* workload (e.g. ``Workload.thin_svd``); when given,
+        no dense SVD of ``W`` is performed here at all.
 
     Returns
     -------
@@ -424,6 +579,12 @@ def decompose_workload(
         is unusable (residual > ||W||_F).
     """
     if restarts > 1:
+        if svd is None and use_cache:
+            # One factorisation shared by every restart.
+            w_probe = as_matrix(workload_matrix, "W")
+            if float(np.linalg.norm(w_probe)) == 0.0:
+                raise DecompositionError("cannot decompose an all-zero workload")
+            svd = _spectral_triple(w_probe, rank, seed)
         candidates = []
         for index in range(int(restarts)):
             candidates.append(
@@ -451,12 +612,15 @@ def decompose_workload(
                     init_perturbation=0.0 if index == 0 else 0.5,
                     norm=norm,
                     seed=seed + index,
+                    use_cache=use_cache,
+                    svd=svd,
                 )
             )
         return min(
             candidates, key=lambda d: (not d.converged, d.objective, d.residual_norm)
         )
 
+    total_t0 = time.perf_counter()
     w_original = as_matrix(workload_matrix, "W")
     sensitivity_fn, projection_fn = _norm_tools(norm)
     gamma = check_positive(gamma, "gamma")
@@ -484,8 +648,40 @@ def decompose_workload(
     phase1_tolerance = min(max(gamma_scaled, phase1_tol), 2.5 * phase1_tol)
     refine_iters = check_positive_int(refine_iters, "refine_iters")
 
-    r = choose_rank(w, rank=rank, rank_ratio=rank_ratio)
-    b, l = svd_warm_start(w, r, rng=seed, norm=norm)
+    m, n = w.shape
+    perf = {}
+
+    def _phase(name, seconds, flops):
+        entry = perf.setdefault(name, {"seconds": 0.0, "flops": 0.0})
+        entry["seconds"] += seconds
+        entry["flops"] += flops
+
+    # --- The shared spectral cache: at most ONE dense factorisation of W. ---
+    phase_t0 = time.perf_counter()
+    if svd is not None:
+        u_cache, sigma_cache, vt_cache = svd
+        cache_triple = (
+            np.asarray(u_cache, dtype=np.float64),
+            np.asarray(sigma_cache, dtype=np.float64) / w_norm,
+            np.asarray(vt_cache, dtype=np.float64),
+        )
+        svd_flops = 0.0
+    elif use_cache:
+        cache_triple = _spectral_triple(w, rank, seed)
+        svd_flops = 6.0 * m * n * min(m, n)
+    else:
+        cache_triple = None
+        svd_flops = 3.0 * 6.0 * m * n * min(m, n)  # recomputed in three stages
+    _phase("spectral", time.perf_counter() - phase_t0, svd_flops)
+
+    phase_t0 = time.perf_counter()
+    r = choose_rank(
+        w,
+        rank=rank,
+        rank_ratio=rank_ratio,
+        singular_values=cache_triple[1] if cache_triple is not None else None,
+    )
+    b, l = svd_warm_start(w, r, rng=seed, norm=norm, svd=cache_triple)
     if init_perturbation > 0.0:
         perturb_rng = ensure_rng(seed)
         scale = init_perturbation * max(float(np.abs(l).max()), 1e-6)
@@ -510,7 +706,7 @@ def decompose_workload(
     # at 1e-3 relative energy: the structural error it induces scales with
     # the (unknown at fit time) data magnitude, so only genuinely negligible
     # directions are dropped regardless of how loose gamma is.
-    svd = _thin_svd(w, energy_tol=min(gamma_scaled, 1e-3))
+    spectral = _thin_svd(w, energy_tol=min(gamma_scaled, 1e-3), svd=cache_triple)
     closure_tol = gamma_scaled + 1e-9
 
     def _record_candidate(candidate_b, candidate_l):
@@ -524,7 +720,7 @@ def decompose_workload(
 
     # The warm start itself is a valid candidate: guarantees the returned
     # decomposition is never worse than the scaled-SVD (Lemma 3) strategy.
-    warm_closed = _exact_closure(w, l, svd)
+    warm_closed = _exact_closure(w, l, spectral)
     if warm_closed is not None and warm_closed[2] <= closure_tol:
         warm_b, warm_l = warm_closed[0], warm_closed[1]
         warm_delta = sensitivity_fn(warm_l)
@@ -535,68 +731,106 @@ def decompose_workload(
     # optimal per-direction budget allocation for a diagonal G. Unlike the
     # uniform warm start it degrades gracefully on near-singular spectra
     # (tiny directions get tiny budget instead of forcing B to blow up).
-    u_svd, sigma_svd, vt_svd, k_svd = svd
+    k_svd = spectral.k
     if 0 < k_svd <= r:
-        d = sigma_svd ** (2.0 / 3.0)
-        l_diag = np.zeros((r, w.shape[1]))
-        l_diag[:k_svd] = d[:, None] * vt_svd
+        d = spectral.sigma ** (2.0 / 3.0)
+        l_diag = np.zeros((r, n))
+        l_diag[:k_svd] = d[:, None] * spectral.vt
         diag_delta = sensitivity_fn(l_diag)
         if diag_delta > 0:
             l_diag /= diag_delta
-            b_diag = np.zeros((w.shape[0], r))
-            b_diag[:, :k_svd] = u_svd * (sigma_svd * diag_delta / d)
+            b_diag = np.zeros((m, r))
+            b_diag[:, :k_svd] = spectral.u * (spectral.sigma * diag_delta / d)
             _record_candidate(b_diag, l_diag)
+    _phase("init", time.perf_counter() - phase_t0, 4.0 * (m + n) * r * k_svd)
 
+    # --- Phase 1: the outer ALM loop, with Gram-trick residual accounting
+    # (the m x n residual is only materialised at multiplier updates). ---
+    phase1_t0 = time.perf_counter()
+    wsq = float(np.vdot(w, w))  # == 1 after normalisation, kept exact
+    piw = 0.0  # <pi, W>, maintained across multiplier updates
+    lip_vector = None  # warm start for the power-iteration Lipschitz
+    omega_over_beta = None  # final L-step omega of the previous sweep, / beta
+    sweep_flops = 2.0 * r * m * n * 2.0 + 4.0 * r * r * (m + n)
+    phase1_flops = 0.0
     for k in range(1, max_outer + 1):
         if beta > beta_max:
             break
         iterations = k
+        iter_t0 = time.perf_counter()
+        iter_flops = 2.0 * m * n  # target = beta W + pi
+        target = beta * w + pi
         # --- Approximately solve the Lagrangian subproblem (lines 4-6). ---
         previous_value = None
+        res_sq = None
         for _ in range(max_inner):
-            b = _update_b(w, l, pi, beta)
-            objective_fn, gradient_fn = quadratic_l_subproblem(b, w, pi, beta)
+            l_before = l
+            b = _update_b(target, l, beta)
             btb = b.T @ b
-            lipschitz = beta * max(float(np.linalg.eigvalsh(btb)[-1]), 1e-12)
+            btw = b.T @ w
+            bt_target = b.T @ target
+            # Loose value tolerance: on clustered spectra the Rayleigh
+            # quotient stalls inside the top cluster, where its error is
+            # already negligible — and the L-step backtracking absorbs any
+            # residual underestimate.
+            lmax, lip_vector = power_iteration_lmax(btb, v0=lip_vector, tol=1e-6)
+            lipschitz = beta * max(lmax * (1.0 + 1e-6), 1e-12)
+            if omega_over_beta is not None:
+                # Warm-start omega from the previous sweep's accepted value
+                # (beta-normalised): skips the halving descent from the
+                # lambda_max ceiling that otherwise wastes the first
+                # iterations of every sweep on over-damped steps.
+                lipschitz = max(min(lipschitz, omega_over_beta * beta), 1e-12)
             result = nesterov_projected_gradient(
-                objective_fn,
-                gradient_fn,
+                None,
+                None,
                 l,
                 radius=1.0,
                 max_iters=nesterov_iters,
                 lipschitz_init=lipschitz,
                 projection=projection_fn,
+                quadratic=(beta * btb, bt_target),
+                # The outer loop consumes the subproblem value only to
+                # inner_tol relative accuracy; iterating the L-step one
+                # order tighter than that is enough, and far cheaper than
+                # the generic 1e-12 default.
+                objective_tol=inner_tol * 1e-1,
             )
             l = result.solution
-            inner_residual = w - b @ l
+            omega_over_beta = result.final_lipschitz / beta
+            # Gram-trick residual accounting (module docstring, note 3).
+            cross_w = float(np.vdot(btw, l))
+            quad = float(np.vdot(l, btb @ l))
+            res_sq = wsq - 2.0 * cross_w + quad
+            btpi = bt_target - beta * btw
+            pi_residual = piw - float(np.vdot(btpi, l))
             subproblem_value = (
-                0.5 * float(np.sum(b**2))
-                + float(np.sum(pi * inner_residual))
-                + 0.5 * beta * float(np.sum(inner_residual**2))
+                0.5 * float(np.vdot(b, b)) + pi_residual + 0.5 * beta * res_sq
             )
+            iter_flops += sweep_flops + result.iterations * (6.0 * r * r * n + 4.0 * r * n)
             if previous_value is not None:
                 change = abs(previous_value - subproblem_value)
                 if change <= inner_tol * max(abs(previous_value), 1.0):
                     break
             previous_value = subproblem_value
+            # Fixed-point break: the B-step is a deterministic function of
+            # L, so if the L-step no longer moves, further sweeps can only
+            # reproduce the same pair — stop exactly where the seed solver
+            # would have idled.
+            l_move = float(np.linalg.norm(l - l_before))
+            if l_move <= 1e-9 * max(float(np.linalg.norm(l)), 1e-30):
+                break
 
-        # --- Exact Lemma-2 rescaling onto the sensitivity boundary. ---
+        # --- Exact Lemma-2 rescaling onto the sensitivity boundary (an
+        # exact move: B L, and hence the Gram residual, is unchanged). ---
         delta = sensitivity_fn(l)
         if delta > 0:
             b, l = b * delta, l / delta
 
-        residual = w - b @ l
-        tau = float(np.linalg.norm(residual))
-        objective = float(np.sum(b**2))
+        tau = float(np.sqrt(max(res_sq, 0.0)))
+        objective = float(np.vdot(b, b))
         feasible = tau <= phase1_tolerance
-        history.append(
-            {
-                "tau": tau * w_norm,
-                "objective": objective * w_norm**2,
-                "beta": beta,
-                "feasible": feasible,
-            }
-        )
+        beta_used = beta  # the penalty this iteration actually ran with
         if feasible:
             # Judge the candidate by what it will actually become: the
             # exactly-closed pair (residual forced to ~0). Selecting on the
@@ -605,8 +839,9 @@ def decompose_workload(
             # with an exploding B. When the closure is applicable in
             # principle (r >= rank(W)) but this iterate's L has collapsed
             # below rank(W), the iterate is skipped entirely.
-            closure_applicable = svd[3] > 0 and l.shape[0] >= svd[3]
-            closed = _exact_closure(w, l, svd)
+            closure_applicable = spectral.k > 0 and l.shape[0] >= spectral.k
+            closed = _exact_closure(w, l, spectral)
+            iter_flops += 2.0 * r * n * spectral.k + 16.0 * r * spectral.k**2
             candidate = None
             if closed is not None and closed[2] <= closure_tol:
                 candidate_b, candidate_l = closed[0], closed[1]
@@ -634,12 +869,29 @@ def decompose_workload(
             else:
                 stall += 1
             best_tau = min(best_tau, tau)
-            # Infeasible: the paper's penalty and multiplier updates.
+            # Infeasible: the paper's penalty and multiplier updates. Only
+            # here is the dense m x n residual materialised.
             if k % beta_period == 0:
                 beta *= beta_growth
+            residual = w - b @ l
             pi = pi + beta * residual
+            piw = float(np.vdot(pi, w))
+            iter_flops += 2.0 * m * r * n + 4.0 * m * n
+        iter_elapsed = time.perf_counter() - iter_t0
+        phase1_flops += iter_flops
+        history.append(
+            {
+                "tau": tau * w_norm,
+                "objective": objective * w_norm**2,
+                "beta": beta_used,
+                "feasible": feasible,
+                "elapsed": iter_elapsed,
+                "flops": iter_flops,
+            }
+        )
         if stall >= stall_iters:
             break
+    _phase("phase1", time.perf_counter() - phase1_t0, phase1_flops)
 
     if best_pair is not None:
         b, l = best_pair
@@ -648,21 +900,27 @@ def decompose_workload(
     if refine:
         # --- Phase 2: drive the residual down to gamma (the spectral-tail
         # truncation means "down to the dropped tail energy"). ---
+        phase_t0 = time.perf_counter()
         target = max(gamma_scaled, 1e-9)
         b, l, tau = _refine_residual(
-            w, b, l, target, refine_iters, nesterov_iters, svd=svd, projection=projection_fn
+            w, b, l, target, refine_iters, nesterov_iters, svd=spectral, projection=projection_fn
         )
         delta = sensitivity_fn(l)
         if delta > 0:
             b, l = b * delta, l / delta
             tau = float(np.linalg.norm(w - b @ l))
+        refine_elapsed = time.perf_counter() - phase_t0
+        refine_flops = 4.0 * m * r * n
+        _phase("refine", refine_elapsed, refine_flops)
         history.append(
             {
                 "tau": tau * w_norm,
-                "objective": float(np.sum(b**2)) * w_norm**2,
+                "objective": float(np.vdot(b, b)) * w_norm**2,
                 "beta": beta,
                 "feasible": tau <= gamma_scaled,
                 "phase": "refine",
+                "elapsed": refine_elapsed,
+                "flops": refine_flops,
             }
         )
 
@@ -671,6 +929,10 @@ def decompose_workload(
             f"decomposition failed: residual {tau * w_norm:.3e} exceeds ||W||_F; "
             "increase rank or iterations"
         )
+    perf["total"] = {
+        "seconds": time.perf_counter() - total_t0,
+        "flops": sum(entry["flops"] for entry in perf.values()),
+    }
     return Decomposition(
         b=b * w_norm,
         l=l,
@@ -680,4 +942,5 @@ def decompose_workload(
         converged=best_pair is not None or tau <= gamma_scaled,
         history=history,
         norm=str(norm).lower(),
+        perf=perf,
     )

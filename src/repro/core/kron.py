@@ -71,8 +71,22 @@ class KronLowRankMechanism:
         """Decompose both factors; returns ``self``."""
         self._w1 = as_workload(workload1)
         self._w2 = as_workload(workload2)
-        self._dec1 = decompose_workload(self._w1.matrix, **self.solver_kwargs)
-        self._dec2 = decompose_workload(self._w2.matrix, **self.solver_kwargs)
+        # Each factor workload shares its memoized spectral cache with the
+        # solver (see repro.core.alm performance notes) under the same
+        # gating as LowRankMechanism, so large explicit-rank factors keep
+        # the randomized range-finder path. A caller-provided "svd" could
+        # only describe one factor, so it is ignored here.
+        from repro.core.lrm import spectral_cache_for_fit
+
+        kwargs = dict(self.solver_kwargs)
+        kwargs.pop("svd", None)
+        rank = kwargs.get("rank")
+        self._dec1 = decompose_workload(
+            self._w1.matrix, svd=spectral_cache_for_fit(self._w1, rank), **kwargs
+        )
+        self._dec2 = decompose_workload(
+            self._w2.matrix, svd=spectral_cache_for_fit(self._w2, rank), **kwargs
+        )
         return self
 
     def _check_fitted(self):

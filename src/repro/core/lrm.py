@@ -28,12 +28,29 @@ import numpy as np
 
 from repro.core.alm import decompose_workload
 from repro.core.bounds import lrm_error_upper_bound
+from repro.linalg.randomized import RANDOMIZED_SVD_MIN_DIM
 from repro.exceptions import NotFittedError
 from repro.linalg.validation import as_vector, check_positive, check_positive_int
 from repro.mechanisms.base import Mechanism
 from repro.privacy.noise import laplace_noise
 
-__all__ = ["LowRankMechanism", "GaussianLowRankMechanism"]
+__all__ = ["LowRankMechanism", "GaussianLowRankMechanism", "spectral_cache_for_fit"]
+
+
+def spectral_cache_for_fit(workload, rank):
+    """The workload's spectral cache to hand the solver, or ``None``.
+
+    Reuses an already-memoized ``Workload.thin_svd``; otherwise computes it
+    only when an exact factorisation is the right tool anyway (automatic
+    rank discovery, or a matrix small enough that LAPACK beats a sketch).
+    With an explicit ``rank`` on a large matrix this returns ``None`` so
+    :func:`repro.core.alm.decompose_workload` stays free to take its
+    cheaper randomized range-finder path.
+    """
+    svd = workload.cached_thin_svd
+    if svd is None and (rank is None or min(workload.shape) <= RANDOMIZED_SVD_MIN_DIM):
+        svd = workload.thin_svd
+    return svd
 
 
 class LowRankMechanism(Mechanism):
@@ -97,8 +114,13 @@ class LowRankMechanism(Mechanism):
     # Fitting
     # ------------------------------------------------------------------ #
     def _fit(self, workload):
+        # Share the workload's memoized spectral cache: the fit then
+        # performs no dense SVD of W at all, and repeated fits on the same
+        # workload (parameter sweeps, engine releases) reuse one
+        # factorisation.
         self._decomposition = decompose_workload(
             workload.matrix,
+            svd=spectral_cache_for_fit(workload, self.rank),
             rank=self.rank,
             rank_ratio=self.rank_ratio,
             gamma=self.gamma,

@@ -15,6 +15,14 @@ the classic ``delta`` momentum recursion. The feasible-set projection
 The solver here is written generically (objective/gradient callables) so it
 is unit-testable on arbitrary constrained quadratics; :mod:`repro.core.alm`
 instantiates it with the Formula-10 quantities.
+
+Hot-path note: ``quadratic=(K, C)`` declares the objective to be exactly
+``1/2 <L, K L> - <C, L>`` (the Formula-10 form) and dispatches to a
+specialised loop (:func:`_nesterov_quadratic`) that runs the same
+backtracking schedule with cached Hessian products: no objective
+evaluations, one matmul per trial. The ALM solver always uses this path,
+with ``lipschitz_init`` from warm-started power iteration
+(:func:`repro.linalg.randomized.power_iteration_lmax`).
 """
 
 from __future__ import annotations
@@ -53,6 +61,114 @@ class NesterovResult:
     iterations: int
     converged: bool
     objective_history: list = field(default_factory=list)
+    #: Final accepted Lipschitz estimate omega — callers solving a sequence
+    #: of slowly-moving subproblems can warm-start the next solve with it
+    #: instead of descending from the global lambda_max ceiling again.
+    final_lipschitz: float = None
+
+
+def _nesterov_quadratic(
+    k_matrix,
+    linear,
+    initial,
+    radius,
+    max_iters,
+    omega,
+    chi,
+    objective_tol,
+    projection,
+):
+    """Specialised backtracking loop for ``G(L) = 1/2 <L, K L> - <C, L>``.
+
+    Runs the same adaptive omega schedule as the generic loop (halve between
+    iterations, double until the quadratic model majorises) but exploits the
+    objective being exactly quadratic:
+
+    * the Hessian product at the extrapolated point is the momentum
+      combination ``K s = kx_t + momentum (kx_t - kx_{t-1})`` of cached
+      products, so the gradient needs no matmul;
+    * the majorisation test ``G(cand) <= J_omega(cand)`` reduces to
+      ``<d, K d> <= omega <d, d>`` with ``d = cand - s`` — one matmul per
+      trial and no objective evaluations;
+    * the accepted iterate's product is ``K cand = K s + K d``, for free,
+      which also makes the stopping-rule objective two dot products.
+    """
+    current = projection(initial, radius)
+    kx_current = k_matrix @ current
+    kx_previous = kx_current
+    previous = current
+    delta_prev, delta = 0.0, 1.0
+    history = [0.5 * float(np.vdot(current, kx_current)) - float(np.vdot(linear, current))]
+    converged = False
+    iterations = 0
+    flat_steps = 0
+
+    for iterations in range(1, max_iters + 1):
+        if current is previous:
+            extrapolated = current
+            ks = kx_current
+            grad_s = kx_current - linear
+        else:
+            momentum = (delta_prev - 1.0) / delta
+            extrapolated = np.subtract(current, previous)
+            extrapolated *= momentum
+            extrapolated += current
+            ks = np.subtract(kx_current, kx_previous)
+            ks *= momentum
+            ks += kx_current
+            grad_s = ks - linear
+
+        # Backtracking: double omega until the quadratic model majorises G.
+        accepted = None
+        for _ in range(60):
+            candidate = projection(extrapolated - grad_s / omega, radius)
+            difference = np.subtract(candidate, extrapolated)
+            k_difference = k_matrix @ difference
+            curvature = float(np.vdot(difference, k_difference))
+            step_sq = float(np.vdot(difference, difference))
+            if curvature <= omega * step_sq + 1e-12 * max(abs(omega * step_sq), 1.0):
+                accepted = candidate
+                break
+            omega *= 2.0
+        if accepted is None:  # pragma: no cover - omega doubling always terminates
+            accepted = candidate
+        kx_accepted = ks + k_difference
+        objective_accepted = 0.5 * float(np.vdot(accepted, kx_accepted)) - float(
+            np.vdot(linear, accepted)
+        )
+
+        step_norm = float(np.sqrt(step_sq))
+        previous, current = current, accepted
+        kx_previous, kx_current = kx_current, kx_accepted
+        history.append(objective_accepted)
+        if step_norm < chi:
+            converged = True
+            break
+        change = abs(history[-1] - history[-2])
+        if change <= objective_tol * max(abs(history[-2]), 1e-30):
+            flat_steps += 1
+            if flat_steps >= 3:
+                converged = True
+                break
+        else:
+            flat_steps = 0
+        delta_prev, delta = delta, (1.0 + np.sqrt(1.0 + 4.0 * delta * delta)) / 2.0
+        # Evidence-gated shrink: the generic loop probes omega/2 blindly
+        # every iteration, paying a rejected projection + Hessian product
+        # almost every time. Here the accepted step's own curvature ratio
+        # <d, K d>/<d, d> tells us — for free — whether the halved model
+        # would have majorised this step; only then is the shrink taken.
+        if curvature <= 0.5 * omega * step_sq:
+            omega = max(omega * 0.5, 1e-12)
+
+    return NesterovResult(
+        solution=current,
+        objective=history[-1],
+        iterations=iterations,
+        converged=converged,
+        objective_history=history,
+        final_lipschitz=omega,
+    )
 
 
 def nesterov_projected_gradient(
@@ -65,6 +181,7 @@ def nesterov_projected_gradient(
     tol=None,
     objective_tol=1e-12,
     projection=None,
+    quadratic=None,
 ):
     """Minimise ``objective`` over per-column L1 balls (Algorithm 2).
 
@@ -93,6 +210,13 @@ def nesterov_projected_gradient(
         per-column L1-ball projection of the paper. Pass
         :func:`repro.linalg.projection.project_columns_l2` for the
         Gaussian / (eps, delta)-DP variant.
+    quadratic:
+        Optional pair ``(K, C)`` declaring the objective to be exactly
+        ``G(L) = 1/2 <L, K L> - <C, L>`` (the Formula-10 form); makes
+        ``objective``/``gradient`` optional. A specialised loop with the
+        same backtracking schedule caches the Hessian product ``K L``
+        across iterations, so each trial needs one matmul and no objective
+        evaluations (see :func:`_nesterov_quadratic`).
 
     Returns
     -------
@@ -110,8 +234,22 @@ def nesterov_projected_gradient(
     if chi < 0:
         raise ValidationError(f"tol must be non-negative, got {chi}")
 
+    if quadratic is not None:
+        k_matrix, linear = quadratic
+        return _nesterov_quadratic(
+            as_matrix(k_matrix, "K"),
+            as_matrix(linear, "C"),
+            initial,
+            radius,
+            max_iters,
+            omega,
+            chi,
+            objective_tol,
+            projection,
+        )
+
     current = projection(initial, radius)
-    previous = current.copy()
+    previous = current
     delta_prev, delta = 0.0, 1.0
     history = [float(objective(current))]
     converged = False
@@ -119,32 +257,48 @@ def nesterov_projected_gradient(
     flat_steps = 0
 
     for iterations in range(1, max_iters + 1):
-        momentum = (delta_prev - 1.0) / delta
-        extrapolated = current + momentum * (current - previous)
-        grad_s = gradient(extrapolated)
-        objective_s = float(objective(extrapolated))
+        if current is previous:
+            # First iteration (or zero momentum): the extrapolated point is
+            # the current iterate, whose objective is already in history —
+            # no need to re-evaluate it for the backtracking model.
+            extrapolated = current
+            objective_s = history[-1]
+            grad_s = gradient(extrapolated)
+        else:
+            momentum = (delta_prev - 1.0) / delta
+            extrapolated = current + momentum * (current - previous)
+            grad_s = gradient(extrapolated)
+            objective_s = None  # evaluated lazily, only if backtracking needs it
 
         # Backtracking: double omega until the quadratic model majorises G.
+        if objective_s is None:
+            objective_s = float(objective(extrapolated))
         accepted = None
         for _ in range(60):
             candidate = projection(extrapolated - grad_s / omega, radius)
             difference = candidate - extrapolated
             model = (
                 objective_s
-                + float(np.sum(grad_s * difference))
-                + 0.5 * omega * float(np.sum(difference**2))
+                + float(np.vdot(grad_s, difference))
+                + 0.5 * omega * float(np.vdot(difference, difference))
             )
             objective_candidate = float(objective(candidate))
             if objective_candidate <= model + 1e-12 * max(abs(model), 1.0):
                 accepted = candidate
+                objective_accepted = objective_candidate
                 break
             omega *= 2.0
         if accepted is None:  # pragma: no cover - omega doubling always terminates
+            # Backtracking exhausted: keep the last candidate but record
+            # its true objective (the model was rejected, the objective
+            # value itself is still exact for *this* candidate).
             accepted = candidate
+            objective_accepted = float(objective(accepted))
 
-        step_norm = float(np.linalg.norm(accepted - extrapolated))
+        step = accepted - extrapolated
+        step_norm = float(np.sqrt(np.vdot(step, step)))
         previous, current = current, accepted
-        history.append(objective_candidate)
+        history.append(objective_accepted)
         if step_norm < chi:
             converged = True
             break
@@ -166,6 +320,7 @@ def nesterov_projected_gradient(
         iterations=iterations,
         converged=converged,
         objective_history=history,
+        final_lipschitz=omega,
     )
 
 
@@ -178,19 +333,22 @@ def quadratic_l_subproblem(b, w, pi, beta):
         dG/dL    = beta * B^T B L - B^T (beta W + pi)
 
     Returns ``(objective, gradient)`` closures over precomputed products.
+    (The ALM hot loop bypasses this helper and feeds its cached Gram
+    products straight into the ``quadratic=(K, C)`` fast path.)
     """
     b = as_matrix(b, "B")
     w = as_matrix(w, "W")
     pi = as_matrix(pi, "pi")
     beta = check_positive(beta, "beta")
-    btb = b.T @ b
     bt_target = b.T @ (beta * w + pi)
+    # Fold beta into the Hessian once: G(L) = 1/2 <L, K L> - <C, L>.
+    k_matrix = beta * (b.T @ b)
 
     def objective(l):
-        # tr(L^T B^T B L) = <L, (B^T B) L>: O(r^2 n), avoiding the m x n product.
-        return 0.5 * beta * float(np.sum(l * (btb @ l))) - float(np.sum(bt_target * l))
+        # tr(L^T K L) = <L, K L>: O(r^2 n), avoiding the m x n product.
+        return 0.5 * float(np.vdot(l, k_matrix @ l)) - float(np.vdot(bt_target, l))
 
     def gradient(l):
-        return beta * (btb @ l) - bt_target
+        return k_matrix @ l - bt_target
 
     return objective, gradient

@@ -121,8 +121,11 @@ class PrivateQueryEngine:
     # Fitting / cache
     # ------------------------------------------------------------------ #
     def _workload_key(self, workload):
-        matrix = workload.matrix
-        return f"{workload.shape[0]}x{workload.shape[1]}:{hash(matrix.tobytes())}"
+        # SHA-1 content digest memoized on the Workload: stable across
+        # processes (the builtin hash is salted per run, which broke
+        # cross-run audit-log comparison) and computed once per workload
+        # instead of re-serializing the matrix on every prepare/answer call.
+        return f"{workload.shape[0]}x{workload.shape[1]}:{workload.content_digest}"
 
     def prepare(self, workload, epsilon_hint=0.1, mechanism="auto"):
         """Fit (and cache) the mechanism for a workload without answering.

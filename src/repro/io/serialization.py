@@ -39,6 +39,7 @@ def save_decomposition(decomposition, path):
         "converged": decomposition.converged,
         "norm": decomposition.norm,
         "history": decomposition.history,
+        "perf": decomposition.perf,
     }
     np.savez_compressed(
         path,
@@ -70,6 +71,7 @@ def load_decomposition(path):
         converged=bool(metadata["converged"]),
         history=list(metadata.get("history", [])),
         norm=str(metadata.get("norm", "l1")),
+        perf=dict(metadata.get("perf", {})),
     )
 
 

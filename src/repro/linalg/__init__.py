@@ -16,6 +16,11 @@ from repro.linalg.projection import (
     project_l1_ball,
     project_simplex,
 )
+from repro.linalg.randomized import (
+    RANDOMIZED_SVD_MIN_DIM,
+    power_iteration_lmax,
+    randomized_svd,
+)
 from repro.linalg.svd import (
     effective_rank,
     eigenvalue_ratio,
@@ -65,10 +70,13 @@ __all__ = [
     "low_rank_approximation",
     "matrix_rank",
     "next_power_of_two",
+    "power_iteration_lmax",
     "project_columns_l1",
     "project_columns_l2",
     "project_l1_ball",
     "project_simplex",
+    "randomized_svd",
+    "RANDOMIZED_SVD_MIN_DIM",
     "singular_values",
     "svd_decomposition",
     "tree_apply",

@@ -1,0 +1,156 @@
+"""Randomized spectral kernels for the solver hot path.
+
+Two primitives keep :func:`repro.core.alm.decompose_workload` off the dense
+LAPACK path when matrices grow:
+
+* :func:`randomized_svd` — a seeded Halko–Martinsson–Tropp range-finder SVD
+  (Gaussian sketch + power/subspace iteration + small exact SVD). Below a
+  size threshold, or when the requested rank is a large fraction of the
+  small dimension, it transparently falls back to exact
+  ``numpy.linalg.svd`` — at those sizes LAPACK is both faster and exact, so
+  callers never pay for the approximation when it cannot win.
+* :func:`power_iteration_lmax` — the top eigenvalue (Lipschitz constant of
+  the Formula-10 gradient) of a symmetric PSD Gram matrix by power
+  iteration, warm-startable from a previous eigenvector so repeated calls
+  on slowly-moving ``B^T B`` converge in a handful of matvecs instead of a
+  full ``eigvalsh``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_matrix, check_positive, check_positive_int, ensure_rng
+
+__all__ = ["randomized_svd", "power_iteration_lmax", "RANDOMIZED_SVD_MIN_DIM"]
+
+#: Below this small dimension, exact LAPACK SVD beats the sketch.
+RANDOMIZED_SVD_MIN_DIM = 192
+
+
+def randomized_svd(matrix, rank, oversample=10, n_iter=4, rng=None, min_dim=None):
+    """Approximate thin SVD ``(U, sigma, Vt)`` truncated to ``rank`` factors.
+
+    Implements the randomized range finder of Halko, Martinsson & Tropp
+    (2011): sketch ``Y = W Omega`` with a Gaussian test matrix of
+    ``rank + oversample`` columns, improve the basis with ``n_iter``
+    QR-stabilised power iterations (``Y <- W (W^T Q)``), then take the exact
+    SVD of the small projected matrix ``Q^T W``.
+
+    Parameters
+    ----------
+    matrix:
+        The (m x n) matrix to factor.
+    rank:
+        Number of leading singular triplets wanted.
+    oversample:
+        Extra sketch columns beyond ``rank`` (HMT recommend 5-10).
+    n_iter:
+        Power-iteration count; each sharpens the spectral gap, and 2-4
+        suffice for the fast-decaying spectra of workload matrices.
+    rng:
+        Seed or generator for the Gaussian sketch (deterministic results
+        for a fixed seed).
+    min_dim:
+        Fallback threshold: when ``min(m, n)`` is at most this (default
+        :data:`RANDOMIZED_SVD_MIN_DIM`), or the sketch would cover most of
+        the small dimension anyway, the exact LAPACK SVD is used.
+
+    Returns
+    -------
+    tuple
+        ``(u, sigma, vt)`` with ``u`` (m x k), ``sigma`` (k,), ``vt``
+        (k x n) and ``k = min(rank, m, n)``.
+    """
+    w = as_matrix(matrix, "matrix")
+    rank = check_positive_int(rank, "rank")
+    oversample = check_positive_int(oversample, "oversample")
+    if n_iter < 0 or int(n_iter) != n_iter:
+        raise ValidationError(f"n_iter must be a non-negative integer, got {n_iter}")
+    if min_dim is None:
+        min_dim = RANDOMIZED_SVD_MIN_DIM
+    m, n = w.shape
+    small = min(m, n)
+    k = min(rank, small)
+    sketch = min(k + oversample, small)
+    if small <= min_dim or sketch >= 0.8 * small:
+        u, sigma, vt = np.linalg.svd(w, full_matrices=False)
+        return u[:, :k], sigma[:k], vt[:k, :]
+
+    rng = ensure_rng(rng)
+    y = w @ rng.standard_normal((n, sketch))
+    for _ in range(int(n_iter)):
+        q, _ = np.linalg.qr(y)
+        y = w @ (w.T @ q)
+    q, _ = np.linalg.qr(y)
+    u_small, sigma, vt = np.linalg.svd(q.T @ w, full_matrices=False)
+    return (q @ u_small)[:, :k], sigma[:k], vt[:k, :]
+
+
+def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200):
+    """Top eigenvalue and eigenvector of a symmetric PSD matrix.
+
+    Classic power iteration with a relative-change stopping rule. Intended
+    for the Nesterov Lipschitz constant ``lambda_max(B^T B)``: across block
+    sweeps ``B`` moves slowly, so warm-starting ``v0`` from the previous
+    sweep's eigenvector typically converges in a few matvecs (geometric
+    rate ``(lambda_2 / lambda_1)^2`` from an already-aligned start).
+
+    Parameters
+    ----------
+    gram:
+        Symmetric positive semi-definite (r x r) matrix.
+    v0:
+        Optional warm-start vector (length r); any non-zero vector works.
+        ``None`` uses a deterministic slanted start (never the zero vector,
+        and extremely unlikely to be orthogonal to the top eigenspace).
+    tol:
+        Relative eigenvalue-change stopping threshold.
+    max_iters:
+        Iteration cap.
+
+    Returns
+    -------
+    tuple
+        ``(lmax, v)`` — the eigenvalue estimate (monotonically approached
+        from below) and the unit eigenvector, reusable as the next ``v0``.
+    """
+    g = as_matrix(gram, "gram")
+    if g.shape[0] != g.shape[1]:
+        raise ValidationError(f"gram must be square, got shape {g.shape}")
+    tol = check_positive(tol, "tol")
+    max_iters = check_positive_int(max_iters, "max_iters")
+    r = g.shape[0]
+    if v0 is not None:
+        v = np.asarray(v0, dtype=np.float64).ravel()
+        if v.size != r or not np.all(np.isfinite(v)) or float(v @ v) == 0.0:
+            v = None
+        else:
+            v = v / np.linalg.norm(v)
+    else:
+        v = None
+    if v is None:
+        # Deterministic, non-uniform start: overlaps every coordinate
+        # direction with distinct weights.
+        v = np.linspace(1.0, 2.0, r)
+        v /= np.linalg.norm(v)
+
+    lmax = 0.0
+    for _ in range(max_iters):
+        gv = g @ v
+        norm_sq = float(gv @ gv)
+        if norm_sq <= 0.0:
+            # v is in the null space; restart from the deterministic slant.
+            v = np.linspace(1.0, 2.0, r)
+            v /= np.linalg.norm(v)
+            gv = g @ v
+            norm_sq = float(gv @ gv)
+            if norm_sq <= 0.0:
+                return 0.0, v
+        new_lmax = float(v @ gv)
+        v = gv / np.sqrt(norm_sq)
+        if abs(new_lmax - lmax) <= tol * max(abs(new_lmax), 1e-30):
+            return new_lmax, v
+        lmax = new_lmax
+    return lmax, v

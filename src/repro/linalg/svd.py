@@ -24,9 +24,23 @@ __all__ = [
     "effective_rank",
     "eigenvalue_ratio",
     "low_rank_approximation",
+    "rank_tolerance",
     "svd_decomposition",
     "frobenius_norm",
 ]
+
+
+def rank_tolerance(shape, singular_values_desc):
+    """Numpy's standard numerical-rank cutoff ``max(m, n) * eps * sigma_max``.
+
+    The single definition shared by every site that counts singular values
+    above the noise floor (``choose_rank``, the solver's spectral cache,
+    the exact closure's rank test, ``Workload.rank``), so they always agree
+    on the rank of the same matrix.
+    """
+    sigma = np.asarray(singular_values_desc)
+    leading = float(sigma[0]) if sigma.size else 0.0
+    return max(shape) * np.finfo(np.float64).eps * leading
 
 
 def singular_values(matrix):

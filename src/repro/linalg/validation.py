@@ -42,6 +42,15 @@ def as_matrix(value, name="matrix", allow_sparse=False):
     numpy.ndarray or scipy.sparse.csr_matrix
         A 2-D array with dtype float64 and at least one row and column.
     """
+    if type(value) is np.ndarray and value.dtype == np.float64 and value.ndim == 2:
+        # Fast path for the solver hot loop: already a dense 2-D float64
+        # array, so only the cheap semantic checks remain.
+        if value.shape[0] == 0 or value.shape[1] == 0:
+            raise ValidationError(f"{name} must be non-empty, got shape {value.shape}")
+        if not np.isfinite(value).all():
+            raise ValidationError(f"{name} contains NaN or infinite entries")
+        return value
+
     if sp.issparse(value):
         if not allow_sparse:
             raise ValidationError(f"{name} must be dense, got sparse matrix")

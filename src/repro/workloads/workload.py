@@ -10,10 +10,12 @@ is self-describing.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.linalg.svd import eigenvalue_ratio, matrix_rank, singular_values
+from repro.linalg.svd import eigenvalue_ratio, rank_tolerance, singular_values
 from repro.linalg.validation import as_matrix, as_vector, check_shape_compatible
 from repro.privacy.sensitivity import l1_sensitivity
 
@@ -47,6 +49,8 @@ class Workload:
         self._rank = None
         self._singular_values = None
         self._sensitivity = None
+        self._thin_svd = None
+        self._content_digest = None
 
     # ------------------------------------------------------------------ #
     # Basic shape / access
@@ -80,7 +84,23 @@ class Workload:
         return self.shape == other.shape and np.array_equal(self._matrix, other._matrix)
 
     def __hash__(self):
-        return hash((self.name, self.shape, self._matrix.tobytes()))
+        return hash((self.name, self.shape, self.content_digest))
+
+    @property
+    def content_digest(self):
+        """Memoized SHA-1 hex digest of the matrix bytes (plus shape).
+
+        Unlike the builtin ``hash``, this is stable across processes (no
+        per-run salting), so cache keys and audit logs built from it can be
+        compared between runs; memoization means the matrix is serialized
+        once, not on every cache lookup.
+        """
+        if self._content_digest is None:
+            digest = hashlib.sha1()
+            digest.update(repr(self.shape).encode())
+            digest.update(np.ascontiguousarray(self._matrix).tobytes())
+            self._content_digest = digest.hexdigest()
+        return self._content_digest
 
     # ------------------------------------------------------------------ #
     # Query answering
@@ -101,10 +121,37 @@ class Workload:
     # Cached spectral quantities
     # ------------------------------------------------------------------ #
     @property
+    def thin_svd(self):
+        """Memoized thin SVD ``(U, sigma, Vt)`` of ``W`` — the shared
+        spectral cache. Every spectral property below derives from this one
+        factorisation, and :class:`repro.core.lrm.LowRankMechanism` threads
+        it into :func:`repro.core.alm.decompose_workload` so a fit performs
+        no dense SVD of ``W`` at all."""
+        if self._thin_svd is None:
+            u, sigma, vt = np.linalg.svd(self._matrix, full_matrices=False)
+            for factor in (u, sigma, vt):
+                factor.setflags(write=False)
+            self._thin_svd = (u, sigma, vt)
+            if self._singular_values is None:
+                self._singular_values = sigma
+        return self._thin_svd
+
+    @property
+    def cached_thin_svd(self):
+        """The memoized thin-SVD triple if already computed, else ``None``.
+
+        Lets callers (e.g. the Low-Rank Mechanism) reuse an existing cache
+        without forcing a full factorisation when a cheaper randomized one
+        would do on a large matrix."""
+        return self._thin_svd
+
+    @property
     def rank(self):
-        """Numerical rank of ``W`` (Section 3.3)."""
+        """Numerical rank of ``W`` (Section 3.3) — derived from the cached
+        singular values with numpy's standard tolerance."""
         if self._rank is None:
-            self._rank = matrix_rank(self._matrix)
+            sigma = self.singular_values
+            self._rank = int(np.sum(sigma > rank_tolerance(self.shape, sigma)))
         return self._rank
 
     @property

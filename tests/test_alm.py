@@ -160,6 +160,111 @@ class TestDecomposeWorkload:
             100 * a.expected_noise_error(1.0), rel=0.15
         )
 
+    def test_exact_closure_guards_ill_conditioned_g(self):
+        # An L whose G = L V is near-singular (sigma_min barely above the
+        # rank tolerance) must not be reported as an exact closure: the
+        # computed pseudo-inverse leaves an O(eps * kappa) defect that the
+        # returned residual has to reflect (the historical dense check did).
+        from repro.core.alm import _exact_closure, _thin_svd
+
+        rng = np.random.default_rng(0)
+        k = 5
+        w = rng.standard_normal((20, k)) @ rng.standard_normal((k, 30))
+        spectral = _thin_svd(w)
+        q1, _ = np.linalg.qr(rng.standard_normal((k, k)))
+        q2, _ = np.linalg.qr(rng.standard_normal((k, k)))
+        g_bad = q1 @ np.diag([1.0, 1.0, 1.0, 1.0, 1e-13]) @ q2
+        closed = _exact_closure(w, g_bad @ spectral.vt, spectral)
+        if closed is not None:
+            b, l_exact, tau = closed
+            true_tau = float(np.linalg.norm(w - b @ l_exact))
+            assert tau >= 0.5 * true_tau
+            assert tau > 1e-4 * np.linalg.norm(w)  # nowhere near "exact"
+        # A well-conditioned G still closes to the spectral tail.
+        g_ok = q1 @ np.diag([1.0, 0.8, 0.5, 0.3, 0.2]) @ q2
+        b, l_exact, tau = _exact_closure(w, g_ok @ spectral.vt, spectral)
+        assert tau <= 1e-10 * np.linalg.norm(w)
+        assert np.linalg.norm(w - b @ l_exact) <= 1e-10 * np.linalg.norm(w)
+
+    def test_single_dense_svd_per_call(self):
+        # The shared spectral cache: exactly ONE dense SVD of W per
+        # decompose_workload call (closure pseudo-inverses factor small
+        # r x k matrices, never W itself).
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        calls = {"w_sized": 0}
+        original_svd = np.linalg.svd
+
+        def counting_svd(matrix, *args, **kwargs):
+            if getattr(matrix, "shape", None) == w.shape:
+                calls["w_sized"] += 1
+            return original_svd(matrix, *args, **kwargs)
+
+        try:
+            np.linalg.svd = counting_svd
+            decompose_workload(w, **FAST)
+        finally:
+            np.linalg.svd = original_svd
+        assert calls["w_sized"] == 1
+
+    def test_no_dense_svd_when_cache_provided(self):
+        w = wrelated(10, 20, s=3, seed=0).matrix
+        svd = np.linalg.svd(w, full_matrices=False)
+        calls = {"w_sized": 0}
+        original_svd = np.linalg.svd
+
+        def counting_svd(matrix, *args, **kwargs):
+            if getattr(matrix, "shape", None) == w.shape:
+                calls["w_sized"] += 1
+            return original_svd(matrix, *args, **kwargs)
+
+        try:
+            np.linalg.svd = counting_svd
+            decompose_workload(w, svd=svd, **FAST)
+        finally:
+            np.linalg.svd = original_svd
+        assert calls["w_sized"] == 0
+
+    def test_cache_matches_no_cache(self):
+        # use_cache=False recomputes every factorization independently; the
+        # results must agree with the cached single-SVD path.
+        for seed in (0, 3):
+            w = wrelated(12, 24, s=4, seed=seed).matrix
+            cached = decompose_workload(w, seed=1, use_cache=True, **FAST)
+            uncached = decompose_workload(w, seed=1, use_cache=False, **FAST)
+            assert cached.objective == pytest.approx(uncached.objective, rel=1e-6)
+            assert cached.residual_norm == pytest.approx(
+                uncached.residual_norm, abs=1e-8 * np.linalg.norm(w)
+            )
+            assert np.allclose(cached.b, uncached.b, atol=1e-6)
+            assert np.allclose(cached.l, uncached.l, atol=1e-6)
+
+    def test_precomputed_svd_accepted_and_equivalent(self):
+        # A caller-provided thin SVD of the *unnormalised* W must yield a
+        # decomposition of the same quality. (Not bit-identical: scaling
+        # the cached sigma by 1/||W|| differs from factoring W/||W|| in the
+        # last ulp, which the bi-convex trajectory can amplify; the solver
+        # contract is solution quality, not trajectory.)
+        w = wrelated(12, 24, s=4, seed=5).matrix
+        internal = decompose_workload(w, seed=1, **FAST)
+        external = decompose_workload(
+            w, seed=1, svd=np.linalg.svd(w, full_matrices=False), **FAST
+        )
+        assert external.objective == pytest.approx(internal.objective, rel=0.05)
+        assert external.residual_norm <= 1e-6 * np.linalg.norm(w)
+        assert np.all(np.abs(external.l).sum(axis=0) <= 1 + 1e-8)
+
+    def test_perf_counters_populated(self):
+        w = wrelated(8, 16, s=2, seed=3).matrix
+        dec = decompose_workload(w, **FAST)
+        assert {"spectral", "init", "phase1", "refine", "total"} <= set(dec.perf)
+        for entry in dec.perf.values():
+            assert entry["seconds"] >= 0.0
+            assert entry["flops"] >= 0.0
+        assert dec.perf["total"]["seconds"] > 0.0
+        # Every phase-1 history entry carries wall-clock + FLOP-proxy keys.
+        for entry in dec.history:
+            assert "elapsed" in entry and "flops" in entry
+
     def test_restarts_never_worse(self):
         w = np.array(
             [

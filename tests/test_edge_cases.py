@@ -33,8 +33,9 @@ class TestDegenerateWorkloads:
     def test_single_query_lrm(self):
         w = Workload([[1.0, 2.0, 3.0]])
         mech = LowRankMechanism(**FAST).fit(w)
-        # Default ratio 1.2 over rank 1 -> ceil(1.2) = 2 strategy rows.
-        assert mech.effective_rank == 2
+        # Default ratio 1.2 over rank 1 -> ceil(1.2) = 2, clamped to the
+        # single query row: extra columns in B beyond m never help.
+        assert mech.effective_rank == 1
         assert np.isfinite(mech.answer(np.ones(3), 1.0, rng=0)).all()
 
     def test_workload_with_zero_rows(self):

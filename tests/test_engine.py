@@ -95,6 +95,23 @@ class TestPrivateQueryEngine:
         assert engine.can_answer(0.3)
         assert not engine.can_answer(0.31)
 
+    def test_workload_key_stable_and_digest_based(self):
+        engine = self._engine()
+        wl = wrange(6, 64, seed=0)
+        key = engine._workload_key(wl)
+        # Shape prefix + the workload's memoized sha1 digest: deterministic
+        # across engines and processes (the builtin hash is salted per run).
+        assert key == f"6x64:{wl.content_digest}"
+        assert engine._workload_key(wl) == key
+        other = PrivateQueryEngine(np.arange(64.0), total_budget=1.0, seed=9)
+        assert other._workload_key(wrange(6, 64, seed=0)) == key
+
+    def test_release_workload_key_matches_prepare_cache(self):
+        engine = self._engine()
+        wl = wrange(6, 64, seed=0)
+        release = engine.answer_workload(wl, epsilon=0.25, mechanism="LM")
+        assert release.workload_key == engine._workload_key(wl)
+
     def test_auto_selection_on_low_rank(self):
         engine = self._engine()
         release = engine.answer_workload(wrelated(8, 64, s=2, seed=1), epsilon=0.25)

@@ -98,6 +98,72 @@ class TestNesterovSolver:
         assert np.all(np.sqrt(np.sum(result.solution**2, axis=0)) <= 1 + 1e-8)
 
 
+class TestQuadraticFastPath:
+    """The quadratic=(K, C) specialised loop must agree with the generic
+    closure-driven loop: same schedule, same math, cached Hessian products."""
+
+    def _problem(self, seed, r=4, n=6):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((8, r))
+        k_matrix = b.T @ b
+        linear = rng.standard_normal((r, n))
+        objective = lambda l: 0.5 * float(np.vdot(l, k_matrix @ l)) - float(
+            np.vdot(linear, l)
+        )
+        gradient = lambda l: k_matrix @ l - linear
+        return k_matrix, linear, objective, gradient
+
+    def test_matches_generic_loop(self):
+        k_matrix, linear, objective, gradient = self._problem(0)
+        start = np.zeros((4, 6))
+        lipschitz = float(np.linalg.eigvalsh(k_matrix)[-1])
+        generic = nesterov_projected_gradient(
+            objective, gradient, start, max_iters=200, lipschitz_init=lipschitz
+        )
+        fast = nesterov_projected_gradient(
+            None, None, start, max_iters=200, lipschitz_init=lipschitz,
+            quadratic=(k_matrix, linear),
+        )
+        # Identical minimisation problem: both land on the same solution.
+        assert np.allclose(fast.solution, generic.solution, atol=1e-6)
+        assert fast.objective == pytest.approx(generic.objective, abs=1e-9)
+
+    def test_solution_feasible(self):
+        k_matrix, linear, _, _ = self._problem(1)
+        result = nesterov_projected_gradient(
+            None, None, np.zeros((4, 6)), max_iters=300,
+            lipschitz_init=float(np.linalg.eigvalsh(k_matrix)[-1]),
+            quadratic=(k_matrix, linear),
+        )
+        assert np.all(np.abs(result.solution).sum(axis=0) <= 1 + 1e-9)
+
+    def test_final_lipschitz_returned(self):
+        k_matrix, linear, _, _ = self._problem(2)
+        result = nesterov_projected_gradient(
+            None, None, np.zeros((4, 6)), max_iters=50, lipschitz_init=10.0,
+            quadratic=(k_matrix, linear),
+        )
+        assert result.final_lipschitz is not None
+        assert result.final_lipschitz > 0
+
+    def test_first_iteration_skips_redundant_objective_eval(self):
+        # The extrapolated point of iteration 1 IS the initial iterate, so
+        # its objective must be reused from history, not re-evaluated.
+        target = np.full((3, 2), 0.05)
+        calls = {"count": 0}
+
+        def objective(l):
+            calls["count"] += 1
+            return 0.5 * float(np.sum((l - target) ** 2))
+
+        nesterov_projected_gradient(
+            objective, lambda l: l - target, np.zeros((3, 2)), max_iters=1
+        )
+        # history[0] + one backtracking trial — no second eval at the
+        # (identical) extrapolated point.
+        assert calls["count"] == 2
+
+
 class TestQuadraticLSubproblem:
     def test_objective_matches_formula(self):
         rng = np.random.default_rng(4)

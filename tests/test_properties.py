@@ -16,7 +16,14 @@ from repro.linalg.projection import project_columns_l1, project_l1_ball, project
 from repro.linalg.trees import tree_apply, tree_apply_transpose, tree_consistency, tree_matrix
 from repro.privacy.sensitivity import l1_sensitivity, scale_to_sensitivity
 
-_floats = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+# Tiny magnitudes (e.g. 1e-160) square into subnormals, where the
+# relative-tolerance identities under test (Lemma 2 invariance, linear
+# sensitivity scaling) cannot hold to 1 ulp — an artefact of float
+# underflow, not of the code under test. Snap them to exact zero, which
+# the properties do have to handle.
+_floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda x: 0.0 if abs(x) < 1e-100 else x)
 
 
 def _vector(min_size=1, max_size=32):

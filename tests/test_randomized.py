@@ -1,0 +1,134 @@
+"""Unit tests for the randomized spectral kernels (repro.linalg.randomized)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linalg.randomized import (
+    RANDOMIZED_SVD_MIN_DIM,
+    power_iteration_lmax,
+    randomized_svd,
+)
+
+
+def _low_rank(m, n, rank, seed, decay=0.5):
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((m, rank)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, rank)))
+    sigma = 10.0 * decay ** np.arange(rank)
+    return (u * sigma) @ v.T
+
+
+class TestRandomizedSvd:
+    def test_exact_on_low_rank_matrix(self):
+        # Rank-8 matrix, sketch well past the rank: reconstruction is exact.
+        w = _low_rank(300, 400, 8, seed=0)
+        u, sigma, vt = randomized_svd(w, rank=12, rng=0, min_dim=50)
+        assert np.allclose((u * sigma) @ vt, w, atol=1e-8)
+
+    def test_singular_values_match_exact(self):
+        w = _low_rank(250, 300, 10, seed=1)
+        _, sigma, _ = randomized_svd(w, rank=10, rng=0, min_dim=50)
+        exact = np.linalg.svd(w, compute_uv=False)[:10]
+        np.testing.assert_allclose(sigma, exact, rtol=1e-8)
+
+    def test_full_rank_matrix_near_optimal(self):
+        # On a full-rank matrix the sketch must approach the Eckart-Young
+        # optimum: residual within a few percent of the exact truncation.
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((260, 300))
+        k = 20
+        u, sigma, vt = randomized_svd(w, rank=k, rng=0, min_dim=50, n_iter=6)
+        exact = np.linalg.svd(w, compute_uv=False)
+        optimal = float(np.sqrt(np.sum(exact[k:] ** 2)))
+        achieved = float(np.linalg.norm(w - (u * sigma) @ vt))
+        assert achieved <= 1.05 * optimal
+
+    def test_seed_determinism(self):
+        w = _low_rank(250, 280, 12, seed=3)
+        a = randomized_svd(w, rank=12, rng=42, min_dim=50)
+        b = randomized_svd(w, rank=12, rng=42, min_dim=50)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_fallback_below_threshold_is_exact_lapack(self):
+        # Small matrix: the result must be the exact LAPACK factors
+        # regardless of rng (proof that the sketch path was not taken).
+        w = _low_rank(40, 60, 5, seed=4)
+        u1, s1, vt1 = randomized_svd(w, rank=5, rng=0)
+        u2, s2, vt2 = randomized_svd(w, rank=5, rng=123)
+        assert np.array_equal(s1, s2)
+        assert np.array_equal(u1, u2)
+        exact = np.linalg.svd(w, compute_uv=False)[:5]
+        np.testing.assert_allclose(s1, exact, rtol=1e-12)
+
+    def test_fallback_when_rank_covers_small_dimension(self):
+        # Sketch would span most of min(m, n): exact path, rng-independent.
+        w = _low_rank(300, 210, 40, seed=5)
+        s1 = randomized_svd(w, rank=200, rng=0, min_dim=50)[1]
+        s2 = randomized_svd(w, rank=200, rng=7, min_dim=50)[1]
+        assert np.array_equal(s1, s2)
+        assert s1.size == 200
+
+    def test_shapes_truncated_to_rank(self):
+        w = _low_rank(230, 260, 9, seed=6)
+        u, sigma, vt = randomized_svd(w, rank=9, rng=0, min_dim=50)
+        assert u.shape == (230, 9)
+        assert sigma.shape == (9,)
+        assert vt.shape == (9, 260)
+
+    def test_default_threshold_constant(self):
+        assert RANDOMIZED_SVD_MIN_DIM >= 64
+
+    def test_invalid_n_iter(self):
+        with pytest.raises(ValidationError):
+            randomized_svd(np.eye(4), rank=2, n_iter=-1)
+
+
+class TestPowerIterationLmax:
+    def test_agrees_with_eigvalsh(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            a = rng.standard_normal((30, 30))
+            gram = a @ a.T
+            expected = float(np.linalg.eigvalsh(gram)[-1])
+            lmax, _ = power_iteration_lmax(gram, tol=1e-12, max_iters=5000)
+            np.testing.assert_allclose(lmax, expected, rtol=1e-6)
+
+    def test_warm_start_converges_fast(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((25, 25))
+        gram = a @ a.T
+        _, v = power_iteration_lmax(gram, tol=1e-12, max_iters=5000)
+        # Perturb the matrix slightly; the warm start should land within
+        # tolerance in very few iterations.
+        gram2 = gram + 1e-6 * np.eye(25)
+        lmax2, _ = power_iteration_lmax(gram2, v0=v, tol=1e-10, max_iters=8)
+        expected = float(np.linalg.eigvalsh(gram2)[-1])
+        np.testing.assert_allclose(lmax2, expected, rtol=1e-6)
+
+    def test_eigenvector_returned(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((12, 12))
+        gram = a @ a.T
+        lmax, v = power_iteration_lmax(gram, tol=1e-13, max_iters=10000)
+        np.testing.assert_allclose(gram @ v, lmax * v, rtol=1e-4, atol=1e-8)
+
+    def test_zero_matrix(self):
+        lmax, v = power_iteration_lmax(np.zeros((5, 5)))
+        assert lmax == 0.0
+        assert v.shape == (5,)
+
+    def test_diagonal_matrix(self):
+        gram = np.diag([1.0, 4.0, 9.0])
+        lmax, _ = power_iteration_lmax(gram, tol=1e-13, max_iters=10000)
+        np.testing.assert_allclose(lmax, 9.0, rtol=1e-8)
+
+    def test_invalid_warm_start_ignored(self):
+        gram = np.diag([1.0, 2.0])
+        lmax, _ = power_iteration_lmax(gram, v0=np.zeros(2), tol=1e-13)
+        np.testing.assert_allclose(lmax, 2.0, rtol=1e-8)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValidationError):
+            power_iteration_lmax(np.ones((3, 4)))

@@ -99,6 +99,42 @@ class TestWorkloadClass:
     def test_repr(self):
         assert "shape=(2, 2)" in repr(Workload(np.eye(2), name="demo"))
 
+    def test_content_digest_stable_and_memoized(self):
+        a = Workload(np.eye(3))
+        b = Workload(np.eye(3), name="other-name")
+        # Content-only: the name is provenance, not content.
+        assert a.content_digest == b.content_digest
+        assert a.content_digest is a.content_digest  # memoized string
+        # sha1 hex digest, stable across processes (unlike builtin hash).
+        assert len(a.content_digest) == 40
+        int(a.content_digest, 16)
+
+    def test_content_digest_distinguishes_matrices(self):
+        assert (
+            Workload(np.eye(2)).content_digest
+            != Workload(np.ones((2, 2))).content_digest
+        )
+        # Same bytes, different shape must not collide.
+        flat = np.arange(4.0)
+        assert (
+            Workload(flat.reshape(1, 4)).content_digest
+            != Workload(flat.reshape(2, 2)).content_digest
+        )
+
+    def test_thin_svd_cached_and_consistent(self):
+        rng = np.random.default_rng(0)
+        w = Workload(rng.standard_normal((5, 8)))
+        assert w.cached_thin_svd is None
+        u, sigma, vt = w.thin_svd
+        assert w.cached_thin_svd is not None
+        assert np.allclose((u * sigma) @ vt, w.matrix, atol=1e-10)
+        # The spectral properties reuse the same factorisation.
+        assert np.array_equal(w.singular_values, sigma)
+        assert w.rank == 5
+        # Factors are read-only views of the cache.
+        with pytest.raises(ValueError):
+            u[0, 0] = 1.0
+
 
 class TestWDiscrete:
     def test_shape(self):
