@@ -1,21 +1,26 @@
 """A private analytics service end to end: raw records to audited releases.
 
-The full adoption story in one script:
+The full adoption story in one script, built on the plan/execute split:
 
 1. raw individual records (ages) are binned into unit counts,
 2. an analyst phrases range queries in *value space* (years, not bins),
-3. a :class:`PrivateQueryEngine` answers them under a global privacy
-   budget, auto-selecting the best mechanism per workload and applying
-   count post-processing,
-4. the audit log shows what was released at what cost.
+3. a :class:`PrivateQueryEngine` *plans* each workload (mechanism
+   selection + fitting, budget-free) against a **persistent plan cache**,
+   so the expensive fits survive process restarts,
+4. ``explain()`` shows why the planner chose what it chose,
+5. ``execute_many`` releases both workloads in one atomic, budget-audited
+   batch, and the audit log shows what was released at what (eps, delta)
+   cost.
 
 Run:  python examples/private_analytics_service.py
 """
 
+import tempfile
+
 import numpy as np
 
 from repro.data.histogram import DomainMapper, histogram_from_records
-from repro.engine import PrivateQueryEngine, rank_mechanisms
+from repro.engine import PrivateQueryEngine
 
 LRM_BUDGET = {"LRM": {"max_outer": 60, "max_inner": 5, "nesterov_iters": 40, "stall_iters": 20}}
 
@@ -41,44 +46,65 @@ def main():
           f"{overlapping.name} {overlapping.shape} rank={overlapping.rank}")
     print()
 
-    # --- 3. Budget-managed engine with automatic mechanism selection. ----
-    engine = PrivateQueryEngine(
-        counts, total_budget=1.0, mechanism_kwargs=LRM_BUDGET, seed=11
-    )
+    with tempfile.TemporaryDirectory() as plan_dir:
+        # --- 3. Plan both workloads against a persistent cache. ----------
+        # In production plan_dir would be a fixed path (or shipped between
+        # machines): a restarted service reloads the fitted plans from disk
+        # instead of re-running the decompositions.
+        engine = PrivateQueryEngine(
+            counts, total_budget=1.0, mechanism_kwargs=LRM_BUDGET, seed=11,
+            plan_cache=plan_dir,
+        )
+        plan_a = engine.plan(cohorts)
+        plan_b = engine.plan(overlapping)
 
-    print("mechanism ranking for the overlapping bands (analytic, budget-free):")
-    for choice in rank_mechanisms(overlapping, 0.4, candidates=("LM", "WM", "HM", "LRM"),
-                                  mechanism_kwargs=LRM_BUDGET):
-        if choice.ok:
-            print(f"  {choice.label:>4}: expected SSE {choice.expected_error:>12.4g} "
-                  f"(fit {choice.fit_seconds:.2f}s)")
-    print()
+        print("planner report for the overlapping bands (analytic, budget-free):")
+        print(plan_b.explain(epsilon=0.4))
+        print()
 
-    release_a = engine.answer_workload(
-        cohorts, epsilon=0.4, non_negative=True, integral=True
-    )
-    release_b = engine.answer_workload(
-        overlapping, epsilon=0.4, consistent=True, non_negative=True
-    )
+        # A second engine (think: the service after a restart) reuses the
+        # on-disk plans — no refits.
+        restarted = PrivateQueryEngine(
+            counts, total_budget=1.0, seed=11, plan_cache=plan_dir,
+        )
+        plan_a = restarted.plan(cohorts)
+        plan_b = restarted.plan(overlapping)
+        print(f"restarted engine reloaded {restarted.plan_cache.disk_hits} plans "
+              f"from {plan_dir!s} without refitting")
+        print()
 
-    print("age-cohort release (eps = 0.4):")
-    for (low, high), exact, noisy in zip(
-        cohorts.metadata["intervals"], cohorts.answer(counts), release_a.answers
-    ):
-        print(f"  ages {int(low):>2}-{int(high):<3}: exact {int(exact):>6}  "
-              f"released {int(noisy):>6}")
-    print()
-    print("overlapping-bands release (eps = 0.4, consistency-projected):")
-    adults, working, seniors = release_b.answers[:3]
-    print(f"  adults 18+ = {adults:.1f}; working 18-64 + seniors 65+ = "
-          f"{working + seniors:.1f}  (identity restored by projection)")
-    print()
+        # --- 4. One atomic, budget-audited batch of releases, each with
+        # its own post-processing: integral counts for the disjoint
+        # cohorts, consistency projection for the overlapping bands.
+        release_a, release_b = restarted.execute_many(
+            [
+                (plan_a, 0.4, {"integral": True}),
+                (plan_b, 0.4, {"consistent": True}),
+            ],
+            non_negative=True,
+        )
 
-    # --- 4. Audit. --------------------------------------------------------
-    print(f"budget: spent {engine.spent_budget:.2f}, remaining {engine.remaining_budget:.2f}")
-    for index, release in enumerate(engine.releases):
-        print(f"  release {index}: mechanism={release.mechanism} eps={release.epsilon} "
-              f"shape={release.metadata['shape']}")
+        print("age-cohort release (eps = 0.4):")
+        for (low, high), exact, noisy in zip(
+            cohorts.metadata["intervals"], cohorts.answer(counts), release_a.answers
+        ):
+            print(f"  ages {int(low):>2}-{int(high):<3}: exact {int(exact):>6}  "
+                  f"released {int(noisy):>6}")
+        print()
+        print("overlapping-bands release (eps = 0.4, consistency-projected):")
+        adults, working, seniors = release_b.answers[:3]
+        print(f"  adults 18+ = {adults:.1f}; working 18-64 + seniors 65+ = "
+              f"{working + seniors:.1f}  (identity restored by projection)")
+        print()
+
+        # --- 5. Audit. ----------------------------------------------------
+        print(f"budget: spent {restarted.spent_budget:.2f}, "
+              f"remaining {restarted.remaining_budget:.2f}")
+        for index, release in enumerate(restarted.releases):
+            applied = [k for k, v in release.metadata["postprocess"].items() if v]
+            print(f"  release {index}: mechanism={release.mechanism} eps={release.epsilon} "
+                  f"delta={release.delta:g} shape={release.metadata['shape']} "
+                  f"postprocess={applied or 'none'}")
 
 
 if __name__ == "__main__":

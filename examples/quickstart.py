@@ -1,15 +1,17 @@
-"""Quickstart: answer a batch of correlated linear queries under eps-DP.
+"""Quickstart: plan once, explain the choice, execute budgeted releases.
 
-Builds a low-rank workload, fits the Low-Rank Mechanism, releases a noisy
-answer vector, and compares the accuracy against the naive Laplace
-baseline — the 60-second tour of the library.
+Builds a low-rank workload, lets the engine *plan* it (fit + rank every
+candidate mechanism by analytic expected error, budget-free), prints the
+plan's ``explain()`` report, then *executes* the plan twice at different
+epsilons under one global privacy budget — the 60-second tour of the
+plan/execute API.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import LowRankMechanism, NoiseOnDataMechanism, wrelated
+from repro import PrivateQueryEngine, wrelated
 
 
 def main():
@@ -18,24 +20,43 @@ def main():
     workload = wrelated(m=32, n=256, s=4, seed=0)
     print(f"workload: {workload}  rank={workload.rank}")
 
-    # 2. Some private unit counts (e.g. patients per region).
+    # 2. Some private unit counts (e.g. patients per region), held by a
+    #    budget-managed engine.
     x = np.random.default_rng(1).integers(0, 10_000, workload.domain_size).astype(float)
+    engine = PrivateQueryEngine(x, total_budget=1.0, seed=2)
 
-    # 3. Fit LRM (decomposes W = B L, one-off per workload) and release.
-    epsilon = 0.1
-    lrm = LowRankMechanism().fit(workload)
-    noisy = lrm.answer(x, epsilon, rng=2)
+    # 3. PLAN: selection + fitting, no budget spent. The plan is a
+    #    reusable artifact — inspect it before paying any epsilon.
+    plan = engine.plan(workload, mechanism="auto")
+    print()
+    print(plan.explain(epsilon=0.1))
+    print()
+
+    # 4. EXECUTE: each call is one budgeted noisy release of W x. The
+    #    expensive fit is paid once; releases are cheap.
+    release = engine.execute(plan, epsilon=0.1)
     exact = workload.answer(x)
     print(f"first 3 answers   exact: {np.round(exact[:3], 1)}")
-    print(f"first 3 answers   noisy: {np.round(noisy[:3], 1)}")
+    print(f"first 3 answers   noisy: {np.round(release.answers[:3], 1)}")
 
-    # 4. How much accuracy does the decomposition buy? Compare expected
-    #    per-query squared error against the Laplace-on-data baseline.
-    lm = NoiseOnDataMechanism().fit(workload)
-    lrm_error = lrm.average_expected_error(epsilon)
-    lm_error = lm.average_expected_error(epsilon)
-    print(f"expected per-query squared error  LRM: {lrm_error:.4g}  LM: {lm_error:.4g}")
-    print(f"LRM improves accuracy by a factor of {lm_error / lrm_error:.1f}x")
+    # A second, more accurate release from the *same* plan (the answers
+    # are signed linear combinations, so no non-negativity projection).
+    precise = engine.execute(plan, epsilon=0.5)
+    print(f"first 3 answers  eps=.5: {np.round(precise.answers[:3], 1)}")
+    print()
+
+    # 5. How much accuracy did planning buy? Compare the chosen mechanism
+    #    against the naive Laplace baseline from the same candidate table.
+    by_label = {candidate.label: candidate for candidate in plan.candidates}
+    chosen = by_label[plan.mechanism_label]
+    lm = by_label["LM"]
+    print(f"expected SSE at the probe eps  {chosen.label}: {chosen.expected_error:.4g}  "
+          f"LM: {lm.expected_error:.4g}")
+    print(f"{chosen.label} improves accuracy by a factor of "
+          f"{lm.expected_error / chosen.expected_error:.1f}x")
+    print()
+    print(f"budget: spent {engine.spent_budget:.2f}, remaining {engine.remaining_budget:.2f} "
+          f"across {len(engine.releases)} audited releases")
 
 
 if __name__ == "__main__":

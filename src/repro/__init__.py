@@ -30,7 +30,15 @@ from repro.core.kron import KronLowRankMechanism
 from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
 from repro.data.datasets import load_dataset, net_trace, search_logs, social_network
 from repro.data.histogram import DomainMapper, grid_histogram_from_records, histogram_from_records
-from repro.engine import PrivateQueryEngine, rank_mechanisms, select_mechanism
+from repro.engine import (
+    ExecutionPlan,
+    PlanCache,
+    PrivateQueryEngine,
+    Release,
+    build_plan,
+    rank_mechanisms,
+    select_mechanism,
+)
 from repro.data.transforms import merge_to_domain
 from repro.exceptions import (
     DecompositionError,
@@ -43,8 +51,10 @@ from repro.analysis.postprocess import postprocess_answers, project_consistent
 from repro.io.serialization import (
     load_decomposition,
     load_fitted_lrm,
+    load_plan,
     save_decomposition,
     save_fitted_lrm,
+    save_plan,
 )
 from repro.mechanisms import (
     GaussianNoiseOnDataMechanism,
@@ -59,6 +69,12 @@ from repro.mechanisms import (
     StrategyMechanism,
     WaveletMechanism,
     make_mechanism,
+)
+from repro.privacy.accountant import (
+    ApproxDPAccountant,
+    BudgetAccountant,
+    PureDPAccountant,
+    make_accountant,
 )
 from repro.privacy.budget import PrivacyBudget
 from repro.workloads import (
@@ -78,9 +94,12 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApproxDPAccountant",
+    "BudgetAccountant",
     "Decomposition",
     "DecompositionError",
     "DomainMapper",
+    "ExecutionPlan",
     "GaussianLowRankMechanism",
     "GaussianNoiseOnDataMechanism",
     "GaussianNoiseOnResultsMechanism",
@@ -93,9 +112,12 @@ __all__ = [
     "NoiseOnDataMechanism",
     "NoiseOnResultsMechanism",
     "NotFittedError",
+    "PlanCache",
     "PrivacyBudget",
     "PrivacyBudgetError",
     "PrivateQueryEngine",
+    "PureDPAccountant",
+    "Release",
     "ReproError",
     "SVDStrategyMechanism",
     "StrategyMechanism",
@@ -106,6 +128,7 @@ __all__ = [
     "allrange_workload",
     "approximation_ratio",
     "bound_summary",
+    "build_plan",
     "decompose_workload",
     "grid_histogram_from_records",
     "hardt_talwar_lower_bound",
@@ -114,7 +137,9 @@ __all__ = [
     "load_dataset",
     "load_decomposition",
     "load_fitted_lrm",
+    "load_plan",
     "lrm_error_upper_bound",
+    "make_accountant",
     "make_mechanism",
     "marginals_workload",
     "merge_to_domain",
@@ -126,6 +151,7 @@ __all__ = [
     "relaxed_error_bound",
     "save_decomposition",
     "save_fitted_lrm",
+    "save_plan",
     "select_mechanism",
     "sliding_window_workload",
     "search_logs",

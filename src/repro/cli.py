@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper figure or table.
+"""Command-line interface: regenerate any paper figure or table, decompose
+a workload, or build and explain an execution plan.
 
 Examples::
 
@@ -6,6 +7,7 @@ Examples::
     python -m repro.cli figure4
     python -m repro.cli figure6 --scale full --json out.json
     python -m repro.cli all
+    python -m repro.cli plan --workload W.npy --epsilon 0.2 --out W.plan.npz
 """
 
 from __future__ import annotations
@@ -37,17 +39,33 @@ def build_parser():
         prog="repro-lrm",
         description="Reproduce tables/figures of the Low-Rank Mechanism paper (VLDB 2012).",
     )
-    targets = ["table1", "all", "decompose"] + sorted(ALL_FIGURES)
+    targets = ["table1", "all", "decompose", "plan"] + sorted(ALL_FIGURES)
     parser.add_argument("target", choices=targets, help="what to regenerate")
     parser.add_argument(
         "--workload", metavar="NPY", default=None,
-        help="decompose: .npy file holding the workload matrix W",
+        help="decompose/plan: .npy file holding the workload matrix W",
     )
     parser.add_argument(
         "--out", metavar="NPZ", default=None,
-        help="decompose: where to save the decomposition archive",
+        help="decompose/plan: where to save the decomposition or plan archive",
     )
     parser.add_argument("--rank", type=int, default=None, help="decompose: decomposition rank")
+    parser.add_argument(
+        "--epsilon", type=float, default=0.1,
+        help="plan: probe epsilon for ranking candidates (default 0.1)",
+    )
+    parser.add_argument(
+        "--mechanism", default="auto",
+        help="plan: 'auto' or a registry label (LM, WM, HM, SVDM, LRM, ...)",
+    )
+    parser.add_argument(
+        "--candidates", default=None,
+        help="plan: comma-separated candidate labels for mechanism=auto",
+    )
+    parser.add_argument(
+        "--delta", type=float, default=None,
+        help="plan: failure probability for Gaussian ((eps, delta)-DP) candidates",
+    )
     parser.add_argument(
         "--gamma", type=float, default=1e-2,
         help="decompose: relative relaxation tolerance (default 1e-2)",
@@ -116,6 +134,45 @@ def _run_decompose(args, out):
     return 0
 
 
+def _run_plan(args, out):
+    import numpy as np
+
+    from repro.engine.plan import build_plan
+    from repro.engine.selection import APPROX_DP_CANDIDATES, DEFAULT_CANDIDATES
+    from repro.io.serialization import save_plan
+
+    if not args.workload:
+        out.write("plan requires --workload pointing at a .npy matrix\n")
+        return 2
+    matrix = np.load(args.workload)
+    if args.candidates:
+        candidates = tuple(label.strip().upper() for label in args.candidates.split(","))
+    elif args.delta:
+        candidates = DEFAULT_CANDIDATES + APPROX_DP_CANDIDATES
+    else:
+        candidates = DEFAULT_CANDIDATES
+    mechanism_kwargs = {}
+    if args.delta:
+        for label in APPROX_DP_CANDIDATES:
+            mechanism_kwargs[label] = {"delta": args.delta}
+    out.write(f"planning workload {matrix.shape} from {args.workload} ...\n")
+    plan = build_plan(
+        matrix,
+        epsilon_hint=args.epsilon,
+        mechanism=args.mechanism,
+        candidates=candidates,
+        mechanism_kwargs=mechanism_kwargs,
+    )
+    out.write(plan.explain(epsilon=args.epsilon) + "\n")
+    if args.out:
+        # np.savez appends ".npz" to extension-less paths; normalize so the
+        # reported filename is the one actually written.
+        path = args.out if args.out.endswith(".npz") else args.out + ".npz"
+        save_plan(plan, path)
+        out.write(f"wrote {path}\n")
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -125,6 +182,8 @@ def main(argv=None, out=None):
         return 0
     if args.target == "decompose":
         return _run_decompose(args, out)
+    if args.target == "plan":
+        return _run_plan(args, out)
     if args.target == "all":
         for name in sorted(ALL_FIGURES):
             _run_figure(name, args.scale, args.seed, out, chart=args.chart)

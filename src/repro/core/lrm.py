@@ -186,6 +186,18 @@ class LowRankMechanism(Mechanism):
         self._check_fitted()
         return lrm_error_upper_bound(self.workload.singular_values, epsilon)
 
+    def plan_metadata(self):
+        """Base metadata plus the decomposition facts ``explain()`` reports."""
+        meta = super().plan_metadata()
+        if self._decomposition is not None:
+            decomposition = self._decomposition
+            meta["decomposition_rank"] = int(decomposition.rank)
+            meta["sensitivity"] = float(decomposition.sensitivity)
+            meta["decomposition_norm"] = decomposition.norm
+            meta["residual_norm"] = float(decomposition.residual_norm)
+            meta["converged"] = bool(decomposition.converged)
+        return meta
+
 
 class GaussianLowRankMechanism(LowRankMechanism):
     """(eps, delta)-DP Low-Rank Mechanism with Gaussian noise.
@@ -208,6 +220,7 @@ class GaussianLowRankMechanism(LowRankMechanism):
 
     name = "GLRM"
     decomposition_norm = "l2"
+    requires_delta = True
 
     def __init__(self, delta=1e-6, **kwargs):
         super().__init__(**kwargs)

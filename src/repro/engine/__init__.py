@@ -1,7 +1,16 @@
-"""Deployment layer: budget-managed query engine and mechanism selection."""
+"""Deployment layer: planner/executor query engine and mechanism selection.
 
+The public surface follows a DBMS-style split: ``engine.plan(workload)``
+returns an inspectable, cacheable :class:`ExecutionPlan`;
+``engine.execute(plan, epsilon)`` performs the budget-audited noisy
+release. ``answer_workload`` remains as a deprecated one-shot shim.
+"""
+
+from repro.engine.plan import ExecutionPlan, PlanCandidate, build_plan, plan_key
+from repro.engine.plan_cache import PlanCache
 from repro.engine.query_engine import PrivateQueryEngine, Release
 from repro.engine.selection import (
+    APPROX_DP_CANDIDATES,
     DEFAULT_CANDIDATES,
     MechanismChoice,
     rank_mechanisms,
@@ -9,10 +18,16 @@ from repro.engine.selection import (
 )
 
 __all__ = [
+    "APPROX_DP_CANDIDATES",
     "DEFAULT_CANDIDATES",
+    "ExecutionPlan",
     "MechanismChoice",
+    "PlanCache",
+    "PlanCandidate",
     "PrivateQueryEngine",
     "Release",
+    "build_plan",
+    "plan_key",
     "rank_mechanisms",
     "select_mechanism",
 ]

@@ -1,0 +1,395 @@
+"""The planner half of the plan/execute split: :class:`ExecutionPlan`.
+
+The paper treats batch query answering as a query-optimization problem:
+choose a strategy (mechanism + decomposition) once, then release against it
+many times. Mirroring a DBMS optimizer/executor split, planning here is the
+data-independent, budget-free phase — candidate mechanisms are fitted and
+ranked by analytic expected error — and its output is a first-class
+:class:`ExecutionPlan` artifact that can be inspected (:meth:`~ExecutionPlan.explain`),
+cached across processes (:class:`repro.engine.plan_cache.PlanCache`), and
+executed repeatedly at different epsilons by
+:meth:`repro.engine.query_engine.PrivateQueryEngine.execute`.
+
+Plans carry everything an audit needs: the workload digest they were built
+for, the full per-candidate comparison table (expected error, fit time,
+failures), the chosen mechanism's fitted state, and the constructor kwargs
+required to rebuild it from a serialized archive.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.selection import DEFAULT_CANDIDATES, rank_mechanisms
+from repro.exceptions import ReproError, ValidationError
+from repro.linalg.validation import check_positive
+from repro.mechanisms.base import Mechanism, as_workload
+from repro.mechanisms.registry import make_mechanism
+
+__all__ = [
+    "PlanCandidate",
+    "ExecutionPlan",
+    "build_plan",
+    "workload_key",
+    "mechanism_spec",
+    "plan_key",
+]
+
+
+def workload_key(workload):
+    """Stable cross-process identity of a workload: shape + content digest."""
+    workload = as_workload(workload)
+    return f"{workload.shape[0]}x{workload.shape[1]}:{workload.content_digest}"
+
+
+def mechanism_state(mechanism):
+    """Public (constructor-level) state of a mechanism: every non-underscore
+    attribute. Fitted state lives in underscore attributes by convention, so
+    two instances with equal public state fit identically — the comparison
+    behind both the plan cache's same-configuration check and the
+    serialization layer's refit-reproduces gate."""
+    return {key: value for key, value in vars(mechanism).items() if not key.startswith("_")}
+
+
+def mechanism_states_equal(state_a, state_b):
+    """Compare two :func:`mechanism_state` dicts, array-aware.
+
+    Plain dict equality raises on ndarray-valued attributes (e.g. a
+    strategy matrix), which would wrongly read as a configuration mismatch;
+    arrays compare by content instead."""
+    import numpy as np
+
+    if state_a.keys() != state_b.keys():
+        return False
+    for key, value_a in state_a.items():
+        value_b = state_b[key]
+        if isinstance(value_a, np.ndarray) or isinstance(value_b, np.ndarray):
+            if not np.array_equal(value_a, value_b):
+                return False
+        elif value_a != value_b:
+            return False
+    return True
+
+
+def mechanism_spec(mechanism, candidates=DEFAULT_CANDIDATES):
+    """Normalize a ``mechanism=`` argument into a stable cache-key component.
+
+    ``"auto"`` embeds the candidate set (different candidate pools are
+    different plans); a registry label normalizes to upper case; a mechanism
+    *instance* is keyed by its class name — deliberately independent of the
+    instance's fitted/unfitted ``repr`` so the same object maps to the same
+    key before and after fitting. (The engine additionally compares
+    constructor state on a cache hit, so a differently-configured instance
+    of the same class gets a fresh one-off plan rather than another
+    configuration's noise calibration.)
+
+    Mechanism configuration (constructor parameters, ``mechanism_kwargs``)
+    is deliberately *not* part of the key: a plan is a shareable fit
+    artifact for (workload, mechanism), and whoever plans a key first wins —
+    that is what lets a restarted or differently-tuned engine reuse an
+    expensive on-disk fit instead of redoing it. When differently-configured
+    plans must coexist, give them separate :class:`PlanCache` instances or
+    directories, or plan with ``use_cache=False``.
+    """
+    if isinstance(mechanism, Mechanism):
+        return f"instance:{type(mechanism).__name__}"
+    spec = str(mechanism).strip().upper()
+    if spec == "AUTO":
+        labels = []
+        for candidate in candidates:
+            if isinstance(candidate, str):
+                labels.append(candidate.strip().upper())
+            else:
+                labels.append(type(candidate).__name__)
+        return "auto[" + ",".join(labels) + "]"
+    return spec
+
+
+def plan_key(workload, mechanism, candidates=DEFAULT_CANDIDATES):
+    """Cache key of the plan for ``workload`` under a mechanism spec."""
+    return f"{workload_key(workload)}|{mechanism_spec(mechanism, candidates)}"
+
+
+@dataclass
+class PlanCandidate:
+    """One candidate's outcome in a planning round (serializable).
+
+    The planner's analogue of :class:`repro.engine.selection.MechanismChoice`
+    without the live mechanism instance: what was tried, what it would cost,
+    how long the fit took, and why it failed if it did.
+    """
+
+    label: str
+    expected_error: Optional[float] = None
+    fit_seconds: Optional[float] = None
+    failure: Optional[str] = None
+    chosen: bool = False
+
+    @property
+    def ok(self):
+        """True when the candidate produced a comparable expected error."""
+        return self.failure is None and self.expected_error is not None
+
+    def to_dict(self):
+        """Plain-dict form for JSON serialization."""
+        return {
+            "label": self.label,
+            "expected_error": self.expected_error,
+            "fit_seconds": self.fit_seconds,
+            "failure": self.failure,
+            "chosen": self.chosen,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            label=str(payload["label"]),
+            expected_error=payload.get("expected_error"),
+            fit_seconds=payload.get("fit_seconds"),
+            failure=payload.get("failure"),
+            chosen=bool(payload.get("chosen", False)),
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """A fitted, inspectable strategy for answering one workload.
+
+    Produced by :meth:`PrivateQueryEngine.plan` (or :func:`build_plan`);
+    consumed by :meth:`PrivateQueryEngine.execute`. Building a plan spends
+    *no* privacy budget — everything here is data-independent.
+
+    Attributes
+    ----------
+    mechanism:
+        The fitted mechanism that will produce releases.
+    mechanism_label:
+        Registry label (or class name) of the chosen mechanism.
+    mechanism_spec:
+        Normalized form of the ``mechanism=`` argument the plan was built
+        with (part of the cache key).
+    workload_key:
+        ``"mxn:sha1"`` identity of the planned workload.
+    epsilon_hint:
+        The probe epsilon candidates were ranked at.
+    candidates:
+        Per-candidate comparison table (:class:`PlanCandidate`), ranking
+        order, chosen first among the successes.
+    fit_kwargs:
+        Full constructor state of the chosen mechanism (public attributes,
+        which for registry mechanisms are exactly the constructor
+        parameters) — what :func:`repro.io.serialization.load_plan` needs
+        to rebuild the mechanism faithfully on restore.
+    """
+
+    mechanism: Mechanism
+    mechanism_label: str
+    mechanism_spec: str
+    workload_key: str
+    epsilon_hint: float
+    candidates: list = field(default_factory=list)
+    fit_kwargs: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def workload(self):
+        """The fitted workload (shared with the mechanism)."""
+        return self.mechanism.workload
+
+    @property
+    def shape(self):
+        """``(m, n)`` of the planned workload."""
+        return tuple(self.workload.shape)
+
+    @property
+    def domain_size(self):
+        """Number of unit counts the plan expects."""
+        return self.workload.domain_size
+
+    @property
+    def workload_digest(self):
+        """SHA-1 content digest portion of :attr:`workload_key`."""
+        return self.workload_key.rsplit(":", 1)[-1]
+
+    @property
+    def plan_key(self):
+        """Cache identity: workload key + mechanism spec."""
+        return f"{self.workload_key}|{self.mechanism_spec}"
+
+    @property
+    def requires_delta(self):
+        """True when execution is an (eps, delta) release (Gaussian noise)."""
+        return bool(getattr(self.mechanism, "requires_delta", False))
+
+    @property
+    def delta(self):
+        """Per-release delta charged by this plan (0.0 for pure eps-DP)."""
+        return float(getattr(self.mechanism, "delta", 0.0)) if self.requires_delta else 0.0
+
+    def predicted_error(self, epsilon):
+        """Analytic expected total squared error of one release at
+        ``epsilon`` (None when the mechanism has no closed form)."""
+        epsilon = check_positive(epsilon, "epsilon")
+        try:
+            return float(self.mechanism.expected_squared_error(epsilon))
+        except (NotImplementedError, ReproError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Explain
+    # ------------------------------------------------------------------ #
+    def explain(self, epsilon=None):
+        """Human-readable plan report (an ``EXPLAIN`` for private releases).
+
+        Lists the chosen mechanism with its decomposition facts (rank,
+        sensitivity), the privacy model, the predicted error at the plan's
+        probe epsilon (and at ``epsilon`` when given), and the full
+        candidate ranking — including failed candidates and why.
+        """
+        meta = self.mechanism.plan_metadata()
+        lines = [
+            f"ExecutionPlan for workload {self.shape[0]}x{self.shape[1]} "
+            f"(digest {self.workload_digest[:12]})"
+        ]
+        chosen = f"  chosen mechanism : {self.mechanism_label} ({meta['class']})"
+        facts = []
+        if "decomposition_rank" in meta:
+            facts.append(f"decomposition rank {meta['decomposition_rank']}")
+        if "sensitivity" in meta:
+            facts.append(f"sensitivity {meta['sensitivity']:.6g}")
+        if facts:
+            chosen += " — " + ", ".join(facts)
+        lines.append(chosen)
+        if self.requires_delta:
+            lines.append(f"  privacy model    : (eps, delta)-DP, delta={self.delta:g} per release")
+        else:
+            lines.append("  privacy model    : pure eps-DP")
+        probes = [self.epsilon_hint]
+        if epsilon is not None and epsilon != self.epsilon_hint:
+            probes.append(check_positive(epsilon, "epsilon"))
+        for probe in probes:
+            predicted = self.predicted_error(probe)
+            rendered = f"{predicted:.6g}" if predicted is not None else "no closed form"
+            lines.append(f"  predicted error  : {rendered} (total squared, at eps={probe:g})")
+        lines.append("  candidate ranking:")
+        rank = 0
+        for candidate in self.candidates:
+            if candidate.failure is not None:
+                lines.append(f"    x. {candidate.label:<6} failed: {candidate.failure}")
+                continue
+            rank += 1
+            error = (
+                f"{candidate.expected_error:>12.6g}"
+                if candidate.expected_error is not None
+                else "no closed form"
+            )
+            fit = f"fit {candidate.fit_seconds:.3f}s" if candidate.fit_seconds is not None else ""
+            marker = "  <- chosen" if candidate.chosen else ""
+            lines.append(f"    {rank}. {candidate.label:<6} expected error {error}  {fit}{marker}")
+        return "\n".join(lines)
+
+    def to_metadata(self):
+        """JSON-serializable description (everything but the fitted arrays)."""
+        return {
+            "mechanism_label": self.mechanism_label,
+            "mechanism_spec": self.mechanism_spec,
+            "workload_key": self.workload_key,
+            "epsilon_hint": self.epsilon_hint,
+            "candidates": [candidate.to_dict() for candidate in self.candidates],
+            "fit_kwargs": dict(self.fit_kwargs),
+            "mechanism": self.mechanism.plan_metadata(),
+        }
+
+    def __repr__(self):
+        return (
+            f"ExecutionPlan({self.mechanism_label}, workload={self.shape[0]}x{self.shape[1]}, "
+            f"candidates={len(self.candidates)})"
+        )
+
+
+def _fit_single(mechanism, label, workload, epsilon_hint):
+    """Fit one concrete mechanism and wrap the outcome as a PlanCandidate."""
+    started = time.perf_counter()
+    mechanism.fit(workload)
+    fit_seconds = time.perf_counter() - started
+    try:
+        expected = float(mechanism.expected_squared_error(epsilon_hint))
+    except (NotImplementedError, ReproError):
+        expected = None
+    return PlanCandidate(
+        label=label, expected_error=expected, fit_seconds=fit_seconds, chosen=True
+    )
+
+
+def build_plan(
+    workload,
+    epsilon_hint=0.1,
+    mechanism="auto",
+    candidates=DEFAULT_CANDIDATES,
+    mechanism_kwargs=None,
+):
+    """Run mechanism selection/fitting and return an :class:`ExecutionPlan`.
+
+    This is the engine-independent planner (the engine adds domain checks
+    and caching on top). ``mechanism`` may be ``"auto"`` (rank every
+    candidate by analytic expected error at ``epsilon_hint``), a registry
+    label, or an unfitted mechanism instance — instances are deep-copied
+    before fitting, so the caller's object is never mutated.
+    """
+    workload = as_workload(workload)
+    epsilon_hint = check_positive(epsilon_hint, "epsilon_hint")
+    mechanism_kwargs = dict(mechanism_kwargs or {})
+    spec = mechanism_spec(mechanism, candidates)
+    key = workload_key(workload)
+
+    if spec.startswith("auto["):
+        choices = rank_mechanisms(
+            workload, epsilon_hint, candidates=candidates, mechanism_kwargs=mechanism_kwargs
+        )
+        winner = next((choice for choice in choices if choice.ok), None)
+        if winner is None:
+            failures = "; ".join(f"{c.label}: {c.failure}" for c in choices)
+            raise ValidationError(f"no usable mechanism among candidates ({failures})")
+        plan_candidates = []
+        for choice in choices:
+            plan_candidates.append(
+                PlanCandidate(
+                    label=choice.label,
+                    expected_error=choice.expected_error,
+                    fit_seconds=choice.fit_seconds,
+                    failure=choice.failure,
+                    chosen=choice is winner,
+                )
+            )
+        return ExecutionPlan(
+            mechanism=winner.mechanism,
+            mechanism_label=winner.label,
+            mechanism_spec=spec,
+            workload_key=key,
+            epsilon_hint=epsilon_hint,
+            candidates=plan_candidates,
+            fit_kwargs=mechanism_state(winner.mechanism),
+        )
+
+    if isinstance(mechanism, Mechanism):
+        label = getattr(mechanism, "name", type(mechanism).__name__)
+        fitted = copy.deepcopy(mechanism)
+    else:
+        label = spec
+        fitted = make_mechanism(label, **mechanism_kwargs.get(label, {}))
+    candidate = _fit_single(fitted, label, workload, epsilon_hint)
+    return ExecutionPlan(
+        mechanism=fitted,
+        mechanism_label=label,
+        mechanism_spec=spec,
+        workload_key=key,
+        epsilon_hint=epsilon_hint,
+        candidates=[candidate],
+        fit_kwargs=mechanism_state(fitted),
+    )

@@ -1,0 +1,187 @@
+"""Persistent plan cache: expensive fits survive process restarts.
+
+The costly part of planning is the mechanism fit (seconds to minutes for
+LRM's ALM decomposition, cubic for MM's SDP); the plan that wraps it is the
+natural cache unit. :class:`PlanCache` is a two-tier store:
+
+* an **in-memory dict** (always on) giving same-process reuse, and
+* an optional **on-disk directory** backend: every cacheable plan is written
+  as a ``.plan.npz`` archive via :func:`repro.io.serialization.save_plan`,
+  so a plan fitted in one process (or on one machine) can be loaded and
+  executed in another. Integrity is anchored on
+  :attr:`repro.workloads.workload.Workload.content_digest` — a loaded
+  archive whose matrix does not hash back to the key it was stored under is
+  rejected.
+
+Keys are the :func:`repro.engine.plan.plan_key` strings (workload digest +
+mechanism spec); file names are the SHA-1 of the key, so arbitrary
+candidate-set specs stay filesystem-safe.
+
+Plans whose mechanism cannot be serialized (custom mechanism instances
+outside the registry) degrade gracefully to memory-only entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import uuid
+from pathlib import Path
+
+from repro.engine.plan import ExecutionPlan
+from repro.exceptions import ValidationError
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Two-tier (memory + optional directory) store of :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    directory:
+        ``None`` for a purely in-memory cache; otherwise a directory path
+        (created on first write) holding one ``.plan.npz`` file per plan.
+
+    Attributes
+    ----------
+    hits, misses, disk_hits:
+        Lookup counters; ``disk_hits`` counts entries restored from the
+        directory backend (a subset of ``hits``).
+    """
+
+    def __init__(self, directory=None):
+        self.directory = Path(directory) if directory is not None else None
+        self._memory = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Key / path plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _filename(key):
+        return hashlib.sha1(str(key).encode("utf-8")).hexdigest() + ".plan.npz"
+
+    def path_for(self, key):
+        """On-disk path a plan under ``key`` is (or would be) stored at."""
+        if self.directory is None:
+            return None
+        return self.directory / self._filename(key)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key):
+        """Return the cached plan for ``key``, or ``None``.
+
+        Memory first; on a memory miss with a directory backend, the disk
+        archive is loaded, verified against ``key``, promoted into memory
+        and returned. Corrupt or mismatched archives raise
+        :class:`repro.exceptions.ValidationError`.
+        """
+        plan = self._memory.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        path = self.path_for(key)
+        if path is not None and path.exists():
+            from repro.io.serialization import PlanFormatError, load_plan
+
+            try:
+                plan = load_plan(path)
+            except PlanFormatError:
+                # Stale format (e.g. an archive from an older library
+                # version): a miss — the subsequent put() overwrites it.
+                self.misses += 1
+                return None
+            except ValidationError:
+                raise  # integrity/tamper failures must surface, not replan
+            except Exception:
+                # Truncated/corrupt archive (e.g. a crashed writer): treat
+                # as a miss; the subsequent put() overwrites it atomically.
+                self.misses += 1
+                return None
+            if plan.plan_key != key:
+                raise ValidationError(
+                    f"plan cache integrity failure: archive {path.name} holds key "
+                    f"{plan.plan_key!r}, expected {key!r}"
+                )
+            self._memory[key] = plan
+            self.hits += 1
+            self.disk_hits += 1
+            return plan
+        self.misses += 1
+        return None
+
+    def put(self, key, plan):
+        """Store ``plan`` under ``key`` in memory and (if configured) on disk.
+
+        Plans that cannot be serialized (mechanisms outside the registry)
+        — and disk-tier write failures (read-only or full filesystem) —
+        degrade to memory-only entries rather than failing the planning
+        call: the caller already paid for the fit and must receive it.
+        """
+        if not isinstance(plan, ExecutionPlan):
+            raise ValidationError("PlanCache stores ExecutionPlan objects")
+        self._memory[key] = plan
+        path = self.path_for(key)
+        if path is None:
+            return
+        from repro.io.serialization import save_plan
+
+        # Write-then-rename so a crash mid-save (or a concurrent reader in a
+        # shared directory) never observes a half-written archive; the
+        # staging name is unique per writer so concurrent engines sharing
+        # the directory cannot clobber each other mid-write.
+        staging = path.with_name(
+            f"{path.name[:-len('.npz')]}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp.npz"
+        )
+        try:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                save_plan(plan, staging)
+            except (ValidationError, OSError):
+                # Unsupported mechanism state or unwritable disk tier:
+                # keep the memory entry only.
+                return
+            os.replace(staging, path)
+        finally:
+            try:
+                staging.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def __contains__(self, key):
+        """Existence check only (memory entry or disk archive file): a True
+        here does not guarantee :meth:`get` can load the archive — a corrupt
+        file still answers ``None`` from ``get``."""
+        if key in self._memory:
+            return True
+        path = self.path_for(key)
+        return path is not None and path.exists()
+
+    def __len__(self):
+        """Number of in-memory entries (disk archives load lazily)."""
+        return len(self._memory)
+
+    def keys(self):
+        """Keys of the in-memory entries."""
+        return list(self._memory)
+
+    def clear(self, disk=False):
+        """Drop the in-memory tier; with ``disk=True`` also delete archives
+        (including staging files a crashed writer may have leaked)."""
+        self._memory.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for pattern in ("*.plan.npz", "*.tmp.npz"):
+                for archive in self.directory.glob(pattern):
+                    archive.unlink()
+
+    def __repr__(self):
+        backend = f"dir={self.directory}" if self.directory else "memory-only"
+        return (
+            f"PlanCache({backend}, entries={len(self._memory)}, "
+            f"hits={self.hits}, disk_hits={self.disk_hits}, misses={self.misses})"
+        )

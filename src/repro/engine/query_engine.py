@@ -1,10 +1,26 @@
-"""A budget-managed differentially private query engine.
+"""A plan/execute differentially private query engine.
 
 :class:`PrivateQueryEngine` is the deployment wrapper a downstream system
-would actually adopt: it holds the sensitive unit counts, enforces a total
-privacy budget across releases (sequential composition), caches the
-expensive per-workload mechanism fits, picks the best mechanism
-automatically, and applies standard post-processing.
+would actually adopt, structured like a DBMS optimizer/executor pair:
+
+* :meth:`~PrivateQueryEngine.plan` is the **planner** — it runs mechanism
+  selection and fitting (data-independent, budget-free) and returns an
+  :class:`repro.engine.plan.ExecutionPlan` that can be inspected with
+  ``plan.explain()``, cached across processes in a
+  :class:`repro.engine.plan_cache.PlanCache`, and shipped between machines
+  via :func:`repro.io.serialization.save_plan`.
+* :meth:`~PrivateQueryEngine.execute` is the **executor** — a thin,
+  budget-audited noisy release of a plan at a chosen epsilon, with
+  :meth:`~PrivateQueryEngine.execute_many` as its atomic batch form.
+
+Privacy accounting is pluggable (:mod:`repro.privacy.accountant`): the
+default is pure eps-DP sequential composition; constructing the engine with
+``delta > 0`` switches to (eps, delta) basic composition and routes
+Gaussian-mechanism releases through it, with both coordinates tracked per
+release in the audit log.
+
+``answer_workload`` (the pre-plan-API entry point) remains as a deprecated
+plan-then-execute shim.
 
 Example
 -------
@@ -12,24 +28,35 @@ Example
 >>> from repro.engine import PrivateQueryEngine
 >>> from repro.workloads import wrelated
 >>> engine = PrivateQueryEngine(np.arange(64.0), total_budget=1.0, seed=0)
->>> release = engine.answer_workload(wrelated(8, 64, s=2, seed=1), epsilon=0.25)
+>>> plan = engine.plan(wrelated(8, 64, s=2, seed=1))
+>>> release = engine.execute(plan, epsilon=0.25)
 >>> engine.remaining_budget
 0.75
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.analysis.postprocess import postprocess_answers
-from repro.engine.selection import DEFAULT_CANDIDATES, select_mechanism
+from repro.engine.plan import (
+    ExecutionPlan,
+    build_plan,
+    mechanism_state,
+    mechanism_states_equal,
+    plan_key,
+    workload_key,
+)
+from repro.engine.plan_cache import PlanCache
+from repro.engine.selection import APPROX_DP_CANDIDATES, DEFAULT_CANDIDATES
 from repro.exceptions import ReproError, ValidationError
 from repro.linalg.validation import as_vector, check_positive, ensure_rng
 from repro.mechanisms.base import Mechanism, as_workload
-from repro.mechanisms.registry import make_mechanism
-from repro.privacy.budget import PrivacyBudget
+from repro.privacy.accountant import BudgetAccountant, make_accountant
 
 __all__ = ["PrivateQueryEngine", "Release"]
 
@@ -45,32 +72,50 @@ class Release:
     mechanism:
         Label of the mechanism that produced it.
     epsilon:
-        Budget consumed by this release.
+        Epsilon consumed by this release.
+    delta:
+        Delta consumed by this release (0.0 for pure eps-DP mechanisms).
     expected_error:
         Analytic expected total squared error at release time (None when
         the mechanism has no closed form).
     workload_key:
         Cache key of the workload (for auditing).
+    metadata:
+        Audit trail: workload shape, the post-processing switches actually
+        applied, the plan key and the accountant model.
     """
 
+    # Field order preserves positional compatibility with the pre-plan-API
+    # Release (delta is appended after the original fields).
     answers: np.ndarray
     mechanism: str
     epsilon: float
-    expected_error: float = None
+    expected_error: Optional[float] = None
     workload_key: str = ""
     metadata: dict = field(default_factory=dict)
+    delta: float = 0.0
 
 
 class PrivateQueryEngine:
     """Answer batches of linear queries over one dataset under a global
-    eps-DP budget.
+    privacy budget, via explicit plan -> execute.
 
     Parameters
     ----------
     data:
         The sensitive unit-count vector (length ``n``).
     total_budget:
-        Total eps available across all releases (sequential composition).
+        Total epsilon available across all releases.
+    delta:
+        Total delta available (default 0.0 = pure eps-DP). A positive value
+        switches accounting to (eps, delta) basic composition
+        (:class:`repro.privacy.accountant.ApproxDPAccountant`), appends the
+        Gaussian candidates to a default candidate pool, and becomes the
+        default ``delta`` of Gaussian mechanisms built by the planner — so
+        by default *one* Gaussian release exhausts the delta pool (deltas
+        add up, like epsilons). To fit several, give the mechanisms a
+        smaller per-release delta via ``mechanism_kwargs``, e.g.
+        ``{"GLRM": {"delta": total_delta / k}}``.
     candidates:
         Mechanism labels tried by ``mechanism="auto"``.
     mechanism_kwargs:
@@ -78,16 +123,46 @@ class PrivateQueryEngine:
     seed:
         Seed for the engine's noise generator (each release consumes from
         one stream, so repeated runs of the same script are reproducible).
+    plan_cache:
+        ``None`` for a fresh in-memory :class:`PlanCache`, a directory path
+        for a persistent one, or a ready-made :class:`PlanCache` instance
+        (shareable between engines).
+    accountant:
+        A pre-built :class:`repro.privacy.accountant.BudgetAccountant`;
+        overrides ``total_budget``/``delta`` when given.
     """
 
+    # delta and the other plan-API parameters come after the pre-PR-2
+    # signature (data, total_budget, candidates, mechanism_kwargs, seed) so
+    # positional callers keep working.
     def __init__(self, data, total_budget, candidates=DEFAULT_CANDIDATES,
-                 mechanism_kwargs=None, seed=None):
+                 mechanism_kwargs=None, seed=None, delta=0.0, plan_cache=None,
+                 accountant=None):
         self._data = as_vector(data, "data")
-        self._budget = PrivacyBudget(check_positive(total_budget, "total_budget"))
+        if accountant is not None:
+            if not isinstance(accountant, BudgetAccountant):
+                raise ValidationError("accountant must be a BudgetAccountant instance")
+            self._accountant = accountant
+        else:
+            self._accountant = make_accountant(
+                check_positive(total_budget, "total_budget"), delta
+            )
+        if self.delta > 0.0 and candidates is DEFAULT_CANDIDATES:
+            candidates = DEFAULT_CANDIDATES + APPROX_DP_CANDIDATES
         self.candidates = tuple(candidates)
-        self.mechanism_kwargs = dict(mechanism_kwargs or {})
+        self.mechanism_kwargs = {
+            label: dict(kwargs) for label, kwargs in (mechanism_kwargs or {}).items()
+        }
+        if self.delta > 0.0:
+            # The engine's delta is the default failure probability of any
+            # Gaussian mechanism the planner constructs.
+            for label in APPROX_DP_CANDIDATES:
+                self.mechanism_kwargs.setdefault(label, {}).setdefault("delta", self.delta)
         self._rng = ensure_rng(seed)
-        self._mechanism_cache = {}
+        if isinstance(plan_cache, PlanCache):
+            self.plan_cache = plan_cache
+        else:
+            self.plan_cache = PlanCache(directory=plan_cache)
         self._releases = []
 
     # ------------------------------------------------------------------ #
@@ -99,67 +174,248 @@ class PrivateQueryEngine:
         return self._data.size
 
     @property
+    def accountant(self):
+        """The (eps, delta) ledger enforcing the global budget."""
+        return self._accountant
+
+    @property
+    def delta(self):
+        """Total delta of the engine's budget (0.0 for pure eps-DP)."""
+        return self._accountant.total_delta
+
+    @property
     def remaining_budget(self):
-        """Unspent privacy budget."""
-        return self._budget.remaining
+        """Unspent epsilon."""
+        return self._accountant.remaining_epsilon
 
     @property
     def spent_budget(self):
-        """Budget consumed so far."""
-        return self._budget.spent
+        """Epsilon consumed so far."""
+        return self._accountant.spent_epsilon
+
+    @property
+    def remaining_delta(self):
+        """Unspent delta."""
+        return self._accountant.remaining_delta
+
+    @property
+    def spent_delta(self):
+        """Delta consumed so far."""
+        return self._accountant.spent_delta
 
     @property
     def releases(self):
         """Audit log: every release made so far (most recent last)."""
         return list(self._releases)
 
-    def can_answer(self, epsilon):
-        """True iff a release at ``epsilon`` would fit in the budget."""
-        return self._budget.can_spend(epsilon)
+    def can_answer(self, epsilon, delta=0.0):
+        """True iff a release at (``epsilon``, ``delta``) fits the budget."""
+        return self._accountant.can_spend(epsilon, delta)
 
     # ------------------------------------------------------------------ #
-    # Fitting / cache
+    # Planning
     # ------------------------------------------------------------------ #
     def _workload_key(self, workload):
-        # SHA-1 content digest memoized on the Workload: stable across
-        # processes (the builtin hash is salted per run, which broke
-        # cross-run audit-log comparison) and computed once per workload
-        # instead of re-serializing the matrix on every prepare/answer call.
-        return f"{workload.shape[0]}x{workload.shape[1]}:{workload.content_digest}"
+        """Stable cross-process workload identity (see
+        :func:`repro.engine.plan.workload_key`); kept as a method for
+        audit-log consumers and backwards compatibility."""
+        return workload_key(workload)
+
+    def _check_domain(self, domain_size):
+        if domain_size != self.domain_size:
+            raise ValidationError(
+                f"workload domain {domain_size} != engine domain {self.domain_size}"
+            )
+
+    def plan(self, workload, mechanism="auto", epsilon_hint=0.1, use_cache=True):
+        """Run selection/fitting and return an :class:`ExecutionPlan`.
+
+        Consumes no privacy budget (planning is data-independent). The plan
+        is cached under ``(workload digest, mechanism spec)`` — mechanism
+        *instances* are keyed by class name, independent of their
+        fitted/unfitted state, and are deep-copied before fitting so the
+        caller's object is never mutated. Neither ``epsilon_hint`` nor
+        ``mechanism_kwargs`` is part of the key: the first plan built for a
+        key wins (that is what lets a restarted engine reuse an expensive
+        on-disk fit). Pass ``use_cache=False``, or use a separate
+        ``plan_cache``, to force a replan under different settings.
+        """
+        workload = as_workload(workload)
+        self._check_domain(workload.domain_size)
+        key = plan_key(workload, mechanism, self.candidates)
+        store = use_cache
+        if use_cache:
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                if not isinstance(mechanism, Mechanism) or self._same_configuration(
+                    mechanism, cached.mechanism
+                ):
+                    return cached
+                # Same class, different constructor state: serving the
+                # cached plan would release with noise calibrated for the
+                # *other* configuration. Build a one-off plan below and
+                # leave the cache entry alone (first plan wins the key).
+                store = False
+        plan = build_plan(
+            workload,
+            epsilon_hint=check_positive(epsilon_hint, "epsilon_hint"),
+            mechanism=mechanism,
+            candidates=self.candidates,
+            mechanism_kwargs=self.mechanism_kwargs,
+        )
+        if store:
+            self.plan_cache.put(key, plan)
+        return plan
+
+    @staticmethod
+    def _same_configuration(requested, cached):
+        """True iff the requested instance's constructor state matches the
+        cached plan's mechanism (uncomparable state counts as a mismatch)."""
+        try:
+            return mechanism_states_equal(mechanism_state(requested), mechanism_state(cached))
+        except Exception:
+            return False
 
     def prepare(self, workload, epsilon_hint=0.1, mechanism="auto"):
         """Fit (and cache) the mechanism for a workload without answering.
 
-        Useful to pay the decomposition cost up front; consumes no budget.
-        Returns the fitted mechanism.
+        Compatibility wrapper over :meth:`plan`: pays the decomposition cost
+        up front, consumes no budget, returns the fitted mechanism.
         """
-        workload = as_workload(workload)
-        if workload.domain_size != self.domain_size:
-            raise ValidationError(
-                f"workload domain {workload.domain_size} != engine domain {self.domain_size}"
-            )
-        key = (self._workload_key(workload), str(mechanism).upper())
-        if key in self._mechanism_cache:
-            return self._mechanism_cache[key]
-
-        if isinstance(mechanism, Mechanism):
-            fitted = mechanism.fit(workload)
-        elif str(mechanism).lower() == "auto":
-            fitted = select_mechanism(
-                workload,
-                check_positive(epsilon_hint, "epsilon_hint"),
-                candidates=self.candidates,
-                mechanism_kwargs=self.mechanism_kwargs,
-            )
-        else:
-            label = str(mechanism).upper()
-            fitted = make_mechanism(label, **self.mechanism_kwargs.get(label, {}))
-            fitted.fit(workload)
-        self._mechanism_cache[key] = fitted
-        return fitted
+        return self.plan(workload, mechanism=mechanism, epsilon_hint=epsilon_hint).mechanism
 
     # ------------------------------------------------------------------ #
-    # Answering
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _check_executable(self, plan, epsilon):
+        """Validate one (plan, epsilon) request; returns its (eps, delta) cost."""
+        if not isinstance(plan, ExecutionPlan):
+            raise ValidationError(
+                f"execute expects an ExecutionPlan, got {type(plan).__name__}; "
+                "build one with engine.plan(workload)"
+            )
+        self._check_domain(plan.domain_size)
+        return check_positive(epsilon, "epsilon"), plan.delta
+
+    def _build_release(self, plan, epsilon, delta, non_negative, integral, consistent):
+        """Produce one release without logging it; the budget must already
+        be charged."""
+        answers = plan.mechanism.answer(self._data, epsilon, self._rng)
+        if non_negative or integral or consistent:
+            answers = postprocess_answers(
+                plan.workload.matrix,
+                answers,
+                non_negative=non_negative,
+                integral=integral,
+                consistent=consistent,
+            )
+        try:
+            expected = float(plan.mechanism.expected_squared_error(epsilon))
+        except (NotImplementedError, ReproError):
+            expected = None
+        return Release(
+            answers=answers,
+            mechanism=plan.mechanism_label,
+            epsilon=epsilon,
+            delta=delta,
+            expected_error=expected,
+            workload_key=plan.workload_key,
+            metadata={
+                "shape": plan.shape,
+                "plan_key": plan.plan_key,
+                "accountant": self._accountant.name,
+                "postprocess": {
+                    "non_negative": bool(non_negative),
+                    "integral": bool(integral),
+                    "consistent": bool(consistent),
+                },
+            },
+        )
+
+    def execute(self, plan, epsilon, non_negative=False, integral=False, consistent=False):
+        """One budgeted release of a plan's answers at ``epsilon``.
+
+        Charges (``epsilon``, plan's per-release ``delta``) to the
+        accountant *before* releasing; an over-budget request raises
+        :class:`repro.exceptions.PrivacyBudgetError` and leaves the audit
+        log untouched. The post-processing switches are privacy-free (see
+        :mod:`repro.analysis.postprocess`) and are recorded in
+        ``Release.metadata``.
+        """
+        epsilon, delta = self._check_executable(plan, epsilon)
+        ledger_state = self._accountant.snapshot()
+        self._accountant.spend(epsilon, delta)
+        try:
+            release = self._build_release(
+                plan, epsilon, delta, non_negative, integral, consistent
+            )
+        except BaseException:
+            # Build failed (e.g. a post-processing projection error): the
+            # partially generated noise is discarded unexposed, so the
+            # charge is rolled back rather than burned without an audit
+            # entry to account for it.
+            self._accountant.restore(ledger_state)
+            raise
+        self._releases.append(release)
+        return release
+
+    def execute_many(self, requests, non_negative=False, integral=False, consistent=False):
+        """Atomically release a batch of requests.
+
+        Each request is ``(plan, epsilon)`` or ``(plan, epsilon, switches)``
+        where ``switches`` is a dict overriding the batch-default
+        post-processing flags for that release (e.g. ``{"integral": True}``
+        for a count workload next to a ``{"consistent": True}`` one).
+
+        The whole batch is all-or-nothing: the accountant is charged in one
+        step, and if producing any release then fails (e.g. a
+        post-processing projection error) the charge is rolled back — the
+        partially generated noise is discarded unexposed — and the audit
+        log is left untouched. On success every :class:`Release` is logged
+        and returned in request order.
+        """
+        defaults = {
+            "non_negative": non_negative, "integral": integral, "consistent": consistent,
+        }
+        prepared = []
+        for request in requests:
+            try:
+                plan, epsilon = request[0], request[1]
+                overrides = request[2] if len(request) > 2 else {}
+            except (TypeError, IndexError, KeyError) as exc:
+                raise ValidationError(
+                    "each execute_many request must be (plan, epsilon) or "
+                    f"(plan, epsilon, switches); got {request!r}"
+                ) from exc
+            if not isinstance(overrides, dict):
+                raise ValidationError(
+                    "execute_many switches must be a dict of post-processing "
+                    f"flags; got {overrides!r}"
+                )
+            unknown = set(overrides) - set(defaults)
+            if unknown:
+                raise ValidationError(
+                    f"unknown post-processing switches {sorted(unknown)}; "
+                    f"choose from {sorted(defaults)}"
+                )
+            cost = self._check_executable(plan, epsilon)
+            prepared.append((plan, cost, {**defaults, **overrides}))
+        if not prepared:
+            raise ValidationError("execute_many needs at least one (plan, epsilon) request")
+        ledger_state = self._accountant.snapshot()
+        self._accountant.spend_many([cost for _, cost, _ in prepared])
+        staged = []
+        try:
+            for plan, (epsilon, delta), switches in prepared:
+                staged.append(self._build_release(plan, epsilon, delta, **switches))
+        except BaseException:
+            self._accountant.restore(ledger_state)
+            raise
+        self._releases.extend(staged)
+        return staged
+
+    # ------------------------------------------------------------------ #
+    # Compatibility shims (pre-plan-API surface)
     # ------------------------------------------------------------------ #
     def answer_workload(
         self,
@@ -170,57 +426,33 @@ class PrivateQueryEngine:
         integral=False,
         consistent=False,
     ):
-        """One eps-DP release of the workload's answers.
+        """Deprecated: one-shot plan + execute (the pre-plan-API entry point).
 
-        Parameters
-        ----------
-        workload:
-            Batch of linear queries (a Workload or raw matrix).
-        epsilon:
-            Budget for this release; deducted from the engine total.
-        mechanism:
-            ``"auto"`` (analytic selection), a registry label, or an
-            unfitted mechanism instance.
-        non_negative, integral, consistent:
-            Post-processing switches (privacy-free, see
-            :mod:`repro.analysis.postprocess`).
-
-        Returns
-        -------
-        Release
+        Equivalent to ``engine.execute(engine.plan(workload, mechanism,
+        epsilon_hint=epsilon), epsilon, ...)`` and kept working for existing
+        callers; new code should plan once and execute many times.
         """
-        workload = as_workload(workload)
-        epsilon = check_positive(epsilon, "epsilon")
-        fitted = self.prepare(workload, epsilon_hint=epsilon, mechanism=mechanism)
-        # Spend only after the fit succeeded (fits are data-independent).
-        self._budget.spend(epsilon)
-        answers = fitted.answer(self._data, epsilon, self._rng)
-        if non_negative or integral or consistent:
-            answers = postprocess_answers(
-                workload.matrix,
-                answers,
-                non_negative=non_negative,
-                integral=integral,
-                consistent=consistent,
-            )
-        try:
-            expected = float(fitted.expected_squared_error(epsilon))
-        except (NotImplementedError, ReproError):
-            expected = None
-        release = Release(
-            answers=answers,
-            mechanism=getattr(fitted, "name", type(fitted).__name__),
-            epsilon=epsilon,
-            expected_error=expected,
-            workload_key=self._workload_key(workload),
-            metadata={"shape": workload.shape},
+        warnings.warn(
+            "PrivateQueryEngine.answer_workload is deprecated; use "
+            "engine.plan(workload) then engine.execute(plan, epsilon)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._releases.append(release)
-        return release
+        epsilon = check_positive(epsilon, "epsilon")
+        plan = self.plan(workload, mechanism=mechanism, epsilon_hint=epsilon)
+        return self.execute(
+            plan,
+            epsilon,
+            non_negative=non_negative,
+            integral=integral,
+            consistent=consistent,
+        )
 
-    def answer_queries(self, weight_rows, epsilon, **kwargs):
+    def answer_queries(self, weight_rows, epsilon, mechanism="auto", **postprocess):
         """Convenience: answer a list of weight vectors as one batch."""
         matrix = np.asarray(weight_rows, dtype=np.float64)
         if matrix.ndim == 1:
             matrix = matrix[None, :]
-        return self.answer_workload(matrix, epsilon, **kwargs)
+        epsilon = check_positive(epsilon, "epsilon")
+        plan = self.plan(matrix, mechanism=mechanism, epsilon_hint=epsilon)
+        return self.execute(plan, epsilon, **postprocess)

@@ -12,18 +12,29 @@ so it consumes no privacy budget.
 
 from __future__ import annotations
 
+import copy
 import time
 
 from repro.exceptions import ReproError, ValidationError
 from repro.linalg.validation import check_positive
-from repro.mechanisms.base import as_workload
+from repro.mechanisms.base import Mechanism, as_workload
 from repro.mechanisms.registry import make_mechanism
 
-__all__ = ["MechanismChoice", "rank_mechanisms", "select_mechanism", "DEFAULT_CANDIDATES"]
+__all__ = [
+    "MechanismChoice",
+    "rank_mechanisms",
+    "select_mechanism",
+    "DEFAULT_CANDIDATES",
+    "APPROX_DP_CANDIDATES",
+]
 
 #: Default candidate set for pure eps-DP: the paper's contenders. MM is
 #: excluded by default for its O(n^3) fit cost; add it explicitly if wanted.
 DEFAULT_CANDIDATES = ("LM", "NOR", "WM", "HM", "SVDM", "LRM")
+
+#: Gaussian (eps, delta)-DP candidates, appended to the pool when the engine
+#: is constructed with ``delta > 0``.
+APPROX_DP_CANDIDATES = ("GLM", "GNOR", "GLRM")
 
 
 class MechanismChoice:
@@ -83,7 +94,9 @@ def rank_mechanisms(workload, epsilon, candidates=DEFAULT_CANDIDATES, mechanism_
                 choices.append(MechanismChoice(label, failure=str(exc)))
                 continue
         else:
-            mechanism = spec
+            # Fit a copy: ranking must not mutate the caller's instance
+            # (candidates may be reused across selection rounds).
+            mechanism = copy.deepcopy(spec) if isinstance(spec, Mechanism) else spec
             label = getattr(mechanism, "name", type(mechanism).__name__)
         started = time.perf_counter()
         try:

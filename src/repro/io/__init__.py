@@ -1,15 +1,19 @@
-"""Persistence: save/load decompositions and fitted mechanisms."""
+"""Persistence: save/load decompositions, fitted mechanisms and plans."""
 
 from repro.io.serialization import (
     load_decomposition,
     load_fitted_lrm,
+    load_plan,
     save_decomposition,
     save_fitted_lrm,
+    save_plan,
 )
 
 __all__ = [
     "load_decomposition",
     "load_fitted_lrm",
+    "load_plan",
     "save_decomposition",
     "save_fitted_lrm",
+    "save_plan",
 ]

@@ -1,14 +1,25 @@
-"""Persistence for decompositions and fitted mechanisms.
+"""Persistence for decompositions, fitted mechanisms and execution plans.
 
 The ALM decomposition is the expensive part of LRM (seconds to minutes);
 production deployments fit once per workload and answer many times. These
 helpers save a :class:`repro.core.alm.Decomposition` (or a fitted
 :class:`repro.core.lrm.LowRankMechanism`) to a single ``.npz`` file and
 restore it without re-optimising.
+
+:func:`save_plan` / :func:`load_plan` persist a whole
+:class:`repro.engine.plan.ExecutionPlan` — the fitted mechanism plus the
+candidate-comparison table ``explain()`` renders — which is what the
+persistent :class:`repro.engine.plan_cache.PlanCache` writes to its
+directory backend. Low-rank mechanisms store their decomposition arrays and
+restore without re-optimising; cheap registry mechanisms are refit
+deterministically from the stored workload on load. Archive integrity is
+anchored on :attr:`repro.workloads.workload.Workload.content_digest`: the
+loaded matrix must hash back to the digest the plan was keyed under.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 import numpy as np
@@ -18,13 +29,63 @@ from repro.exceptions import ValidationError
 from repro.workloads.workload import Workload
 
 __all__ = [
+    "PlanFormatError",
     "save_decomposition",
     "load_decomposition",
     "save_fitted_lrm",
     "load_fitted_lrm",
+    "save_plan",
+    "load_plan",
 ]
 
+
+class PlanFormatError(ValidationError):
+    """A plan archive is unreadable for *benign* reasons — wrong/old format
+    version, missing keys, an unknown stored class. Distinct from a plain
+    :class:`ValidationError` so :class:`repro.engine.plan_cache.PlanCache`
+    can treat staleness as a cache miss (replan and overwrite) while digest
+    and key mismatches still raise as integrity failures."""
+
 _FORMAT_VERSION = 1
+_PLAN_FORMAT_VERSION = 1
+
+
+def _array_digest(*arrays):
+    """SHA-1 over the shapes and bytes of the given arrays."""
+    digest = hashlib.sha1()
+    for array in arrays:
+        digest.update(repr(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _decomposition_payload(decomposition):
+    """JSON form of a Decomposition's scalar fields (shared by the fitted-LRM
+    and plan archive formats)."""
+    return {
+        "residual_norm": decomposition.residual_norm,
+        "objective": decomposition.objective,
+        "iterations": decomposition.iterations,
+        "converged": decomposition.converged,
+        "norm": decomposition.norm,
+        # Integrity anchor for the strategy arrays: a tampered L would
+        # change the sensitivity the noise is calibrated to.
+        "digest": _array_digest(decomposition.b, decomposition.l),
+    }
+
+
+def _restore_decomposition(b, l, details):
+    """Inverse of :func:`_decomposition_payload` plus the stored arrays."""
+    return Decomposition(
+        b=b,
+        l=l,
+        residual_norm=float(details["residual_norm"]),
+        objective=float(details["objective"]),
+        iterations=int(details["iterations"]),
+        converged=bool(details["converged"]),
+        history=[],
+        norm=str(details.get("norm", "l1")),
+    )
 
 
 def save_decomposition(decomposition, path):
@@ -93,13 +154,7 @@ def save_fitted_lrm(mechanism, path):
         "class": type(mechanism).__name__,
         "delta": getattr(mechanism, "delta", None),
         "workload_name": mechanism.workload.name,
-        "decomposition": {
-            "residual_norm": decomposition.residual_norm,
-            "objective": decomposition.objective,
-            "iterations": decomposition.iterations,
-            "converged": decomposition.converged,
-            "norm": decomposition.norm,
-        },
+        "decomposition": _decomposition_payload(decomposition),
     }
     np.savez_compressed(
         path,
@@ -130,18 +185,217 @@ def load_fitted_lrm(path):
         mechanism = GaussianLowRankMechanism(delta=metadata.get("delta") or 1e-6)
     else:
         mechanism = LowRankMechanism()
-    details = metadata["decomposition"]
-    decomposition = Decomposition(
-        b=b,
-        l=l,
-        residual_norm=float(details["residual_norm"]),
-        objective=float(details["objective"]),
-        iterations=int(details["iterations"]),
-        converged=bool(details["converged"]),
-        history=[],
-        norm=str(details.get("norm", "l1")),
-    )
     # Install the restored state without re-running the solver.
     mechanism._workload = Workload(workload_matrix, name=metadata.get("workload_name", "restored"))
-    mechanism._decomposition = decomposition
+    mechanism._decomposition = _restore_decomposition(b, l, metadata["decomposition"])
     return mechanism
+
+
+# ---------------------------------------------------------------------- #
+# Execution plans
+# ---------------------------------------------------------------------- #
+def _rebuild_lowrank(class_name, delta, fit_kwargs):
+    """Reconstruct an (unfitted) low-rank mechanism from plan metadata —
+    the single rebuild path shared by the save-time gate and load_plan."""
+    from repro.core.lrm import GaussianLowRankMechanism, LowRankMechanism
+
+    kwargs = dict(fit_kwargs)
+    if class_name == "GaussianLowRankMechanism":
+        # fit_kwargs may carry the delta too; the stored one wins.
+        kwargs.pop("delta", None)
+        return GaussianLowRankMechanism(delta=delta if delta is not None else 1e-6, **kwargs)
+    return LowRankMechanism(**kwargs)
+
+
+def _refit_reproduces(mechanism, label, fit_kwargs):
+    """True iff ``make_mechanism(label, **fit_kwargs)`` rebuilds a mechanism
+    with the same constructor state as ``mechanism``.
+
+    This is the safety gate of the plan refit-on-load path: a mechanism
+    whose public state (e.g. a customized ``unit_sensitivity``) is not
+    captured by the stored kwargs must NOT be persisted, or the restored
+    plan would silently release with differently-calibrated noise.
+    """
+    from repro.engine.plan import mechanism_state, mechanism_states_equal
+    from repro.mechanisms.registry import make_mechanism
+
+    try:
+        fresh = make_mechanism(label, **fit_kwargs)
+    except Exception:
+        # Unknown label, rejected kwargs (TypeError), validation failure:
+        # all mean a refit cannot rebuild this mechanism.
+        return False
+    if type(fresh) is not type(mechanism):
+        return False
+    try:
+        return mechanism_states_equal(mechanism_state(fresh), mechanism_state(mechanism))
+    except Exception:
+        return False
+
+
+def save_plan(plan, path):
+    """Persist an :class:`repro.engine.plan.ExecutionPlan` to ``path`` (npz).
+
+    Low-rank mechanisms (LRM/GLRM, including instance-built ones) store
+    their decomposition arrays and restore without re-optimising. Other
+    mechanisms store only the workload plus their constructor kwargs and
+    are refit deterministically on load (their fits are cheap and
+    data-independent) — allowed only when the kwargs provably rebuild the
+    same constructor state, so a plan carrying e.g. a customized
+    ``unit_sensitivity`` not captured by the kwargs raises
+    :class:`ValidationError` instead of silently restoring with
+    differently-calibrated noise.
+    """
+    from repro.core.lrm import LowRankMechanism
+    from repro.engine.plan import ExecutionPlan
+
+    if not isinstance(plan, ExecutionPlan):
+        raise ValidationError("save_plan expects an ExecutionPlan")
+    mechanism = plan.mechanism
+    if not mechanism.is_fitted:
+        raise ValidationError("plan mechanism must be fitted before saving")
+    workload = plan.workload
+    requires_delta = bool(getattr(mechanism, "requires_delta", False))
+    metadata = {
+        "plan_format_version": _PLAN_FORMAT_VERSION,
+        "plan": plan.to_metadata(),
+        "workload": {"name": workload.name, "digest": workload.content_digest},
+        "mechanism_class": type(mechanism).__name__,
+        "delta": float(mechanism.delta) if requires_delta else None,
+    }
+    from repro.core.lrm import GaussianLowRankMechanism
+
+    arrays = {"workload": workload.matrix}
+    # Exact types only: an unknown LowRankMechanism subclass (custom norm,
+    # custom noise) must not round-trip into a base-class mechanism with
+    # differently-calibrated noise — it falls through to the refit gate,
+    # which rejects classes the registry cannot rebuild.
+    if type(mechanism) in (LowRankMechanism, GaussianLowRankMechanism):
+        # Gate the rebuild exactly as load_plan will perform it: foreign
+        # public attributes (not constructor parameters) would otherwise
+        # persist an archive load_plan can never restore, turning the disk
+        # cache into a permanent miss-and-refit loop.
+        from repro.engine.plan import mechanism_state, mechanism_states_equal
+
+        try:
+            probe = _rebuild_lowrank(
+                type(mechanism).__name__, metadata["delta"], plan.fit_kwargs
+            )
+            rebuilds = mechanism_states_equal(
+                mechanism_state(probe), mechanism_state(mechanism)
+            )
+        except Exception:
+            rebuilds = False
+        if not rebuilds:
+            raise ValidationError(
+                f"plan with mechanism {type(mechanism).__name__!r} is not serializable: "
+                "its constructor state is not captured by the stored fit kwargs"
+            )
+        decomposition = mechanism.decomposition
+        arrays["b"] = decomposition.b
+        arrays["l"] = decomposition.l
+        metadata["decomposition"] = _decomposition_payload(decomposition)
+    else:
+        # Mirror load_plan's reconstruction (stored delta folded in) and
+        # refuse to persist unless it reproduces this mechanism exactly.
+        effective_kwargs = dict(plan.fit_kwargs)
+        if requires_delta:
+            effective_kwargs.setdefault("delta", mechanism.delta)
+        if not _refit_reproduces(mechanism, plan.mechanism_label, effective_kwargs):
+            raise ValidationError(
+                f"plan with mechanism {type(mechanism).__name__!r} is not serializable: "
+                "its constructor state is not captured by the stored fit kwargs "
+                "(low-rank mechanisms persist their decomposition instead)"
+            )
+    try:
+        payload = json.dumps(metadata)
+    except TypeError as exc:
+        raise ValidationError(f"plan metadata is not JSON-serializable: {exc}") from exc
+    np.savez_compressed(
+        path, metadata=np.frombuffer(payload.encode("utf-8"), dtype=np.uint8), **arrays
+    )
+
+
+def load_plan(path):
+    """Restore an :class:`repro.engine.plan.ExecutionPlan` saved by
+    :func:`save_plan`.
+
+    The workload matrix is re-hashed and checked against the stored
+    :attr:`~repro.workloads.workload.Workload.content_digest`, so a corrupt
+    or tampered archive is rejected instead of silently releasing against
+    the wrong queries.
+    """
+    from repro.engine.plan import ExecutionPlan, PlanCandidate
+    from repro.mechanisms.registry import make_mechanism
+
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            workload_matrix = archive["workload"]
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        except KeyError as exc:
+            raise PlanFormatError(f"not a plan archive: missing {exc}") from exc
+        b = archive["b"] if "b" in archive.files else None
+        l = archive["l"] if "l" in archive.files else None
+    if metadata.get("plan_format_version") != _PLAN_FORMAT_VERSION:
+        raise PlanFormatError(
+            f"unsupported plan format version {metadata.get('plan_format_version')}"
+        )
+    plan_meta = metadata["plan"]
+    workload = Workload(workload_matrix, name=metadata["workload"].get("name", "restored"))
+    stored_digest = metadata["workload"].get("digest")
+    if workload.content_digest != stored_digest:
+        raise ValidationError(
+            "plan archive integrity failure: workload matrix does not hash to "
+            f"the stored digest {stored_digest!r}"
+        )
+    from repro.engine.plan import workload_key as compute_workload_key
+
+    if str(plan_meta["workload_key"]) != compute_workload_key(workload):
+        raise ValidationError(
+            "plan archive integrity failure: stored workload_key "
+            f"{plan_meta['workload_key']!r} does not match the loaded matrix"
+        )
+
+    fit_kwargs = dict(plan_meta.get("fit_kwargs", {}))
+    class_name = metadata.get("mechanism_class", "")
+    delta = metadata.get("delta")
+    if class_name in ("LowRankMechanism", "GaussianLowRankMechanism") and (
+        b is None or l is None
+    ):
+        # A low-rank archive without its decomposition arrays must not fall
+        # through to the refit branch: that would silently re-run the
+        # expensive ALM optimisation the cache exists to avoid.
+        raise ValidationError(
+            "plan archive integrity failure: low-rank plan is missing its "
+            "decomposition arrays"
+        )
+    if b is not None and l is not None:
+        details = metadata["decomposition"]
+        stored = details.get("digest")
+        if stored is not None and _array_digest(b, l) != stored:
+            raise ValidationError(
+                "plan archive integrity failure: decomposition arrays do not "
+                f"hash to the stored digest {stored!r}"
+            )
+        if class_name not in ("LowRankMechanism", "GaussianLowRankMechanism"):
+            raise PlanFormatError(
+                f"plan archive holds an unsupported low-rank class {class_name!r}"
+            )
+        mechanism = _rebuild_lowrank(class_name, delta, fit_kwargs)
+        mechanism._workload = workload
+        mechanism._decomposition = _restore_decomposition(b, l, details)
+    else:
+        if delta is not None:
+            fit_kwargs.setdefault("delta", delta)
+        mechanism = make_mechanism(plan_meta["mechanism_label"], **fit_kwargs)
+        mechanism.fit(workload)
+
+    return ExecutionPlan(
+        mechanism=mechanism,
+        mechanism_label=str(plan_meta["mechanism_label"]),
+        mechanism_spec=str(plan_meta["mechanism_spec"]),
+        workload_key=str(plan_meta["workload_key"]),
+        epsilon_hint=float(plan_meta["epsilon_hint"]),
+        candidates=[PlanCandidate.from_dict(c) for c in plan_meta.get("candidates", [])],
+        fit_kwargs=dict(plan_meta.get("fit_kwargs", {})),
+    )

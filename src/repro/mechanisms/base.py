@@ -45,6 +45,11 @@ class Mechanism(abc.ABC):
     #: Short name used in experiment tables (e.g. "LRM", "WM").
     name = "mechanism"
 
+    #: True for mechanisms whose releases carry a failure probability delta
+    #: (the Gaussian family). The engine uses this to charge (eps, delta)
+    #: against an approximate-DP accountant instead of plain eps.
+    requires_delta = False
+
     def __init__(self):
         self._workload = None
 
@@ -149,6 +154,29 @@ class Mechanism(abc.ABC):
         self._check_fitted()
         sse = self.empirical_squared_error(x, epsilon, trials=trials, rng=rng)
         return sse / self._workload.num_queries
+
+    # ------------------------------------------------------------------ #
+    # Plan metadata
+    # ------------------------------------------------------------------ #
+    def plan_metadata(self):
+        """Facts an :class:`repro.engine.plan.ExecutionPlan` reports about
+        this mechanism: class, label, privacy model, fitted-workload
+        identity. Subclasses extend with mechanism-specific structure
+        (decomposition rank, noise calibration, ...) — everything returned
+        must be JSON-serializable.
+        """
+        meta = {
+            "class": type(self).__name__,
+            "name": self.name,
+            "privacy_model": "(eps, delta)-DP" if self.requires_delta else "pure eps-DP",
+            "is_fitted": self.is_fitted,
+        }
+        if self.requires_delta:
+            meta["delta"] = float(getattr(self, "delta", 0.0))
+        if self.is_fitted:
+            meta["workload_shape"] = list(self._workload.shape)
+            meta["workload_digest"] = self._workload.content_digest
+        return meta
 
     def __repr__(self):
         fitted = f"fitted shape={self._workload.shape}" if self.is_fitted else "unfitted"

@@ -35,11 +35,22 @@ class GaussianNoiseOnDataMechanism(Mechanism):
     """
 
     name = "GLM"
+    requires_delta = True
 
     def __init__(self, delta=1e-6, unit_sensitivity=1.0):
         super().__init__()
         self.delta = _check_delta(delta)
         self.unit_sensitivity = check_positive(unit_sensitivity, "unit_sensitivity")
+
+    def plan_metadata(self):
+        meta = super().plan_metadata()
+        meta["noise"] = "gaussian"
+        meta["sensitivity"] = float(self.unit_sensitivity)
+        # sigma scales as sigma_unit / eps: report the eps-independent part.
+        meta["sigma_at_unit_epsilon"] = float(
+            gaussian_sigma(self.unit_sensitivity, 1.0, self.delta)
+        )
+        return meta
 
     def _answer(self, x, epsilon, rng):
         noisy_data = x + gaussian_noise(x.size, self.unit_sensitivity, epsilon, self.delta, rng)
@@ -57,10 +68,23 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
     workload's L2 sensitivity (max column L2 norm)."""
 
     name = "GNOR"
+    requires_delta = True
 
     def __init__(self, delta=1e-6):
         super().__init__()
         self.delta = _check_delta(delta)
+
+    def plan_metadata(self):
+        meta = super().plan_metadata()
+        meta["noise"] = "gaussian"
+        if self.is_fitted:
+            sensitivity = l2_sensitivity(self.workload.matrix)
+            meta["sensitivity"] = float(sensitivity)
+            if sensitivity > 0.0:
+                meta["sigma_at_unit_epsilon"] = float(
+                    gaussian_sigma(sensitivity, 1.0, self.delta)
+                )
+        return meta
 
     def _answer(self, x, epsilon, rng):
         exact = self.workload.answer(x)

@@ -1,5 +1,11 @@
-"""Differential-privacy substrate: Laplace noise, sensitivity, budgets."""
+"""Differential-privacy substrate: noise, sensitivity, budgets, accountants."""
 
+from repro.privacy.accountant import (
+    ApproxDPAccountant,
+    BudgetAccountant,
+    PureDPAccountant,
+    make_accountant,
+)
 from repro.privacy.budget import PrivacyBudget, compose_sequential, split_budget
 from repro.privacy.noise import (
     expected_squared_gaussian_noise,
@@ -19,7 +25,11 @@ from repro.privacy.sensitivity import (
 )
 
 __all__ = [
+    "ApproxDPAccountant",
+    "BudgetAccountant",
     "PrivacyBudget",
+    "PureDPAccountant",
+    "make_accountant",
     "column_l1_norms",
     "column_l2_norms",
     "expected_squared_gaussian_noise",

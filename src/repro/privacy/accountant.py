@@ -1,0 +1,272 @@
+"""Pluggable privacy accountants: (epsilon, delta) ledgers for the engine.
+
+:class:`repro.privacy.budget.PrivacyBudget` tracks a single scalar epsilon
+under sequential composition — exactly the paper's pure eps-DP model. A
+production engine additionally needs (a) an *audited, atomic* way to charge
+several releases at once and (b) the relaxed (eps, delta) model the Gaussian
+mechanisms live in. This module abstracts both behind one interface:
+
+* :class:`PureDPAccountant` — sequential composition of pure eps-DP
+  releases (``sum eps_i <= eps_total``); refuses any release with
+  ``delta > 0``.
+* :class:`ApproxDPAccountant` — *basic composition* for (eps, delta)-DP
+  (Dwork & Roth, Thm 3.16): ``sum eps_i <= eps_total`` and
+  ``sum delta_i <= delta_total``. Pure releases (``delta = 0``) compose
+  freely alongside Gaussian ones.
+
+Both accountants absorb floating-point dust at the boundary: spending a
+budget down in steps whose exact sum equals the total always succeeds and
+leaves ``remaining_epsilon == 0.0`` exactly (no ``0.3 - 3 * 0.1 != 0``
+failures), while a genuine overspend raises
+:class:`repro.exceptions.PrivacyBudgetError` *before* any state changes —
+``spend_many`` is all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import PrivacyBudgetError, ReproError
+from repro.linalg.validation import check_positive
+
+__all__ = [
+    "BudgetAccountant",
+    "PureDPAccountant",
+    "ApproxDPAccountant",
+    "make_accountant",
+]
+
+
+def _check_delta(delta, name="delta"):
+    delta = float(delta)
+    if delta < 0.0:
+        raise PrivacyBudgetError(f"{name} must be >= 0, got {delta}")
+    if delta >= 1.0:
+        raise PrivacyBudgetError(f"{name} must be < 1, got {delta}")
+    return delta
+
+
+class BudgetAccountant(abc.ABC):
+    """Mutable (epsilon, delta) privacy ledger.
+
+    Subclasses define one composition rule via :meth:`_validate_cost`; the
+    base class owns the arithmetic: spend tracking, float-dust clamping at
+    exact exhaustion, and the atomic :meth:`spend_many`.
+    """
+
+    #: Short label recorded in release audit metadata.
+    name = "accountant"
+
+    def __init__(self, total_epsilon, total_delta=0.0):
+        self._total_epsilon = check_positive(total_epsilon, "total_epsilon")
+        self._total_delta = _check_delta(total_delta, "total_delta")
+        self._spent_epsilon = 0.0
+        self._spent_delta = 0.0
+        # Absolute float-dust slack at the budget boundary.
+        self._eps_slack = 1e-12 * max(1.0, self._total_epsilon)
+        self._delta_slack = 1e-15 * max(1.0, self._total_delta)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_epsilon(self):
+        """Total epsilon available across all releases."""
+        return self._total_epsilon
+
+    @property
+    def total_delta(self):
+        """Total delta available across all releases."""
+        return self._total_delta
+
+    @property
+    def spent_epsilon(self):
+        """Epsilon consumed so far."""
+        return self._spent_epsilon
+
+    @property
+    def spent_delta(self):
+        """Delta consumed so far."""
+        return self._spent_delta
+
+    @property
+    def remaining_epsilon(self):
+        """Epsilon still available."""
+        return max(self._total_epsilon - self._spent_epsilon, 0.0)
+
+    @property
+    def remaining_delta(self):
+        """Delta still available."""
+        return max(self._total_delta - self._spent_delta, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Spending
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _validate_cost(self, epsilon, delta):
+        """Validate one (epsilon, delta) cost; return the normalized pair.
+
+        Raises :class:`PrivacyBudgetError` when the cost is malformed for
+        this composition model (independent of the remaining budget).
+        """
+
+    def _fits(self, epsilon, delta):
+        # A fully-spent coordinate admits nothing more: the slack below only
+        # forgives float dust on the *last* spend that reaches the total —
+        # it must not re-arm after exhaustion (else unbounded dust-sized
+        # releases would pass while the clamped ledger under-reports them).
+        if epsilon > 0.0 and self._spent_epsilon >= self._total_epsilon:
+            return False
+        if delta > 0.0 and self._spent_delta >= self._total_delta:
+            return False
+        return (
+            epsilon <= self.remaining_epsilon + self._eps_slack
+            and delta <= self.remaining_delta + self._delta_slack
+        )
+
+    def can_spend(self, epsilon, delta=0.0):
+        """True iff one (epsilon, delta) release fits in the budget.
+
+        A malformed cost (non-positive epsilon, delta out of range, delta on
+        a pure accountant) answers False rather than raising — this is a
+        predicate, not a spend.
+        """
+        try:
+            epsilon, delta = self._validate_cost(epsilon, delta)
+        except ReproError:
+            return False
+        return self._fits(epsilon, delta)
+
+    def _commit(self, epsilon, delta):
+        self._spent_epsilon += epsilon
+        self._spent_delta += delta
+        # Clamp float dust so exact exhaustion reads remaining == 0.0 and a
+        # subsequent zero-remainder probe fails cleanly instead of fuzzily.
+        if abs(self._total_epsilon - self._spent_epsilon) <= self._eps_slack:
+            self._spent_epsilon = self._total_epsilon
+        if abs(self._total_delta - self._spent_delta) <= self._delta_slack:
+            self._spent_delta = self._total_delta
+
+    def spend(self, epsilon, delta=0.0):
+        """Consume one (epsilon, delta) cost; returns the pair.
+
+        Raises :class:`PrivacyBudgetError` (leaving the ledger untouched)
+        when the cost is invalid or would exceed the budget.
+        """
+        epsilon, delta = self._validate_cost(epsilon, delta)
+        if not self._fits(epsilon, delta):
+            raise PrivacyBudgetError(
+                f"cannot spend (eps={epsilon}, delta={delta}): remaining "
+                f"(eps={self.remaining_epsilon}, delta={self.remaining_delta}) "
+                f"of (eps={self._total_epsilon}, delta={self._total_delta})"
+            )
+        self._commit(epsilon, delta)
+        return epsilon, delta
+
+    def spend_many(self, costs):
+        """Atomically consume a batch of (epsilon, delta) costs.
+
+        Either the whole batch is charged (and the validated pairs are
+        returned) or :class:`PrivacyBudgetError` is raised with no state
+        change — the all-or-nothing primitive behind
+        ``PrivateQueryEngine.execute_many``.
+        """
+        validated = [self._validate_cost(*cost) for cost in costs]
+        if not validated:
+            raise PrivacyBudgetError("spend_many needs at least one cost")
+        total_eps = sum(eps for eps, _ in validated)
+        total_delta = sum(delta for _, delta in validated)
+        if not self._fits(total_eps, total_delta):
+            raise PrivacyBudgetError(
+                f"batch of {len(validated)} releases needs "
+                f"(eps={total_eps}, delta={total_delta}) but only "
+                f"(eps={self.remaining_epsilon}, delta={self.remaining_delta}) remains"
+            )
+        self._commit(total_eps, total_delta)
+        return validated
+
+    def snapshot(self):
+        """Opaque spend state, for :meth:`restore`."""
+        return (self._spent_epsilon, self._spent_delta)
+
+    def restore(self, state):
+        """Roll the ledger back to a :meth:`snapshot`.
+
+        Only sound when every release charged since the snapshot was
+        *discarded unexposed* (the engine uses this to keep
+        ``execute_many`` all-or-nothing when producing a release fails
+        mid-batch); restoring past genuinely released noise would
+        under-report real privacy loss.
+        """
+        self._spent_epsilon, self._spent_delta = state
+
+    def reset(self):
+        """Forget all spending (useful between independent experiments)."""
+        self._spent_epsilon = 0.0
+        self._spent_delta = 0.0
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(spent=({self._spent_epsilon:.6g}, "
+            f"{self._spent_delta:.3g}), total=({self._total_epsilon:.6g}, "
+            f"{self._total_delta:.3g}))"
+        )
+
+
+class PureDPAccountant(BudgetAccountant):
+    """Sequential composition of pure eps-DP releases.
+
+    The paper's model: each release costs some eps and the costs add up.
+    Any release carrying ``delta > 0`` (a Gaussian-mechanism release) is
+    rejected outright — approximate-DP releases need
+    :class:`ApproxDPAccountant`.
+    """
+
+    name = "pure-dp"
+
+    def __init__(self, total_epsilon):
+        super().__init__(total_epsilon, total_delta=0.0)
+
+    def _validate_cost(self, epsilon, delta):
+        epsilon = check_positive(epsilon, "epsilon")
+        delta = float(delta)
+        if delta != 0.0:
+            raise PrivacyBudgetError(
+                f"pure eps-DP accountant cannot absorb delta={delta}; "
+                "construct the engine with delta > 0 (ApproxDPAccountant) "
+                "for Gaussian-mechanism releases"
+            )
+        return epsilon, 0.0
+
+
+class ApproxDPAccountant(BudgetAccountant):
+    """Basic (eps, delta) composition: epsilons add, deltas add.
+
+    ``k`` releases at (eps_i, delta_i) jointly satisfy
+    (sum eps_i, sum delta_i)-DP; this accountant enforces both sums against
+    the engine's totals. Pure releases (delta = 0) are accepted and only
+    consume epsilon.
+    """
+
+    name = "approx-dp"
+
+    def __init__(self, total_epsilon, total_delta):
+        total_delta = _check_delta(total_delta, "total_delta")
+        if total_delta <= 0.0:
+            raise PrivacyBudgetError(
+                "ApproxDPAccountant needs total_delta > 0; use PureDPAccountant "
+                "for a pure eps-DP budget"
+            )
+        super().__init__(total_epsilon, total_delta=total_delta)
+
+    def _validate_cost(self, epsilon, delta):
+        epsilon = check_positive(epsilon, "epsilon")
+        return epsilon, _check_delta(delta)
+
+
+def make_accountant(total_epsilon, delta=0.0):
+    """Factory used by the engine: pure when ``delta == 0``, approx otherwise."""
+    delta = _check_delta(delta, "delta")
+    if delta == 0.0:
+        return PureDPAccountant(total_epsilon)
+    return ApproxDPAccountant(total_epsilon, delta)

@@ -4,6 +4,11 @@ The paper answers a whole batch with one privacy budget ``eps``; this module
 provides the small bookkeeping layer a downstream system needs when it runs
 several mechanisms (or repeated experiments) against the same dataset:
 sequential composition (budgets add up) and explicit spend tracking.
+
+:class:`PrivacyBudget` is the scalar pure-eps ledger kept for backwards
+compatibility and standalone use; the query engine itself now composes
+releases through the pluggable (eps, delta) accountants in
+:mod:`repro.privacy.accountant`.
 """
 
 from __future__ import annotations

@@ -84,7 +84,9 @@ class Workload:
         return self.shape == other.shape and np.array_equal(self._matrix, other._matrix)
 
     def __hash__(self):
-        return hash((self.name, self.shape, self.content_digest))
+        # Content-only, like __eq__: the name is provenance, not identity —
+        # equal workloads must hash equal (Python's hash contract).
+        return hash((self.shape, self.content_digest))
 
     @property
     def content_digest(self):

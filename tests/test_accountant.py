@@ -1,0 +1,180 @@
+"""Unit tests for the pluggable (eps, delta) budget accountants."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError, ValidationError
+from repro.privacy.accountant import (
+    ApproxDPAccountant,
+    PureDPAccountant,
+    make_accountant,
+)
+
+
+class TestPureDPAccountant:
+    def test_initial_state(self):
+        accountant = PureDPAccountant(1.0)
+        assert accountant.total_epsilon == 1.0
+        assert accountant.total_delta == 0.0
+        assert accountant.remaining_epsilon == 1.0
+        assert accountant.spent_epsilon == 0.0
+
+    def test_spend_accumulates(self):
+        accountant = PureDPAccountant(1.0)
+        accountant.spend(0.3)
+        accountant.spend(0.2)
+        assert accountant.spent_epsilon == pytest.approx(0.5)
+        assert accountant.remaining_epsilon == pytest.approx(0.5)
+
+    def test_overspend_raises_and_leaves_state(self):
+        accountant = PureDPAccountant(0.5)
+        accountant.spend(0.4)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(0.2)
+        assert accountant.spent_epsilon == pytest.approx(0.4)
+
+    def test_exact_exhaustion_without_float_dust(self):
+        # 3 * 0.1 != 0.3 in floats; the ledger must still read exactly 0.
+        accountant = PureDPAccountant(0.3)
+        for _ in range(3):
+            accountant.spend(0.1)
+        assert accountant.remaining_epsilon == 0.0
+        assert accountant.spent_epsilon == 0.3
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(1e-6)
+
+    def test_exhaustion_slack_does_not_rearm(self):
+        # Regression: the dust slack forgives float error on the spend that
+        # *reaches* the total, but once spent == total every further spend
+        # must fail — otherwise unbounded dust-sized releases pass while
+        # the clamped ledger under-reports the true privacy loss.
+        accountant = PureDPAccountant(1.0)
+        accountant.spend(1.0)
+        for _ in range(3):
+            with pytest.raises(PrivacyBudgetError):
+                accountant.spend(1e-13)
+        assert accountant.spent_epsilon == 1.0
+        assert not accountant.can_spend(1e-13)
+
+    def test_delta_exhaustion_slack_does_not_rearm(self):
+        accountant = ApproxDPAccountant(10.0, 1e-6)
+        accountant.spend(0.1, 1e-6)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(0.1, 1e-22)
+        accountant.spend(0.1)  # epsilon-only still fine
+
+    def test_spend_remaining_exactly(self):
+        accountant = PureDPAccountant(1.0)
+        accountant.spend(0.7)
+        accountant.spend(accountant.remaining_epsilon)
+        assert accountant.remaining_epsilon == 0.0
+
+    def test_rejects_delta(self):
+        accountant = PureDPAccountant(1.0)
+        with pytest.raises(PrivacyBudgetError, match="pure eps-DP"):
+            accountant.spend(0.1, delta=1e-6)
+        assert accountant.spent_epsilon == 0.0
+        assert not accountant.can_spend(0.1, delta=1e-6)
+
+    def test_can_spend(self):
+        accountant = PureDPAccountant(0.5)
+        assert accountant.can_spend(0.5)
+        accountant.spend(0.3)
+        assert not accountant.can_spend(0.3)
+
+    def test_rejects_nonpositive_epsilon(self):
+        accountant = PureDPAccountant(1.0)
+        with pytest.raises(ValidationError):
+            accountant.spend(0.0)
+
+    def test_can_spend_is_a_total_predicate(self):
+        # Malformed costs answer False instead of raising: guard code like
+        # `if accountant.can_spend(eps):` must never blow up.
+        accountant = PureDPAccountant(1.0)
+        assert not accountant.can_spend(0.0)
+        assert not accountant.can_spend(-1.0)
+        assert not accountant.can_spend(0.5, delta=-0.1)
+        assert not accountant.can_spend(0.5, delta=1e-6)  # pure model
+
+    def test_reset(self):
+        accountant = PureDPAccountant(1.0)
+        accountant.spend(0.9)
+        accountant.reset()
+        assert accountant.remaining_epsilon == 1.0
+
+
+class TestSpendMany:
+    def test_atomic_commit(self):
+        accountant = PureDPAccountant(1.0)
+        accountant.spend_many([(0.25, 0.0), (0.25, 0.0)])
+        assert accountant.spent_epsilon == pytest.approx(0.5)
+
+    def test_atomic_rejection_spends_nothing(self):
+        accountant = PureDPAccountant(0.5)
+        with pytest.raises(PrivacyBudgetError, match="batch of 3"):
+            accountant.spend_many([(0.2, 0.0), (0.2, 0.0), (0.2, 0.0)])
+        assert accountant.spent_epsilon == 0.0
+
+    def test_invalid_member_rejects_whole_batch(self):
+        accountant = ApproxDPAccountant(1.0, 1e-6)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend_many([(0.1, 0.0), (0.1, 2.0)])  # delta >= 1
+        assert accountant.spent_epsilon == 0.0
+        assert accountant.spent_delta == 0.0
+
+    def test_batch_exact_exhaustion(self):
+        accountant = PureDPAccountant(0.3)
+        accountant.spend_many([(0.1, 0.0)] * 3)
+        assert accountant.remaining_epsilon == 0.0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            PureDPAccountant(1.0).spend_many([])
+
+
+class TestApproxDPAccountant:
+    def test_tracks_both_coordinates(self):
+        accountant = ApproxDPAccountant(1.0, 1e-5)
+        accountant.spend(0.3, 1e-6)
+        accountant.spend(0.2)  # pure release composes alongside
+        assert accountant.spent_epsilon == pytest.approx(0.5)
+        assert accountant.spent_delta == pytest.approx(1e-6)
+        assert accountant.remaining_delta == pytest.approx(9e-6)
+
+    def test_delta_exhaustion_blocks(self):
+        accountant = ApproxDPAccountant(10.0, 1e-6)
+        accountant.spend(0.1, 1e-6)
+        assert accountant.remaining_delta == 0.0
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(0.1, 1e-9)
+        # epsilon-only releases still fit
+        accountant.spend(0.1)
+
+    def test_requires_positive_total_delta(self):
+        with pytest.raises(PrivacyBudgetError):
+            ApproxDPAccountant(1.0, 0.0)
+
+    def test_rejects_delta_ge_one(self):
+        with pytest.raises(PrivacyBudgetError):
+            ApproxDPAccountant(1.0, 1.0)
+        accountant = ApproxDPAccountant(1.0, 1e-6)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(0.1, 1.0)
+
+    def test_repr(self):
+        assert "ApproxDPAccountant" in repr(ApproxDPAccountant(1.0, 1e-6))
+
+
+class TestMakeAccountant:
+    def test_zero_delta_is_pure(self):
+        assert isinstance(make_accountant(1.0), PureDPAccountant)
+        assert make_accountant(1.0).name == "pure-dp"
+
+    def test_positive_delta_is_approx(self):
+        accountant = make_accountant(1.0, 1e-6)
+        assert isinstance(accountant, ApproxDPAccountant)
+        assert accountant.name == "approx-dp"
+        assert accountant.total_delta == 1e-6
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            make_accountant(1.0, -1e-6)

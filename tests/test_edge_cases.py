@@ -9,6 +9,10 @@ silent nonsense.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:PrivateQueryEngine.answer_workload is deprecated:DeprecationWarning"
+)
+
 from repro.core.alm import decompose_workload
 from repro.core.lrm import LowRankMechanism
 from repro.exceptions import DecompositionError, ValidationError

@@ -1,7 +1,16 @@
-"""Unit tests for the query engine and mechanism selection."""
+"""Unit tests for the query engine and mechanism selection.
+
+These predate the plan/execute split and deliberately keep exercising the
+deprecated ``answer_workload`` compatibility shim (plan-API coverage lives
+in ``test_plan.py``), so its DeprecationWarning is silenced file-wide.
+"""
 
 import numpy as np
 import pytest
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:PrivateQueryEngine.answer_workload is deprecated:DeprecationWarning"
+)
 
 from repro.engine.query_engine import PrivateQueryEngine, Release
 from repro.engine.selection import (

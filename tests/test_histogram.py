@@ -3,6 +3,10 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:PrivateQueryEngine.answer_workload is deprecated:DeprecationWarning"
+)
+
 from repro.data.histogram import (
     DomainMapper,
     grid_histogram_from_records,

@@ -75,6 +75,14 @@ class TestWorkloadClass:
         assert a == b
         assert hash(a) == hash(b)
 
+    def test_hash_ignores_name_like_eq(self):
+        # __eq__ compares content only; the hash contract requires equal
+        # objects to hash equal, so the name must not enter the hash.
+        a = Workload(np.eye(3))
+        b = Workload(np.eye(3), name="other")
+        assert a == b
+        assert hash(a) == hash(b)
+
     def test_inequality(self):
         assert Workload(np.eye(2)) != Workload(np.ones((2, 2)))
 
