@@ -221,6 +221,7 @@ class GaussianLowRankMechanism(LowRankMechanism):
     name = "GLRM"
     decomposition_norm = "l2"
     requires_delta = True
+    privacy_params = ("delta",)
 
     def __init__(self, delta=1e-6, **kwargs):
         super().__init__(**kwargs)

@@ -54,6 +54,29 @@ def mechanism_state(mechanism):
     return {key: value for key, value in vars(mechanism).items() if not key.startswith("_")}
 
 
+#: Sentinel distinguishing "attribute absent" from any real value when
+#: comparing privacy states (absent == absent, absent != anything else).
+_MISSING = object()
+
+
+def privacy_state(mechanism):
+    """Privacy-critical constructor state of a mechanism.
+
+    The subset of :func:`mechanism_state` named by the class's
+    ``privacy_params`` declaration (e.g. an assumed ``unit_sensitivity``, a
+    Gaussian ``delta``) — the parameters that scale noise independently of
+    the fitted strategy. Two same-class mechanisms with equal privacy state
+    release equally-calibrated noise even when their solver tuning (and
+    hence their fit) differs, which is what lets the plan cache share
+    expensive fits across differently-tuned engines while refusing to serve
+    a plan calibrated for another privacy configuration.
+    """
+    return {
+        name: getattr(mechanism, name, _MISSING)
+        for name in getattr(mechanism, "privacy_params", ())
+    }
+
+
 def mechanism_states_equal(state_a, state_b):
     """Compare two :func:`mechanism_state` dicts, array-aware.
 
@@ -90,9 +113,16 @@ def mechanism_spec(mechanism, candidates=DEFAULT_CANDIDATES):
     is deliberately *not* part of the key: a plan is a shareable fit
     artifact for (workload, mechanism), and whoever plans a key first wins —
     that is what lets a restarted or differently-tuned engine reuse an
-    expensive on-disk fit instead of redoing it. When differently-configured
-    plans must coexist, give them separate :class:`PlanCache` instances or
-    directories, or plan with ``use_cache=False``.
+    expensive on-disk fit instead of redoing it. This is safe because the
+    engine guards every cache hit: a cached plan is only served when its
+    *privacy-critical* constructor state (:func:`privacy_state` — e.g.
+    ``unit_sensitivity``, ``delta``) matches what the serving engine would
+    build; on a mismatch the engine builds a one-off plan instead, so
+    solver-tuning differences share the fit but a plan calibrated for
+    another privacy configuration is never released. When
+    differently-configured plans must coexist as cached artifacts, give
+    them separate :class:`PlanCache` instances or directories, or plan with
+    ``use_cache=False``.
     """
     if isinstance(mechanism, Mechanism):
         return f"instance:{type(mechanism).__name__}"

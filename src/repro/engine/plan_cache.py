@@ -142,11 +142,12 @@ class PlanCache:
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
                 save_plan(plan, staging)
+                os.replace(staging, path)
             except (ValidationError, OSError):
-                # Unsupported mechanism state or unwritable disk tier:
-                # keep the memory entry only.
+                # Unsupported mechanism state or unwritable disk tier
+                # (including a rename refused because a concurrent reader
+                # holds the target open): keep the memory entry only.
                 return
-            os.replace(staging, path)
         finally:
             try:
                 staging.unlink(missing_ok=True)

@@ -49,6 +49,7 @@ from repro.engine.plan import (
     mechanism_state,
     mechanism_states_equal,
     plan_key,
+    privacy_state,
     workload_key,
 )
 from repro.engine.plan_cache import PlanCache
@@ -56,6 +57,7 @@ from repro.engine.selection import APPROX_DP_CANDIDATES, DEFAULT_CANDIDATES
 from repro.exceptions import ReproError, ValidationError
 from repro.linalg.validation import as_vector, check_positive, ensure_rng
 from repro.mechanisms.base import Mechanism, as_workload
+from repro.mechanisms.registry import make_mechanism
 from repro.privacy.accountant import BudgetAccountant, make_accountant
 
 __all__ = ["PrivateQueryEngine", "Release"]
@@ -163,6 +165,12 @@ class PrivateQueryEngine:
             self.plan_cache = plan_cache
         else:
             self.plan_cache = PlanCache(directory=plan_cache)
+        # One-off plans built when a shared-cache entry mismatched this
+        # engine's privacy configuration (the entry keeps the key; these
+        # stay engine-local, one list per key with one plan per distinct
+        # configuration, so the expensive fit is paid once per
+        # configuration rather than once per call).
+        self._local_plans = {}
         self._releases = []
 
     # ------------------------------------------------------------------ #
@@ -209,7 +217,28 @@ class PrivateQueryEngine:
         return list(self._releases)
 
     def can_answer(self, epsilon, delta=0.0):
-        """True iff a release at (``epsilon``, ``delta``) fits the budget."""
+        """True iff a release at (``epsilon``, ``delta``) fits the budget.
+
+        When guarding an :meth:`execute` call, prefer :meth:`can_execute`:
+        a Gaussian plan charges its own per-release delta, which this
+        raw-cost predicate does not know about.
+        """
+        return self._accountant.can_spend(epsilon, delta)
+
+    def can_execute(self, plan, epsilon):
+        """True iff :meth:`execute` of ``plan`` at ``epsilon`` would fit.
+
+        The plan-aware guard pairing with :meth:`execute`: it charges
+        exactly what execute would — (``epsilon``, the plan's per-release
+        delta) — so guard-then-execute cannot pass the guard and then fail
+        the charge. Anything execute would reject up front (not a plan,
+        wrong domain, bad epsilon) answers False; this is a predicate, not
+        a validator.
+        """
+        try:
+            epsilon, delta = self._check_executable(plan, epsilon)
+        except ValidationError:
+            return False
         return self._accountant.can_spend(epsilon, delta)
 
     # ------------------------------------------------------------------ #
@@ -237,35 +266,107 @@ class PrivateQueryEngine:
         caller's object is never mutated. Neither ``epsilon_hint`` nor
         ``mechanism_kwargs`` is part of the key: the first plan built for a
         key wins (that is what lets a restarted engine reuse an expensive
-        on-disk fit). Pass ``use_cache=False``, or use a separate
+        on-disk fit). Every cache hit is guarded, though: a cached plan is
+        served only when its mechanism configuration is compatible with
+        this engine's — full constructor state for instance specs,
+        privacy-critical state (``unit_sensitivity``, ``delta``; see
+        :func:`repro.engine.plan.privacy_state`) for label/auto specs — and
+        on a mismatch a one-off plan (memoized per engine, so the fit is
+        still paid only once) is built instead, so a shared cache can
+        never serve noise calibrated for another engine's privacy
+        configuration. Pass ``use_cache=False``, or use a separate
         ``plan_cache``, to force a replan under different settings.
         """
         workload = as_workload(workload)
         self._check_domain(workload.domain_size)
+        epsilon_hint = check_positive(epsilon_hint, "epsilon_hint")
         key = plan_key(workload, mechanism, self.candidates)
         store = use_cache
         if use_cache:
             cached = self.plan_cache.get(key)
             if cached is not None:
-                if not isinstance(mechanism, Mechanism) or self._same_configuration(
-                    mechanism, cached.mechanism
-                ):
+                if self._compatible_with_cache_hit(mechanism, cached):
                     return cached
-                # Same class, different constructor state: serving the
-                # cached plan would release with noise calibrated for the
-                # *other* configuration. Build a one-off plan below and
-                # leave the cache entry alone (first plan wins the key).
+                # Same key, different privacy-relevant configuration:
+                # serving the cached plan would release with noise
+                # calibrated for the *other* configuration. Use (or build)
+                # an engine-local one-off plan instead and leave the shared
+                # entry alone (first plan wins the key); the local memo is
+                # re-guarded like any hit, so the expensive fit is paid
+                # once per configuration, not once per call.
                 store = False
+            for local in self._local_plans.get(key, ()):
+                if self._compatible_with_cache_hit(mechanism, local):
+                    if store:
+                        # The shared entry that forced this one-off is gone
+                        # (evicted/cleared): promote the memoized fit to
+                        # the now-free key instead of refitting.
+                        self.plan_cache.put(key, local)
+                    return local
         plan = build_plan(
             workload,
-            epsilon_hint=check_positive(epsilon_hint, "epsilon_hint"),
+            epsilon_hint=epsilon_hint,
             mechanism=mechanism,
             candidates=self.candidates,
             mechanism_kwargs=self.mechanism_kwargs,
         )
         if store:
             self.plan_cache.put(key, plan)
+        elif use_cache:
+            self._local_plans.setdefault(key, []).append(plan)
         return plan
+
+    def _compatible_with_cache_hit(self, mechanism, cached):
+        """May the cached plan stand in for what this engine would build?
+
+        Instance specs must match the requested instance's full constructor
+        state (the caller configured that exact object). Label/auto specs
+        compare only the *privacy-critical* constructor parameters
+        (``Mechanism.privacy_params``) of the cached mechanism against the
+        mechanism(s) this engine's configuration would construct for the
+        same label — for an auto spec that is every same-labelled entry of
+        the candidate pool (instance candidates count as their own
+        configuration), since any of them could legitimately have won the
+        ranking. Solver tuning may differ — sharing another engine's
+        expensive fit is the cache's purpose, and such noise is calibrated
+        to the fitted strategy — but a plan calibrated for a
+        ``unit_sensitivity`` or ``delta`` this engine would not configure
+        must never be served. Anything uncomparable (unknown label,
+        constructor failure) counts as a mismatch, so the guard fails safe
+        to a one-off replan.
+        """
+        if isinstance(mechanism, Mechanism):
+            return self._same_configuration(mechanism, cached.mechanism)
+        label = cached.mechanism_label
+        try:
+            if cached.mechanism_spec.startswith("auto["):
+                references = self._auto_references(label)
+            else:
+                references = [make_mechanism(label, **self.mechanism_kwargs.get(label, {}))]
+            cached_state = privacy_state(cached.mechanism)
+            return any(
+                mechanism_states_equal(privacy_state(reference), cached_state)
+                for reference in references
+            )
+        except Exception:
+            return False
+
+    def _auto_references(self, label):
+        """Every mechanism configuration the engine's auto pool could build
+        under ``label``: each same-named *instance* candidate as-is, plus
+        the registry construction when the pool names the label (or as the
+        fallback when nothing in the pool matches)."""
+        references = []
+        saw_label = False
+        for candidate in self.candidates:
+            if isinstance(candidate, Mechanism):
+                if getattr(candidate, "name", type(candidate).__name__) == label:
+                    references.append(candidate)
+            elif str(candidate).strip().upper() == label:
+                saw_label = True
+        if saw_label or not references:
+            references.append(make_mechanism(label, **self.mechanism_kwargs.get(label, {})))
+        return references
 
     @staticmethod
     def _same_configuration(requested, cached):
@@ -431,6 +532,16 @@ class PrivateQueryEngine:
         Equivalent to ``engine.execute(engine.plan(workload, mechanism,
         epsilon_hint=epsilon), epsilon, ...)`` and kept working for existing
         callers; new code should plan once and execute many times.
+
+        Caveat (utility, not privacy): because the plan cache keys on
+        ``(workload, mechanism spec)`` and not on epsilon, the *first*
+        call's epsilon fixes the auto-selection ranking for every later
+        call on the same workload — a later call at a very different
+        epsilon may execute a mechanism that is no longer the predicted
+        winner at that epsilon (the release itself is still correctly
+        calibrated to the epsilon actually charged). Call
+        ``plan(..., use_cache=False)`` + ``execute`` to re-rank at a
+        specific epsilon.
         """
         warnings.warn(
             "PrivateQueryEngine.answer_workload is deprecated; use "

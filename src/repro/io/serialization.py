@@ -46,14 +46,27 @@ class PlanFormatError(ValidationError):
     can treat staleness as a cache miss (replan and overwrite) while digest
     and key mismatches still raise as integrity failures."""
 
+# Decomposition archives store no digest; their format is unchanged.
 _FORMAT_VERSION = 1
-_PLAN_FORMAT_VERSION = 1
+# Fitted-LRM / plan version 2: _array_digest now covers dtype (a
+# dtype-swapped archive used to pass — or, for fitted-LRM archives, whose
+# stored digest went unverified, bypass — the integrity check), and
+# load_fitted_lrm now enforces its digest. Version-1 archives of these two
+# formats are stale, not tampered.
+_FITTED_LRM_FORMAT_VERSION = 2
+_PLAN_FORMAT_VERSION = 2
 
 
 def _array_digest(*arrays):
-    """SHA-1 over the shapes and bytes of the given arrays."""
+    """SHA-1 over the dtypes, shapes and bytes of the given arrays.
+
+    The dtype must be part of the digest: the raw bytes of a float64 array
+    reinterpreted as another 8-byte dtype are identical, so a digest over
+    bytes alone would accept a dtype-swapped archive whose reinterpreted
+    values mis-calibrate the noise."""
     digest = hashlib.sha1()
     for array in arrays:
+        digest.update(array.dtype.str.encode())
         digest.update(repr(array.shape).encode())
         digest.update(np.ascontiguousarray(array).tobytes())
     return digest.hexdigest()
@@ -150,7 +163,7 @@ def save_fitted_lrm(mechanism, path):
         raise ValidationError("mechanism must be fitted before saving")
     decomposition = mechanism.decomposition
     metadata = {
-        "format_version": _FORMAT_VERSION,
+        "format_version": _FITTED_LRM_FORMAT_VERSION,
         "class": type(mechanism).__name__,
         "delta": getattr(mechanism, "delta", None),
         "workload_name": mechanism.workload.name,
@@ -177,8 +190,20 @@ def load_fitted_lrm(path):
             metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
         except KeyError as exc:
             raise ValidationError(f"not a fitted-LRM archive: missing {exc}") from exc
-    if metadata.get("format_version") != _FORMAT_VERSION:
-        raise ValidationError("unsupported fitted-LRM format version")
+    version = metadata.get("format_version")
+    if version != _FITTED_LRM_FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported fitted-LRM format version {version} (this release "
+            f"reads version {_FITTED_LRM_FORMAT_VERSION}); the archive is "
+            "from another release, not tampered — refit the mechanism and "
+            "re-save it with save_fitted_lrm"
+        )
+    stored = metadata.get("decomposition", {}).get("digest")
+    if _array_digest(b, l) != stored:
+        raise ValidationError(
+            "fitted-LRM archive integrity failure: decomposition arrays do "
+            f"not hash to the stored digest {stored!r}"
+        )
 
     class_name = metadata.get("class", "LowRankMechanism")
     if class_name == "GaussianLowRankMechanism":

@@ -32,6 +32,7 @@ class NoiseOnDataMechanism(Mechanism):
     """
 
     name = "LM"
+    privacy_params = ("unit_sensitivity",)
 
     def __init__(self, unit_sensitivity=1.0):
         super().__init__()

@@ -36,6 +36,7 @@ class GaussianNoiseOnDataMechanism(Mechanism):
 
     name = "GLM"
     requires_delta = True
+    privacy_params = ("delta", "unit_sensitivity")
 
     def __init__(self, delta=1e-6, unit_sensitivity=1.0):
         super().__init__()
@@ -69,6 +70,7 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
 
     name = "GNOR"
     requires_delta = True
+    privacy_params = ("delta",)
 
     def __init__(self, delta=1e-6):
         super().__init__()

@@ -62,9 +62,13 @@ class BudgetAccountant(abc.ABC):
         self._total_delta = _check_delta(total_delta, "total_delta")
         self._spent_epsilon = 0.0
         self._spent_delta = 0.0
-        # Absolute float-dust slack at the budget boundary.
+        # Float-dust slack at the budget boundary. Epsilon totals are O(1)
+        # so an absolute floor is safe; delta totals can be arbitrarily
+        # tiny, so delta slack is strictly relative — it must stay well
+        # below any genuine spend or partial spends of a tiny delta budget
+        # would snap to exhausted.
         self._eps_slack = 1e-12 * max(1.0, self._total_epsilon)
-        self._delta_slack = 1e-15 * max(1.0, self._total_delta)
+        self._delta_slack = 1e-9 * self._total_delta
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -142,9 +146,19 @@ class BudgetAccountant(abc.ABC):
         self._spent_delta += delta
         # Clamp float dust so exact exhaustion reads remaining == 0.0 and a
         # subsequent zero-remainder probe fails cleanly instead of fuzzily.
-        if abs(self._total_epsilon - self._spent_epsilon) <= self._eps_slack:
+        # The condition is signed on purpose: _fits admits a spend up to
+        # remaining + slack, so the sum can land a hair *above* the total
+        # (and, through the addition's own rounding, just outside a
+        # symmetric slack window) — any overshoot reaching this point is
+        # dust by construction and must clamp too, or spent would read
+        # above total and violate the ledger's documented invariant. A
+        # coordinate only clamps when this commit actually spent on it:
+        # a total smaller than its own slack (e.g. total_delta = 1e-18)
+        # must not be snapped to exhausted by spends on the *other*
+        # coordinate.
+        if epsilon > 0.0 and self._total_epsilon - self._spent_epsilon <= self._eps_slack:
             self._spent_epsilon = self._total_epsilon
-        if abs(self._total_delta - self._spent_delta) <= self._delta_slack:
+        if delta > 0.0 and self._total_delta - self._spent_delta <= self._delta_slack:
             self._spent_delta = self._total_delta
 
     def spend(self, epsilon, delta=0.0):

@@ -42,6 +42,19 @@ class TestPureDPAccountant:
         with pytest.raises(PrivacyBudgetError):
             accountant.spend(1e-6)
 
+    def test_slack_overshoot_never_reads_above_total(self):
+        # Regression: _fits admits a final spend up to remaining + slack,
+        # and the committed sum can land a hair above the total (outside a
+        # symmetric clamp window) — spent must clamp to the total, never
+        # read above it, and the ledger must stay exhausted.
+        accountant = PureDPAccountant(1.0)
+        accountant.spend(0.5)
+        accountant.spend(0.5 + 1e-12)
+        assert accountant.spent_epsilon == 1.0
+        assert accountant.remaining_epsilon == 0.0
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(1e-13)
+
     def test_exhaustion_slack_does_not_rearm(self):
         # Regression: the dust slack forgives float error on the spend that
         # *reaches* the total, but once spent == total every further spend
@@ -148,6 +161,31 @@ class TestApproxDPAccountant:
             accountant.spend(0.1, 1e-9)
         # epsilon-only releases still fit
         accountant.spend(0.1)
+
+    def test_eps_only_spend_leaves_tiny_delta_budget_intact(self):
+        # A tiny total_delta must not be snapped to exhausted by
+        # epsilon-only spends — the clamp only fires on the coordinate
+        # actually spent on.
+        accountant = ApproxDPAccountant(1.0, 1e-18)
+        accountant.spend(0.1)
+        assert accountant.spent_delta == 0.0
+        accountant.spend(0.1, 1e-18)
+        assert accountant.spent_delta == 1e-18
+        assert accountant.remaining_delta == 0.0
+
+    def test_partial_spend_of_tiny_delta_budget_not_snapped(self):
+        # The delta slack is relative to the total, so spending 10% of a
+        # delta budget below any absolute dust floor leaves the other 90%
+        # genuinely spendable instead of reading exhausted.
+        accountant = ApproxDPAccountant(1.0, 1e-16)
+        accountant.spend(0.1, 1e-17)
+        assert accountant.spent_delta == pytest.approx(1e-17)
+        assert accountant.remaining_delta == pytest.approx(9e-17)
+        for _ in range(9):
+            accountant.spend(0.05, 1e-17)
+        assert accountant.remaining_delta == 0.0
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend(0.01, 1e-17)
 
     def test_requires_positive_total_delta(self):
         with pytest.raises(PrivacyBudgetError):

@@ -344,6 +344,25 @@ class TestDeltaRouting:
         assert engine.spent_delta == pytest.approx(1e-6)
         assert engine.spent_budget == pytest.approx(0.3)
 
+    def test_can_execute_knows_the_plan_delta(self):
+        # The guard-then-execute pattern must be reliable: can_answer only
+        # sees epsilon, but can_execute charges exactly what execute would,
+        # including the Gaussian plan's per-release delta.
+        engine = _engine(delta=1e-6)
+        plan = engine.plan(wrange(6, 64, seed=0), mechanism="GLM")
+        assert engine.can_execute(plan, 0.1)
+        engine.execute(plan, 0.1)  # exhausts the delta pool by design
+        assert engine.can_answer(0.1)  # eps-only view still says yes...
+        assert not engine.can_execute(plan, 0.1)  # ...the plan-aware guard says no
+        with pytest.raises(PrivacyBudgetError):
+            engine.execute(plan, 0.1)
+
+    def test_can_execute_is_a_predicate_not_a_validator(self):
+        engine = _engine()
+        plan = engine.plan(wrange(6, 64, seed=0), mechanism="LM")
+        assert not engine.can_execute("not a plan", 0.1)
+        assert not engine.can_execute(plan, -1.0)
+
     def test_pure_release_on_delta_engine_spends_no_delta(self):
         engine = _engine(delta=1e-6)
         plan = engine.plan(wrange(6, 64, seed=0), mechanism="LM")
@@ -442,6 +461,19 @@ class TestPlanSerialization:
             payload = {key: archive[key] for key in archive.files}
         payload[name] = mutate(payload[name])
         np.savez_compressed(path, **payload)
+
+    def test_dtype_swapped_arrays_rejected(self, tmp_path):
+        # Same raw bytes, different dtype: l.view(int64) leaves the buffer
+        # identical, so the digest must cover the dtype — a reinterpreted L
+        # yields a garbage sensitivity (crafted bits could under-noise).
+        plan = build_plan(
+            wrelated(8, 64, s=2, seed=1), mechanism="LRM", mechanism_kwargs=FAST_LRM
+        )
+        path = tmp_path / "lrm.plan.npz"
+        save_plan(plan, path)
+        self._tamper(path, "l", lambda l: l.view(np.int64))
+        with pytest.raises(ValidationError, match="integrity"):
+            load_plan(path)
 
     def test_tampered_workload_rejected(self, tmp_path):
         plan = build_plan(wrange(6, 64, seed=0), mechanism="LM")
@@ -722,10 +754,195 @@ class TestPlanCache:
         fresh = PlanCache(directory=tmp_path / "plans")
         assert fresh.get(key) is not None
 
+    def test_rename_failure_degrades_to_memory(self, tmp_path, monkeypatch):
+        # os.replace can fail after a successful staging write (e.g. a
+        # concurrent reader holding the target open on Windows); put() must
+        # keep the memory entry instead of failing the planning call.
+        import repro.engine.plan_cache as plan_cache_module
+
+        cache = PlanCache(directory=tmp_path / "plans")
+        engine = _engine(plan_cache=cache)
+
+        def refuse(src, dst):
+            raise PermissionError("target held open by a concurrent reader")
+
+        monkeypatch.setattr(plan_cache_module.os, "replace", refuse)
+        wl = wrange(6, 64, seed=0)
+        plan = engine.plan(wl, mechanism="LM")
+        assert engine.plan(wl, mechanism="LM") is plan
+        assert not list((tmp_path / "plans").glob("*.plan.npz"))
+        assert not list((tmp_path / "plans").glob("*.tmp.npz"))
+
     def test_no_stale_staging_files(self, tmp_path):
         cache = PlanCache(directory=tmp_path / "plans")
         _engine(plan_cache=cache).plan(wrange(6, 64, seed=0), mechanism="LM")
         assert not list((tmp_path / "plans").glob("*.tmp.npz"))
+
+
+class TestCacheHitPrivacyGuard:
+    """A shared PlanCache must never serve a plan calibrated for another
+    engine's privacy configuration (regression for the label/auto cache-hit
+    paths, which used to skip the configuration check instance specs get)."""
+
+    def test_label_hit_with_other_unit_sensitivity_replans(self):
+        # An engine declaring unit_sensitivity=2.0 sharing a cache with a
+        # default-configured engine must not release the cached
+        # sensitivity-1.0 calibration — that would be under-noised for the
+        # guarantee it claims, with no error raised anywhere.
+        cache = PlanCache()
+        wl = wrange(6, 64, seed=0)
+        default_engine = _engine(plan_cache=cache)
+        sensitive_engine = _engine(
+            plan_cache=cache,
+            mechanism_kwargs={**FAST_LRM, "LM": {"unit_sensitivity": 2.0}},
+        )
+        baseline = default_engine.plan(wl, mechanism="LM")
+        assert baseline.mechanism.unit_sensitivity == 1.0
+        replanned = sensitive_engine.plan(wl, mechanism="LM")
+        assert replanned is not baseline
+        assert replanned.mechanism.unit_sensitivity == 2.0
+        # First plan keeps the key; the default engine still gets its own
+        # calibration, and each engine keeps getting the right one.
+        assert default_engine.plan(wl, mechanism="LM") is baseline
+        assert sensitive_engine.plan(wl, mechanism="LM").mechanism.unit_sensitivity == 2.0
+
+    def test_label_hit_guard_is_order_independent(self):
+        # Reversed planning order: the default engine must not be served
+        # the 2.0-calibrated plan either (over-noised is still the wrong
+        # configuration).
+        cache = PlanCache()
+        wl = wrange(6, 64, seed=0)
+        sensitive_engine = _engine(
+            plan_cache=cache,
+            mechanism_kwargs={**FAST_LRM, "LM": {"unit_sensitivity": 2.0}},
+        )
+        default_engine = _engine(plan_cache=cache)
+        assert sensitive_engine.plan(wl, mechanism="LM").mechanism.unit_sensitivity == 2.0
+        assert default_engine.plan(wl, mechanism="LM").mechanism.unit_sensitivity == 1.0
+
+    def test_auto_hit_with_other_unit_sensitivity_replans(self):
+        cache = PlanCache()
+        wl = wrange(6, 64, seed=0)
+        first = _engine(plan_cache=cache, candidates=("LM",)).plan(wl)
+        replanned = _engine(
+            plan_cache=cache,
+            candidates=("LM",),
+            mechanism_kwargs={"LM": {"unit_sensitivity": 2.0}},
+        ).plan(wl)
+        assert replanned is not first
+        assert replanned.mechanism.unit_sensitivity == 2.0
+
+    def test_disk_hit_with_other_delta_replans(self, tmp_path):
+        # The engine's delta becomes the Gaussian mechanisms' default
+        # failure probability; a restarted engine with a different delta
+        # must refit rather than reuse the other calibration from disk.
+        data = np.arange(64.0)
+        wl = wrange(6, 64, seed=0)
+        writer = PrivateQueryEngine(
+            data, total_budget=1.0, delta=1e-5, seed=0,
+            plan_cache=tmp_path / "plans",
+        )
+        assert writer.plan(wl, mechanism="GLM").mechanism.delta == 1e-5
+        reader = PrivateQueryEngine(
+            data, total_budget=1.0, delta=1e-7, seed=0,
+            plan_cache=tmp_path / "plans",
+        )
+        assert reader.plan(wl, mechanism="GLM").mechanism.delta == 1e-7
+
+    def test_solver_tuning_difference_still_shares_the_fit(self, tmp_path):
+        # The guard compares privacy-critical state only: LRM solver knobs
+        # change the fit, not the calibration (noise is scaled to the
+        # decomposition actually held), so the expensive fit stays shared.
+        data = np.arange(64.0)
+        wl = wrelated(8, 64, s=2, seed=1)
+        tuned = PrivateQueryEngine(
+            data, total_budget=1.0, mechanism_kwargs=FAST_LRM, seed=3,
+            plan_cache=tmp_path / "plans",
+        )
+        plan = tuned.plan(wl, mechanism="LRM")
+        untuned = PrivateQueryEngine(
+            data, total_budget=1.0, seed=3, plan_cache=tmp_path / "plans",
+        )
+        reloaded = untuned.plan(wl, mechanism="LRM")
+        assert untuned.plan_cache.disk_hits == 1
+        assert np.array_equal(
+            reloaded.mechanism.decomposition.b, plan.mechanism.decomposition.b
+        )
+
+    def test_mismatch_one_off_plan_is_memoized_per_engine(self):
+        # A mismatched engine must not refit on every plan() call: the
+        # one-off plan is kept engine-local (the shared entry still owns
+        # the key) and re-served while the configuration still matches.
+        cache = PlanCache()
+        wl = wrange(6, 64, seed=0)
+        default_engine = _engine(plan_cache=cache)
+        baseline = default_engine.plan(wl, mechanism="LM")
+        tuned = _engine(
+            plan_cache=cache,
+            mechanism_kwargs={**FAST_LRM, "LM": {"unit_sensitivity": 2.0}},
+        )
+        one_off = tuned.plan(wl, mechanism="LM")
+        assert tuned.plan(wl, mechanism="LM") is one_off
+        assert default_engine.plan(wl, mechanism="LM") is baseline
+
+    def test_auto_pool_instance_candidate_keeps_cache_reuse(self):
+        # For an auto-pool *instance* candidate the engine's reference
+        # configuration is the instance itself, so the engine keeps
+        # hitting the plan it built from it.
+        engine = _engine(candidates=(NoiseOnDataMechanism(unit_sensitivity=2.0),))
+        wl = wrange(6, 64, seed=0)
+        first = engine.plan(wl)
+        assert first.mechanism.unit_sensitivity == 2.0
+        assert engine.plan(wl) is first
+
+    def test_mixed_auto_pool_is_compatible_with_its_own_plans(self):
+        # A pool naming both the registry label and a same-named instance
+        # with a different privacy configuration could crown either one;
+        # the engine must stay compatible with whichever won instead of
+        # rejecting its own plan and refitting the pool on every call.
+        engine = _engine(
+            candidates=("LM", NoiseOnDataMechanism(unit_sensitivity=2.0)),
+        )
+        wl = wrange(6, 64, seed=0)
+        first = engine.plan(wl)
+        assert engine.plan(wl) is first
+
+    def test_memoized_one_off_survives_shared_cache_eviction(self):
+        # If the shared entry that forced the one-off is later evicted,
+        # the engine promotes its memoized fit to the free key instead of
+        # refitting from scratch.
+        cache = PlanCache()
+        wl = wrange(6, 64, seed=0)
+        _engine(plan_cache=cache).plan(wl, mechanism="LM")
+        tuned = _engine(
+            plan_cache=cache,
+            mechanism_kwargs={**FAST_LRM, "LM": {"unit_sensitivity": 2.0}},
+        )
+        one_off = tuned.plan(wl, mechanism="LM")
+        cache.clear()
+        assert tuned.plan(wl, mechanism="LM") is one_off
+        assert cache.get(plan_key(wl, "LM")) is one_off
+
+    def test_alternating_mismatched_instances_each_memoized(self):
+        # Two instance configurations that both mismatch the shared entry
+        # (same cache key) must each keep their own one-off plan — the fit
+        # is paid once per configuration, not once per call.
+        engine = _engine()
+        wl = wrange(6, 64, seed=0)
+        engine.plan(wl, mechanism=NoiseOnDataMechanism())  # owns the key
+        two = engine.plan(wl, mechanism=NoiseOnDataMechanism(unit_sensitivity=2.0))
+        three = engine.plan(wl, mechanism=NoiseOnDataMechanism(unit_sensitivity=3.0))
+        assert engine.plan(wl, mechanism=NoiseOnDataMechanism(unit_sensitivity=2.0)) is two
+        assert engine.plan(wl, mechanism=NoiseOnDataMechanism(unit_sensitivity=3.0)) is three
+
+    def test_epsilon_hint_validated_on_cache_hit(self):
+        # Input validation must not depend on cache state: a hit with a
+        # bogus epsilon_hint raises exactly like a miss would.
+        engine = _engine()
+        wl = wrange(6, 64, seed=0)
+        engine.plan(wl, mechanism="LM")
+        with pytest.raises(ValidationError):
+            engine.plan(wl, mechanism="LM", epsilon_hint=-1.0)
 
 
 class TestReleaseDataclass:

@@ -91,6 +91,33 @@ class TestFittedMechanismRoundTrip:
         assert restored.delta == pytest.approx(1e-7)
         assert restored.decomposition.norm == "l2"
 
+    @staticmethod
+    def _tamper(path, name, mutate):
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload[name] = mutate(payload[name])
+        np.savez_compressed(path, **payload)
+
+    def test_tampered_arrays_rejected(self, tmp_path):
+        # The stored digest must actually be enforced on load: shrinking
+        # L's norms would mis-calibrate the noise scale.
+        wl = wrelated(8, 24, s=2, seed=0)
+        path = tmp_path / "lrm.npz"
+        save_fitted_lrm(LowRankMechanism(**FAST).fit(wl), path)
+        self._tamper(path, "l", lambda l: l * 0.01)
+        with pytest.raises(ValidationError, match="integrity"):
+            load_fitted_lrm(path)
+
+    def test_dtype_swapped_arrays_rejected(self, tmp_path):
+        # Same raw bytes, different dtype: the digest covers the dtype, so
+        # a reinterpreted L (garbage sensitivity) cannot slip through.
+        wl = wrelated(8, 24, s=2, seed=0)
+        path = tmp_path / "lrm.npz"
+        save_fitted_lrm(LowRankMechanism(**FAST).fit(wl), path)
+        self._tamper(path, "l", lambda l: l.view(np.int64))
+        with pytest.raises(ValidationError, match="integrity"):
+            load_fitted_lrm(path)
+
     def test_rejects_unfitted(self, tmp_path):
         with pytest.raises(ValidationError):
             save_fitted_lrm(LowRankMechanism(), tmp_path / "x.npz")
