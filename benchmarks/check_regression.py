@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Diff two ``BENCH_solver.json`` reports and fail on fit-time regression.
+"""Diff two benchmark reports and fail on a median per-cell regression.
 
 Usage::
 
     python benchmarks/check_regression.py BASELINE.json CANDIDATE.json \
-        [--threshold 0.20]
+        [--threshold 0.20] [--time-field fit_seconds_best]
 
-Cells are matched on ``(workload, m, n, s)`` and compared on
-``fit_seconds_best``. The check exits non-zero when the **median** per-cell
-slowdown of the candidate exceeds the threshold (default 20%), so future PRs
-can keep the solver perf trajectory honest::
+Cells are matched on ``(workload, m, n, s[, mechanism, epsilon])`` and
+compared on ``--time-field`` (default ``fit_seconds_best``, the
+``BENCH_solver.json`` metric; serving reports use
+``--time-field seconds_per_release``). The check exits non-zero when the
+**median** per-cell slowdown of the candidate exceeds the threshold
+(default 20%), so future PRs can keep the perf trajectories honest::
 
     PYTHONPATH=src pytest benchmarks/test_bench_solver_perf.py -m perf   # old tree
     cp benchmarks/BENCH_solver.json /tmp/before.json
@@ -26,7 +28,12 @@ import sys
 
 
 def _cell_key(cell):
-    return (cell["workload"], cell["m"], cell["n"], cell.get("s"))
+    # mechanism/epsilon are absent from solver cells and disambiguate
+    # serving cells that share one workload shape.
+    return (
+        cell["workload"], cell["m"], cell["n"], cell.get("s"),
+        cell.get("mechanism"), cell.get("epsilon"),
+    )
 
 
 def _load_cells(path):
@@ -35,7 +42,7 @@ def _load_cells(path):
     return {_cell_key(cell): cell for cell in report["cells"]}
 
 
-def compare(baseline_path, candidate_path, threshold):
+def compare(baseline_path, candidate_path, threshold, time_field="fit_seconds_best"):
     """Return (exit_code, lines) comparing candidate against baseline."""
     baseline = _load_cells(baseline_path)
     candidate = _load_cells(candidate_path)
@@ -46,12 +53,14 @@ def compare(baseline_path, candidate_path, threshold):
     lines = [f"{'cell':<28} {'base':>9} {'cand':>9} {'slowdown':>9}"]
     slowdowns = []
     for key in shared:
-        base_t = float(baseline[key]["fit_seconds_best"])
-        cand_t = float(candidate[key]["fit_seconds_best"])
+        base_t = float(baseline[key][time_field])
+        cand_t = float(candidate[key][time_field])
         slowdown = cand_t / base_t - 1.0
         slowdowns.append(slowdown)
         name = f"{key[0]} {key[1]}x{key[2]}"
-        lines.append(f"{name:<28} {base_t:>8.3f}s {cand_t:>8.3f}s {slowdown:>+8.1%}")
+        if key[4] is not None:
+            name += f" {key[4]}"
+        lines.append(f"{name:<28} {base_t:>8.4g}s {cand_t:>8.4g}s {slowdown:>+8.1%}")
 
     median_slowdown = statistics.median(slowdowns)
     lines.append(f"median slowdown: {median_slowdown:+.1%} (threshold {threshold:.0%})")
@@ -67,16 +76,22 @@ def compare(baseline_path, candidate_path, threshold):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline BENCH_solver.json")
-    parser.add_argument("candidate", help="candidate BENCH_solver.json")
+    parser.add_argument("baseline", help="baseline report (BENCH_solver/serving.json)")
+    parser.add_argument("candidate", help="candidate report (BENCH_solver/serving.json)")
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.20,
-        help="maximum tolerated median fit-time slowdown (fraction, default 0.20)",
+        help="maximum tolerated median slowdown (fraction, default 0.20)",
+    )
+    parser.add_argument(
+        "--time-field",
+        default="fit_seconds_best",
+        help="per-cell seconds field to compare (fit_seconds_best for solver "
+        "reports, seconds_per_release for serving reports)",
     )
     args = parser.parse_args(argv)
-    code, lines = compare(args.baseline, args.candidate, args.threshold)
+    code, lines = compare(args.baseline, args.candidate, args.threshold, args.time_field)
     print("\n".join(lines))
     return code
 

@@ -1,0 +1,199 @@
+"""Opt-in serving perf benchmark: looped ``execute`` vs batched ``execute_many``.
+
+The serving hot path (PR 3) claims that releasing a batch of ``k`` requests
+through the vectorised multi-release path — one ``(k, r)`` RNG draw, one
+GEMM, per-plan memoized audit metadata — beats ``k`` looped ``execute``
+calls by at least :data:`TARGET_MEDIAN_SPEEDUP` on releases/sec. This
+benchmark measures both sides over a fixed plan/epsilon grid, emits
+``benchmarks/BENCH_serving.json`` (regressable via
+``benchmarks/check_regression.py --time-field seconds_per_release``), and
+asserts, per the acceptance criteria:
+
+* **throughput** — median per-cell ``batch releases/sec / loop
+  releases/sec`` >= 5x at the committed batch size (256);
+* **accounting identity** — the looped and batched engines end with
+  byte-identical privacy accounting: same total (eps, delta) spend and
+  pairwise-identical audit-log contents (mechanism, epsilon, delta,
+  expected error, workload key, metadata);
+* **unchanged analytic error** — every release reports the same
+  ``expected_error`` on both sides (the batch path memoizes, never alters,
+  the analytic formula).
+
+The noisy *answers* differ between the two sides only as independent draws
+of the same distribution (the batch path advances the RNG stream in one
+``(k, r)`` block instead of ``k`` ``(r,)`` blocks — an intentional,
+documented stream change).
+
+Timing is best-of-``REPRO_BENCH_REPS`` (default 5) wall-clock after one
+untimed warm-up per side. The committed seed baseline
+(``benchmarks/baselines/BENCH_serving_seed.json``) stores the *looped*
+per-release seconds — what ``execute_many`` effectively cost before the
+vectorised path existed — so ``check_regression`` comparisons track the
+batch path against the pre-overhaul cost. Baselines are machine-specific;
+regenerate on new hardware per the file's embedded description.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serving_perf.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import PrivateQueryEngine
+from repro.workloads.generators import workload_by_name
+
+pytestmark = pytest.mark.perf
+
+_HERE = Path(__file__).resolve().parent
+SEED_BASELINE_PATH = _HERE / "baselines" / "BENCH_serving_seed.json"
+OUTPUT_PATH = _HERE / "BENCH_serving.json"
+
+#: Minimum acceptable median batch-vs-loop throughput ratio.
+TARGET_MEDIAN_SPEEDUP = 5.0
+#: Releases per batch (the committed acceptance batch size).
+BATCH_SIZE = 256
+#: Total budget large enough that no grid cell exhausts it.
+TOTAL_BUDGET = 1e9
+
+#: The committed grid: (workload generator, m, n, s, mechanism, epsilon).
+#: LRM cells are the paper's product; SVDM isolates the decomposition
+#: pipeline without the ALM fit; LM stresses the identity-strategy path
+#: (domain-sized noise, the hardest cell to speed up by batching).
+GRID = [
+    {"workload": "wrelated", "m": 128, "n": 512, "s": 8, "mechanism": "LRM", "epsilon": 0.1},
+    {"workload": "wrelated", "m": 256, "n": 1024, "s": 8, "mechanism": "LRM", "epsilon": 0.5},
+    {"workload": "wrange", "m": 64, "n": 256, "s": None, "mechanism": "LRM", "epsilon": 0.1},
+    {"workload": "wrelated", "m": 32, "n": 128, "s": 4, "mechanism": "SVDM", "epsilon": 0.1},
+    {"workload": "wrange", "m": 64, "n": 256, "s": None, "mechanism": "LM", "epsilon": 0.1},
+]
+
+#: Bench LRM fit budget (fits are untimed here; keep planning fast).
+LRM_BUDGET = {
+    "LRM": {"max_outer": 40, "max_inner": 4, "nesterov_iters": 30, "stall_iters": 15}
+}
+
+
+def _make_workload(cell):
+    kwargs = {"seed": 2012}
+    if cell["s"] is not None:
+        kwargs["s"] = cell["s"]
+    return workload_by_name(cell["workload"], cell["m"], cell["n"], **kwargs)
+
+
+def _fresh_engine(workload, seed=7):
+    data = np.arange(float(workload.domain_size))
+    return PrivateQueryEngine(
+        data, total_budget=TOTAL_BUDGET, mechanism_kwargs=LRM_BUDGET, seed=seed
+    )
+
+
+def _audit_tuple(release):
+    return (
+        release.mechanism,
+        release.epsilon,
+        release.delta,
+        release.expected_error,
+        release.workload_key,
+        release.metadata,
+    )
+
+
+def _run_cell(cell, reps):
+    workload = _make_workload(cell)
+    epsilon = cell["epsilon"]
+
+    loop_engine = _fresh_engine(workload)
+    loop_plan = loop_engine.plan(workload, mechanism=cell["mechanism"])
+    loop_engine.execute(loop_plan, epsilon)  # untimed warm-up
+    loop_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        for _ in range(BATCH_SIZE):
+            loop_engine.execute(loop_plan, epsilon)
+        loop_times.append(time.perf_counter() - start)
+
+    batch_engine = _fresh_engine(workload)
+    batch_plan = batch_engine.plan(workload, mechanism=cell["mechanism"])
+    requests = [(batch_plan, epsilon)] * BATCH_SIZE
+    batch_engine.execute(batch_plan, epsilon)  # untimed warm-up
+    batch_times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        batch_engine.execute_many(requests)
+        batch_times.append(time.perf_counter() - start)
+
+    # --- accounting identity: compare the first k timed releases pairwise
+    # (the warm-up release plus reps * k releases exist on both sides, in
+    # the same order).
+    assert loop_engine.spent_budget == batch_engine.spent_budget
+    assert loop_engine.spent_delta == batch_engine.spent_delta
+    loop_log = loop_engine.releases
+    batch_log = batch_engine.releases
+    assert len(loop_log) == len(batch_log)
+    for loop_release, batch_release in zip(loop_log, batch_log):
+        assert _audit_tuple(loop_release) == _audit_tuple(batch_release)
+        assert loop_release.answers.shape == batch_release.answers.shape
+
+    loop_best = min(loop_times)
+    batch_best = min(batch_times)
+    return {
+        **cell,
+        "batch_size": BATCH_SIZE,
+        "loop_seconds_all": loop_times,
+        "batch_seconds_all": batch_times,
+        "loop_seconds_per_release": loop_best / BATCH_SIZE,
+        "batch_seconds_per_release": batch_best / BATCH_SIZE,
+        # The regressable metric (check_regression --time-field): batch-path
+        # cost per release.
+        "seconds_per_release": batch_best / BATCH_SIZE,
+        "loop_releases_per_second": BATCH_SIZE / loop_best,
+        "batch_releases_per_second": BATCH_SIZE / batch_best,
+        "speedup_batch_vs_loop": loop_best / batch_best,
+    }
+
+
+def test_serving_batch_throughput_vs_loop():
+    reps = int(os.environ.get("REPRO_BENCH_REPS", "5"))
+    cells = [_run_cell(cell, reps) for cell in GRID]
+
+    speedups = [cell["speedup_batch_vs_loop"] for cell in cells]
+    median_speedup = float(np.median(speedups))
+    report = {
+        "label": os.environ.get("REPRO_BENCH_LABEL", "current"),
+        "batch_size": BATCH_SIZE,
+        "reps": reps,
+        "lrm_budget": LRM_BUDGET["LRM"],
+        "cells": cells,
+        "median_speedup_batch_vs_loop": median_speedup,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2))
+
+    print()
+    header = (
+        f"{'workload':<10} {'shape':>10} {'mech':>5} {'eps':>5} "
+        f"{'loop rps':>10} {'batch rps':>11} {'speedup':>8}"
+    )
+    print(header)
+    for cell in cells:
+        shape = f"{cell['m']}x{cell['n']}"
+        print(
+            f"{cell['workload']:<10} {shape:>10} {cell['mechanism']:>5} "
+            f"{cell['epsilon']:>5g} {cell['loop_releases_per_second']:>10,.0f} "
+            f"{cell['batch_releases_per_second']:>11,.0f} "
+            f"{cell['speedup_batch_vs_loop']:>7.2f}x"
+        )
+    print(f"median batch speedup vs looped execute: {median_speedup:.2f}x "
+          f"(report: {OUTPUT_PATH})")
+
+    assert median_speedup >= TARGET_MEDIAN_SPEEDUP, (
+        f"median batch throughput {median_speedup:.2f}x below the "
+        f"{TARGET_MEDIAN_SPEEDUP}x target; see {OUTPUT_PATH} for per-cell data"
+    )

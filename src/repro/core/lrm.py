@@ -32,6 +32,7 @@ from repro.linalg.randomized import RANDOMIZED_SVD_MIN_DIM
 from repro.exceptions import NotFittedError
 from repro.linalg.validation import as_vector, check_positive, check_positive_int
 from repro.mechanisms.base import Mechanism
+from repro.mechanisms.operator import ReleaseOperator
 from repro.privacy.noise import laplace_noise
 
 __all__ = ["LowRankMechanism", "GaussianLowRankMechanism", "spectral_cache_for_fit"]
@@ -160,6 +161,24 @@ class LowRankMechanism(Mechanism):
             )
         return decomposition.b @ noisy
 
+    def release_operator(self):
+        """Eq. 6 as a pipeline: strategy ``L``, recombination ``B``."""
+        if self._decomposition is None:
+            return None
+        decomposition = self._decomposition
+        sensitivity = decomposition.sensitivity
+        return ReleaseOperator(
+            strategy=decomposition.l,
+            recombination=decomposition.b,
+            sensitivity=sensitivity,
+            noise=self._noise_family if sensitivity > 0.0 else "none",
+            delta=float(getattr(self, "delta", 0.0)),
+        )
+
+    #: Noise family paired with the decomposition norm ("laplace" for the
+    #: L1 program; the Gaussian subclass overrides to "gaussian").
+    _noise_family = "laplace"
+
     # ------------------------------------------------------------------ #
     # Error accounting
     # ------------------------------------------------------------------ #
@@ -222,6 +241,7 @@ class GaussianLowRankMechanism(LowRankMechanism):
     decomposition_norm = "l2"
     requires_delta = True
     privacy_params = ("delta",)
+    _noise_family = "gaussian"
 
     def __init__(self, delta=1e-6, **kwargs):
         super().__init__(**kwargs)

@@ -6,6 +6,7 @@ returns an inspectable, cacheable :class:`ExecutionPlan`;
 release. ``answer_workload`` remains as a deprecated one-shot shim.
 """
 
+from repro.engine.compiled import CompiledPlan
 from repro.engine.plan import ExecutionPlan, PlanCandidate, build_plan, plan_key
 from repro.engine.plan_cache import PlanCache
 from repro.engine.query_engine import PrivateQueryEngine, Release
@@ -19,6 +20,7 @@ from repro.engine.selection import (
 
 __all__ = [
     "APPROX_DP_CANDIDATES",
+    "CompiledPlan",
     "DEFAULT_CANDIDATES",
     "ExecutionPlan",
     "MechanismChoice",

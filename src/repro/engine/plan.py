@@ -223,6 +223,9 @@ class ExecutionPlan:
     epsilon_hint: float
     candidates: list = field(default_factory=list)
     fit_kwargs: dict = field(default_factory=dict)
+    #: Memoized CompiledPlan (serving state; rebuilt on demand, never
+    #: serialized or compared).
+    _compiled: object = field(default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -261,6 +264,22 @@ class ExecutionPlan:
     def delta(self):
         """Per-release delta charged by this plan (0.0 for pure eps-DP)."""
         return float(getattr(self.mechanism, "delta", 0.0)) if self.requires_delta else 0.0
+
+    def compile(self):
+        """Memoized :class:`repro.engine.compiled.CompiledPlan` for serving.
+
+        Precomputes the data-independent release state (strategy matrix,
+        recombination, sensitivity, noise family) and provides the
+        epoch-keyed ``L x`` cache plus the vectorised ``answer_many`` path
+        the engine's executor runs releases through. Compiling never
+        changes release semantics — mechanisms without a linear release
+        operator compile to a transparent ``mechanism.answer`` forwarder.
+        """
+        if self._compiled is None:
+            from repro.engine.compiled import CompiledPlan
+
+            self._compiled = CompiledPlan(self)
+        return self._compiled
 
     def predicted_error(self, epsilon):
         """Analytic expected total squared error of one release at
@@ -363,6 +382,7 @@ def build_plan(
     mechanism="auto",
     candidates=DEFAULT_CANDIDATES,
     mechanism_kwargs=None,
+    parallel=False,
 ):
     """Run mechanism selection/fitting and return an :class:`ExecutionPlan`.
 
@@ -370,7 +390,9 @@ def build_plan(
     and caching on top). ``mechanism`` may be ``"auto"`` (rank every
     candidate by analytic expected error at ``epsilon_hint``), a registry
     label, or an unfitted mechanism instance — instances are deep-copied
-    before fitting, so the caller's object is never mutated.
+    before fitting, so the caller's object is never mutated. ``parallel``
+    fans the candidate fits of an ``"auto"`` spec out across a process pool
+    (see :func:`repro.engine.selection.rank_mechanisms`).
     """
     workload = as_workload(workload)
     epsilon_hint = check_positive(epsilon_hint, "epsilon_hint")
@@ -380,7 +402,8 @@ def build_plan(
 
     if spec.startswith("auto["):
         choices = rank_mechanisms(
-            workload, epsilon_hint, candidates=candidates, mechanism_kwargs=mechanism_kwargs
+            workload, epsilon_hint, candidates=candidates,
+            mechanism_kwargs=mechanism_kwargs, parallel=parallel,
         )
         winner = next((choice for choice in choices if choice.ok), None)
         if winner is None:

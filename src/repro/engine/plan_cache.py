@@ -42,20 +42,35 @@ class PlanCache:
     directory:
         ``None`` for a purely in-memory cache; otherwise a directory path
         (created on first write) holding one ``.plan.npz`` file per plan.
+    max_entries:
+        ``None`` (default) for an unbounded in-memory tier; otherwise the
+        maximum number of plans held in memory. Past the cap the
+        least-recently-used entry is evicted (lookup hits and stores both
+        refresh recency). Eviction is memory-tier only: on-disk archives
+        are left intact, so an evicted plan with a directory backend
+        reloads from disk on its next lookup instead of refitting.
 
     Attributes
     ----------
     hits, misses, disk_hits:
         Lookup counters; ``disk_hits`` counts entries restored from the
         directory backend (a subset of ``hits``).
+    evictions:
+        In-memory entries dropped by the ``max_entries`` LRU policy.
     """
 
-    def __init__(self, directory=None):
+    def __init__(self, directory=None, max_entries=None):
         self.directory = Path(directory) if directory is not None else None
-        self._memory = {}
+        if max_entries is not None:
+            from repro.linalg.validation import check_positive_int
+
+            max_entries = check_positive_int(max_entries, "max_entries")
+        self.max_entries = max_entries
+        self._memory = {}  # insertion order doubles as LRU order (oldest first)
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     # Key / path plumbing
@@ -84,6 +99,7 @@ class PlanCache:
         plan = self._memory.get(key)
         if plan is not None:
             self.hits += 1
+            self._touch(key)
             return plan
         path = self.path_for(key)
         if path is not None and path.exists():
@@ -109,11 +125,30 @@ class PlanCache:
                     f"{plan.plan_key!r}, expected {key!r}"
                 )
             self._memory[key] = plan
+            self._evict_over_cap()
             self.hits += 1
             self.disk_hits += 1
             return plan
         self.misses += 1
         return None
+
+    def _touch(self, key):
+        """Mark ``key`` most-recently-used (re-append in dict order)."""
+        if self.max_entries is not None:
+            self._memory[key] = self._memory.pop(key)
+
+    def _evict_over_cap(self):
+        """Drop least-recently-used memory entries past ``max_entries``.
+
+        Disk archives are never touched: eviction trades memory for a
+        (cheap) disk reload, not for a refit.
+        """
+        if self.max_entries is None:
+            return
+        while len(self._memory) > self.max_entries:
+            oldest = next(iter(self._memory))
+            del self._memory[oldest]
+            self.evictions += 1
 
     def put(self, key, plan):
         """Store ``plan`` under ``key`` in memory and (if configured) on disk.
@@ -125,7 +160,10 @@ class PlanCache:
         """
         if not isinstance(plan, ExecutionPlan):
             raise ValidationError("PlanCache stores ExecutionPlan objects")
+        if key in self._memory:
+            self._memory.pop(key)  # re-append: a store refreshes recency
         self._memory[key] = plan
+        self._evict_over_cap()
         path = self.path_for(key)
         if path is None:
             return

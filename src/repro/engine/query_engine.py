@@ -36,6 +36,7 @@ Example
 
 from __future__ import annotations
 
+import itertools
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional
@@ -61,6 +62,12 @@ from repro.mechanisms.registry import make_mechanism
 from repro.privacy.accountant import BudgetAccountant, make_accountant
 
 __all__ = ["PrivateQueryEngine", "Release"]
+
+#: Process-wide data-epoch token source. Each engine stamps a fresh token
+#: whenever its data vector is (re)set; compiled plans key their cached
+#: strategy answers (L x) on the token, so tokens must never collide across
+#: engines sharing a plan — a single monotone counter guarantees that.
+_DATA_EPOCHS = itertools.count(1)
 
 
 @dataclass
@@ -140,7 +147,7 @@ class PrivateQueryEngine:
     def __init__(self, data, total_budget, candidates=DEFAULT_CANDIDATES,
                  mechanism_kwargs=None, seed=None, delta=0.0, plan_cache=None,
                  accountant=None):
-        self._data = as_vector(data, "data")
+        self._set_data(data)
         if accountant is not None:
             if not isinstance(accountant, BudgetAccountant):
                 raise ValidationError("accountant must be a BudgetAccountant instance")
@@ -172,6 +179,42 @@ class PrivateQueryEngine:
         # configuration rather than once per call).
         self._local_plans = {}
         self._releases = []
+
+    # ------------------------------------------------------------------ #
+    # Data epochs
+    # ------------------------------------------------------------------ #
+    def _set_data(self, data):
+        # The engine owns its copy (read-only) so cached strategy answers
+        # keyed on the epoch token cannot go stale through an in-place
+        # mutation of the caller's array; set_data is the mutation API.
+        data = as_vector(data, "data").copy()
+        data.setflags(write=False)
+        self._data = data
+        self._data_epoch = next(_DATA_EPOCHS)
+
+    def set_data(self, data):
+        """Replace the engine's unit counts and stamp a new data epoch.
+
+        The domain size must not change (plans are domain-checked). Every
+        compiled plan's cached strategy answers ``L x`` are keyed on the
+        epoch token, so after ``set_data`` the next release recomputes them
+        against the new data — stale answers can never be served. Swapping
+        data does *not* reset the privacy accountant: the budget protects
+        the individuals in every dataset this engine has released about.
+        """
+        data = as_vector(data, "data")
+        if data.size != self.domain_size:
+            raise ValidationError(
+                f"new data has domain {data.size}, engine expects {self.domain_size}"
+            )
+        self._set_data(data)
+
+    @property
+    def data_epoch(self):
+        """Opaque token identifying the current data vector (changes on
+        every :meth:`set_data`); compiled plans key their ``L x`` cache on
+        it."""
+        return self._data_epoch
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -256,8 +299,16 @@ class PrivateQueryEngine:
                 f"workload domain {domain_size} != engine domain {self.domain_size}"
             )
 
-    def plan(self, workload, mechanism="auto", epsilon_hint=0.1, use_cache=True):
+    def plan(self, workload, mechanism="auto", epsilon_hint=0.1, use_cache=True,
+             parallel=False):
         """Run selection/fitting and return an :class:`ExecutionPlan`.
+
+        ``parallel`` fans the candidate fits of an ``"auto"`` spec out over
+        a process pool (``True``, or an int worker cap; see
+        :func:`repro.engine.selection.rank_mechanisms`) — the ranking is
+        identical to the serial path and any pool failure falls back to it.
+        It does not affect the cache key: a cached plan is served the same
+        way either way.
 
         Consumes no privacy budget (planning is data-independent). The plan
         is cached under ``(workload digest, mechanism spec)`` — mechanism
@@ -309,6 +360,7 @@ class PrivateQueryEngine:
             mechanism=mechanism,
             candidates=self.candidates,
             mechanism_kwargs=self.mechanism_kwargs,
+            parallel=parallel,
         )
         if store:
             self.plan_cache.put(key, plan)
@@ -398,10 +450,37 @@ class PrivateQueryEngine:
         self._check_domain(plan.domain_size)
         return check_positive(epsilon, "epsilon"), plan.delta
 
-    def _build_release(self, plan, epsilon, delta, non_negative, integral, consistent):
-        """Produce one release without logging it; the budget must already
-        be charged."""
-        answers = plan.mechanism.answer(self._data, epsilon, self._rng)
+    def _predicted_error(self, plan, epsilon, memo=None):
+        """Analytic expected error of one release (None without a closed
+        form), memoized per (plan, epsilon) within a batch."""
+        if memo is not None:
+            key = (id(plan), epsilon)
+            if key in memo:
+                return memo[key]
+        try:
+            expected = float(plan.mechanism.expected_squared_error(epsilon))
+        except (NotImplementedError, ReproError):
+            expected = None
+        if memo is not None:
+            memo[key] = expected
+        return expected
+
+    def _metadata_base(self, plan):
+        """The release-invariant audit metadata of one plan (shape, plan
+        key, accountant model) — computed once per plan per batch instead
+        of once per release on the serving hot path."""
+        return {
+            "shape": plan.shape,
+            "plan_key": plan.plan_key,
+            "accountant": self._accountant.name,
+        }
+
+    def _finalize_release(
+        self, plan, epsilon, delta, answers, non_negative, integral, consistent,
+        expected_memo=None, metadata_base=None,
+    ):
+        """Post-process raw noisy answers and wrap them as a Release; the
+        budget must already be charged."""
         if non_negative or integral or consistent:
             answers = postprocess_answers(
                 plan.workload.matrix,
@@ -410,27 +489,32 @@ class PrivateQueryEngine:
                 integral=integral,
                 consistent=consistent,
             )
-        try:
-            expected = float(plan.mechanism.expected_squared_error(epsilon))
-        except (NotImplementedError, ReproError):
-            expected = None
+        metadata = dict(metadata_base if metadata_base is not None else self._metadata_base(plan))
+        metadata["postprocess"] = {
+            "non_negative": bool(non_negative),
+            "integral": bool(integral),
+            "consistent": bool(consistent),
+        }
         return Release(
             answers=answers,
             mechanism=plan.mechanism_label,
             epsilon=epsilon,
             delta=delta,
-            expected_error=expected,
+            expected_error=self._predicted_error(plan, epsilon, expected_memo),
             workload_key=plan.workload_key,
-            metadata={
-                "shape": plan.shape,
-                "plan_key": plan.plan_key,
-                "accountant": self._accountant.name,
-                "postprocess": {
-                    "non_negative": bool(non_negative),
-                    "integral": bool(integral),
-                    "consistent": bool(consistent),
-                },
-            },
+            metadata=metadata,
+        )
+
+    def _build_release(self, plan, epsilon, delta, non_negative, integral, consistent):
+        """Produce one release without logging it; the budget must already
+        be charged. Runs through the plan's compiled release operator —
+        noise draw plus recombination, with the strategy answers ``L x``
+        cached per data epoch."""
+        answers = plan.compile().answer(
+            self._data, epsilon, self._rng, epoch=self._data_epoch
+        )
+        return self._finalize_release(
+            plan, epsilon, delta, answers, non_negative, integral, consistent
         )
 
     def execute(self, plan, epsilon, non_negative=False, integral=False, consistent=False):
@@ -461,12 +545,23 @@ class PrivateQueryEngine:
         return release
 
     def execute_many(self, requests, non_negative=False, integral=False, consistent=False):
-        """Atomically release a batch of requests.
+        """Atomically release a batch of requests through the vectorised
+        multi-release path.
 
         Each request is ``(plan, epsilon)`` or ``(plan, epsilon, switches)``
         where ``switches`` is a dict overriding the batch-default
         post-processing flags for that release (e.g. ``{"integral": True}``
         for a count workload next to a ``{"consistent": True}`` one).
+
+        Requests are grouped by plan: each group's noise is drawn in **one**
+        ``(k, r)`` RNG call and recombined with one GEMM through the plan's
+        compiled release operator (per-release post-processing switches are
+        applied afterwards), so batch throughput does not pay the
+        per-release GEMV/draw/validation overhead of looped
+        :meth:`execute`. Each release is distributed exactly as the
+        equivalent ``execute`` call; the RNG *stream* advances in plan-group
+        order rather than request order (intentional — a documented
+        serving-path property, not a privacy-relevant one).
 
         The whole batch is all-or-nothing: the accountant is charged in one
         step, and if producing any release then fails (e.g. a
@@ -478,6 +573,17 @@ class PrivateQueryEngine:
         defaults = {
             "non_negative": non_negative, "integral": integral, "consistent": consistent,
         }
+        # Per-batch memos: a 256-request batch typically holds a handful of
+        # plans and epsilons, so plan validation (isinstance + domain +
+        # delta) and epsilon validation run once per distinct value, not
+        # once per request — several microseconds per request (the ABC
+        # isinstance inside check_positive plus the plan property chain),
+        # which is on the order of the whole batched per-release cost.
+        # Memo validity requires _check_executable to stay pure in
+        # (plan identity, epsilon value); a future check depending on
+        # anything else must bypass these memos.
+        plan_deltas = {}
+        checked_epsilons = {}
         prepared = []
         for request in requests:
             try:
@@ -499,20 +605,71 @@ class PrivateQueryEngine:
                     f"unknown post-processing switches {sorted(unknown)}; "
                     f"choose from {sorted(defaults)}"
                 )
-            cost = self._check_executable(plan, epsilon)
-            prepared.append((plan, cost, {**defaults, **overrides}))
+            delta = plan_deltas.get(id(plan))
+            eps_key = (
+                epsilon
+                if isinstance(epsilon, (int, float)) and not isinstance(epsilon, bool)
+                else None
+            )
+            checked = checked_epsilons.get(eps_key) if eps_key is not None else None
+            if delta is None or checked is None:
+                checked, delta = self._check_executable(plan, epsilon)
+                plan_deltas[id(plan)] = delta
+                if eps_key is not None:
+                    checked_epsilons[eps_key] = checked
+            prepared.append((plan, (checked, delta), {**defaults, **overrides}))
         if not prepared:
             raise ValidationError("execute_many needs at least one (plan, epsilon) request")
         ledger_state = self._accountant.snapshot()
         self._accountant.spend_many([cost for _, cost, _ in prepared])
-        staged = []
         try:
-            for plan, (epsilon, delta), switches in prepared:
-                staged.append(self._build_release(plan, epsilon, delta, **switches))
+            staged = self._produce_batch(prepared)
         except BaseException:
             self._accountant.restore(ledger_state)
             raise
         self._releases.extend(staged)
+        return staged
+
+    def _produce_batch(self, prepared):
+        """Produce every release of a charged batch, plan-grouped.
+
+        Same-plan requests share one batched noise draw + GEMM; the
+        returned list is in the original request order.
+        """
+        groups = {}  # id(plan) -> [request index, ...] in request order
+        for index, (plan, _, _) in enumerate(prepared):
+            groups.setdefault(id(plan), []).append(index)
+        staged = [None] * len(prepared)
+        expected_memo = {}
+        for indices in groups.values():
+            plan = prepared[indices[0]][0]
+            metadata_base = self._metadata_base(plan)
+            if len(indices) == 1:
+                index = indices[0]
+                _, (epsilon, delta), switches = prepared[index]
+                answers = plan.compile().answer(
+                    self._data, epsilon, self._rng, epoch=self._data_epoch
+                )
+                staged[index] = self._finalize_release(
+                    plan, epsilon, delta, answers,
+                    expected_memo=expected_memo, metadata_base=metadata_base,
+                    **switches,
+                )
+                continue
+            epsilons = [prepared[index][1][0] for index in indices]
+            batch = plan.compile().answer_many(
+                self._data, epsilons, self._rng, epoch=self._data_epoch
+            )
+            # Each release takes a row view of the freshly-allocated (k, m)
+            # batch buffer — rows never overlap, so releases cannot alias
+            # each other's answers.
+            for row, index in zip(batch, indices):
+                _, (epsilon, delta), switches = prepared[index]
+                staged[index] = self._finalize_release(
+                    plan, epsilon, delta, row,
+                    expected_memo=expected_memo, metadata_base=metadata_base,
+                    **switches,
+                )
         return staged
 
     # ------------------------------------------------------------------ #

@@ -15,6 +15,7 @@ import scipy.sparse as sp
 from repro.exceptions import ValidationError
 
 __all__ = [
+    "as_epsilon_batch",
     "as_matrix",
     "as_vector",
     "check_positive",
@@ -23,6 +24,26 @@ __all__ = [
     "check_shape_compatible",
     "ensure_rng",
 ]
+
+
+def as_epsilon_batch(epsilons):
+    """Coerce a batch of per-release epsilons to a 1-D float64 array.
+
+    A scalar promotes to a one-element batch; every entry must be positive
+    and finite. The single validation rule behind the vectorised
+    multi-release path (``Mechanism.answer_many``, the batched noise
+    helpers in :mod:`repro.privacy.noise`).
+    """
+    epsilons = np.asarray(epsilons, dtype=np.float64)
+    if epsilons.ndim == 0:
+        epsilons = epsilons[None]
+    if epsilons.ndim != 1 or epsilons.size == 0:
+        raise ValidationError(
+            f"epsilons must be a non-empty 1-D sequence, got shape {epsilons.shape}"
+        )
+    if not np.all(np.isfinite(epsilons)) or np.any(epsilons <= 0.0):
+        raise ValidationError("every epsilon must be positive and finite")
+    return epsilons
 
 
 def as_matrix(value, name="matrix", allow_sparse=False):

@@ -12,6 +12,7 @@ from repro.mechanisms.gaussian import (
 )
 from repro.mechanisms.hierarchical import HierarchicalMechanism
 from repro.mechanisms.matrix_mechanism import MatrixMechanism
+from repro.mechanisms.operator import ReleaseOperator
 from repro.mechanisms.registry import PAPER_MECHANISMS, make_mechanism, mechanism_names
 from repro.mechanisms.strategy import StrategyMechanism, SVDStrategyMechanism
 from repro.mechanisms.wavelet import WaveletMechanism
@@ -26,6 +27,7 @@ __all__ = [
     "NoiseOnDataMechanism",
     "NoiseOnResultsMechanism",
     "PAPER_MECHANISMS",
+    "ReleaseOperator",
     "SVDStrategyMechanism",
     "StrategyMechanism",
     "WaveletMechanism",

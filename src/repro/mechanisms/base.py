@@ -6,13 +6,19 @@ eps-differential privacy. The lifecycle mirrors scikit-learn:
 1. ``mechanism.fit(workload)`` — any per-workload optimisation (a no-op for
    the Laplace baselines, an SDP for MM, the ALM decomposition for LRM).
 2. ``mechanism.answer(x, epsilon, rng)`` — one noisy release of ``W x``.
-3. ``mechanism.expected_squared_error(epsilon)`` — the analytic expected
+3. ``mechanism.answer_many(x, epsilons, rng)`` — ``k`` independent releases
+   at once: mechanisms with a linear release operator draw all noise in one
+   ``(k, r)`` RNG call and recombine with one GEMM (the high-traffic
+   serving path); others fall back to a loop.
+4. ``mechanism.expected_squared_error(epsilon)`` — the analytic expected
    total squared error ``E ||y_noisy - W x||_2^2`` where available, and
-4. ``mechanism.empirical_squared_error(x, epsilon, trials, rng)`` — the
-   Monte-Carlo estimate the paper's experiments report (20 trials).
+5. ``mechanism.empirical_squared_error(x, epsilon, trials, rng)`` — the
+   Monte-Carlo estimate the paper's experiments report (20 trials), run
+   through the batched path.
 
-Every ``answer`` call is an independent eps-DP release; repeated calls
-compose sequentially (use :class:`repro.privacy.PrivacyBudget` to track).
+Every ``answer`` call (and every row of ``answer_many``) is an independent
+eps-DP release; repeated calls compose sequentially (use
+:class:`repro.privacy.PrivacyBudget` to track).
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ import abc
 import numpy as np
 
 from repro.exceptions import NotFittedError, ValidationError
-from repro.linalg.validation import as_vector, check_positive, check_positive_int, ensure_rng
+from repro.linalg.validation import (
+    as_epsilon_batch,
+    as_vector,
+    check_positive,
+    check_positive_int,
+    ensure_rng,
+)
 from repro.workloads.workload import Workload
 
 __all__ = ["Mechanism", "as_workload"]
@@ -122,6 +134,49 @@ class Mechanism(abc.ABC):
     def _answer(self, x, epsilon, rng):
         """Produce one noisy answer vector; inputs are pre-validated."""
 
+    def answer_many(self, x, epsilons, rng=None):
+        """``k`` independent releases of ``W x`` as a ``(k, m)`` array.
+
+        Row ``i`` is an ``epsilons[i]``-DP release distributed exactly like
+        ``answer(x, epsilons[i])``; the releases compose sequentially (total
+        cost ``sum(epsilons)``). Mechanisms exposing a
+        :meth:`release_operator` draw the whole batch's noise in one
+        ``(k, r)`` RNG call and recombine with a single GEMM; the RNG
+        stream therefore advances differently from ``k`` separate
+        ``answer`` calls (intentional — the distributions are identical).
+        """
+        self._check_fitted()
+        x = as_vector(x, "x", size=self._workload.domain_size)
+        epsilons = as_epsilon_batch(epsilons)
+        rng = ensure_rng(rng)
+        return self._answer_many(x, epsilons, rng)
+
+    def _answer_many(self, x, epsilons, rng):
+        """Batched release hook; inputs are pre-validated.
+
+        Default: vectorise through the release operator when the mechanism
+        has one, else loop over :meth:`_answer`.
+        """
+        operator = self.release_operator()
+        if operator is not None:
+            return operator.answer_many(operator.strategy_answers(x), epsilons, rng)
+        return np.stack([self._answer(x, epsilon, rng) for epsilon in epsilons])
+
+    # ------------------------------------------------------------------ #
+    # Release operator (serving hot path)
+    # ------------------------------------------------------------------ #
+    def release_operator(self):
+        """The release as a data-independent linear pipeline, or ``None``.
+
+        Mechanisms whose release is ``B (L x + noise)`` return a
+        :class:`repro.mechanisms.operator.ReleaseOperator` so the serving
+        layer can precompute ``L x`` per data epoch and batch noise draws;
+        mechanisms built on fast transforms (WM, HM) keep the default
+        ``None`` and are served through :meth:`answer`. Only meaningful
+        once fitted.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # Error accounting
     # ------------------------------------------------------------------ #
@@ -146,19 +201,20 @@ class Mechanism(abc.ABC):
 
         This is the measurement protocol of Section 6: each algorithm is
         executed repeatedly (20 times in the paper) and the mean squared L2
-        distance to the exact answers is reported.
+        distance to the exact answers is reported. The trials run through
+        the batched :meth:`answer_many` path — one RNG draw and one GEMM
+        for operator-backed mechanisms — so the RNG stream differs from the
+        historical per-trial loop (the per-trial distribution does not).
         """
         self._check_fitted()
         trials = check_positive_int(trials, "trials")
         x = as_vector(x, "x", size=self._workload.domain_size)
+        epsilon = check_positive(epsilon, "epsilon")
         rng = ensure_rng(rng)
         exact = self._workload.answer(x)
-        total = 0.0
-        for _ in range(trials):
-            noisy = self.answer(x, epsilon, rng)
-            residual = noisy - exact
-            total += float(residual @ residual)
-        return total / trials
+        noisy = self._answer_many(x, np.full(trials, epsilon), rng)
+        residual = noisy - exact[None, :]
+        return float(np.sum(residual * residual)) / trials
 
     def empirical_average_error(self, x, epsilon, trials=20, rng=None):
         """Per-query Monte-Carlo error (the figure-axis metric)."""

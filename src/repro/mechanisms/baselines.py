@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mechanisms.base import Mechanism
+from repro.mechanisms.operator import ReleaseOperator
 from repro.privacy.noise import laplace_noise
 
 __all__ = ["NoiseOnDataMechanism", "NoiseOnResultsMechanism", "LaplaceMechanism"]
@@ -42,6 +43,16 @@ class NoiseOnDataMechanism(Mechanism):
         noisy_data = x + laplace_noise(x.size, self.unit_sensitivity, epsilon, rng)
         return self.workload.matrix @ noisy_data
 
+    def release_operator(self):
+        """Identity strategy (noise on the counts), recombination ``W``."""
+        if not self.is_fitted:
+            return None
+        return ReleaseOperator(
+            strategy=None,
+            recombination=self._workload.matrix,
+            sensitivity=self.unit_sensitivity,
+        )
+
     def expected_squared_error(self, epsilon):
         """``2 Delta^2 ||W||_F^2 / eps^2`` — linear in the domain size for
         dense workloads, which is why LM degrades in Figures 4-6."""
@@ -61,6 +72,18 @@ class NoiseOnResultsMechanism(Mechanism):
         if sensitivity == 0.0:
             return exact
         return exact + laplace_noise(exact.size, sensitivity, epsilon, rng)
+
+    def release_operator(self):
+        """Strategy ``W`` itself, identity recombination."""
+        if not self.is_fitted:
+            return None
+        sensitivity = self.workload.sensitivity
+        return ReleaseOperator(
+            strategy=self._workload.matrix,
+            recombination=None,
+            sensitivity=sensitivity,
+            noise="laplace" if sensitivity > 0.0 else "none",
+        )
 
     def expected_squared_error(self, epsilon):
         """``2 m Delta(W)^2 / eps^2``."""

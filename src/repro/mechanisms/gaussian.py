@@ -14,6 +14,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.linalg.validation import check_positive
 from repro.mechanisms.base import Mechanism
+from repro.mechanisms.operator import ReleaseOperator
 from repro.privacy.noise import gaussian_noise, gaussian_sigma
 from repro.privacy.sensitivity import l2_sensitivity
 
@@ -57,6 +58,18 @@ class GaussianNoiseOnDataMechanism(Mechanism):
         noisy_data = x + gaussian_noise(x.size, self.unit_sensitivity, epsilon, self.delta, rng)
         return self.workload.matrix @ noisy_data
 
+    def release_operator(self):
+        """Identity strategy (noise on the counts), recombination ``W``."""
+        if not self.is_fitted:
+            return None
+        return ReleaseOperator(
+            strategy=None,
+            recombination=self._workload.matrix,
+            sensitivity=self.unit_sensitivity,
+            noise="gaussian",
+            delta=self.delta,
+        )
+
     def expected_squared_error(self, epsilon):
         """``sigma^2 ||W||_F^2`` with the analytic Gaussian sigma."""
         self._check_fitted()
@@ -94,6 +107,24 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
         if sensitivity == 0.0:
             return exact
         return exact + gaussian_noise(exact.size, sensitivity, epsilon, self.delta, rng)
+
+    def release_operator(self):
+        """Strategy ``W`` itself, identity recombination."""
+        if not self.is_fitted:
+            return None
+        sensitivity = l2_sensitivity(self._workload.matrix)
+        if sensitivity == 0.0:
+            return ReleaseOperator(
+                strategy=self._workload.matrix, recombination=None,
+                sensitivity=0.0, noise="none",
+            )
+        return ReleaseOperator(
+            strategy=self._workload.matrix,
+            recombination=None,
+            sensitivity=sensitivity,
+            noise="gaussian",
+            delta=self.delta,
+        )
 
     def expected_squared_error(self, epsilon):
         """``m * sigma^2`` with sigma calibrated to ``Delta_2(W)``."""

@@ -214,6 +214,18 @@ class MatrixMechanism(Mechanism):
         # x_hat = A^{-1} noisy; answers = W x_hat = (W A^{-1}) noisy.
         return self._recombination @ noisy
 
+    def release_operator(self):
+        """The SDP-optimised ``(A, W A^{-1})`` pipeline."""
+        if not self.is_fitted:
+            return None
+        from repro.mechanisms.operator import ReleaseOperator
+
+        return ReleaseOperator(
+            strategy=self._strategy,
+            recombination=self._recombination,
+            sensitivity=self._strategy_sensitivity,
+        )
+
     def expected_squared_error(self, epsilon):
         """``2 Delta_1(A)^2 / eps^2 * ||W A^{-1}||_F^2``."""
         self._check_fitted()

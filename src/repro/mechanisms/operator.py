@@ -1,0 +1,129 @@
+"""Release operators: the data-independent linear form of a release.
+
+Every mechanism in the paper's family releases
+
+    M(Q, D) = B (L x + noise(Delta(L) / eps)^r)            (Eq. 6 shape)
+
+for some strategy ``L`` (possibly the identity), recombination ``B``
+(possibly the identity), sensitivity ``Delta`` and noise family. A
+:class:`ReleaseOperator` captures exactly that tuple, which is what lets the
+serving layer (:mod:`repro.engine.compiled`) precompute ``L x`` once per
+data epoch and answer ``k`` releases with one RNG draw and one GEMM instead
+of ``k`` GEMV/draw round trips.
+
+Mechanisms expose their operator through
+:meth:`repro.mechanisms.base.Mechanism.release_operator`; mechanisms whose
+release is not a plain matrix pipeline (the fast-transform WM/HM, whose
+consistency steps are cheaper as transforms than as dense matrices) return
+``None`` and keep the per-release code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.privacy.noise import (
+    gaussian_noise,
+    gaussian_noise_batch,
+    laplace_noise,
+    laplace_noise_batch,
+)
+
+__all__ = ["ReleaseOperator"]
+
+
+@dataclass(frozen=True)
+class ReleaseOperator:
+    """The linear pipeline of one mechanism's release.
+
+    Attributes
+    ----------
+    strategy:
+        ``L`` (r x n), or ``None`` for the identity (noise-on-data
+        mechanisms, where the strategy answers *are* the unit counts).
+    recombination:
+        ``B`` (m x r), or ``None`` for the identity (noise-on-results
+        mechanisms).
+    sensitivity:
+        ``Delta(L)`` under the mechanism's norm (L1 for Laplace, L2 for
+        Gaussian).
+    noise:
+        ``"laplace"``, ``"gaussian"``, or ``"none"`` (a zero-sensitivity
+        strategy releases exact strategy answers — the mechanism decides).
+    delta:
+        Per-release failure probability (Gaussian noise only).
+    """
+
+    strategy: Optional[np.ndarray]
+    recombination: Optional[np.ndarray]
+    sensitivity: float
+    noise: str = "laplace"
+    delta: float = 0.0
+
+    def __post_init__(self):
+        if self.noise not in ("laplace", "gaussian", "none"):
+            raise ValidationError(f"unknown noise family {self.noise!r}")
+        if self.noise == "gaussian" and not 0.0 < self.delta < 1.0:
+            raise ValidationError(f"gaussian noise needs 0 < delta < 1, got {self.delta}")
+
+    @property
+    def strategy_size(self):
+        """Length ``r`` of the noisy intermediate vector; ``None`` when the
+        strategy is the identity (then ``r == len(x)``)."""
+        return None if self.strategy is None else self.strategy.shape[0]
+
+    def strategy_answers(self, x):
+        """The data-dependent half of a release: ``L x`` (or ``x``)."""
+        return x if self.strategy is None else self.strategy @ x
+
+    # ------------------------------------------------------------------ #
+    # Releasing
+    # ------------------------------------------------------------------ #
+    def _noise_rows(self, size, epsilons, rng):
+        """One ``(k, size)`` draw covering the whole batch."""
+        if self.noise == "laplace":
+            return laplace_noise_batch(size, self.sensitivity, epsilons, rng)
+        return gaussian_noise_batch(size, self.sensitivity, epsilons, self.delta, rng)
+
+    def answer(self, strategy_answers, epsilon, rng):
+        """One release from precomputed strategy answers.
+
+        Draws noise with the same RNG call shape as the mechanism's own
+        ``_answer`` (so seeded engine streams are unchanged by compilation)
+        and applies the recombination.
+        """
+        if self.noise == "none":
+            noisy = strategy_answers
+        elif self.noise == "laplace":
+            noisy = strategy_answers + laplace_noise(
+                strategy_answers.size, self.sensitivity, epsilon, rng
+            )
+        else:
+            noisy = strategy_answers + gaussian_noise(
+                strategy_answers.size, self.sensitivity, epsilon, self.delta, rng
+            )
+        return noisy if self.recombination is None else self.recombination @ noisy
+
+    def answer_many(self, strategy_answers, epsilons, rng):
+        """``k`` releases as a ``(k, m)`` array: one RNG draw, one GEMM.
+
+        Row ``i`` is distributed exactly as ``answer(strategy_answers,
+        epsilons[i], rng)``; only the RNG stream layout differs from a loop
+        (one ``(k, r)`` draw instead of ``k`` ``(r,)`` draws).
+        """
+        epsilons = np.asarray(epsilons, dtype=np.float64)
+        if self.noise == "none":
+            noisy = np.broadcast_to(
+                strategy_answers, (epsilons.size, strategy_answers.size)
+            )
+        else:
+            noisy = strategy_answers[None, :] + self._noise_rows(
+                strategy_answers.size, epsilons, rng
+            )
+        if self.recombination is None:
+            return np.array(noisy) if self.noise == "none" else noisy
+        return noisy @ self.recombination.T

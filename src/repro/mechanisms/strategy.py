@@ -24,6 +24,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.linalg.validation import as_matrix
 from repro.mechanisms.base import Mechanism
+from repro.mechanisms.operator import ReleaseOperator
 from repro.privacy.noise import laplace_noise
 from repro.privacy.sensitivity import l1_sensitivity
 
@@ -75,6 +76,17 @@ class StrategyMechanism(Mechanism):
             )
         return self._recombination @ strategy_answers
 
+    def release_operator(self):
+        """The explicit ``(A, W A^+)`` pipeline."""
+        if not self.is_fitted:
+            return None
+        return ReleaseOperator(
+            strategy=self.strategy,
+            recombination=self._recombination,
+            sensitivity=self._sensitivity,
+            noise="laplace" if self._sensitivity > 0.0 else "none",
+        )
+
     @property
     def strategy_sensitivity(self):
         """L1 sensitivity of the strategy actually asked."""
@@ -125,6 +137,14 @@ class SVDStrategyMechanism(Mechanism):
             strategy_answers.size, self._sensitivity, epsilon, rng
         )
         return self._b @ strategy_answers
+
+    def release_operator(self):
+        """The Lemma-3 ``(L, B)`` pair."""
+        if not self.is_fitted:
+            return None
+        return ReleaseOperator(
+            strategy=self._l, recombination=self._b, sensitivity=self._sensitivity
+        )
 
     @property
     def decomposition_factors(self):

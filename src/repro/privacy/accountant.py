@@ -114,19 +114,22 @@ class BudgetAccountant(abc.ABC):
         this composition model (independent of the remaining budget).
         """
 
-    def _fits(self, epsilon, delta):
+    def _fits_state(self, epsilon, delta, spent_epsilon, spent_delta):
         # A fully-spent coordinate admits nothing more: the slack below only
         # forgives float dust on the *last* spend that reaches the total —
         # it must not re-arm after exhaustion (else unbounded dust-sized
         # releases would pass while the clamped ledger under-reports them).
-        if epsilon > 0.0 and self._spent_epsilon >= self._total_epsilon:
+        if epsilon > 0.0 and spent_epsilon >= self._total_epsilon:
             return False
-        if delta > 0.0 and self._spent_delta >= self._total_delta:
+        if delta > 0.0 and spent_delta >= self._total_delta:
             return False
         return (
-            epsilon <= self.remaining_epsilon + self._eps_slack
-            and delta <= self.remaining_delta + self._delta_slack
+            epsilon <= max(self._total_epsilon - spent_epsilon, 0.0) + self._eps_slack
+            and delta <= max(self._total_delta - spent_delta, 0.0) + self._delta_slack
         )
+
+    def _fits(self, epsilon, delta):
+        return self._fits_state(epsilon, delta, self._spent_epsilon, self._spent_delta)
 
     def can_spend(self, epsilon, delta=0.0):
         """True iff one (epsilon, delta) release fits in the budget.
@@ -141,9 +144,9 @@ class BudgetAccountant(abc.ABC):
             return False
         return self._fits(epsilon, delta)
 
-    def _commit(self, epsilon, delta):
-        self._spent_epsilon += epsilon
-        self._spent_delta += delta
+    def _commit_state(self, epsilon, delta, spent_epsilon, spent_delta):
+        spent_epsilon += epsilon
+        spent_delta += delta
         # Clamp float dust so exact exhaustion reads remaining == 0.0 and a
         # subsequent zero-remainder probe fails cleanly instead of fuzzily.
         # The condition is signed on purpose: _fits admits a spend up to
@@ -156,10 +159,16 @@ class BudgetAccountant(abc.ABC):
         # a total smaller than its own slack (e.g. total_delta = 1e-18)
         # must not be snapped to exhausted by spends on the *other*
         # coordinate.
-        if epsilon > 0.0 and self._total_epsilon - self._spent_epsilon <= self._eps_slack:
-            self._spent_epsilon = self._total_epsilon
-        if delta > 0.0 and self._total_delta - self._spent_delta <= self._delta_slack:
-            self._spent_delta = self._total_delta
+        if epsilon > 0.0 and self._total_epsilon - spent_epsilon <= self._eps_slack:
+            spent_epsilon = self._total_epsilon
+        if delta > 0.0 and self._total_delta - spent_delta <= self._delta_slack:
+            spent_delta = self._total_delta
+        return spent_epsilon, spent_delta
+
+    def _commit(self, epsilon, delta):
+        self._spent_epsilon, self._spent_delta = self._commit_state(
+            epsilon, delta, self._spent_epsilon, self._spent_delta
+        )
 
     def spend(self, epsilon, delta=0.0):
         """Consume one (epsilon, delta) cost; returns the pair.
@@ -185,18 +194,44 @@ class BudgetAccountant(abc.ABC):
         change — the all-or-nothing primitive behind
         ``PrivateQueryEngine.execute_many``.
         """
-        validated = [self._validate_cost(*cost) for cost in costs]
+        # Serving batches are typically many releases at a handful of
+        # distinct costs; validate each distinct cost once (validation is
+        # pure in the cost pair).
+        memo = {}
+        validated = []
+        for cost in costs:
+            cost = tuple(cost)
+            checked = memo.get(cost)
+            if checked is None:
+                checked = memo[cost] = self._validate_cost(*cost)
+            validated.append(checked)
         if not validated:
             raise PrivacyBudgetError("spend_many needs at least one cost")
-        total_eps = sum(eps for eps, _ in validated)
-        total_delta = sum(delta for _, delta in validated)
-        if not self._fits(total_eps, total_delta):
-            raise PrivacyBudgetError(
-                f"batch of {len(validated)} releases needs "
-                f"(eps={total_eps}, delta={total_delta}) but only "
-                f"(eps={self.remaining_epsilon}, delta={self.remaining_delta}) remains"
+        # Admission simulates the sequential ledger cost by cost — the same
+        # _fits/_commit arithmetic (clamping included) a loop of spend()
+        # calls would run — so a batch is admitted if and only if the
+        # equivalent loop would succeed, and leaves *bit-identical* spend
+        # state (float addition is not associative, and a pre-summed total
+        # admits boundary dust the looped exhaustion guard refuses). The
+        # simulated state is assigned only after every cost fits, keeping
+        # spend_many all-or-nothing.
+        spent_epsilon, spent_delta = self._spent_epsilon, self._spent_delta
+        for index, (epsilon, delta) in enumerate(validated):
+            if not self._fits_state(epsilon, delta, spent_epsilon, spent_delta):
+                total_eps = sum(eps for eps, _ in validated)
+                total_delta = sum(delta for _, delta in validated)
+                raise PrivacyBudgetError(
+                    f"batch of {len(validated)} releases needs "
+                    f"(eps={total_eps}, delta={total_delta}): release {index} "
+                    f"at (eps={epsilon}, delta={delta}) exceeds what would "
+                    f"remain at that point "
+                    f"(eps={max(self._total_epsilon - spent_epsilon, 0.0)}, "
+                    f"delta={max(self._total_delta - spent_delta, 0.0)})"
+                )
+            spent_epsilon, spent_delta = self._commit_state(
+                epsilon, delta, spent_epsilon, spent_delta
             )
-        self._commit(total_eps, total_delta)
+        self._spent_epsilon, self._spent_delta = spent_epsilon, spent_delta
         return validated
 
     def snapshot(self):

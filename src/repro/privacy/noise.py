@@ -18,17 +18,34 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.linalg.validation import check_positive, check_positive_int, ensure_rng
+from repro.linalg.validation import (
+    as_epsilon_batch,
+    check_positive,
+    check_positive_int,
+    ensure_rng,
+)
 
 __all__ = [
     "laplace_noise",
+    "laplace_noise_batch",
     "laplace_scale",
     "laplace_variance",
     "expected_squared_noise",
     "gaussian_sigma",
     "gaussian_noise",
+    "gaussian_noise_batch",
     "expected_squared_gaussian_noise",
 ]
+
+
+def _batch_scales(unit_scale, epsilons):
+    """Per-release noise scales ``unit_scale / eps_i`` as a ``(k, 1)``
+    column, ready to broadcast against a ``(k, size)`` draw. ``unit_scale``
+    is the noise scale at ``eps = 1`` — the scale formulas divide by
+    epsilon last, so this is bit-identical to the per-release calibration.
+    """
+    epsilons = as_epsilon_batch(epsilons)
+    return (unit_scale / epsilons)[:, None]
 
 
 def laplace_scale(sensitivity, epsilon):
@@ -66,6 +83,22 @@ def laplace_noise(size, sensitivity, epsilon, rng=None):
     return rng.laplace(loc=0.0, scale=scale, size=size)
 
 
+def laplace_noise_batch(size, sensitivity, epsilons, rng=None):
+    """Draw Laplace noise for ``k`` releases in **one** RNG call.
+
+    Returns a ``(k, size)`` array whose row ``i`` is i.i.d. Laplace noise
+    with scale ``sensitivity / epsilons[i]`` — the batched form of
+    :func:`laplace_noise` behind the vectorised multi-release serving path
+    (``Mechanism.answer_many``). Row ``i`` is distributed exactly as a
+    standalone ``laplace_noise(size, sensitivity, epsilons[i])`` draw; only
+    the RNG stream position differs from ``k`` separate calls.
+    """
+    size = check_positive_int(size, "size")
+    scales = _batch_scales(laplace_scale(sensitivity, 1.0), epsilons)
+    rng = ensure_rng(rng)
+    return rng.laplace(loc=0.0, scale=scales, size=(scales.shape[0], size))
+
+
 def expected_squared_noise(count, sensitivity, epsilon):
     """Expected total squared error of adding Laplace noise to ``count``
     answers at the given sensitivity: ``2 * count * (Delta/eps)^2``."""
@@ -99,6 +132,19 @@ def gaussian_noise(size, l2_sensitivity, epsilon, delta, rng=None):
     sigma = gaussian_sigma(l2_sensitivity, epsilon, delta)
     rng = ensure_rng(rng)
     return rng.normal(loc=0.0, scale=sigma, size=size)
+
+
+def gaussian_noise_batch(size, l2_sensitivity, epsilons, delta, rng=None):
+    """Draw Gaussian-mechanism noise for ``k`` releases in one RNG call.
+
+    The (eps, delta) analogue of :func:`laplace_noise_batch`: a ``(k, size)``
+    array whose row ``i`` has standard deviation
+    ``gaussian_sigma(l2_sensitivity, epsilons[i], delta)``.
+    """
+    size = check_positive_int(size, "size")
+    sigmas = _batch_scales(gaussian_sigma(l2_sensitivity, 1.0, delta), epsilons)
+    rng = ensure_rng(rng)
+    return rng.normal(loc=0.0, scale=sigmas, size=(sigmas.shape[0], size))
 
 
 def expected_squared_gaussian_noise(count, l2_sensitivity, epsilon, delta):

@@ -143,6 +143,31 @@ class TestSpendMany:
         with pytest.raises(PrivacyBudgetError):
             PureDPAccountant(1.0).spend_many([])
 
+    def test_batch_matches_sequential_ledger_bitwise(self):
+        # The serving batch path must leave the exact float state a loop of
+        # spend() calls would (addition is not associative).
+        costs = [(0.1, 0.0)] * 7 + [(0.05, 0.0), (0.2, 0.0)]
+        batch = PureDPAccountant(1.0)
+        batch.spend_many(costs)
+        loop = PureDPAccountant(1.0)
+        for cost in costs:
+            loop.spend(*cost)
+        assert batch.spent_epsilon == loop.spent_epsilon
+
+    def test_batch_refuses_post_exhaustion_dust_like_the_loop(self):
+        # A pre-summed admission would accept [total, dust] through the
+        # float slack; sequential admission must refuse it exactly like a
+        # loop of spend() calls (the exhaustion guard does not re-arm).
+        batch = PureDPAccountant(1.0)
+        with pytest.raises(PrivacyBudgetError):
+            batch.spend_many([(1.0, 0.0), (1e-13, 0.0)])
+        assert batch.spent_epsilon == 0.0  # all-or-nothing
+
+        loop = PureDPAccountant(1.0)
+        loop.spend(1.0)
+        with pytest.raises(PrivacyBudgetError):
+            loop.spend(1e-13)
+
 
 class TestApproxDPAccountant:
     def test_tracks_both_coordinates(self):

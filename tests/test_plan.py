@@ -779,6 +779,56 @@ class TestPlanCache:
         assert not list((tmp_path / "plans").glob("*.tmp.npz"))
 
 
+class TestPlanCacheLRU:
+    def _plans(self, engine, count):
+        workloads = [wrange(3 + index, 64, seed=index) for index in range(count)]
+        return workloads, [engine.plan(wl, mechanism="LM") for wl in workloads]
+
+    def test_evicts_oldest_past_cap(self):
+        cache = PlanCache(max_entries=2)
+        engine = _engine(plan_cache=cache)
+        workloads, plans = self._plans(engine, 3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        first_key = plan_key(workloads[0], "LM")
+        assert first_key not in cache.keys()
+        # The evicted plan refits on next use (memory-only cache).
+        assert engine.plan(workloads[0], mechanism="LM") is not plans[0]
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(max_entries=2)
+        engine = _engine(plan_cache=cache)
+        workloads, plans = self._plans(engine, 2)
+        assert engine.plan(workloads[0], mechanism="LM") is plans[0]  # touch oldest
+        engine.plan(wrange(9, 64, seed=9), mechanism="LM")  # forces one eviction
+        # The recently-touched entry survived; the untouched one was evicted.
+        assert plan_key(workloads[0], "LM") in cache.keys()
+        assert plan_key(workloads[1], "LM") not in cache.keys()
+
+    def test_eviction_leaves_disk_archives_intact(self, tmp_path):
+        cache = PlanCache(directory=tmp_path / "plans", max_entries=1)
+        engine = _engine(plan_cache=cache)
+        workloads, plans = self._plans(engine, 2)
+        assert len(cache) == 1
+        assert len(list((tmp_path / "plans").glob("*.plan.npz"))) == 2
+        # The evicted entry reloads from its archive — no refit.
+        disk_hits_before = cache.disk_hits
+        reloaded = engine.plan(workloads[0], mechanism="LM")
+        assert cache.disk_hits == disk_hits_before + 1
+        assert reloaded.workload_key == plans[0].workload_key
+
+    def test_unbounded_by_default(self):
+        cache = PlanCache()
+        engine = _engine(plan_cache=cache)
+        self._plans(engine, 4)
+        assert len(cache) == 4
+        assert cache.evictions == 0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValidationError):
+            PlanCache(max_entries=0)
+
+
 class TestCacheHitPrivacyGuard:
     """A shared PlanCache must never serve a plan calibrated for another
     engine's privacy configuration (regression for the label/auto cache-hit
