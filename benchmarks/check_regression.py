@@ -4,12 +4,17 @@
 Usage::
 
     python benchmarks/check_regression.py BASELINE.json CANDIDATE.json \
-        [--threshold 0.20] [--time-field fit_seconds_best]
+        [--threshold 0.20] [--time-field fit_seconds_best] \
+        [--memory-field peak_bytes] [--memory-threshold 0.25]
 
-Cells are matched on ``(workload, m, n, s[, mechanism, epsilon])`` and
-compared on ``--time-field`` (default ``fit_seconds_best``, the
+Cells are matched on ``(workload, m, n, s[, mechanism, epsilon])`` — a
+cell's ``path`` (operator vs dense in the scaling reports) is deliberately
+**not** part of the key, so the dense seed baseline matches the operator
+candidate cells — and compared on ``--time-field`` (default
+``fit_seconds_best``, the
 ``BENCH_solver.json`` metric; serving reports use
-``--time-field seconds_per_release``). The check exits non-zero when the
+``--time-field seconds_per_release``, scaling reports
+``--time-field fit_seconds``). The check exits non-zero when the
 **median** per-cell slowdown of the candidate exceeds the threshold
 (default 20%), so future PRs can keep the perf trajectories honest::
 
@@ -17,6 +22,11 @@ compared on ``--time-field`` (default ``fit_seconds_best``, the
     cp benchmarks/BENCH_solver.json /tmp/before.json
     ... apply changes, rerun the benchmark ...
     python benchmarks/check_regression.py /tmp/before.json benchmarks/BENCH_solver.json
+
+With ``--memory-field`` (e.g. ``peak_bytes``, the scaling benchmark's
+tracemalloc high-water mark) the same median gate additionally runs on a
+per-cell memory metric with its own ``--memory-threshold`` — a fit that
+got faster by materialising what it used to stream still fails.
 """
 
 from __future__ import annotations
@@ -29,7 +39,10 @@ import sys
 
 def _cell_key(cell):
     # mechanism/epsilon are absent from solver cells and disambiguate
-    # serving cells that share one workload shape.
+    # serving cells that share one workload shape. The scaling reports'
+    # "path" (operator vs dense) is deliberately NOT part of the key, so
+    # the dense seed baseline matches the operator candidate cells — the
+    # cross-representation comparison is the point of that diff.
     return (
         cell["workload"], cell["m"], cell["n"], cell.get("s"),
         cell.get("mechanism"), cell.get("epsilon"),
@@ -42,7 +55,37 @@ def _load_cells(path):
     return {_cell_key(cell): cell for cell in report["cells"]}
 
 
-def compare(baseline_path, candidate_path, threshold, time_field="fit_seconds_best"):
+def _median_gate(baseline, candidate, shared, field, threshold, unit_scale, unit):
+    """Per-cell ratios on ``field`` plus the median verdict lines."""
+    lines = [f"{'cell':<34} {'base':>10} {'cand':>10} {'change':>9}"]
+    changes = []
+    for key in shared:
+        base_value = float(baseline[key][field])
+        cand_value = float(candidate[key][field])
+        change = cand_value / base_value - 1.0
+        changes.append(change)
+        name = f"{key[0]} {key[1]}x{key[2]}"
+        if key[4] is not None:
+            name += f" {key[4]}"
+        lines.append(
+            f"{name:<34} {base_value * unit_scale:>9.4g}{unit} "
+            f"{cand_value * unit_scale:>9.4g}{unit} {change:>+8.1%}"
+        )
+    median_change = statistics.median(changes)
+    lines.append(
+        f"median {field} regression: {median_change:+.1%} (threshold {threshold:.0%})"
+    )
+    return median_change, lines
+
+
+def compare(
+    baseline_path,
+    candidate_path,
+    threshold,
+    time_field="fit_seconds_best",
+    memory_field=None,
+    memory_threshold=0.25,
+):
     """Return (exit_code, lines) comparing candidate against baseline."""
     baseline = _load_cells(baseline_path)
     candidate = _load_cells(candidate_path)
@@ -50,34 +93,46 @@ def compare(baseline_path, candidate_path, threshold, time_field="fit_seconds_be
     if not shared:
         return 2, ["no matching cells between the two reports"]
 
-    lines = [f"{'cell':<28} {'base':>9} {'cand':>9} {'slowdown':>9}"]
-    slowdowns = []
-    for key in shared:
-        base_t = float(baseline[key][time_field])
-        cand_t = float(candidate[key][time_field])
-        slowdown = cand_t / base_t - 1.0
-        slowdowns.append(slowdown)
-        name = f"{key[0]} {key[1]}x{key[2]}"
-        if key[4] is not None:
-            name += f" {key[4]}"
-        lines.append(f"{name:<28} {base_t:>8.4g}s {cand_t:>8.4g}s {slowdown:>+8.1%}")
+    median_slowdown, lines = _median_gate(
+        baseline, candidate, shared, time_field, threshold, 1.0, "s"
+    )
+    code = 0
+    if median_slowdown > threshold:
+        lines.append("REGRESSION: candidate is slower than the baseline allows")
+        code = 1
 
-    median_slowdown = statistics.median(slowdowns)
-    lines.append(f"median slowdown: {median_slowdown:+.1%} (threshold {threshold:.0%})")
+    if memory_field is not None:
+        memory_cells = [
+            key
+            for key in shared
+            if memory_field in baseline[key] and memory_field in candidate[key]
+        ]
+        if not memory_cells:
+            lines.append(f"no cells carry {memory_field!r}; memory gate skipped")
+        else:
+            median_growth, memory_lines = _median_gate(
+                baseline, candidate, memory_cells, memory_field,
+                memory_threshold, 1e-6, "M",
+            )
+            lines.extend(memory_lines)
+            if median_growth > memory_threshold:
+                lines.append(
+                    "REGRESSION: candidate peak memory grew past the baseline allowance"
+                )
+                code = 1
+
     missing = sorted(set(baseline) ^ set(candidate), key=str)
     if missing:
         lines.append(f"note: {len(missing)} cell(s) present in only one report")
-    if median_slowdown > threshold:
-        lines.append("REGRESSION: candidate is slower than the baseline allows")
-        return 1, lines
-    lines.append("ok: within the regression budget")
-    return 0, lines
+    if code == 0:
+        lines.append("ok: within the regression budget")
+    return code, lines
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline report (BENCH_solver/serving.json)")
-    parser.add_argument("candidate", help="candidate report (BENCH_solver/serving.json)")
+    parser.add_argument("baseline", help="baseline report (BENCH_*.json)")
+    parser.add_argument("candidate", help="candidate report (BENCH_*.json)")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -88,10 +143,30 @@ def main(argv=None):
         "--time-field",
         default="fit_seconds_best",
         help="per-cell seconds field to compare (fit_seconds_best for solver "
-        "reports, seconds_per_release for serving reports)",
+        "reports, seconds_per_release for serving reports, fit_seconds for "
+        "scaling reports)",
+    )
+    parser.add_argument(
+        "--memory-field",
+        default=None,
+        help="optional per-cell peak-bytes field (e.g. peak_bytes) to gate "
+        "alongside the time field",
+    )
+    parser.add_argument(
+        "--memory-threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated median memory growth (fraction, default 0.25)",
     )
     args = parser.parse_args(argv)
-    code, lines = compare(args.baseline, args.candidate, args.threshold, args.time_field)
+    code, lines = compare(
+        args.baseline,
+        args.candidate,
+        args.threshold,
+        args.time_field,
+        memory_field=args.memory_field,
+        memory_threshold=args.memory_threshold,
+    )
     print("\n".join(lines))
     return code
 

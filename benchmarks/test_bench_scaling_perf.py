@@ -1,0 +1,242 @@
+"""Opt-in large-domain scaling benchmark: implicit-operator vs dense fits.
+
+The large-domain overhaul (PR 4) claims two things, both asserted here per
+the acceptance criteria:
+
+* **speedup** — at ``n = 8192``, fitting LRM through the implicit workload
+  operator (matvec sketch + compressed ``k x n`` ALM) beats the dense fit
+  by a median >= :data:`TARGET_MEDIAN_SPEEDUP` across the committed cells,
+  at matching solver budgets, with the fitted objectives within
+  :data:`OBJECTIVE_RTOL` of each other and the exact answers of the two
+  representations agreeing to 1e-8;
+* **a new regime** — at ``n = 65,536`` (prefix: a 34 GB dense matrix that
+  cannot reasonably be allocated) the operator-only fit completes with a
+  **bounded peak memory** footprint (:data:`LARGE_N_PEAK_BYTES_BOUND`,
+  tracked with :mod:`tracemalloc`, which traces numpy buffers) and its
+  exact answers match the closed form (``cumsum``) to 1e-8.
+
+Each fit is timed best-of-``REPRO_BENCH_REPS`` (default 1 — the dense side
+is minutes) and its tracemalloc peak recorded as ``peak_bytes``. The report
+``benchmarks/BENCH_scaling.json`` is gitignored; curated snapshots live in
+``benchmarks/baselines/``:
+
+* ``BENCH_scaling_dense_seed.json`` — the dense-path fit cost (what the
+  operator cells would cost without the overhaul; the n = 65,536 cell is
+  absent because the dense path cannot represent it), and
+* ``BENCH_scaling_pr4.json`` — the operator-path cost.
+
+Regress future changes with::
+
+    python benchmarks/check_regression.py \
+        benchmarks/baselines/BENCH_scaling_pr4.json benchmarks/BENCH_scaling.json \
+        --time-field fit_seconds --memory-field peak_bytes
+
+Baselines are machine-specific; regenerate on new hardware by running this
+benchmark and copying the report. Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_scaling_perf.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.lrm import LowRankMechanism
+from repro.workloads import prefix_workload, sliding_window_workload
+
+pytestmark = pytest.mark.perf
+
+_HERE = Path(__file__).resolve().parent
+OUTPUT_PATH = _HERE / "BENCH_scaling.json"
+
+#: Minimum acceptable median operator-vs-dense fit speedup at n = 8192.
+TARGET_MEDIAN_SPEEDUP = 5.0
+#: Fitted-objective agreement between the two representations. The two
+#: paths optimise the same program from the same warm start; residual
+#: differences are basin noise, bounded well inside this.
+OBJECTIVE_RTOL = 0.25
+#: Peak traced allocation allowed for the operator-only n = 65,536 fit.
+#: The dense matrix alone would be ~34 GB; staying two orders of magnitude
+#: below it is the point.
+LARGE_N_PEAK_BYTES_BOUND = 1_500_000_000
+#: Exact-answer agreement between representations.
+ANSWER_ATOL = 1e-8
+
+#: Matching solver budget for both sides of every speedup cell.
+SOLVER_BUDGET = {
+    "rank": 32,
+    "max_outer": 15,
+    "max_inner": 2,
+    "nesterov_iters": 12,
+    "stall_iters": 6,
+}
+#: Leaner budget for the large operator-only cell (the point is the regime,
+#: not squeezing the objective).
+LARGE_SOLVER_BUDGET = {
+    "rank": 32,
+    "max_outer": 8,
+    "max_inner": 2,
+    "nesterov_iters": 12,
+    "stall_iters": 5,
+}
+
+#: Speedup cells: dense-representable sizes where both paths run.
+SPEEDUP_GRID = [
+    {"workload": "prefix", "n": 8192, "make": lambda: prefix_workload(8192)},
+    {
+        "workload": "sliding_window",
+        "n": 8192,
+        "make": lambda: sliding_window_workload(8192, 256),
+    },
+]
+#: The operator-only regime: prefix at n = 65,536.
+LARGE_N = 65_536
+
+
+def _timed_fit(workload, budget, reps):
+    """Best-of-``reps`` fit seconds plus the tracemalloc peak of one fit."""
+    times = []
+    peak = 0
+    for _ in range(reps):
+        mechanism = LowRankMechanism(**budget)
+        tracemalloc.start()
+        start = time.perf_counter()
+        mechanism.fit(workload)
+        times.append(time.perf_counter() - start)
+        _, rep_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak = max(peak, rep_peak)
+    return mechanism, min(times), peak
+
+
+def _speedup_cell(cell, reps):
+    implicit = cell["make"]()
+    dense = implicit.dense(max_entries=implicit.num_queries * implicit.domain_size)
+
+    x = np.arange(float(implicit.domain_size))
+    assert np.allclose(implicit.answer(x), dense.answer(x), atol=ANSWER_ATOL), (
+        "operator and dense answers disagree beyond 1e-8"
+    )
+
+    op_mech, op_seconds, op_peak = _timed_fit(implicit, SOLVER_BUDGET, reps)
+    dense_mech, dense_seconds, dense_peak = _timed_fit(dense, SOLVER_BUDGET, reps)
+
+    op_objective = op_mech.decomposition.objective
+    dense_objective = dense_mech.decomposition.objective
+    assert op_objective <= dense_objective * (1.0 + OBJECTIVE_RTOL), (
+        f"operator-path objective {op_objective:.6g} regressed past "
+        f"{OBJECTIVE_RTOL:.0%} of the dense objective {dense_objective:.6g}"
+    )
+
+    base = {
+        "workload": cell["workload"],
+        "m": implicit.num_queries,
+        "n": implicit.domain_size,
+        "s": None,
+        "mechanism": "LRM",
+        "epsilon": None,
+        "rank": SOLVER_BUDGET["rank"],
+    }
+    return (
+        {**base, "path": "operator", "fit_seconds": op_seconds,
+         "peak_bytes": op_peak, "objective": op_objective},
+        {**base, "path": "dense", "fit_seconds": dense_seconds,
+         "peak_bytes": dense_peak, "objective": dense_objective},
+        dense_seconds / op_seconds,
+    )
+
+
+def test_operator_fit_speedup_and_large_domain():
+    reps = int(os.environ.get("REPRO_BENCH_REPS", "1"))
+
+    operator_cells, dense_cells, speedups = [], [], []
+    for cell in SPEEDUP_GRID:
+        op_cell, dense_cell, speedup = _speedup_cell(cell, reps)
+        operator_cells.append(op_cell)
+        dense_cells.append(dense_cell)
+        speedups.append(speedup)
+
+    # --- The operator-only regime: n = 65,536 prefix, bounded memory. ---
+    large = prefix_workload(LARGE_N)
+    x = np.arange(float(LARGE_N))
+    assert np.allclose(large.answer(x), np.cumsum(x), atol=ANSWER_ATOL)
+    large_mech, large_seconds, large_peak = _timed_fit(
+        large, LARGE_SOLVER_BUDGET, reps
+    )
+    assert large_peak <= LARGE_N_PEAK_BYTES_BOUND, (
+        f"operator-only fit peaked at {large_peak / 1e6:.0f} MB, above the "
+        f"{LARGE_N_PEAK_BYTES_BOUND / 1e6:.0f} MB bound"
+    )
+    # The fitted pipeline releases: B (r-dim noise) recombines to m answers.
+    release = large_mech.answer(x, epsilon=1.0, rng=0)
+    assert release.shape == (LARGE_N,)
+    assert np.all(np.isfinite(release))
+    operator_cells.append(
+        {
+            "workload": "prefix", "m": LARGE_N, "n": LARGE_N, "s": None,
+            "mechanism": "LRM", "epsilon": None,
+            "rank": LARGE_SOLVER_BUDGET["rank"], "path": "operator",
+            "fit_seconds": large_seconds, "peak_bytes": large_peak,
+            "objective": large_mech.decomposition.objective,
+        }
+    )
+
+    median_speedup = float(np.median(speedups))
+    report = {
+        "label": os.environ.get("REPRO_BENCH_LABEL", "current"),
+        "reps": reps,
+        "solver_budget": SOLVER_BUDGET,
+        "large_solver_budget": LARGE_SOLVER_BUDGET,
+        "cells": operator_cells,
+        "dense_cells": dense_cells,
+        "median_speedup_operator_vs_dense": median_speedup,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2))
+
+    print()
+    print(f"{'workload':<16} {'shape':>14} {'path':>9} {'fit':>9} {'peak MB':>9}")
+    for row in operator_cells + dense_cells:
+        shape = f"{row['m']}x{row['n']}"
+        print(
+            f"{row['workload']:<16} {shape:>14} {row['path']:>9} "
+            f"{row['fit_seconds']:>8.2f}s {row['peak_bytes'] / 1e6:>9.0f}"
+        )
+    print(
+        f"median operator-vs-dense fit speedup at n=8192: {median_speedup:.1f}x "
+        f"(report: {OUTPUT_PATH})"
+    )
+
+    assert median_speedup >= TARGET_MEDIAN_SPEEDUP, (
+        f"median operator fit speedup {median_speedup:.2f}x below the "
+        f"{TARGET_MEDIAN_SPEEDUP}x target; see {OUTPUT_PATH} for per-cell data"
+    )
+
+
+def test_small_n_scaling_smoke():
+    """Fast CI smoke: the operator fit path works end to end at small n.
+
+    Dense-vs-operator answers agree to 1e-8, the operator fit's objective is
+    sane, and a release comes back finite — seconds, not minutes, so CI can
+    run it on every push (``-m perf -k small``).
+    """
+    implicit = prefix_workload(512)
+    dense = implicit.dense()
+    x = np.arange(512.0)
+    assert np.allclose(implicit.answer(x), dense.answer(x), atol=ANSWER_ATOL)
+
+    budget = dict(SOLVER_BUDGET, rank=16, max_outer=8)
+    op_mech = LowRankMechanism(**budget).fit(implicit)
+    dense_mech = LowRankMechanism(**budget).fit(dense)
+    assert op_mech.decomposition.objective <= dense_mech.decomposition.objective * (
+        1.0 + OBJECTIVE_RTOL
+    )
+    release = op_mech.answer(x, epsilon=1.0, rng=0)
+    assert release.shape == (512,)
+    assert np.all(np.isfinite(release))

@@ -1,0 +1,148 @@
+"""Large-domain range analytics: a domain the dense path cannot represent.
+
+A telemetry service keeps per-minute event counts for 45 days — a domain of
+n = 65,536 cells. Its analysts want running totals (prefix sums), one-hour
+moving windows, and a small dashboard of correlated aggregates, under pure
+eps-DP. The dense workload matrix for the prefix batch alone would hold
+65,536^2 entries (~34 GB) — it cannot reasonably exist. The implicit
+operator layer (PR 4) answers, fits and releases it in a few hundred
+megabytes:
+
+* the structured workloads are operator-backed (two index vectors each);
+* the Low-Rank Mechanism fit runs matvec-driven (range-finder sketch +
+  compressed k x n ALM) with bounded peak memory;
+* releases apply workloads as actions, so serving stays domain-linear.
+
+The example also shows the paper's selection story at this scale: on the
+full-rank prefix batch the identity strategy (LM) stays the right default,
+while on a genuinely low-rank dashboard batch LRM's decomposition wins by
+orders of magnitude.
+
+Run:  PYTHONPATH=src python examples/large_domain_range_analytics.py   (~1-2 min)
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.lrm import LowRankMechanism
+from repro.mechanisms.baselines import NoiseOnDataMechanism
+from repro.workloads import Workload, prefix_workload, sliding_window_workload
+
+N = 65_536  # 45 days of per-minute counters
+EPSILON = 0.5
+SKETCH_BUDGET = {
+    "rank": 32,
+    "max_outer": 8,
+    "max_inner": 2,
+    "nesterov_iters": 12,
+    "stall_iters": 5,
+}
+
+
+def main():
+    rng = np.random.default_rng(7)
+    # Synthetic per-minute event counts: a daily cycle plus noise.
+    minutes = np.arange(N)
+    x = rng.poisson(40 + 25 * np.sin(2 * np.pi * minutes / 1440.0)).astype(float)
+
+    prefix = prefix_workload(N)
+    windows = sliding_window_workload(N, 60)
+    dense_gb = N * N * 8 / 1e9
+    print(f"domain: n = {N} per-minute counters, total events {x.sum():,.0f}")
+    print(
+        f"prefix workload: {prefix.num_queries} queries, implicit "
+        f"(dense form would be {dense_gb:.0f} GB)"
+    )
+    print(f"moving-window workload: {windows.num_queries} one-hour sums, implicit")
+    print()
+
+    # --- Exact answers cost O(n): one cumulative sum for all of them. ---
+    start = time.perf_counter()
+    running_totals = prefix.answer(x)
+    print(
+        f"exact prefix batch answered in {time.perf_counter() - start:.3f}s "
+        f"(grand total {running_totals[-1]:,.0f})"
+    )
+
+    # --- Private running totals: LM releases through the operator action. ---
+    lm = NoiseOnDataMechanism().fit(prefix)
+    start = time.perf_counter()
+    private_totals = lm.answer(x, EPSILON, rng=0)
+    lm_empirical = float(np.mean((private_totals - running_totals) ** 2))
+    print(
+        f"private running totals (LM) at eps={EPSILON}: "
+        f"{time.perf_counter() - start:.3f}s, per-query squared error "
+        f"{lm_empirical:.3g}"
+    )
+
+    # --- One-hour moving sums ride the same machinery. ---
+    hourly = NoiseOnDataMechanism().fit(windows)
+    start = time.perf_counter()
+    private_windows = hourly.answer(x, EPSILON, rng=1)
+    print(
+        f"one-hour moving sums released in {time.perf_counter() - start:.3f}s "
+        f"({private_windows.size} windows; busiest hour ~{private_windows.max():,.0f} events)"
+    )
+    print()
+
+    # --- The matvec-driven LRM fit runs where dense fitting cannot. ---
+    tracemalloc.start()
+    start = time.perf_counter()
+    sketch_lrm = LowRankMechanism(**SKETCH_BUDGET).fit(prefix)
+    fit_seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    decomposition = sketch_lrm.decomposition
+    print(
+        f"matvec-driven LRM fit on the full prefix batch: {fit_seconds:.1f}s, "
+        f"peak memory {peak / 1e6:.0f} MB, rank {decomposition.rank}, "
+        f"sensitivity {decomposition.sensitivity:.3f}"
+    )
+    print(
+        "  (the prefix batch is full rank, so a rank-32 decomposition "
+        "trades structural error for its tiny noise — LM above stays the "
+        "right default here, exactly the paper's low-rank condition)"
+    )
+    print()
+
+    # --- Where the decomposition wins: a low-rank dashboard batch. ---
+    # 24 dashboard aggregates, each a +/-1 combination of 6 window
+    # templates over the domain: rank 6 out of 65,536 — LRM's regime.
+    template_rows = []
+    for start_cell, width in (
+        (0, 1440), (1440, 1440), (20160, 4320), (43200, 2880), (0, 10080), (60480, 5056)
+    ):
+        row = np.zeros(N)
+        row[start_cell : start_cell + width] = 1.0
+        template_rows.append(row)
+    templates = np.stack(template_rows)
+    mixing = rng.choice([-1.0, 1.0], size=(24, templates.shape[0]))
+    dashboard = Workload(mixing @ templates, name="Dashboard")
+    print(
+        f"dashboard batch: {dashboard.num_queries} correlated aggregates, "
+        f"rank {dashboard.rank} over n = {N}"
+    )
+
+    start = time.perf_counter()
+    dash_lrm = LowRankMechanism(
+        max_outer=12, max_inner=2, nesterov_iters=12, stall_iters=5
+    ).fit(dashboard)
+    print(f"LRM fit: {time.perf_counter() - start:.1f}s")
+    dash_lm = NoiseOnDataMechanism().fit(dashboard)
+    lrm_error = dash_lrm.average_expected_error(EPSILON)
+    lm_error = dash_lm.average_expected_error(EPSILON)
+    exact = dashboard.answer(x)
+    private = dash_lrm.answer(x, EPSILON, rng=2)
+    empirical = float(np.mean((private - exact) ** 2))
+    print(
+        f"per-query expected squared error at eps={EPSILON}: "
+        f"LRM {lrm_error:.3g} vs LM {lm_error:.3g} "
+        f"({lm_error / lrm_error:,.0f}x in LRM's favour; one release "
+        f"measured {empirical:.3g})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,11 @@ Quickstart::
     noisy_answers = mech.answer(x, epsilon=1.0, rng=2)
 """
 
-from repro.core.alm import Decomposition, decompose_workload
+from repro.core.alm import (
+    Decomposition,
+    decompose_workload,
+    decompose_workload_operator,
+)
 from repro.core.bounds import (
     approximation_ratio,
     bound_summary,
@@ -130,6 +134,7 @@ __all__ = [
     "bound_summary",
     "build_plan",
     "decompose_workload",
+    "decompose_workload_operator",
     "grid_histogram_from_records",
     "hardt_talwar_lower_bound",
     "histogram_from_records",

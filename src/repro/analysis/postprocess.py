@@ -67,6 +67,11 @@ def postprocess_answers(workload_matrix, answers, non_negative=False, integral=F
     non-negativity, then rounding — the order practitioners use because
     clamping/rounding are non-linear and would break consistency if applied
     first. Returns a new array.
+
+    Only the consistency projection reads ``workload_matrix``; callers
+    applying clamping/rounding alone may pass ``None`` (how the engine
+    post-processes releases of implicit workloads too large to
+    materialise).
     """
     answers = as_vector(answers, "answers")
     if consistent:

@@ -20,14 +20,11 @@ here to the paper's decomposition.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.alm import decompose_workload
 from repro.exceptions import NotFittedError, ValidationError
 from repro.linalg.validation import as_vector, check_positive, ensure_rng
 from repro.mechanisms.base import as_workload
 from repro.privacy.noise import laplace_noise
-from repro.workloads.workload import Workload
 
 __all__ = ["KronLowRankMechanism", "kron_apply"]
 
@@ -74,19 +71,25 @@ class KronLowRankMechanism:
         # Each factor workload shares its memoized spectral cache with the
         # solver (see repro.core.alm performance notes) under the same
         # gating as LowRankMechanism, so large explicit-rank factors keep
-        # the randomized range-finder path. A caller-provided "svd" could
-        # only describe one factor, so it is ignored here.
+        # the randomized range-finder path; implicit factors run the
+        # matvec-driven compressed fit. A caller-provided "svd" could only
+        # describe one factor, so it is ignored here.
+        from repro.core.alm import decompose_workload_operator
         from repro.core.lrm import spectral_cache_for_fit
 
         kwargs = dict(self.solver_kwargs)
         kwargs.pop("svd", None)
         rank = kwargs.get("rank")
-        self._dec1 = decompose_workload(
-            self._w1.matrix, svd=spectral_cache_for_fit(self._w1, rank), **kwargs
-        )
-        self._dec2 = decompose_workload(
-            self._w2.matrix, svd=spectral_cache_for_fit(self._w2, rank), **kwargs
-        )
+
+        def _decompose(workload):
+            if workload.is_implicit:
+                return decompose_workload_operator(workload.operator, **kwargs)
+            return decompose_workload(
+                workload.matrix, svd=spectral_cache_for_fit(workload, rank), **kwargs
+            )
+
+        self._dec1 = _decompose(self._w1)
+        self._dec2 = _decompose(self._w2)
         return self
 
     def _check_fitted(self):
@@ -159,23 +162,31 @@ class KronLowRankMechanism:
         return kron_apply(self._dec1.b, self._dec2.b, strategy_answers)
 
     def exact_answer(self, x):
-        """Noise-free product-batch answers (for testing / utility checks)."""
+        """Noise-free product-batch answers (for testing / utility checks).
+
+        Applied factor-wise through the workloads' operators, so implicit
+        factors never materialise."""
         self._check_fitted()
         x = as_vector(x, "x", size=self.domain_size)
-        return kron_apply(self._w1.matrix, self._w2.matrix, x)
+        from repro.linalg.operator import KronOperator
+
+        return KronOperator(self._w1.operator, self._w2.operator).matvec(x)
 
     # ------------------------------------------------------------------ #
-    # Materialisation (small domains only)
+    # Product workload (lazy)
     # ------------------------------------------------------------------ #
     def as_workload(self, max_entries=10_000_000):
-        """Materialise the product workload (guarded against blow-up)."""
+        """The product workload, backed by a **lazy** Kronecker operator.
+
+        No ``(m1 m2) x (n1 n2)`` array is formed here — answers apply the
+        factors via the vec trick. ``max_entries`` keeps the historical
+        guard as a size sanity check (it bounds what ``.matrix`` would
+        materialise if a caller reaches for the dense escape hatch).
+        """
         self._check_fitted()
         entries = self.num_queries * self.domain_size
         if entries > max_entries:
             raise ValidationError(
                 f"materialising {entries} entries exceeds max_entries={max_entries}"
             )
-        return Workload(
-            np.kron(self._w1.matrix, self._w2.matrix),
-            name=f"{self._w1.name}(x){self._w2.name}",
-        )
+        return self._w1.kron(self._w2)

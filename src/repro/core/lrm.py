@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.alm import decompose_workload
+from repro.core.alm import decompose_workload, decompose_workload_operator
 from repro.core.bounds import lrm_error_upper_bound
-from repro.linalg.randomized import RANDOMIZED_SVD_MIN_DIM
+from repro.linalg.randomized import (
+    RANDOMIZED_SVD_MIN_DIM,
+    rank_discovery_needs_dense,
+)
 from repro.exceptions import NotFittedError
 from repro.linalg.validation import as_vector, check_positive, check_positive_int
 from repro.mechanisms.base import Mechanism
@@ -115,13 +118,7 @@ class LowRankMechanism(Mechanism):
     # Fitting
     # ------------------------------------------------------------------ #
     def _fit(self, workload):
-        # Share the workload's memoized spectral cache: the fit then
-        # performs no dense SVD of W at all, and repeated fits on the same
-        # workload (parameter sweeps, engine releases) reuse one
-        # factorisation.
-        self._decomposition = decompose_workload(
-            workload.matrix,
-            svd=spectral_cache_for_fit(workload, self.rank),
+        solver_kwargs = dict(
             rank=self.rank,
             rank_ratio=self.rank_ratio,
             gamma=self.gamma,
@@ -132,6 +129,39 @@ class LowRankMechanism(Mechanism):
             stall_iters=self.stall_iters,
             norm=self.decomposition_norm,
             seed=self.seed,
+        )
+        m, n = workload.shape
+        small = min(m, n)
+        if workload.is_implicit and not rank_discovery_needs_dense((m, n), self.rank):
+            # Matvec-driven fit: the sketch, the compressed k x n solve and
+            # the lift never touch a dense W — the only path that exists at
+            # large domains, and a large constant-factor win below them.
+            # The memoized implicit_svd plays the role of the thin-SVD
+            # cache: repeated fits on one workload share one sketch. When
+            # rank discovery would outrun the sketch cap on a *moderate*
+            # workload, fall through to the dense path instead (the same
+            # rank_discovery_needs_dense predicate routes
+            # decompose_workload_operator), so default fits of e.g.
+            # full-rank WRange keep their pre-operator behaviour.
+            sketch_rank = min(
+                self.rank if self.rank is not None else RANDOMIZED_SVD_MIN_DIM,
+                m,
+                small,
+            )
+            self._decomposition = decompose_workload_operator(
+                workload.operator,
+                svd=workload.implicit_svd(sketch_rank, seed=0),
+                **solver_kwargs,
+            )
+            return
+        # Share the workload's memoized spectral cache: the fit then
+        # performs no dense SVD of W at all, and repeated fits on the same
+        # workload (parameter sweeps, engine releases) reuse one
+        # factorisation.
+        self._decomposition = decompose_workload(
+            workload.matrix,
+            svd=spectral_cache_for_fit(workload, self.rank),
+            **solver_kwargs,
         )
 
     @property
@@ -196,7 +226,10 @@ class LowRankMechanism(Mechanism):
         error = decomposition.expected_noise_error(epsilon)
         if x is not None:
             x = as_vector(x, "x", size=self.workload.domain_size)
-            structural = self.workload.matrix @ x - decomposition.reconstruction() @ x
+            # W x through the workload's operator action and B (L x) from
+            # the small factors: no m x n product, so the structural term
+            # stays available on implicit large-domain workloads.
+            structural = self.workload.answer(x) - decomposition.b @ (decomposition.l @ x)
             error += float(structural @ structural)
         return error
 
@@ -276,6 +309,9 @@ class GaussianLowRankMechanism(LowRankMechanism):
             error = decomposition.expected_gaussian_noise_error(epsilon, self.delta)
         if x is not None:
             x = as_vector(x, "x", size=self.workload.domain_size)
-            structural = self.workload.matrix @ x - decomposition.reconstruction() @ x
+            # W x through the workload's operator action and B (L x) from
+            # the small factors: no m x n product, so the structural term
+            # stays available on implicit large-domain workloads.
+            structural = self.workload.answer(x) - decomposition.b @ (decomposition.l @ x)
             error += float(structural @ structural)
         return error

@@ -99,17 +99,16 @@ class CompiledPlan:
     def answer_many(self, x, epsilons, rng, epoch=None):
         """``k`` releases as a ``(k, m)`` array: one RNG draw, one GEMM.
 
-        Falls back to a loop over :meth:`answer` for operator-less
-        mechanisms (still one strategy evaluation per release there, since
-        those mechanisms own their data pipeline).
+        Operator-less mechanisms route through their own
+        ``Mechanism.answer_many`` — since the fast-transform mechanisms
+        (WM/HM) batch their noise block and synthesis there, every
+        mechanism's batch is now one draw plus one transform/GEMM.
         """
         epsilons = as_epsilon_batch(epsilons)
         self.batches += 1
         self.releases += int(epsilons.size)
         if self.operator is None:
-            return np.stack(
-                [self.mechanism.answer(x, epsilon, rng) for epsilon in epsilons]
-            )
+            return self.mechanism.answer_many(x, epsilons, rng)
         return self.operator.answer_many(self.strategy_answers(x, epoch), epsilons, rng)
 
     def invalidate(self):

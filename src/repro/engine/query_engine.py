@@ -482,8 +482,10 @@ class PrivateQueryEngine:
         """Post-process raw noisy answers and wrap them as a Release; the
         budget must already be charged."""
         if non_negative or integral or consistent:
+            # Only the consistency projection reads W; clamping/rounding
+            # must not force an implicit large-domain workload dense.
             answers = postprocess_answers(
-                plan.workload.matrix,
+                plan.workload.matrix if consistent else None,
                 answers,
                 non_negative=non_negative,
                 integral=integral,

@@ -129,6 +129,11 @@ _SVD_HUNGRY_LABELS = frozenset({"LRM", "GLRM"})
 
 
 def _precompute_shared_svd(workload, candidates):
+    if workload.is_implicit:
+        # Implicit workloads fit through the matvec sketch (memoised per
+        # workload by Workload.implicit_svd); forcing the dense thin SVD
+        # here would materialise the matrix the operator exists to avoid.
+        return
     for spec in candidates:
         label = (
             spec.strip().upper()

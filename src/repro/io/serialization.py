@@ -53,8 +53,48 @@ _FORMAT_VERSION = 1
 # stored digest went unverified, bypass — the integrity check), and
 # load_fitted_lrm now enforces its digest. Version-1 archives of these two
 # formats are stale, not tampered.
-_FITTED_LRM_FORMAT_VERSION = 2
-_PLAN_FORMAT_VERSION = 2
+# Version 3 additionally stores *implicit* workloads as their operator spec
+# (family + index arrays) instead of a materialised matrix — a prefix plan
+# at n = 65,536 archives two index vectors, not 34 GB. Version-2 (dense)
+# archives remain readable.
+_FITTED_LRM_FORMAT_VERSIONS = (2, 3)
+_FITTED_LRM_FORMAT_VERSION = 3
+_PLAN_FORMAT_VERSIONS = (2, 3)
+_PLAN_FORMAT_VERSION = 3
+
+
+def _workload_payload(workload):
+    """Archive form of a workload: ``(meta, arrays)``.
+
+    Dense workloads store the matrix under ``"workload"`` (the historical
+    v2 layout); implicit ones store their operator spec + arrays and never
+    materialise. The stored digest is the workload's own
+    ``content_digest`` either way, so reload integrity checks compare
+    like with like.
+    """
+    from repro.linalg.operator import operator_spec
+
+    meta = {"name": workload.name, "digest": workload.content_digest}
+    arrays = {}
+    if workload.is_implicit:
+        meta["operator"] = operator_spec(workload.operator, arrays)
+    else:
+        arrays["workload"] = workload.matrix
+    return meta, arrays
+
+
+def _restore_workload(meta, archive, missing_exc):
+    """Inverse of :func:`_workload_payload` against a loaded npz archive."""
+    from repro.linalg.operator import operator_from_spec
+
+    name = meta.get("name", "restored")
+    if "operator" in meta:
+        backing = operator_from_spec(meta["operator"], archive)
+    else:
+        if "workload" not in archive.files:
+            raise missing_exc("not a valid archive: missing 'workload'")
+        backing = archive["workload"]
+    return Workload(backing, name=name)
 
 
 def _array_digest(*arrays):
@@ -162,19 +202,21 @@ def save_fitted_lrm(mechanism, path):
     if not mechanism.is_fitted:
         raise ValidationError("mechanism must be fitted before saving")
     decomposition = mechanism.decomposition
+    workload_meta, workload_arrays = _workload_payload(mechanism.workload)
     metadata = {
         "format_version": _FITTED_LRM_FORMAT_VERSION,
         "class": type(mechanism).__name__,
         "delta": getattr(mechanism, "delta", None),
         "workload_name": mechanism.workload.name,
+        "workload_meta": workload_meta,
         "decomposition": _decomposition_payload(decomposition),
     }
     np.savez_compressed(
         path,
-        workload=mechanism.workload.matrix,
         b=decomposition.b,
         l=decomposition.l,
         metadata=np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8),
+        **workload_arrays,
     )
 
 
@@ -184,25 +226,34 @@ def load_fitted_lrm(path):
 
     with np.load(path, allow_pickle=False) as archive:
         try:
-            workload_matrix = archive["workload"]
             b = archive["b"]
             l = archive["l"]
             metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
         except KeyError as exc:
             raise ValidationError(f"not a fitted-LRM archive: missing {exc}") from exc
-    version = metadata.get("format_version")
-    if version != _FITTED_LRM_FORMAT_VERSION:
-        raise ValidationError(
-            f"unsupported fitted-LRM format version {version} (this release "
-            f"reads version {_FITTED_LRM_FORMAT_VERSION}); the archive is "
-            "from another release, not tampered — refit the mechanism and "
-            "re-save it with save_fitted_lrm"
+        version = metadata.get("format_version")
+        if version not in _FITTED_LRM_FORMAT_VERSIONS:
+            raise ValidationError(
+                f"unsupported fitted-LRM format version {version} (this release "
+                f"reads versions {_FITTED_LRM_FORMAT_VERSIONS}); the archive is "
+                "from another release, not tampered — refit the mechanism and "
+                "re-save it with save_fitted_lrm"
+            )
+        workload_meta = metadata.get(
+            "workload_meta", {"name": metadata.get("workload_name", "restored")}
         )
+        workload = _restore_workload(workload_meta, archive, ValidationError)
     stored = metadata.get("decomposition", {}).get("digest")
     if _array_digest(b, l) != stored:
         raise ValidationError(
             "fitted-LRM archive integrity failure: decomposition arrays do "
             f"not hash to the stored digest {stored!r}"
+        )
+    stored_workload_digest = workload_meta.get("digest")
+    if stored_workload_digest is not None and workload.content_digest != stored_workload_digest:
+        raise ValidationError(
+            "fitted-LRM archive integrity failure: workload does not hash to "
+            f"the stored digest {stored_workload_digest!r}"
         )
 
     class_name = metadata.get("class", "LowRankMechanism")
@@ -211,7 +262,8 @@ def load_fitted_lrm(path):
     else:
         mechanism = LowRankMechanism()
     # Install the restored state without re-running the solver.
-    mechanism._workload = Workload(workload_matrix, name=metadata.get("workload_name", "restored"))
+    workload.name = metadata.get("workload_name", workload.name)
+    mechanism._workload = workload
     mechanism._decomposition = _restore_decomposition(b, l, metadata["decomposition"])
     return mechanism
 
@@ -281,16 +333,16 @@ def save_plan(plan, path):
         raise ValidationError("plan mechanism must be fitted before saving")
     workload = plan.workload
     requires_delta = bool(getattr(mechanism, "requires_delta", False))
+    workload_meta, arrays = _workload_payload(workload)
     metadata = {
         "plan_format_version": _PLAN_FORMAT_VERSION,
         "plan": plan.to_metadata(),
-        "workload": {"name": workload.name, "digest": workload.content_digest},
+        "workload": workload_meta,
         "mechanism_class": type(mechanism).__name__,
         "delta": float(mechanism.delta) if requires_delta else None,
     }
     from repro.core.lrm import GaussianLowRankMechanism
 
-    arrays = {"workload": workload.matrix}
     # Exact types only: an unknown LowRankMechanism subclass (custom norm,
     # custom noise) must not round-trip into a base-class mechanism with
     # differently-calibrated noise — it falls through to the refit gate,
@@ -355,22 +407,21 @@ def load_plan(path):
 
     with np.load(path, allow_pickle=False) as archive:
         try:
-            workload_matrix = archive["workload"]
             metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
         except KeyError as exc:
             raise PlanFormatError(f"not a plan archive: missing {exc}") from exc
+        if metadata.get("plan_format_version") not in _PLAN_FORMAT_VERSIONS:
+            raise PlanFormatError(
+                f"unsupported plan format version {metadata.get('plan_format_version')}"
+            )
+        workload = _restore_workload(metadata["workload"], archive, PlanFormatError)
         b = archive["b"] if "b" in archive.files else None
         l = archive["l"] if "l" in archive.files else None
-    if metadata.get("plan_format_version") != _PLAN_FORMAT_VERSION:
-        raise PlanFormatError(
-            f"unsupported plan format version {metadata.get('plan_format_version')}"
-        )
     plan_meta = metadata["plan"]
-    workload = Workload(workload_matrix, name=metadata["workload"].get("name", "restored"))
     stored_digest = metadata["workload"].get("digest")
     if workload.content_digest != stored_digest:
         raise ValidationError(
-            "plan archive integrity failure: workload matrix does not hash to "
+            "plan archive integrity failure: workload content does not hash to "
             f"the stored digest {stored_digest!r}"
         )
     from repro.engine.plan import workload_key as compute_workload_key

@@ -43,6 +43,7 @@ __all__ = [
     "haar_sensitivity",
     "haar_analysis",
     "haar_synthesis",
+    "haar_synthesis_rows",
     "haar_inverse_rows",
     "haar_matrix",
 ]
@@ -108,6 +109,32 @@ def haar_synthesis(c):
         sums = np.empty(2 * left.size)
         sums[0::2] = left
         sums[1::2] = right
+    return sums
+
+
+def haar_synthesis_rows(c):
+    """Inverse transform applied to every **row** of a ``(k, n)`` block.
+
+    Row ``i`` of the result equals ``haar_synthesis(c[i])``; the levels are
+    walked once for the whole block, so ``k`` releases cost one transform
+    pass plus vectorised arithmetic — the batched serving path of the
+    Wavelet Mechanism (one RNG draw, one transform, one GEMM).
+    """
+    c = as_matrix(c, "c")
+    k, n = c.shape
+    _check_domain(n)
+    sums = c[:, :1].copy()
+    offset = 1
+    while sums.shape[1] < n:
+        width = sums.shape[1]
+        details = c[:, offset : offset + width]
+        offset += width
+        left = (sums + details) / 2.0
+        right = (sums - details) / 2.0
+        merged = np.empty((k, 2 * width))
+        merged[:, 0::2] = left
+        merged[:, 1::2] = right
+        sums = merged
     return sums
 
 

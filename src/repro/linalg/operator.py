@@ -1,0 +1,656 @@
+"""Implicit workload operators: ``W`` as actions, never as an array.
+
+The batch answer ``W x`` and every quantity the Low-Rank Mechanism's fit
+needs — products ``W v`` / ``W^T u``, the Gram action ``W W^T u``, column
+L1 norms for the sensitivity ``Delta(W)`` — are *actions* of the workload,
+not reads of its entries. Structured workload families (prefix sums, range
+queries, sliding windows, marginals, Kronecker products) admit closed-form
+actions costing ``O(m + n)`` instead of ``O(m n)``, which is what lets the
+package fit and serve domains (n = 65,536 and beyond) whose dense ``m x n``
+matrix could not even be allocated.
+
+:class:`WorkloadOperator` is the protocol; the concrete backends are
+
+* :class:`DenseOperator` — a plain ndarray (the compatibility wrapper);
+* :class:`SparseOperator` — a scipy CSR matrix;
+* :class:`IntervalOperator` — rows are contiguous 0/1 ranges ``[lo, hi]``
+  (prefix, all-range, sliding-window, random-range workloads), applied with
+  cumulative-sum / difference-array tricks in ``O(m + n)``;
+* :class:`MarginalOperator` — row and column marginals of a grid domain;
+* :class:`KronOperator` — a lazy Kronecker product ``W1 (x) W2`` applied
+  factor-wise via ``(A (x) C) x = vec(A X C^T)``;
+* :class:`ScaledOperator` — ``alpha * base`` without touching the base.
+
+``to_dense`` is the explicit escape hatch back to an array; callers that
+reach for it on a large domain get a clear error from
+:class:`repro.workloads.Workload`'s guarded ``.matrix`` instead of an
+out-of-memory crash.
+
+Identity is content-based: every operator exposes a canonical
+``descriptor()`` (family tag, shape, and the defining integer/float
+payload) and :func:`descriptor_digest` hashes it — the substrate for
+``Workload.content_digest`` on implicit workloads, stable across processes
+without materialising anything.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.linalg.validation import as_vector, check_positive_int
+
+__all__ = [
+    "WorkloadOperator",
+    "DenseOperator",
+    "SparseOperator",
+    "IntervalOperator",
+    "MarginalOperator",
+    "KronOperator",
+    "ScaledOperator",
+    "as_operator",
+    "descriptor_digest",
+    "operator_spec",
+    "operator_from_spec",
+]
+
+
+def descriptor_digest(descriptor):
+    """SHA-1 hex digest of a canonical operator descriptor.
+
+    Descriptors are nested tuples of strings, ints, floats and ``bytes``;
+    the digest walks the structure with explicit type/length framing so two
+    different descriptors can never collide by concatenation.
+    """
+    digest = hashlib.sha1()
+
+    def _update(item):
+        if isinstance(item, tuple):
+            digest.update(b"(")
+            for member in item:
+                _update(member)
+            digest.update(b")")
+        elif isinstance(item, bytes):
+            digest.update(b"b%d:" % len(item))
+            digest.update(item)
+        elif isinstance(item, str):
+            encoded = item.encode()
+            digest.update(b"s%d:" % len(encoded))
+            digest.update(encoded)
+        elif isinstance(item, (int, np.integer)):
+            digest.update(b"i%d;" % int(item))
+        elif isinstance(item, (float, np.floating)):
+            digest.update(b"f" + repr(float(item)).encode() + b";")
+        else:  # pragma: no cover - descriptors are built by this module
+            raise ValidationError(
+                f"unsupported descriptor element {type(item).__name__}"
+            )
+
+    _update(descriptor)
+    return digest.hexdigest()
+
+
+class WorkloadOperator(abc.ABC):
+    """Protocol for an implicit ``m x n`` workload matrix.
+
+    Subclasses implement the actions; everything downstream (the
+    :class:`repro.workloads.Workload` facade, the matvec-driven randomized
+    SVD, the sensitivity computation, release operators) consumes only this
+    interface, so a workload family joins the large-domain regime by
+    implementing one class here.
+    """
+
+    #: ``(m, n)`` — set by subclass constructors.
+    shape = (0, 0)
+    #: Family tag (first element of the descriptor), e.g. ``"interval"``.
+    kind = "operator"
+
+    # ------------------------------------------------------------------ #
+    # Core actions
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def matvec(self, x):
+        """``W x`` for a length-``n`` vector."""
+
+    @abc.abstractmethod
+    def rmatvec(self, u):
+        """``W^T u`` for a length-``m`` vector."""
+
+    def matmat(self, x):
+        """``W X`` for an ``(n, k)`` block; default loops :meth:`matvec`."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.stack([self.matvec(x[:, j]) for j in range(x.shape[1])], axis=1)
+
+    def rmatmat(self, u):
+        """``W^T U`` for an ``(m, k)`` block; default loops :meth:`rmatvec`."""
+        u = np.asarray(u, dtype=np.float64)
+        return np.stack([self.rmatvec(u[:, j]) for j in range(u.shape[1])], axis=1)
+
+    def gram(self, u):
+        """Gram action ``(W W^T) u`` — the kernel of power iteration and
+        range-finder sketches on ``W W^T``. Accepts a vector or an
+        ``(m, k)`` block."""
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim == 1:
+            return self.matvec(self.rmatvec(u))
+        return self.matmat(self.rmatmat(u))
+
+    # ------------------------------------------------------------------ #
+    # Closed-form scalars
+    # ------------------------------------------------------------------ #
+    def column_abs_sums(self):
+        """Per-column L1 norms ``sum_i |W_ij|`` — the L1 sensitivity
+        profile (Definition 2). Subclasses override with their closed form
+        (e.g. interval coverage counts via one ``rmatvec`` of ones); this
+        base fallback materialises, because ``rmatvec`` alone cannot take
+        absolute values of entries it never sees."""
+        return np.abs(self.to_dense()).sum(axis=0)
+
+    def column_sq_sums(self):
+        """Per-column squared L2 norms ``sum_i W_ij^2`` (the Gaussian /
+        L2-sensitivity profile)."""
+        dense = self.to_dense()
+        return np.sum(dense * dense, axis=0)
+
+    def frobenius_squared(self):
+        """``||W||_F^2``; default derives it from :meth:`column_sq_sums`."""
+        return float(np.sum(self.column_sq_sums()))
+
+    # ------------------------------------------------------------------ #
+    # Identity and materialisation
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def descriptor(self):
+        """Canonical content description: a nested tuple of primitives
+        (family tag first) that uniquely determines the matrix entries.
+        Provenance (names, generation seeds) stays out — two operators of
+        the **same family** with the same entries must produce the same
+        descriptor. Across families the descriptor deliberately differs
+        even for identical entries (an :class:`IntervalOperator` prefix and
+        a :class:`DenseOperator` holding the same 0/1 matrix hash apart):
+        representation is part of identity, matching
+        ``Workload.__eq__``'s digest-based contract."""
+
+    def content_digest(self):
+        """Process-stable SHA-1 digest of :meth:`descriptor`."""
+        return descriptor_digest(self.descriptor())
+
+    def to_dense(self):
+        """Materialise the full ``m x n`` array — the explicit escape
+        hatch. Costs ``O(m n)`` memory; large-domain callers should stay on
+        the actions. Default: apply to the identity block-wise."""
+        m, n = self.shape
+        return self.matmat(np.eye(n))
+
+    def __repr__(self):
+        return f"{type(self).__name__}(shape={self.shape})"
+
+
+def as_operator(value):
+    """Coerce a dense array / sparse matrix / operator to a
+    :class:`WorkloadOperator`."""
+    if isinstance(value, WorkloadOperator):
+        return value
+    if sp.issparse(value):
+        return SparseOperator(value)
+    return DenseOperator(value)
+
+
+class DenseOperator(WorkloadOperator):
+    """Compatibility wrapper presenting a dense array as an operator."""
+
+    kind = "dense"
+
+    def __init__(self, matrix):
+        from repro.linalg.validation import as_matrix
+
+        self._matrix = as_matrix(matrix, "matrix")
+        # Freeze, as the dense Workload path does: a later in-place edit
+        # would silently invalidate memoized digests (the plan-cache keys).
+        self._matrix.setflags(write=False)
+        self.shape = self._matrix.shape
+
+    def matvec(self, x):
+        return self._matrix @ x
+
+    def rmatvec(self, u):
+        return self._matrix.T @ u
+
+    def matmat(self, x):
+        return self._matrix @ x
+
+    def rmatmat(self, u):
+        return self._matrix.T @ u
+
+    def column_abs_sums(self):
+        return np.abs(self._matrix).sum(axis=0)
+
+    def column_sq_sums(self):
+        return np.sum(self._matrix * self._matrix, axis=0)
+
+    def descriptor(self):
+        return (
+            "dense",
+            int(self.shape[0]),
+            int(self.shape[1]),
+            np.ascontiguousarray(self._matrix).tobytes(),
+        )
+
+    def to_dense(self):
+        return self._matrix
+
+
+class SparseOperator(WorkloadOperator):
+    """A scipy CSR matrix as a workload operator."""
+
+    kind = "sparse"
+
+    def __init__(self, matrix):
+        if not sp.issparse(matrix):
+            raise ValidationError("SparseOperator expects a scipy sparse matrix")
+        csr = matrix.tocsr().astype(np.float64)
+        if csr.shape[0] == 0 or csr.shape[1] == 0:
+            raise ValidationError(f"matrix must be non-empty, got shape {csr.shape}")
+        csr.sum_duplicates()
+        # Freeze the defining arrays so post-construction mutation cannot
+        # desynchronise content from the memoized digest.
+        for member in (csr.data, csr.indices, csr.indptr):
+            member.setflags(write=False)
+        self._matrix = csr
+        self.shape = csr.shape
+
+    def matvec(self, x):
+        return self._matrix @ x
+
+    def rmatvec(self, u):
+        return self._matrix.T @ u
+
+    def matmat(self, x):
+        return np.asarray(self._matrix @ x)
+
+    def rmatmat(self, u):
+        return np.asarray(self._matrix.T @ u)
+
+    def column_abs_sums(self):
+        return np.asarray(abs(self._matrix).sum(axis=0)).ravel()
+
+    def column_sq_sums(self):
+        return np.asarray(self._matrix.multiply(self._matrix).sum(axis=0)).ravel()
+
+    def frobenius_squared(self):
+        return float(np.sum(self._matrix.data**2))
+
+    def descriptor(self):
+        csr = self._matrix
+        return (
+            "sparse",
+            int(self.shape[0]),
+            int(self.shape[1]),
+            np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(csr.data, dtype=np.float64).tobytes(),
+        )
+
+    def to_dense(self):
+        return self._matrix.toarray()
+
+
+class IntervalOperator(WorkloadOperator):
+    """Rows are contiguous unit-weight ranges ``[lo_i, hi_i]`` over the
+    domain — the shape of prefix, all-range, sliding-window and random
+    range workloads.
+
+    ``matvec`` is two reads of one cumulative sum per query; ``rmatvec``
+    is a difference-array scatter plus one cumulative sum — both
+    ``O(m + n)`` against the dense ``O(m n)``.
+    """
+
+    kind = "interval"
+
+    def __init__(self, lows, highs, n):
+        n = check_positive_int(n, "n")
+        # Own copies: np.asarray/ravel could alias the caller's buffer, and
+        # a later caller-side mutation must not desynchronise answers from
+        # the memoized content digest.
+        lows = np.array(lows, dtype=np.int64, copy=True).ravel()
+        highs = np.array(highs, dtype=np.int64, copy=True).ravel()
+        if lows.size == 0 or lows.size != highs.size:
+            raise ValidationError(
+                f"lows/highs must be equal-length non-empty arrays, "
+                f"got {lows.size} and {highs.size}"
+            )
+        if lows.min() < 0 or highs.max() >= n or np.any(lows > highs):
+            raise ValidationError(
+                "every interval must satisfy 0 <= lo <= hi < n"
+            )
+        lows.setflags(write=False)
+        highs.setflags(write=False)
+        self._lows = lows
+        self._highs = highs
+        self.shape = (int(lows.size), n)
+
+    @property
+    def lows(self):
+        return self._lows
+
+    @property
+    def highs(self):
+        return self._highs
+
+    def matvec(self, x):
+        prefix = np.concatenate(([0.0], np.cumsum(x)))
+        return prefix[self._highs + 1] - prefix[self._lows]
+
+    def matmat(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        prefix = np.vstack([np.zeros((1, x.shape[1])), np.cumsum(x, axis=0)])
+        return prefix[self._highs + 1] - prefix[self._lows]
+
+    def rmatvec(self, u):
+        diff = np.zeros(self.shape[1] + 1)
+        np.add.at(diff, self._lows, u)
+        np.add.at(diff, self._highs + 1, -u)
+        return np.cumsum(diff)[: self.shape[1]]
+
+    def rmatmat(self, u):
+        u = np.asarray(u, dtype=np.float64)
+        diff = np.zeros((self.shape[1] + 1, u.shape[1]))
+        np.add.at(diff, self._lows, u)
+        np.add.at(diff, self._highs + 1, -u)
+        return np.cumsum(diff, axis=0)[: self.shape[1]]
+
+    def column_abs_sums(self):
+        # Coverage counts: how many intervals contain each cell.
+        return self.rmatvec(np.ones(self.shape[0]))
+
+    def column_sq_sums(self):
+        # 0/1 entries: squared sums equal the coverage counts.
+        return self.column_abs_sums()
+
+    def frobenius_squared(self):
+        return float(np.sum(self._highs - self._lows + 1))
+
+    def descriptor(self):
+        return (
+            "interval",
+            int(self.shape[0]),
+            int(self.shape[1]),
+            np.ascontiguousarray(self._lows).tobytes(),
+            np.ascontiguousarray(self._highs).tobytes(),
+        )
+
+    def to_dense(self):
+        m, n = self.shape
+        dense = np.zeros((m, n))
+        # Difference-array fill, then a cumulative sum along each row.
+        dense[np.arange(m), self._lows] = 1.0
+        past_end = self._highs + 1 < n
+        dense[np.arange(m)[past_end], (self._highs + 1)[past_end]] -= 1.0
+        return np.cumsum(dense, axis=1)
+
+
+class MarginalOperator(WorkloadOperator):
+    """Row and column marginals of a ``rows x cols`` grid domain laid out
+    row-major: the first ``rows`` queries are row sums, the next ``cols``
+    are column sums."""
+
+    kind = "marginal"
+
+    def __init__(self, rows, cols):
+        rows = check_positive_int(rows, "rows")
+        cols = check_positive_int(cols, "cols")
+        self.rows = rows
+        self.cols = cols
+        self.shape = (rows + cols, rows * cols)
+
+    def matvec(self, x):
+        grid = np.asarray(x, dtype=np.float64).reshape(self.rows, self.cols)
+        return np.concatenate([grid.sum(axis=1), grid.sum(axis=0)])
+
+    def matmat(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        grid = x.reshape(self.rows, self.cols, x.shape[1])
+        return np.concatenate([grid.sum(axis=1), grid.sum(axis=0)], axis=0)
+
+    def rmatvec(self, u):
+        u = np.asarray(u, dtype=np.float64)
+        return (u[: self.rows, None] + u[None, self.rows :]).ravel()
+
+    def rmatmat(self, u):
+        u = np.asarray(u, dtype=np.float64)
+        row_part = u[: self.rows]
+        col_part = u[self.rows :]
+        return (row_part[:, None, :] + col_part[None, :, :]).reshape(
+            self.shape[1], u.shape[1]
+        )
+
+    def column_abs_sums(self):
+        # Every cell lies in exactly one row sum and one column sum.
+        return np.full(self.shape[1], 2.0)
+
+    def column_sq_sums(self):
+        return np.full(self.shape[1], 2.0)
+
+    def frobenius_squared(self):
+        return float(2 * self.shape[1])
+
+    def descriptor(self):
+        return ("marginal", int(self.rows), int(self.cols))
+
+    def to_dense(self):
+        dense = np.zeros(self.shape)
+        for i in range(self.rows):
+            dense[i, i * self.cols : (i + 1) * self.cols] = 1.0
+        for j in range(self.cols):
+            dense[self.rows + j, j :: self.cols] = 1.0
+        return dense
+
+
+class KronOperator(WorkloadOperator):
+    """Lazy Kronecker product ``W1 (x) W2`` over the row-major product
+    domain. Applications use the vec trick
+    ``(A (x) C) x = vec(A X C^T)`` on the factors' own operators, so
+    structured factors stay implicit all the way down."""
+
+    kind = "kron"
+
+    def __init__(self, left, right):
+        self.left = as_operator(left)
+        self.right = as_operator(right)
+        self.shape = (
+            self.left.shape[0] * self.right.shape[0],
+            self.left.shape[1] * self.right.shape[1],
+        )
+
+    def matvec(self, x):
+        n1 = self.left.shape[1]
+        n2 = self.right.shape[1]
+        grid = as_vector(x, "x", size=n1 * n2).reshape(n1, n2)
+        # A X C^T, computed factor-wise: first X C^T = (C X^T)^T, then A ( . ).
+        xct = self.right.matmat(grid.T).T
+        return self.left.matmat(xct).ravel()
+
+    def rmatvec(self, u):
+        m1 = self.left.shape[0]
+        m2 = self.right.shape[0]
+        grid = as_vector(u, "u", size=m1 * m2).reshape(m1, m2)
+        # A^T U C = (C^T (A^T U)^T)^T.
+        atu = self.left.rmatmat(grid)
+        return self.right.rmatmat(atu.T).T.ravel()
+
+    def matmat(self, x):
+        # Batched vec trick: fold the k columns into the factor matmats
+        # (two factor applications total) instead of the base class's
+        # k-matvec loop — the shape the sketch and batched serving hit.
+        x = np.asarray(x, dtype=np.float64)
+        n1, n2 = self.left.shape[1], self.right.shape[1]
+        m1, m2 = self.left.shape[0], self.right.shape[0]
+        k = x.shape[1]
+        grids = x.reshape(n1, n2, k)
+        # Apply C along axis 1: (n2, n1*k) -> (m2, n1*k).
+        right_applied = self.right.matmat(
+            grids.transpose(1, 0, 2).reshape(n2, n1 * k)
+        ).reshape(m2, n1, k)
+        # Apply A along axis 0: (n1, m2*k) -> (m1, m2*k).
+        left_applied = self.left.matmat(
+            right_applied.transpose(1, 0, 2).reshape(n1, m2 * k)
+        ).reshape(m1, m2, k)
+        return left_applied.reshape(m1 * m2, k)
+
+    def rmatmat(self, u):
+        u = np.asarray(u, dtype=np.float64)
+        n1, n2 = self.left.shape[1], self.right.shape[1]
+        m1, m2 = self.left.shape[0], self.right.shape[0]
+        k = u.shape[1]
+        grids = u.reshape(m1, m2, k)
+        left_applied = self.left.rmatmat(grids.reshape(m1, m2 * k)).reshape(
+            n1, m2, k
+        )
+        right_applied = self.right.rmatmat(
+            left_applied.transpose(1, 0, 2).reshape(m2, n1 * k)
+        ).reshape(n2, n1, k)
+        return right_applied.transpose(1, 0, 2).reshape(n1 * n2, k)
+
+    def column_abs_sums(self):
+        return np.kron(self.left.column_abs_sums(), self.right.column_abs_sums())
+
+    def column_sq_sums(self):
+        return np.kron(self.left.column_sq_sums(), self.right.column_sq_sums())
+
+    def frobenius_squared(self):
+        return self.left.frobenius_squared() * self.right.frobenius_squared()
+
+    def descriptor(self):
+        return ("kron", self.left.descriptor(), self.right.descriptor())
+
+    def to_dense(self):
+        return np.kron(self.left.to_dense(), self.right.to_dense())
+
+
+def operator_spec(operator, arrays, prefix="op"):
+    """Serialise an operator into a JSON-able spec plus named arrays.
+
+    The integer/float payload that defines the operator goes into
+    ``arrays`` (an ``{name: ndarray}`` dict destined for an ``.npz``
+    archive) under ``prefix``-derived keys; the returned spec records the
+    family and scalar parameters. :func:`operator_from_spec` inverts it.
+    This is how the plan cache persists *implicit* workloads without
+    materialising them — a prefix workload at n = 65,536 stores two
+    length-n index vectors, not a 34 GB matrix.
+    """
+    operator = as_operator(operator)
+    if isinstance(operator, DenseOperator):
+        arrays[f"{prefix}_matrix"] = operator.to_dense()
+        return {"kind": "dense"}
+    if isinstance(operator, SparseOperator):
+        csr = operator._matrix
+        arrays[f"{prefix}_indptr"] = np.asarray(csr.indptr, dtype=np.int64)
+        arrays[f"{prefix}_indices"] = np.asarray(csr.indices, dtype=np.int64)
+        arrays[f"{prefix}_data"] = np.asarray(csr.data, dtype=np.float64)
+        return {"kind": "sparse", "m": int(operator.shape[0]), "n": int(operator.shape[1])}
+    if isinstance(operator, IntervalOperator):
+        arrays[f"{prefix}_lows"] = operator.lows
+        arrays[f"{prefix}_highs"] = operator.highs
+        return {"kind": "interval", "n": int(operator.shape[1])}
+    if isinstance(operator, MarginalOperator):
+        return {"kind": "marginal", "rows": int(operator.rows), "cols": int(operator.cols)}
+    if isinstance(operator, ScaledOperator):
+        return {
+            "kind": "scaled",
+            "factor": float(operator.factor),
+            "base": operator_spec(operator.base, arrays, prefix=f"{prefix}b"),
+        }
+    if isinstance(operator, KronOperator):
+        return {
+            "kind": "kron",
+            "left": operator_spec(operator.left, arrays, prefix=f"{prefix}l"),
+            "right": operator_spec(operator.right, arrays, prefix=f"{prefix}r"),
+        }
+    raise ValidationError(
+        f"operator family {type(operator).__name__!r} is not serializable"
+    )
+
+
+def operator_from_spec(spec, arrays, prefix="op"):
+    """Rebuild an operator serialised by :func:`operator_spec`.
+
+    ``arrays`` is any mapping supporting ``[]`` (a loaded npz archive
+    works)."""
+    kind = spec.get("kind")
+    if kind == "dense":
+        return DenseOperator(np.asarray(arrays[f"{prefix}_matrix"], dtype=np.float64))
+    if kind == "sparse":
+        m, n = int(spec["m"]), int(spec["n"])
+        return SparseOperator(
+            sp.csr_matrix(
+                (
+                    np.asarray(arrays[f"{prefix}_data"], dtype=np.float64),
+                    np.asarray(arrays[f"{prefix}_indices"], dtype=np.int64),
+                    np.asarray(arrays[f"{prefix}_indptr"], dtype=np.int64),
+                ),
+                shape=(m, n),
+            )
+        )
+    if kind == "interval":
+        return IntervalOperator(
+            np.asarray(arrays[f"{prefix}_lows"], dtype=np.int64),
+            np.asarray(arrays[f"{prefix}_highs"], dtype=np.int64),
+            int(spec["n"]),
+        )
+    if kind == "marginal":
+        return MarginalOperator(int(spec["rows"]), int(spec["cols"]))
+    if kind == "scaled":
+        return ScaledOperator(
+            operator_from_spec(spec["base"], arrays, prefix=f"{prefix}b"),
+            float(spec["factor"]),
+        )
+    if kind == "kron":
+        return KronOperator(
+            operator_from_spec(spec["left"], arrays, prefix=f"{prefix}l"),
+            operator_from_spec(spec["right"], arrays, prefix=f"{prefix}r"),
+        )
+    raise ValidationError(f"unknown operator spec kind {kind!r}")
+
+
+class ScaledOperator(WorkloadOperator):
+    """``alpha * base`` without touching the base operator."""
+
+    kind = "scaled"
+
+    def __init__(self, base, factor):
+        self.base = as_operator(base)
+        self.factor = float(factor)
+        if not np.isfinite(self.factor) or self.factor == 0.0:
+            raise ValidationError(f"factor must be finite and non-zero, got {factor}")
+        self.shape = self.base.shape
+
+    def matvec(self, x):
+        return self.factor * self.base.matvec(x)
+
+    def rmatvec(self, u):
+        return self.factor * self.base.rmatvec(u)
+
+    def matmat(self, x):
+        return self.factor * self.base.matmat(x)
+
+    def rmatmat(self, u):
+        return self.factor * self.base.rmatmat(u)
+
+    def column_abs_sums(self):
+        return abs(self.factor) * self.base.column_abs_sums()
+
+    def column_sq_sums(self):
+        return self.factor * self.factor * self.base.column_sq_sums()
+
+    def frobenius_squared(self):
+        return self.factor * self.factor * self.base.frobenius_squared()
+
+    def descriptor(self):
+        return ("scaled", float(self.factor), self.base.descriptor())
+
+    def to_dense(self):
+        return self.factor * self.base.to_dense()

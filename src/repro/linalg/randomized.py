@@ -8,12 +8,18 @@ LAPACK path when matrices grow:
   size threshold, or when the requested rank is a large fraction of the
   small dimension, it transparently falls back to exact
   ``numpy.linalg.svd`` — at those sizes LAPACK is both faster and exact, so
-  callers never pay for the approximation when it cannot win.
+  callers never pay for the approximation when it cannot win. The input may
+  be a dense array **or** a :class:`repro.linalg.operator.WorkloadOperator`
+  — the sketch then runs entirely on ``matmat``/``rmatmat`` actions and
+  never materialises ``W``, which is how implicit workloads at
+  ``n = 65,536`` get a spectral cache at all.
 * :func:`power_iteration_lmax` — the top eigenvalue (Lipschitz constant of
   the Formula-10 gradient) of a symmetric PSD Gram matrix by power
   iteration, warm-startable from a previous eigenvector so repeated calls
   on slowly-moving ``B^T B`` converge in a handful of matvecs instead of a
-  full ``eigvalsh``.
+  full ``eigvalsh``. The Gram may equally be given as an *action* (a
+  :class:`WorkloadOperator`, whose ``gram`` is ``W W^T``, or any callable)
+  so the Lipschitz constant of an implicit workload costs matvecs only.
 """
 
 from __future__ import annotations
@@ -23,10 +29,66 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.linalg.validation import as_matrix, check_positive, check_positive_int, ensure_rng
 
-__all__ = ["randomized_svd", "power_iteration_lmax", "RANDOMIZED_SVD_MIN_DIM"]
+__all__ = [
+    "randomized_svd",
+    "power_iteration_lmax",
+    "rank_discovery_needs_dense",
+    "RANDOMIZED_SVD_MIN_DIM",
+    "OPERATOR_DENSE_FALLBACK_ENTRIES",
+    "RANK_DISCOVERY_DENSE_ENTRIES",
+]
 
 #: Below this small dimension, exact LAPACK SVD beats the sketch.
 RANDOMIZED_SVD_MIN_DIM = 192
+
+#: Dense fallbacks for operator inputs are taken only below this entry
+#: count — materialising more defeats the point of being implicit.
+OPERATOR_DENSE_FALLBACK_ENTRIES = 4_000_000
+
+#: Rank *discovery* (rank=None) needs the full spectrum, which a capped
+#: sketch cannot certify; up to this entry count the dense solve is used
+#: instead of refusing. Matches ``Workload.MAX_DENSE_ENTRIES`` so every
+#: implicit workload whose matrix could legally materialise keeps its
+#: pre-operator default-fit behaviour; only genuinely large domains demand
+#: an explicit rank.
+RANK_DISCOVERY_DENSE_ENTRIES = 50_000_000
+
+
+def rank_discovery_needs_dense(shape, rank):
+    """True when a ``rank=None`` fit of an implicit ``shape`` workload must
+    take the dense path: the small dimension exceeds the sketch cap (so no
+    sketch can certify the numerical rank) while the matrix is still cheap
+    enough to materialise. The single predicate shared by
+    ``decompose_workload_operator`` and ``LowRankMechanism._fit`` so the
+    two routing decisions can never diverge."""
+    m, n = shape
+    return (
+        rank is None
+        and min(m, n) > RANDOMIZED_SVD_MIN_DIM
+        and m * n <= RANK_DISCOVERY_DENSE_ENTRIES
+    )
+
+
+def _randomized_svd_operator(operator, rank, oversample, n_iter, rng, min_dim):
+    """Range-finder SVD driven purely by operator actions."""
+    m, n = operator.shape
+    small = min(m, n)
+    k = min(rank, small)
+    sketch = min(k + oversample, small)
+    if (small <= min_dim or sketch >= 0.8 * small) and (
+        m * n <= OPERATOR_DENSE_FALLBACK_ENTRIES
+    ):
+        u, sigma, vt = np.linalg.svd(operator.to_dense(), full_matrices=False)
+        return u[:, :k], sigma[:k], vt[:k, :]
+
+    rng = ensure_rng(rng)
+    y = operator.matmat(rng.standard_normal((n, sketch)))
+    for _ in range(int(n_iter)):
+        q, _ = np.linalg.qr(y)
+        y = operator.matmat(operator.rmatmat(q))
+    q, _ = np.linalg.qr(y)
+    u_small, sigma, vt = np.linalg.svd(operator.rmatmat(q).T, full_matrices=False)
+    return (q @ u_small)[:, :k], sigma[:k], vt[:k, :]
 
 
 def randomized_svd(matrix, rank, oversample=10, n_iter=4, rng=None, min_dim=None):
@@ -41,7 +103,10 @@ def randomized_svd(matrix, rank, oversample=10, n_iter=4, rng=None, min_dim=None
     Parameters
     ----------
     matrix:
-        The (m x n) matrix to factor.
+        The (m x n) matrix to factor — a dense array, or a
+        :class:`repro.linalg.operator.WorkloadOperator` to run the whole
+        sketch on matvec actions (no dense ``W`` is ever formed; the exact
+        fallback is taken only when materialising is demonstrably cheap).
     rank:
         Number of leading singular triplets wanted.
     oversample:
@@ -63,13 +128,17 @@ def randomized_svd(matrix, rank, oversample=10, n_iter=4, rng=None, min_dim=None
         ``(u, sigma, vt)`` with ``u`` (m x k), ``sigma`` (k,), ``vt``
         (k x n) and ``k = min(rank, m, n)``.
     """
-    w = as_matrix(matrix, "matrix")
     rank = check_positive_int(rank, "rank")
     oversample = check_positive_int(oversample, "oversample")
     if n_iter < 0 or int(n_iter) != n_iter:
         raise ValidationError(f"n_iter must be a non-negative integer, got {n_iter}")
     if min_dim is None:
         min_dim = RANDOMIZED_SVD_MIN_DIM
+    from repro.linalg.operator import WorkloadOperator
+
+    if isinstance(matrix, WorkloadOperator):
+        return _randomized_svd_operator(matrix, rank, oversample, n_iter, rng, min_dim)
+    w = as_matrix(matrix, "matrix")
     m, n = w.shape
     small = min(m, n)
     k = min(rank, small)
@@ -88,8 +157,8 @@ def randomized_svd(matrix, rank, oversample=10, n_iter=4, rng=None, min_dim=None
     return (q @ u_small)[:, :k], sigma[:k], vt[:k, :]
 
 
-def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200):
-    """Top eigenvalue and eigenvector of a symmetric PSD matrix.
+def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200, dim=None):
+    """Top eigenvalue and eigenvector of a symmetric PSD matrix or action.
 
     Classic power iteration with a relative-change stopping rule. Intended
     for the Nesterov Lipschitz constant ``lambda_max(B^T B)``: across block
@@ -100,7 +169,11 @@ def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200):
     Parameters
     ----------
     gram:
-        Symmetric positive semi-definite (r x r) matrix.
+        Symmetric positive semi-definite (r x r) matrix, **or** its action:
+        a :class:`repro.linalg.operator.WorkloadOperator` (its ``gram``
+        method, i.e. ``W W^T``, is iterated — ``lmax`` is then
+        ``sigma_max(W)^2`` from matvecs alone), or any ``v -> G v``
+        callable (``dim`` required).
     v0:
         Optional warm-start vector (length r); any non-zero vector works.
         ``None`` uses a deterministic slanted start (never the zero vector,
@@ -109,6 +182,9 @@ def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200):
         Relative eigenvalue-change stopping threshold.
     max_iters:
         Iteration cap.
+    dim:
+        Length of the iterated vector; required when ``gram`` is a plain
+        callable, ignored otherwise.
 
     Returns
     -------
@@ -116,12 +192,24 @@ def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200):
         ``(lmax, v)`` — the eigenvalue estimate (monotonically approached
         from below) and the unit eigenvector, reusable as the next ``v0``.
     """
-    g = as_matrix(gram, "gram")
-    if g.shape[0] != g.shape[1]:
-        raise ValidationError(f"gram must be square, got shape {g.shape}")
+    from repro.linalg.operator import WorkloadOperator
+
+    if isinstance(gram, WorkloadOperator):
+        apply_gram = gram.gram
+        r = gram.shape[0]
+    elif callable(gram) and not isinstance(gram, np.ndarray):
+        if dim is None:
+            raise ValidationError("dim is required when gram is a callable action")
+        apply_gram = gram
+        r = check_positive_int(dim, "dim")
+    else:
+        g = as_matrix(gram, "gram")
+        if g.shape[0] != g.shape[1]:
+            raise ValidationError(f"gram must be square, got shape {g.shape}")
+        apply_gram = g.__matmul__
+        r = g.shape[0]
     tol = check_positive(tol, "tol")
     max_iters = check_positive_int(max_iters, "max_iters")
-    r = g.shape[0]
     if v0 is not None:
         v = np.asarray(v0, dtype=np.float64).ravel()
         if v.size != r or not np.all(np.isfinite(v)) or float(v @ v) == 0.0:
@@ -138,13 +226,13 @@ def power_iteration_lmax(gram, v0=None, tol=1e-9, max_iters=200):
 
     lmax = 0.0
     for _ in range(max_iters):
-        gv = g @ v
+        gv = apply_gram(v)
         norm_sq = float(gv @ gv)
         if norm_sq <= 0.0:
             # v is in the null space; restart from the deterministic slant.
             v = np.linspace(1.0, 2.0, r)
             v /= np.linalg.norm(v)
-            gv = g @ v
+            gv = apply_gram(v)
             norm_sq = float(gv @ gv)
             if norm_sq <= 0.0:
                 return 0.0, v

@@ -37,6 +37,7 @@ __all__ = [
     "tree_apply",
     "tree_apply_transpose",
     "tree_consistency",
+    "tree_consistency_rows",
     "tree_matrix",
     "tree_pseudoinverse_rows",
 ]
@@ -189,6 +190,51 @@ def tree_consistency(noisy, branching=2):
         slack = (parent - child_sums) / b
         final[level] = z[level] + np.repeat(slack, 2)
     return final[height - 1]
+
+
+def tree_consistency_rows(noisy):
+    """:func:`tree_consistency` applied to every **row** of a ``(k, 2n-1)``
+    block of noisy node answers.
+
+    Row ``i`` of the result equals ``tree_consistency(noisy[i])``; both
+    passes walk the levels once for the whole block — the batched serving
+    path of the Hierarchical Mechanism.
+    """
+    noisy = as_matrix(noisy, "noisy")
+    k, total_nodes = noisy.shape
+    n = (total_nodes + 1) // 2
+    _check_domain(n)
+    if total_nodes != 2 * n - 1:
+        raise ValidationError(f"noisy has {total_nodes} columns; expected 2n-1")
+    b = 2
+
+    levels = []
+    offset = 0
+    size = 1
+    while size <= n:
+        levels.append(noisy[:, offset : offset + size].copy())
+        offset += size
+        size *= 2
+    height = len(levels)
+
+    # Bottom-up pass (see tree_consistency for the weights' derivation).
+    z = [None] * height
+    z[height - 1] = levels[height - 1].copy()
+    for level in range(height - 2, -1, -1):
+        child_sums = z[level + 1].reshape(k, -1, 2).sum(axis=2)
+        i = height - level
+        denominator = b**i - 1
+        weight_self = (b**i - b ** (i - 1)) / denominator
+        weight_children = (b ** (i - 1) - 1) / denominator
+        z[level] = weight_self * levels[level] + weight_children * child_sums
+
+    # Top-down pass: distribute parent slack evenly among children.
+    final = z[0].copy()
+    for level in range(1, height):
+        child_sums = z[level].reshape(k, -1, 2).sum(axis=2)
+        slack = (final - child_sums) / b
+        final = z[level] + np.repeat(slack, 2, axis=1)
+    return final
 
 
 def tree_pseudoinverse_rows(w, tol=1e-10, maxiter=None):

@@ -41,15 +41,21 @@ class NoiseOnDataMechanism(Mechanism):
 
     def _answer(self, x, epsilon, rng):
         noisy_data = x + laplace_noise(x.size, self.unit_sensitivity, epsilon, rng)
-        return self.workload.matrix @ noisy_data
+        # Workload applied as an action: implicit workloads (prefix, range,
+        # marginal, Kronecker families) never materialise their matrix.
+        return self.workload.operator.matvec(noisy_data)
 
     def release_operator(self):
-        """Identity strategy (noise on the counts), recombination ``W``."""
+        """Identity strategy (noise on the counts), recombination ``W``.
+
+        Implicit workloads hand over their operator, so the serving path
+        recombines through the fast action instead of a dense GEMM."""
         if not self.is_fitted:
             return None
+        workload = self._workload
         return ReleaseOperator(
             strategy=None,
-            recombination=self._workload.matrix,
+            recombination=workload.operator if workload.is_implicit else workload.matrix,
             sensitivity=self.unit_sensitivity,
         )
 
@@ -77,9 +83,10 @@ class NoiseOnResultsMechanism(Mechanism):
         """Strategy ``W`` itself, identity recombination."""
         if not self.is_fitted:
             return None
-        sensitivity = self.workload.sensitivity
+        workload = self._workload
+        sensitivity = workload.sensitivity
         return ReleaseOperator(
-            strategy=self._workload.matrix,
+            strategy=workload.operator if workload.is_implicit else workload.matrix,
             recombination=None,
             sensitivity=sensitivity,
             noise="laplace" if sensitivity > 0.0 else "none",

@@ -56,15 +56,16 @@ class GaussianNoiseOnDataMechanism(Mechanism):
 
     def _answer(self, x, epsilon, rng):
         noisy_data = x + gaussian_noise(x.size, self.unit_sensitivity, epsilon, self.delta, rng)
-        return self.workload.matrix @ noisy_data
+        return self.workload.operator.matvec(noisy_data)
 
     def release_operator(self):
         """Identity strategy (noise on the counts), recombination ``W``."""
         if not self.is_fitted:
             return None
+        workload = self._workload
         return ReleaseOperator(
             strategy=None,
-            recombination=self._workload.matrix,
+            recombination=workload.operator if workload.is_implicit else workload.matrix,
             sensitivity=self.unit_sensitivity,
             noise="gaussian",
             delta=self.delta,
@@ -93,7 +94,7 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
         meta = super().plan_metadata()
         meta["noise"] = "gaussian"
         if self.is_fitted:
-            sensitivity = l2_sensitivity(self.workload.matrix)
+            sensitivity = l2_sensitivity(self.workload.operator)
             meta["sensitivity"] = float(sensitivity)
             if sensitivity > 0.0:
                 meta["sigma_at_unit_epsilon"] = float(
@@ -103,7 +104,7 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
 
     def _answer(self, x, epsilon, rng):
         exact = self.workload.answer(x)
-        sensitivity = l2_sensitivity(self.workload.matrix)
+        sensitivity = l2_sensitivity(self.workload.operator)
         if sensitivity == 0.0:
             return exact
         return exact + gaussian_noise(exact.size, sensitivity, epsilon, self.delta, rng)
@@ -112,14 +113,16 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
         """Strategy ``W`` itself, identity recombination."""
         if not self.is_fitted:
             return None
-        sensitivity = l2_sensitivity(self._workload.matrix)
+        workload = self._workload
+        sensitivity = l2_sensitivity(workload.operator)
+        strategy = workload.operator if workload.is_implicit else workload.matrix
         if sensitivity == 0.0:
             return ReleaseOperator(
-                strategy=self._workload.matrix, recombination=None,
+                strategy=strategy, recombination=None,
                 sensitivity=0.0, noise="none",
             )
         return ReleaseOperator(
-            strategy=self._workload.matrix,
+            strategy=strategy,
             recombination=None,
             sensitivity=sensitivity,
             noise="gaussian",
@@ -129,7 +132,7 @@ class GaussianNoiseOnResultsMechanism(Mechanism):
     def expected_squared_error(self, epsilon):
         """``m * sigma^2`` with sigma calibrated to ``Delta_2(W)``."""
         self._check_fitted()
-        sensitivity = l2_sensitivity(self.workload.matrix)
+        sensitivity = l2_sensitivity(self.workload.operator)
         if sensitivity == 0.0:
             return 0.0
         sigma = gaussian_sigma(sensitivity, epsilon, self.delta)

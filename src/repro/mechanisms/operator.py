@@ -21,11 +21,12 @@ consistency steps are cheaper as transforms than as dense matrices) return
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.linalg.operator import WorkloadOperator
 from repro.privacy.noise import (
     gaussian_noise,
     gaussian_noise_batch,
@@ -36,6 +37,21 @@ from repro.privacy.noise import (
 __all__ = ["ReleaseOperator"]
 
 
+def _apply(factor, vector):
+    """``factor @ vector`` for a dense array or an implicit operator."""
+    if isinstance(factor, WorkloadOperator):
+        return factor.matvec(vector)
+    return factor @ vector
+
+
+def _apply_rows(factor, rows):
+    """``rows @ factor.T`` — apply ``factor`` to every row of a ``(k, n)``
+    block, staying implicit for operator factors."""
+    if isinstance(factor, WorkloadOperator):
+        return factor.matmat(rows.T).T
+    return rows @ factor.T
+
+
 @dataclass(frozen=True)
 class ReleaseOperator:
     """The linear pipeline of one mechanism's release.
@@ -43,11 +59,15 @@ class ReleaseOperator:
     Attributes
     ----------
     strategy:
-        ``L`` (r x n), or ``None`` for the identity (noise-on-data
-        mechanisms, where the strategy answers *are* the unit counts).
+        ``L`` (r x n) — a dense array or an implicit
+        :class:`repro.linalg.operator.WorkloadOperator` — or ``None`` for
+        the identity (noise-on-data mechanisms, where the strategy answers
+        *are* the unit counts).
     recombination:
-        ``B`` (m x r), or ``None`` for the identity (noise-on-results
-        mechanisms).
+        ``B`` (m x r), dense or implicit, or ``None`` for the identity
+        (noise-on-results mechanisms). Implicit factors are applied through
+        their matvec actions, so large-domain workloads release without a
+        dense GEMM against an ``m x n`` array.
     sensitivity:
         ``Delta(L)`` under the mechanism's norm (L1 for Laplace, L2 for
         Gaussian).
@@ -58,8 +78,8 @@ class ReleaseOperator:
         Per-release failure probability (Gaussian noise only).
     """
 
-    strategy: Optional[np.ndarray]
-    recombination: Optional[np.ndarray]
+    strategy: Optional[Union[np.ndarray, WorkloadOperator]]
+    recombination: Optional[Union[np.ndarray, WorkloadOperator]]
     sensitivity: float
     noise: str = "laplace"
     delta: float = 0.0
@@ -78,7 +98,7 @@ class ReleaseOperator:
 
     def strategy_answers(self, x):
         """The data-dependent half of a release: ``L x`` (or ``x``)."""
-        return x if self.strategy is None else self.strategy @ x
+        return x if self.strategy is None else _apply(self.strategy, x)
 
     # ------------------------------------------------------------------ #
     # Releasing
@@ -106,7 +126,7 @@ class ReleaseOperator:
             noisy = strategy_answers + gaussian_noise(
                 strategy_answers.size, self.sensitivity, epsilon, self.delta, rng
             )
-        return noisy if self.recombination is None else self.recombination @ noisy
+        return noisy if self.recombination is None else _apply(self.recombination, noisy)
 
     def answer_many(self, strategy_answers, epsilons, rng):
         """``k`` releases as a ``(k, m)`` array: one RNG draw, one GEMM.
@@ -126,4 +146,4 @@ class ReleaseOperator:
             )
         if self.recombination is None:
             return np.array(noisy) if self.noise == "none" else noisy
-        return noisy @ self.recombination.T
+        return _apply_rows(self.recombination, np.asarray(noisy))

@@ -29,10 +29,11 @@ from repro.linalg.haar import (
     haar_inverse_rows,
     haar_sensitivity,
     haar_synthesis,
+    haar_synthesis_rows,
     next_power_of_two,
 )
 from repro.mechanisms.base import Mechanism
-from repro.privacy.noise import laplace_noise
+from repro.privacy.noise import laplace_noise, laplace_noise_batch
 
 __all__ = ["WaveletMechanism"]
 
@@ -65,17 +66,35 @@ class WaveletMechanism(Mechanism):
         self._check_fitted()
         return haar_sensitivity(self._padded_n)
 
+    def _pad(self, x):
+        if self._padded_n == x.size:
+            return x
+        padded_x = np.zeros(self._padded_n)
+        padded_x[: x.size] = x
+        return padded_x
+
     def _answer(self, x, epsilon, rng):
-        padded_x = x
-        if self._padded_n != x.size:
-            padded_x = np.zeros(self._padded_n)
-            padded_x[: x.size] = x
-        coefficients = haar_analysis(padded_x)
+        coefficients = haar_analysis(self._pad(x))
         noisy = coefficients + laplace_noise(
             coefficients.size, self.strategy_sensitivity, epsilon, rng
         )
         reconstructed = haar_synthesis(noisy)
         return self._padded_workload @ reconstructed
+
+    def _answer_many(self, x, epsilons, rng):
+        """``k`` releases with one analysis, one ``(k, n)`` noise draw, one
+        batched synthesis and one GEMM.
+
+        Row ``i`` is distributed exactly as ``answer(x, epsilons[i])``; the
+        RNG stream advances in one block instead of ``k`` (the documented
+        batched-release stream change, extended to the fast-transform
+        mechanisms)."""
+        coefficients = haar_analysis(self._pad(x))
+        noisy = coefficients[None, :] + laplace_noise_batch(
+            coefficients.size, self.strategy_sensitivity, epsilons, rng
+        )
+        reconstructed = haar_synthesis_rows(noisy)
+        return reconstructed @ self._padded_workload.T
 
     def expected_squared_error(self, epsilon):
         """``2 Delta^2 / eps^2 * ||W A^{-1}||_F^2`` with the fast transform."""

@@ -26,8 +26,22 @@ __all__ = [
 ]
 
 
+def _is_operator(value):
+    from repro.linalg.operator import WorkloadOperator
+
+    return isinstance(value, WorkloadOperator)
+
+
 def column_l1_norms(matrix):
-    """Per-column L1 norms ``sum_i |M_ij|`` as a 1-D array."""
+    """Per-column L1 norms ``sum_i |M_ij|`` as a 1-D array.
+
+    Accepts a dense array, a scipy sparse matrix, or a
+    :class:`repro.linalg.operator.WorkloadOperator` — implicit workloads
+    answer through their closed-form ``column_abs_sums`` and never
+    materialise.
+    """
+    if _is_operator(matrix):
+        return np.asarray(matrix.column_abs_sums(), dtype=np.float64)
     matrix = as_matrix(matrix, "matrix", allow_sparse=True)
     if sp.issparse(matrix):
         return np.asarray(abs(matrix).sum(axis=0)).ravel()
@@ -43,7 +57,12 @@ def l1_sensitivity(matrix):
 
 
 def column_l2_norms(matrix):
-    """Per-column L2 norms ``sqrt(sum_i M_ij^2)`` as a 1-D array."""
+    """Per-column L2 norms ``sqrt(sum_i M_ij^2)`` as a 1-D array.
+
+    Operator inputs use their closed-form ``column_sq_sums``.
+    """
+    if _is_operator(matrix):
+        return np.sqrt(np.asarray(matrix.column_sq_sums(), dtype=np.float64))
     matrix = as_matrix(matrix, "matrix", allow_sparse=True)
     if sp.issparse(matrix):
         return np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=0)).ravel())

@@ -12,13 +12,25 @@ The three evaluation workloads:
 
 Extras useful for examples and tests: identity (NOD's implicit strategy),
 the total-sum query, and the full prefix-sum workload.
+
+Every *structured* family (WRange, prefix, all-range, sliding windows,
+marginals, total, identity) returns an **implicit, operator-backed**
+:class:`repro.workloads.Workload`: answers, sensitivities and the
+matvec-driven fit run in near-linear time and memory, and the dense
+``m x n`` array exists only if a caller explicitly materialises it
+(``.matrix`` / ``.dense()``). This is what opens domain sizes the dense
+representation cannot hold (prefix at ``n = 65,536`` is a 34 GB array;
+its interval operator is two length-``n`` index vectors). WDiscrete and
+WRelated are unstructured by construction and stay dense.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
+from repro.linalg.operator import IntervalOperator, MarginalOperator, SparseOperator
 from repro.linalg.validation import (
     check_positive_int,
     check_probability,
@@ -55,7 +67,11 @@ def wdiscrete(m, n, p=0.02, seed=None):
 
 
 def wrange(m, n, seed=None):
-    """Random range-query workload: uniform interval ``[a, b]`` per query."""
+    """Random range-query workload: uniform interval ``[a, b]`` per query.
+
+    Implicit (interval-operator backed): answering is two cumulative-sum
+    reads per query instead of a dense row product.
+    """
     m = check_positive_int(m, "m")
     n = check_positive_int(n, "n")
     rng = ensure_rng(seed)
@@ -63,10 +79,9 @@ def wrange(m, n, seed=None):
     ends = rng.integers(0, n, size=m)
     low = np.minimum(starts, ends)
     high = np.maximum(starts, ends)
-    matrix = np.zeros((m, n))
-    for i in range(m):
-        matrix[i, low[i] : high[i] + 1] = 1.0
-    return Workload(matrix, name="WRange", metadata={"m": m, "n": n})
+    return Workload(
+        IntervalOperator(low, high, n), name="WRange", metadata={"m": m, "n": n}
+    )
 
 
 def wrelated(m, n, s=None, seed=None):
@@ -89,38 +104,60 @@ def wrelated(m, n, s=None, seed=None):
 
 
 def identity_workload(n):
-    """The identity workload: one query per unit count (NOD's strategy)."""
+    """The identity workload: one query per unit count (NOD's strategy).
+
+    Implicit (sparse-operator backed); ``.matrix`` materialises the dense
+    identity on demand.
+    """
     n = check_positive_int(n, "n")
-    return Workload(np.eye(n), name="Identity", metadata={"n": n})
+    return Workload(
+        SparseOperator(sp.identity(n, format="csr")), name="Identity", metadata={"n": n}
+    )
 
 
 def total_workload(n):
-    """Single query summing every unit count."""
+    """Single query summing every unit count (implicit: the interval
+    ``[0, n - 1]``)."""
     n = check_positive_int(n, "n")
-    return Workload(np.ones((1, n)), name="Total", metadata={"n": n})
+    return Workload(
+        IntervalOperator([0], [n - 1], n), name="Total", metadata={"n": n}
+    )
 
 
 def prefix_workload(n):
     """All prefix sums ``x_1 + ... + x_k`` for ``k = 1..n`` (lower triangular
-    all-ones matrix); the classic continual-counting workload."""
+    all-ones matrix); the classic continual-counting workload.
+
+    Implicit: one cumulative sum answers all ``n`` prefixes, so the
+    workload scales to domains whose dense ``n x n`` matrix could not be
+    allocated.
+    """
     n = check_positive_int(n, "n")
-    return Workload(np.tril(np.ones((n, n))), name="Prefix", metadata={"n": n})
+    return Workload(
+        IntervalOperator(np.zeros(n, dtype=np.int64), np.arange(n), n),
+        name="Prefix",
+        metadata={"n": n},
+    )
 
 
 def allrange_workload(n):
     """All ``n (n + 1) / 2`` contiguous range queries over the domain.
 
-    The canonical benchmark workload of the matrix-mechanism literature;
-    quadratic in ``n``, so keep ``n`` modest.
+    The canonical benchmark workload of the matrix-mechanism literature.
+    Implicit (interval-operator backed), so memory is ``O(n^2)`` index
+    entries for the quadratic query count rather than ``O(n^3)`` dense
+    weights — keep ``n`` moderate, the *query* count still grows
+    quadratically.
     """
     n = check_positive_int(n, "n")
-    rows = []
-    for start in range(n):
-        for end in range(start, n):
-            row = np.zeros(n)
-            row[start : end + 1] = 1.0
-            rows.append(row)
-    return Workload(np.asarray(rows), name="AllRange", metadata={"n": n})
+    # Row order matches the historical nested loop: (0,0), (0,1), ...,
+    # (0,n-1), (1,1), ..., (n-1,n-1).
+    counts = np.arange(n, 0, -1)
+    lows = np.repeat(np.arange(n), counts)
+    highs = np.concatenate([np.arange(start, n) for start in range(n)])
+    return Workload(
+        IntervalOperator(lows, highs, n), name="AllRange", metadata={"n": n}
+    )
 
 
 def marginals_workload(rows, cols):
@@ -129,30 +166,32 @@ def marginals_workload(rows, cols):
     The domain vector is the grid flattened row-major (``n = rows * cols``);
     the batch asks every row sum followed by every column sum — a strongly
     correlated (rank ``rows + cols - 1``) workload where LRM shines.
+    Implicit: answered by two reshaped sums.
     """
     rows = check_positive_int(rows, "rows")
     cols = check_positive_int(cols, "cols")
-    n = rows * cols
-    matrix = np.zeros((rows + cols, n))
-    for i in range(rows):
-        matrix[i, i * cols : (i + 1) * cols] = 1.0
-    for j in range(cols):
-        matrix[rows + j, j::cols] = 1.0
-    return Workload(matrix, name="Marginals", metadata={"rows": rows, "cols": cols})
+    return Workload(
+        MarginalOperator(rows, cols),
+        name="Marginals",
+        metadata={"rows": rows, "cols": cols},
+    )
 
 
 def sliding_window_workload(n, window):
     """All length-``window`` moving sums over the domain (``n - window + 1``
-    queries); the moving-average workload of streaming analytics."""
+    queries); the moving-average workload of streaming analytics.
+    Implicit (interval-operator backed)."""
     n = check_positive_int(n, "n")
     window = check_positive_int(window, "window")
     if window > n:
         raise ValidationError(f"window {window} exceeds domain size {n}")
     m = n - window + 1
-    matrix = np.zeros((m, n))
-    for i in range(m):
-        matrix[i, i : i + window] = 1.0
-    return Workload(matrix, name="SlidingWindow", metadata={"n": n, "window": window})
+    starts = np.arange(m)
+    return Workload(
+        IntervalOperator(starts, starts + window - 1, n),
+        name="SlidingWindow",
+        metadata={"n": n, "window": window},
+    )
 
 
 def workload_by_name(kind, m, n, s=None, p=0.02, seed=None):

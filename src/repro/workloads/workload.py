@@ -6,6 +6,16 @@ is ``W x``. This class wraps that matrix together with cached spectral
 quantities the Low-Rank Mechanism and its analysis need repeatedly (rank,
 singular values, sensitivity), plus provenance metadata so experiment output
 is self-describing.
+
+A workload may be backed by a dense array **or** by an implicit
+:class:`repro.linalg.operator.WorkloadOperator` — structured families
+(prefix, all-range, sliding windows, marginals, Kronecker products) answer,
+report sensitivity and feed the matvec-driven fit path without ever
+materialising the ``m x n`` array, which is what lets domains of
+``n = 65,536`` and beyond exist at all. ``.matrix`` remains available as an
+explicit escape hatch, guarded by :data:`Workload.MAX_DENSE_ENTRIES` so an
+accidental dense read of a huge implicit workload fails loudly instead of
+exhausting memory.
 """
 
 from __future__ import annotations
@@ -15,6 +25,13 @@ import hashlib
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.linalg.operator import (
+    DenseOperator,
+    KronOperator,
+    ScaledOperator,
+    WorkloadOperator,
+)
+from repro.linalg.randomized import randomized_svd
 from repro.linalg.svd import eigenvalue_ratio, rank_tolerance, singular_values
 from repro.linalg.validation import as_matrix, as_vector, check_shape_compatible
 from repro.privacy.sensitivity import l1_sensitivity
@@ -28,7 +45,8 @@ class Workload:
     Parameters
     ----------
     matrix:
-        The (m x n) workload matrix ``W``.
+        The (m x n) workload ``W`` — a dense array, or an implicit
+        :class:`repro.linalg.operator.WorkloadOperator`.
     name:
         Human-readable label (e.g. ``"WRange"``); used in reports.
     metadata:
@@ -41,9 +59,21 @@ class Workload:
     array([7., 3.])
     """
 
+    #: Guard on materialising an implicit workload through ``.matrix`` /
+    #: spectral properties (50M float64 entries = 400 MB). Use
+    #: :meth:`dense` with an explicit cap to override deliberately.
+    MAX_DENSE_ENTRIES = 50_000_000
+
     def __init__(self, matrix, name="workload", metadata=None):
-        self._matrix = as_matrix(matrix, "workload matrix")
-        self._matrix.setflags(write=False)
+        if isinstance(matrix, WorkloadOperator):
+            self._operator = matrix
+            self._matrix = None
+            self._implicit = True
+        else:
+            self._matrix = as_matrix(matrix, "workload matrix")
+            self._matrix.setflags(write=False)
+            self._operator = None
+            self._implicit = False
         self.name = str(name)
         self.metadata = dict(metadata or {})
         self._rank = None
@@ -51,37 +81,98 @@ class Workload:
         self._sensitivity = None
         self._thin_svd = None
         self._content_digest = None
+        self._implicit_svd_cache = {}
 
     # ------------------------------------------------------------------ #
     # Basic shape / access
     # ------------------------------------------------------------------ #
     @property
+    def is_implicit(self):
+        """True when the workload is operator-backed (no dense array was
+        ever supplied; ``.matrix`` would have to materialise one)."""
+        return self._implicit
+
+    @property
+    def operator(self):
+        """The workload as a :class:`WorkloadOperator` action — the
+        preferred access path for answering and fitting. Dense workloads
+        return a cached :class:`DenseOperator` wrapper."""
+        if self._operator is None:
+            self._operator = DenseOperator(self._matrix)
+        return self._operator
+
+    @property
     def matrix(self):
-        """The underlying read-only (m x n) array."""
+        """The underlying read-only (m x n) array.
+
+        For implicit workloads this **materialises** the operator — the
+        explicit escape hatch — and refuses beyond
+        :data:`MAX_DENSE_ENTRIES` entries; prefer :attr:`operator` /
+        :meth:`answer`, or :meth:`dense` with an explicit cap.
+        """
+        if self._matrix is None:
+            m, n = self._operator.shape
+            if m * n > self.MAX_DENSE_ENTRIES:
+                raise ValidationError(
+                    f"materialising this implicit {m}x{n} workload would "
+                    f"create {m * n} entries (> MAX_DENSE_ENTRIES="
+                    f"{self.MAX_DENSE_ENTRIES}); use .operator for "
+                    "matvec access or .dense(max_entries=...) to override"
+                )
+            dense = np.ascontiguousarray(self._operator.to_dense(), dtype=np.float64)
+            dense.setflags(write=False)
+            self._matrix = dense
         return self._matrix
+
+    def dense(self, max_entries=None):
+        """A dense-backed twin of this workload (explicit escape hatch).
+
+        ``max_entries`` overrides :data:`MAX_DENSE_ENTRIES`; ``None`` keeps
+        the default guard. The twin shares name/metadata but has a dense
+        content digest.
+        """
+        if not self._implicit:
+            return self
+        m, n = self.shape
+        cap = self.MAX_DENSE_ENTRIES if max_entries is None else int(max_entries)
+        if m * n > cap:
+            raise ValidationError(
+                f"materialising {m * n} entries exceeds max_entries={cap}"
+            )
+        return Workload(
+            self._operator.to_dense(), name=self.name, metadata=self.metadata
+        )
 
     @property
     def num_queries(self):
         """Number of queries ``m`` (rows)."""
-        return self._matrix.shape[0]
+        return self.shape[0]
 
     @property
     def domain_size(self):
         """Number of unit counts ``n`` (columns)."""
-        return self._matrix.shape[1]
+        return self.shape[1]
 
     @property
     def shape(self):
         """``(m, n)``."""
-        return self._matrix.shape
+        if self._matrix is not None:
+            return self._matrix.shape
+        return self._operator.shape
 
     def __repr__(self):
-        return f"Workload(name={self.name!r}, shape={self.shape})"
+        backing = ", implicit" if self._implicit else ""
+        return f"Workload(name={self.name!r}, shape={self.shape}{backing})"
 
     def __eq__(self, other):
         if not isinstance(other, Workload):
             return NotImplemented
-        return self.shape == other.shape and np.array_equal(self._matrix, other._matrix)
+        # Content identity == digest identity. Dense digests hash the exact
+        # matrix bytes, implicit digests the canonical operator descriptor;
+        # a dense and an implicit workload therefore never compare equal
+        # even with identical entries — the representation is part of the
+        # identity (matching the hash contract, and what cache keys need).
+        return self.shape == other.shape and self.content_digest == other.content_digest
 
     def __hash__(self):
         # Content-only, like __eq__: the name is provenance, not identity —
@@ -90,18 +181,26 @@ class Workload:
 
     @property
     def content_digest(self):
-        """Memoized SHA-1 hex digest of the matrix bytes (plus shape).
+        """Memoized SHA-1 hex digest of the workload content (plus shape).
 
         Unlike the builtin ``hash``, this is stable across processes (no
         per-run salting), so cache keys and audit logs built from it can be
-        compared between runs; memoization means the matrix is serialized
-        once, not on every cache lookup.
+        compared between runs; memoization means the content is serialized
+        once, not on every cache lookup. Dense workloads hash the matrix
+        bytes; implicit workloads hash the operator's canonical descriptor
+        — nothing is materialised.
         """
         if self._content_digest is None:
-            digest = hashlib.sha1()
-            digest.update(repr(self.shape).encode())
-            digest.update(np.ascontiguousarray(self._matrix).tobytes())
-            self._content_digest = digest.hexdigest()
+            if self._implicit:
+                digest = hashlib.sha1()
+                digest.update(b"operator:")
+                digest.update(self._operator.content_digest().encode())
+                self._content_digest = digest.hexdigest()
+            else:
+                digest = hashlib.sha1()
+                digest.update(repr(self.shape).encode())
+                digest.update(np.ascontiguousarray(self._matrix).tobytes())
+                self._content_digest = digest.hexdigest()
         return self._content_digest
 
     # ------------------------------------------------------------------ #
@@ -110,13 +209,26 @@ class Workload:
     def answer(self, x):
         """Exact batch answer ``W x`` for the data vector ``x``."""
         x = as_vector(x, "x")
+        if self._implicit:
+            if x.size != self.domain_size:
+                raise ValidationError(
+                    f"W has {self.domain_size} columns but x has length {x.size}"
+                )
+            return self._operator.matvec(x)
         check_shape_compatible(self._matrix, x, "W", "x")
         return self._matrix @ x
 
     def row(self, index):
-        """Weight vector of query ``index`` (a copy)."""
+        """Weight vector of query ``index`` (a copy).
+
+        Implicit workloads extract it as ``W^T e_index`` — one ``rmatvec``
+        — so a single row never materialises the matrix."""
         if not 0 <= index < self.num_queries:
             raise ValidationError(f"query index {index} out of range [0, {self.num_queries})")
+        if self._implicit and self._matrix is None:
+            basis = np.zeros(self.num_queries)
+            basis[index] = 1.0
+            return self._operator.rmatvec(basis)
         return self._matrix[index].copy()
 
     # ------------------------------------------------------------------ #
@@ -128,9 +240,10 @@ class Workload:
         spectral cache. Every spectral property below derives from this one
         factorisation, and :class:`repro.core.lrm.LowRankMechanism` threads
         it into :func:`repro.core.alm.decompose_workload` so a fit performs
-        no dense SVD of ``W`` at all."""
+        no dense SVD of ``W`` at all. Implicit workloads materialise
+        (guarded) — their fit path uses :meth:`implicit_svd` instead."""
         if self._thin_svd is None:
-            u, sigma, vt = np.linalg.svd(self._matrix, full_matrices=False)
+            u, sigma, vt = np.linalg.svd(self.matrix, full_matrices=False)
             for factor in (u, sigma, vt):
                 factor.setflags(write=False)
             self._thin_svd = (u, sigma, vt)
@@ -147,6 +260,26 @@ class Workload:
         would do on a large matrix."""
         return self._thin_svd
 
+    def implicit_svd(self, rank, oversample=10, n_iter=4, seed=0):
+        """Truncated spectral cache from matvec actions alone.
+
+        A seeded range-finder SVD (:func:`repro.linalg.randomized
+        .randomized_svd`) of the workload operator, memoized per
+        ``(rank, oversample, n_iter, seed)`` so repeated fits on the same
+        implicit workload share one sketch — the implicit analogue of the
+        :attr:`thin_svd` cache.
+        """
+        key = (int(rank), int(oversample), int(n_iter), int(seed))
+        triple = self._implicit_svd_cache.get(key)
+        if triple is None:
+            triple = randomized_svd(
+                self.operator, rank, oversample=oversample, n_iter=n_iter, rng=seed
+            )
+            for factor in triple:
+                factor.setflags(write=False)
+            self._implicit_svd_cache[key] = triple
+        return triple
+
     @property
     def rank(self):
         """Numerical rank of ``W`` (Section 3.3) — derived from the cached
@@ -161,27 +294,33 @@ class Workload:
         """Singular values of ``W`` in non-ascending order (the paper's
         "eigenvalues" ``lambda_1 >= ... >= lambda_s``)."""
         if self._singular_values is None:
-            values = singular_values(self._matrix)
+            values = singular_values(self.matrix)
             values.setflags(write=False)
             self._singular_values = values
         return self._singular_values
 
     @property
     def sensitivity(self):
-        """L1 sensitivity ``max_j sum_i |W_ij|`` of the batch."""
+        """L1 sensitivity ``max_j sum_i |W_ij|`` of the batch — computed
+        from the operator's closed-form column sums for implicit
+        workloads."""
         if self._sensitivity is None:
-            self._sensitivity = l1_sensitivity(self._matrix)
+            self._sensitivity = l1_sensitivity(
+                self._operator if self._implicit else self._matrix
+            )
         return self._sensitivity
 
     @property
     def frobenius_squared(self):
         """``||W||_F^2``, the squared sum of all entries."""
+        if self._implicit:
+            return self._operator.frobenius_squared()
         return float(np.sum(self._matrix**2))
 
     @property
     def eigenvalue_ratio(self):
         """Conditioning constant ``C = lambda_1 / lambda_r`` of Theorem 2."""
-        return eigenvalue_ratio(self._matrix)
+        return eigenvalue_ratio(self.matrix)
 
     def is_low_rank(self):
         """True iff ``rank(W) < min(m, n)``, i.e. rows or columns are
@@ -199,7 +338,7 @@ class Workload:
         if indices.min() < 0 or indices.max() >= self.num_queries:
             raise ValidationError("subset indices out of range")
         return Workload(
-            self._matrix[indices],
+            self.matrix[indices],
             name=f"{self.name}[subset]",
             metadata={**self.metadata, "parent": self.name},
         )
@@ -213,19 +352,24 @@ class Workload:
                 f"domain mismatch: {self.domain_size} vs {other.domain_size}"
             )
         return Workload(
-            np.vstack([self._matrix, other._matrix]),
+            np.vstack([self.matrix, other.matrix]),
             name=f"{self.name}+{other.name}",
             metadata={"parents": [self.name, other.name]},
         )
 
     def scaled(self, factor):
         """Workload with every weight multiplied by ``factor`` (e.g. to turn
-        counts into weighted averages)."""
+        counts into weighted averages). Implicit workloads stay implicit
+        through a :class:`ScaledOperator`."""
         factor = float(factor)
         if factor == 0.0:
             raise ValidationError("scaling by zero produces a degenerate workload")
+        if self._implicit:
+            backing = ScaledOperator(self._operator, factor)
+        else:
+            backing = self._matrix * factor
         return Workload(
-            self._matrix * factor,
+            backing,
             name=f"{factor}*{self.name}",
             metadata={**self.metadata, "scaled_by": factor},
         )
@@ -240,11 +384,17 @@ class Workload:
         marginal and hierarchical multi-dimensional workloads (HDMM-style).
         The resulting rank is ``rank(W1) * rank(W2)``, so products of
         low-rank pieces stay low-rank for LRM.
+
+        The product is **lazy**: it is backed by a
+        :class:`repro.linalg.operator.KronOperator` applying the factors
+        via ``(A (x) C) x = vec(A X C^T)``, so the ``(m1 m2) x (n1 n2)``
+        array is never formed (``.matrix`` still materialises on demand,
+        under the usual guard).
         """
         if not isinstance(other, Workload):
             raise ValidationError("kron expects another Workload")
         return Workload(
-            np.kron(self._matrix, other._matrix),
+            KronOperator(self.operator, other.operator),
             name=f"{self.name}(x){other.name}",
             metadata={"parents": [self.name, other.name], "kron": True},
         )

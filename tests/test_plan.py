@@ -10,7 +10,7 @@ from repro.exceptions import PrivacyBudgetError, ValidationError
 from repro.io.serialization import load_plan, save_plan
 from repro.mechanisms.baselines import NoiseOnDataMechanism
 from repro.privacy.accountant import ApproxDPAccountant, PureDPAccountant
-from repro.workloads import wrange, wrelated
+from repro.workloads import wdiscrete, wrange, wrelated
 
 FAST_LRM = {"LRM": {"max_outer": 15, "max_inner": 3, "nesterov_iters": 15, "stall_iters": 5}}
 
@@ -476,10 +476,21 @@ class TestPlanSerialization:
             load_plan(path)
 
     def test_tampered_workload_rejected(self, tmp_path):
-        plan = build_plan(wrange(6, 64, seed=0), mechanism="LM")
+        plan = build_plan(wdiscrete(6, 64, seed=0), mechanism="LM")
         path = tmp_path / "lm.plan.npz"
         save_plan(plan, path)
         self._tamper(path, "workload", lambda w: w + 1.0)
+        with pytest.raises(ValidationError, match="integrity"):
+            load_plan(path)
+
+    def test_tampered_operator_workload_rejected(self, tmp_path):
+        # Implicit workloads archive their operator arrays instead of a
+        # dense matrix; shifting an interval endpoint (still in-range, so
+        # the operator itself reconstructs) must fail the digest check.
+        plan = build_plan(wrange(6, 64, seed=0), mechanism="LM")
+        path = tmp_path / "lm.plan.npz"
+        save_plan(plan, path)
+        self._tamper(path, "op_lows", lambda lows: np.zeros_like(lows))
         with pytest.raises(ValidationError, match="integrity"):
             load_plan(path)
 

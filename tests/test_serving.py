@@ -69,17 +69,61 @@ class TestAnswerMany:
         )
         assert np.array_equal(got, workload.matrix @ x + noise)
 
-    def test_fallback_loop_matches_sequential_answers(self):
-        # Operator-less mechanisms loop over _answer: with one shared rng
-        # the batch is bit-identical to sequential answer() calls.
+    def test_wavelet_batch_matches_manual_block_draw(self):
+        # WM's batched release is one (k, n) Laplace draw on the Haar
+        # coefficients, one batched synthesis, one GEMM — exactly.
+        from repro.linalg.haar import haar_analysis, haar_synthesis_rows
+        from repro.privacy.noise import laplace_noise_batch
+
         workload = wrange(6, 32, seed=0)
         batch_mechanism = make_mechanism("WM").fit(workload)
         assert batch_mechanism.release_operator() is None
         x = np.arange(32.0)
-        got = batch_mechanism.answer_many(x, [0.1, 0.5], rng=4)
+        epsilons = [0.1, 0.5]
+        got = batch_mechanism.answer_many(x, epsilons, rng=4)
+
         rng = np.random.default_rng(4)
-        expected = np.stack([batch_mechanism.answer(x, eps, rng) for eps in [0.1, 0.5]])
+        coefficients = haar_analysis(x)
+        noise = laplace_noise_batch(
+            coefficients.size, batch_mechanism.strategy_sensitivity, epsilons, rng
+        )
+        reconstructed = haar_synthesis_rows(coefficients[None, :] + noise)
+        expected = reconstructed @ workload.matrix.T
         assert np.array_equal(got, expected)
+
+    def test_hierarchical_batch_matches_manual_block_draw(self):
+        # HM: one (k, 2n-1) draw on the tree nodes, one batched consistency
+        # pass, one GEMM.
+        from repro.linalg.trees import tree_apply, tree_consistency_rows
+        from repro.privacy.noise import laplace_noise_batch
+
+        workload = wrange(6, 32, seed=0)
+        batch_mechanism = make_mechanism("HM").fit(workload)
+        assert batch_mechanism.release_operator() is None
+        x = np.arange(32.0)
+        epsilons = [0.2, 0.9]
+        got = batch_mechanism.answer_many(x, epsilons, rng=7)
+
+        rng = np.random.default_rng(7)
+        nodes = tree_apply(x)
+        noise = laplace_noise_batch(
+            nodes.size, batch_mechanism.strategy_sensitivity, epsilons, rng
+        )
+        estimates = tree_consistency_rows(nodes[None, :] + noise)
+        expected = estimates @ workload.matrix.T
+        assert np.array_equal(got, expected)
+
+    def test_transform_batch_rows_distributed_like_single_answers(self):
+        # Each batched WM row has the distribution of a standalone answer:
+        # means converge on the exact answers at the single-release rate.
+        workload = wrange(4, 16, seed=0)
+        mechanism = make_mechanism("WM").fit(workload)
+        x = np.arange(16.0)
+        rows = mechanism.answer_many(x, np.full(3000, 1.0), rng=0)
+        exact = workload.answer(x)
+        assert np.allclose(rows.mean(axis=0), exact, atol=2.0)
+        expected_total_var = mechanism.expected_squared_error(1.0)
+        assert np.sum(rows.var(axis=0)) == pytest.approx(expected_total_var, rel=0.2)
 
     def test_rows_distributed_like_single_answers(self):
         # Mean over many batched LM releases converges on the exact
