@@ -67,6 +67,16 @@ def build_parser():
         help="plan: failure probability for Gaussian ((eps, delta)-DP) candidates",
     )
     parser.add_argument(
+        "--budget-epsilon", type=float, default=None,
+        help="plan: total epsilon budget — adds a releases-per-budget line "
+        "to the explain report (basic vs Rényi/zCDP accounting)",
+    )
+    parser.add_argument(
+        "--budget-delta", type=float, default=0.0,
+        help="plan: total delta budget paired with --budget-epsilon "
+        "(required > 0 for the RDP accounting column)",
+    )
+    parser.add_argument(
         "--gamma", type=float, default=1e-2,
         help="decompose: relative relaxation tolerance (default 1e-2)",
     )
@@ -144,15 +154,24 @@ def _run_plan(args, out):
     if not args.workload:
         out.write("plan requires --workload pointing at a .npy matrix\n")
         return 2
+    # Flag pairing is knowable before any (expensive) candidate fitting.
+    if args.budget_delta and args.budget_epsilon is None:
+        out.write("--budget-delta requires --budget-epsilon (the total epsilon)\n")
+        return 2
     matrix = np.load(args.workload)
+    # `is not None`, not truthiness: an explicit `--delta 0.0` must reach
+    # the Gaussian candidates (whose constructors reject it with a clear
+    # error) rather than being silently treated as unset — the latter left
+    # them at their default delta, releasing at a failure probability the
+    # caller never chose.
     if args.candidates:
         candidates = tuple(label.strip().upper() for label in args.candidates.split(","))
-    elif args.delta:
+    elif args.delta is not None:
         candidates = DEFAULT_CANDIDATES + APPROX_DP_CANDIDATES
     else:
         candidates = DEFAULT_CANDIDATES
     mechanism_kwargs = {}
-    if args.delta:
+    if args.delta is not None:
         for label in APPROX_DP_CANDIDATES:
             mechanism_kwargs[label] = {"delta": args.delta}
     out.write(f"planning workload {matrix.shape} from {args.workload} ...\n")
@@ -163,7 +182,14 @@ def _run_plan(args, out):
         candidates=candidates,
         mechanism_kwargs=mechanism_kwargs,
     )
-    out.write(plan.explain(epsilon=args.epsilon) + "\n")
+    out.write(
+        plan.explain(
+            epsilon=args.epsilon,
+            budget=args.budget_epsilon,
+            budget_delta=args.budget_delta,
+        )
+        + "\n"
+    )
     if args.out:
         # np.savez appends ".npz" to extension-less paths; normalize so the
         # reported filename is the one actually written.

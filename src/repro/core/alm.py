@@ -189,8 +189,9 @@ class Decomposition:
 
     def expected_gaussian_noise_error(self, epsilon, failure_delta):
         """Gaussian-mechanism analogue of Lemma 1:
-        ``Phi(B, L) * sigma^2`` with
-        ``sigma = Delta_2(L) sqrt(2 ln(1.25/delta)) / eps``."""
+        ``Phi(B, L) * sigma^2`` with ``sigma`` the analytic Gaussian
+        calibration of :func:`repro.privacy.noise.gaussian_sigma` for
+        ``(Delta_2(L), epsilon, failure_delta)`` (valid at every eps)."""
         from repro.privacy.noise import gaussian_sigma
 
         sigma = gaussian_sigma(max(self.sensitivity, 1e-300), epsilon, failure_delta)

@@ -259,15 +259,19 @@ class GaussianLowRankMechanism(LowRankMechanism):
     of ``L``, and the release is
 
         B (L x + N(0, sigma^2)^r),
-        sigma = Delta_2(L) sqrt(2 ln(1.25/delta)) / eps.
+
+    with ``sigma`` the analytic Gaussian calibration of
+    :func:`repro.privacy.noise.gaussian_sigma` — the smallest noise
+    satisfying the exact (eps, delta) privacy profile, valid at **every**
+    ``eps > 0`` (the classical ``Delta_2 sqrt(2 ln(1.25/delta)) / eps``
+    formula is a looser sufficient condition that only holds for eps < 1).
 
     This is the natural Gaussian companion of the paper's mechanism (its
     matrix-mechanism lineage optimises exactly this L2 program); the
     expected squared error is ``tr(B^T B) sigma^2``.
 
     Parameters are those of :class:`LowRankMechanism` plus ``delta``, the
-    (eps, delta)-DP failure probability (must be < 1; eps < 1 for the
-    analytic Gaussian calibration to be tight).
+    (eps, delta)-DP failure probability (must be < 1).
     """
 
     name = "GLRM"

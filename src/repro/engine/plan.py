@@ -293,13 +293,20 @@ class ExecutionPlan:
     # ------------------------------------------------------------------ #
     # Explain
     # ------------------------------------------------------------------ #
-    def explain(self, epsilon=None):
+    def explain(self, epsilon=None, budget=None, budget_delta=0.0):
         """Human-readable plan report (an ``EXPLAIN`` for private releases).
 
         Lists the chosen mechanism with its decomposition facts (rank,
         sensitivity), the privacy model, the predicted error at the plan's
         probe epsilon (and at ``epsilon`` when given), and the full
         candidate ranking — including failed candidates and why.
+
+        ``budget`` (a total epsilon, with ``budget_delta`` the total delta)
+        adds a capacity line: how many releases of this plan at the probe
+        epsilon fit that budget under each accountant model — sequential /
+        basic composition versus the Rényi accountant
+        (:func:`repro.privacy.rdp.releases_per_budget`) — the number a
+        serving deployment sizes its traffic against.
         """
         meta = self.mechanism.plan_metadata()
         lines = [
@@ -326,6 +333,13 @@ class ExecutionPlan:
             predicted = self.predicted_error(probe)
             rendered = f"{predicted:.6g}" if predicted is not None else "no closed form"
             lines.append(f"  predicted error  : {rendered} (total squared, at eps={probe:g})")
+        if budget is not None:
+            lines.append(self._budget_line(probes[-1], budget, budget_delta))
+        elif float(budget_delta) != 0.0:
+            raise ValidationError(
+                "budget_delta was given without budget (the total epsilon); "
+                "pass both to get the releases-per-budget line"
+            )
         lines.append("  candidate ranking:")
         rank = 0
         for candidate in self.candidates:
@@ -342,6 +356,36 @@ class ExecutionPlan:
             marker = "  <- chosen" if candidate.chosen else ""
             lines.append(f"    {rank}. {candidate.label:<6} expected error {error}  {fit}{marker}")
         return "\n".join(lines)
+
+    def _budget_line(self, probe, budget, budget_delta):
+        """The releases-per-budget capacity line of :meth:`explain`."""
+        from repro.exceptions import PrivacyBudgetError
+        from repro.privacy.accountant import _check_delta
+        from repro.privacy.rdp import releases_per_budget
+
+        budget = check_positive(budget, "budget")
+        # Validate up front: a malformed budget_delta must raise like every
+        # other explain parameter, not be swallowed into an "n/a" column by
+        # the not-applicable handler below.
+        budget_delta = _check_delta(budget_delta, "budget_delta")
+        cost_delta = self.delta
+        counts = []
+        base_model = "basic" if (cost_delta > 0.0 or budget_delta > 0.0) else "pure"
+        for model in (base_model, "rdp"):
+            try:
+                count = releases_per_budget(
+                    probe, cost_delta, budget, budget_delta, model=model
+                )
+            except PrivacyBudgetError:
+                # e.g. RDP without a delta budget: not applicable.
+                counts.append(f"{model} n/a")
+                continue
+            counts.append(f"{model} x{count}")
+        return (
+            f"  releases/budget  : {' | '.join(counts)} "
+            f"(eps={probe:g}, delta={cost_delta:g} per release against "
+            f"budget eps={budget:g}, delta={budget_delta:g})"
+        )
 
     def to_metadata(self):
         """JSON-serializable description (everything but the fitted arrays)."""

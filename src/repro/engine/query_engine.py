@@ -91,7 +91,10 @@ class Release:
         Cache key of the workload (for auditing).
     metadata:
         Audit trail: workload shape, the post-processing switches actually
-        applied, the plan key and the accountant model.
+        applied, the plan key, the accountant model, and ``realized`` —
+        the cumulative (epsilon, delta) guarantee the accountant's ledger
+        promised right after this release's charge committed (identical
+        between looped and batched execution).
     """
 
     # Field order preserves positional compatibility with the pre-plan-API
@@ -137,8 +140,13 @@ class PrivateQueryEngine:
         for a persistent one, or a ready-made :class:`PlanCache` instance
         (shareable between engines).
     accountant:
-        A pre-built :class:`repro.privacy.accountant.BudgetAccountant`;
-        overrides ``total_budget``/``delta`` when given.
+        A pre-built :class:`repro.privacy.accountant.BudgetAccountant`
+        (overrides ``total_budget``/``delta``), or an accountant *model*
+        name forwarded to :func:`repro.privacy.accountant.make_accountant`:
+        ``"pure"``, ``"basic"``, or ``"rdp"`` (the concentrated-DP
+        accountant of :mod:`repro.privacy.rdp`, which admits far more
+        Gaussian releases per (eps, delta) budget than basic composition;
+        it requires ``delta > 0``).
     """
 
     # delta and the other plan-API parameters come after the pre-PR-2
@@ -148,13 +156,21 @@ class PrivateQueryEngine:
                  mechanism_kwargs=None, seed=None, delta=0.0, plan_cache=None,
                  accountant=None):
         self._set_data(data)
-        if accountant is not None:
-            if not isinstance(accountant, BudgetAccountant):
-                raise ValidationError("accountant must be a BudgetAccountant instance")
+        if isinstance(accountant, BudgetAccountant):
             self._accountant = accountant
-        else:
+        elif isinstance(accountant, str):
+            self._accountant = make_accountant(
+                check_positive(total_budget, "total_budget"), delta,
+                model=accountant,
+            )
+        elif accountant is None:
             self._accountant = make_accountant(
                 check_positive(total_budget, "total_budget"), delta
+            )
+        else:
+            raise ValidationError(
+                "accountant must be a BudgetAccountant instance or a model "
+                "name ('pure', 'basic', 'rdp')"
             )
         if self.delta > 0.0 and candidates is DEFAULT_CANDIDATES:
             candidates = DEFAULT_CANDIDATES + APPROX_DP_CANDIDATES
@@ -477,10 +493,17 @@ class PrivateQueryEngine:
 
     def _finalize_release(
         self, plan, epsilon, delta, answers, non_negative, integral, consistent,
-        expected_memo=None, metadata_base=None,
+        expected_memo=None, metadata_base=None, realized=None,
     ):
         """Post-process raw noisy answers and wrap them as a Release; the
-        budget must already be charged."""
+        budget must already be charged.
+
+        ``realized`` is the cumulative (spent_epsilon, spent_delta)
+        guarantee of the accountant *after* this release's charge
+        committed — the audit trail of what the whole ledger promises at
+        that point, which under non-additive accounting (RDP) is the only
+        faithful per-release privacy figure.
+        """
         if non_negative or integral or consistent:
             # Only the consistency projection reads W; clamping/rounding
             # must not force an implicit large-domain workload dense.
@@ -492,6 +515,8 @@ class PrivateQueryEngine:
                 consistent=consistent,
             )
         metadata = dict(metadata_base if metadata_base is not None else self._metadata_base(plan))
+        if realized is not None:
+            metadata["realized"] = {"epsilon": realized[0], "delta": realized[1]}
         metadata["postprocess"] = {
             "non_negative": bool(non_negative),
             "integral": bool(integral),
@@ -507,7 +532,8 @@ class PrivateQueryEngine:
             metadata=metadata,
         )
 
-    def _build_release(self, plan, epsilon, delta, non_negative, integral, consistent):
+    def _build_release(self, plan, epsilon, delta, non_negative, integral,
+                       consistent, realized=None):
         """Produce one release without logging it; the budget must already
         be charged. Runs through the plan's compiled release operator —
         noise draw plus recombination, with the strategy answers ``L x``
@@ -516,7 +542,8 @@ class PrivateQueryEngine:
             self._data, epsilon, self._rng, epoch=self._data_epoch
         )
         return self._finalize_release(
-            plan, epsilon, delta, answers, non_negative, integral, consistent
+            plan, epsilon, delta, answers, non_negative, integral, consistent,
+            realized=realized,
         )
 
     def execute(self, plan, epsilon, non_negative=False, integral=False, consistent=False):
@@ -532,9 +559,11 @@ class PrivateQueryEngine:
         epsilon, delta = self._check_executable(plan, epsilon)
         ledger_state = self._accountant.snapshot()
         self._accountant.spend(epsilon, delta)
+        realized = (self._accountant.spent_epsilon, self._accountant.spent_delta)
         try:
             release = self._build_release(
-                plan, epsilon, delta, non_negative, integral, consistent
+                plan, epsilon, delta, non_negative, integral, consistent,
+                realized=realized,
             )
         except BaseException:
             # Build failed (e.g. a post-processing projection error): the
@@ -623,20 +652,27 @@ class PrivateQueryEngine:
         if not prepared:
             raise ValidationError("execute_many needs at least one (plan, epsilon) request")
         ledger_state = self._accountant.snapshot()
-        self._accountant.spend_many([cost for _, cost, _ in prepared])
+        # Per-cost realized ledger states, in request order: bit-identical
+        # to what a loop of execute() calls would have recorded (spend_many
+        # simulates exactly that sequential ledger).
+        realized = []
+        self._accountant.spend_many(
+            [cost for _, cost, _ in prepared], realized_out=realized
+        )
         try:
-            staged = self._produce_batch(prepared)
+            staged = self._produce_batch(prepared, realized)
         except BaseException:
             self._accountant.restore(ledger_state)
             raise
         self._releases.extend(staged)
         return staged
 
-    def _produce_batch(self, prepared):
+    def _produce_batch(self, prepared, realized):
         """Produce every release of a charged batch, plan-grouped.
 
         Same-plan requests share one batched noise draw + GEMM; the
-        returned list is in the original request order.
+        returned list is in the original request order. ``realized`` holds
+        the per-request post-charge ledger states, also in request order.
         """
         groups = {}  # id(plan) -> [request index, ...] in request order
         for index, (plan, _, _) in enumerate(prepared):
@@ -655,6 +691,7 @@ class PrivateQueryEngine:
                 staged[index] = self._finalize_release(
                     plan, epsilon, delta, answers,
                     expected_memo=expected_memo, metadata_base=metadata_base,
+                    realized=realized[index],
                     **switches,
                 )
                 continue
@@ -670,6 +707,7 @@ class PrivateQueryEngine:
                 staged[index] = self._finalize_release(
                     plan, epsilon, delta, row,
                     expected_memo=expected_memo, metadata_base=metadata_base,
+                    realized=realized[index],
                     **switches,
                 )
         return staged

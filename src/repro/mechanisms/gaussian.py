@@ -5,6 +5,12 @@ lineage (Li et al.) equally supports the relaxed (eps, delta)-DP model with
 Gaussian noise calibrated to the **L2** sensitivity. These baselines pair
 with :class:`repro.core.lrm.GaussianLowRankMechanism`, which solves the
 decomposition program under per-column L2 constraints.
+
+Noise is calibrated by the analytic Gaussian mechanism
+(:func:`repro.privacy.noise.gaussian_sigma`): the exact privacy-profile
+inversion of Balle & Wang (2018), valid at every ``eps > 0`` — not the
+classical ``sqrt(2 ln(1.25/delta))/eps`` formula, which only guarantees
+(eps, delta)-DP for ``eps < 1``.
 """
 
 from __future__ import annotations
@@ -48,7 +54,9 @@ class GaussianNoiseOnDataMechanism(Mechanism):
         meta = super().plan_metadata()
         meta["noise"] = "gaussian"
         meta["sensitivity"] = float(self.unit_sensitivity)
-        # sigma scales as sigma_unit / eps: report the eps-independent part.
+        # A reference point only: under the analytic calibration sigma is
+        # *not* proportional to 1/eps, so this cannot be rescaled to other
+        # epsilons (use gaussian_sigma directly for those).
         meta["sigma_at_unit_epsilon"] = float(
             gaussian_sigma(self.unit_sensitivity, 1.0, self.delta)
         )
@@ -72,7 +80,8 @@ class GaussianNoiseOnDataMechanism(Mechanism):
         )
 
     def expected_squared_error(self, epsilon):
-        """``sigma^2 ||W||_F^2`` with the analytic Gaussian sigma."""
+        """``sigma^2 ||W||_F^2`` with the analytic Gaussian sigma (valid at
+        every eps, including eps >= 1)."""
         self._check_fitted()
         sigma = gaussian_sigma(self.unit_sensitivity, epsilon, self.delta)
         return sigma * sigma * self.workload.frobenius_squared

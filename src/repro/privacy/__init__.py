@@ -11,10 +11,21 @@ from repro.privacy.noise import (
     expected_squared_gaussian_noise,
     expected_squared_noise,
     gaussian_noise,
+    gaussian_profile_delta,
     gaussian_sigma,
+    gaussian_sigma_batch,
     laplace_noise,
     laplace_scale,
     laplace_variance,
+)
+from repro.privacy.rdp import (
+    DEFAULT_ALPHA_GRID,
+    RDPAccountant,
+    compose_rdp_curves,
+    gaussian_rdp_curve,
+    laplace_rdp_curve,
+    rdp_to_approx_dp,
+    releases_per_budget,
 )
 from repro.privacy.sensitivity import (
     column_l1_norms,
@@ -27,15 +38,24 @@ from repro.privacy.sensitivity import (
 __all__ = [
     "ApproxDPAccountant",
     "BudgetAccountant",
+    "DEFAULT_ALPHA_GRID",
     "PrivacyBudget",
     "PureDPAccountant",
+    "RDPAccountant",
     "make_accountant",
     "column_l1_norms",
     "column_l2_norms",
+    "compose_rdp_curves",
     "expected_squared_gaussian_noise",
     "gaussian_noise",
+    "gaussian_profile_delta",
+    "gaussian_rdp_curve",
     "gaussian_sigma",
+    "gaussian_sigma_batch",
     "l2_sensitivity",
+    "laplace_rdp_curve",
+    "rdp_to_approx_dp",
+    "releases_per_budget",
     "compose_sequential",
     "expected_squared_noise",
     "l1_sensitivity",

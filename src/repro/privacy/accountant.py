@@ -13,11 +13,22 @@ mechanisms live in. This module abstracts both behind one interface:
   (Dwork & Roth, Thm 3.16): ``sum eps_i <= eps_total`` and
   ``sum delta_i <= delta_total``. Pure releases (``delta = 0``) compose
   freely alongside Gaussian ones.
+* :class:`repro.privacy.rdp.RDPAccountant` — concentrated-DP (Rényi)
+  composition: the ledger is an accumulated RDP curve, converted to an
+  (eps, delta_total) guarantee on every admission check. Far tighter than
+  basic composition for many Gaussian releases (see :mod:`repro.privacy.rdp`).
 
-Both accountants absorb floating-point dust at the boundary: spending a
-budget down in steps whose exact sum equals the total always succeeds and
-leaves ``remaining_epsilon == 0.0`` exactly (no ``0.3 - 3 * 0.1 != 0``
-failures), while a genuine overspend raises
+The ledger *state* is an opaque value managed through the ``_ledger_state``
+/ ``_fits_state`` / ``_commit_state`` hooks — a scalar ``(spent_epsilon,
+spent_delta)`` pair for the two composition-by-addition accountants, an RDP
+curve for the Rényi one — so :meth:`BudgetAccountant.spend_many` can
+simulate the sequential ledger for *any* composition rule and stay
+all-or-nothing and bit-identical to a loop of :meth:`spend` calls.
+
+Both scalar accountants absorb floating-point dust at the boundary:
+spending a budget down in steps whose exact sum equals the total always
+succeeds and leaves ``remaining_epsilon == 0.0`` exactly (no
+``0.3 - 3 * 0.1 != 0`` failures), while a genuine overspend raises
 :class:`repro.exceptions.PrivacyBudgetError` *before* any state changes —
 ``spend_many`` is all-or-nothing.
 """
@@ -49,9 +60,10 @@ def _check_delta(delta, name="delta"):
 class BudgetAccountant(abc.ABC):
     """Mutable (epsilon, delta) privacy ledger.
 
-    Subclasses define one composition rule via :meth:`_validate_cost`; the
-    base class owns the arithmetic: spend tracking, float-dust clamping at
-    exact exhaustion, and the atomic :meth:`spend_many`.
+    Subclasses define one composition rule via :meth:`_validate_cost` (and,
+    for non-additive rules, the ledger-state hooks); the base class owns
+    the protocol: spend tracking, the atomic :meth:`spend_many`, snapshots
+    and the reporting properties.
     """
 
     #: Short label recorded in release audit metadata.
@@ -71,50 +83,29 @@ class BudgetAccountant(abc.ABC):
         self._delta_slack = 1e-9 * self._total_delta
 
     # ------------------------------------------------------------------ #
-    # Introspection
+    # Ledger-state hooks (scalar (spent_epsilon, spent_delta) by default;
+    # subclasses with a richer ledger — e.g. an RDP curve — override all
+    # of them together).
     # ------------------------------------------------------------------ #
-    @property
-    def total_epsilon(self):
-        """Total epsilon available across all releases."""
-        return self._total_epsilon
+    def _fresh_state(self):
+        """The ledger state of an untouched accountant."""
+        return (0.0, 0.0)
 
-    @property
-    def total_delta(self):
-        """Total delta available across all releases."""
-        return self._total_delta
+    def _ledger_state(self):
+        """The current (opaque, immutable) ledger state."""
+        return (self._spent_epsilon, self._spent_delta)
 
-    @property
-    def spent_epsilon(self):
-        """Epsilon consumed so far."""
-        return self._spent_epsilon
+    def _set_ledger_state(self, state):
+        self._spent_epsilon, self._spent_delta = state
 
-    @property
-    def spent_delta(self):
-        """Delta consumed so far."""
-        return self._spent_delta
+    def _state_spent(self, state):
+        """Report a state as a ``(spent_epsilon, spent_delta)`` pair — the
+        (eps, delta)-DP guarantee the releases committed so far jointly
+        satisfy under this accountant's composition rule."""
+        return state
 
-    @property
-    def remaining_epsilon(self):
-        """Epsilon still available."""
-        return max(self._total_epsilon - self._spent_epsilon, 0.0)
-
-    @property
-    def remaining_delta(self):
-        """Delta still available."""
-        return max(self._total_delta - self._spent_delta, 0.0)
-
-    # ------------------------------------------------------------------ #
-    # Spending
-    # ------------------------------------------------------------------ #
-    @abc.abstractmethod
-    def _validate_cost(self, epsilon, delta):
-        """Validate one (epsilon, delta) cost; return the normalized pair.
-
-        Raises :class:`PrivacyBudgetError` when the cost is malformed for
-        this composition model (independent of the remaining budget).
-        """
-
-    def _fits_state(self, epsilon, delta, spent_epsilon, spent_delta):
+    def _fits_state(self, epsilon, delta, state):
+        spent_epsilon, spent_delta = state
         # A fully-spent coordinate admits nothing more: the slack below only
         # forgives float dust on the *last* spend that reaches the total —
         # it must not re-arm after exhaustion (else unbounded dust-sized
@@ -128,23 +119,8 @@ class BudgetAccountant(abc.ABC):
             and delta <= max(self._total_delta - spent_delta, 0.0) + self._delta_slack
         )
 
-    def _fits(self, epsilon, delta):
-        return self._fits_state(epsilon, delta, self._spent_epsilon, self._spent_delta)
-
-    def can_spend(self, epsilon, delta=0.0):
-        """True iff one (epsilon, delta) release fits in the budget.
-
-        A malformed cost (non-positive epsilon, delta out of range, delta on
-        a pure accountant) answers False rather than raising — this is a
-        predicate, not a spend.
-        """
-        try:
-            epsilon, delta = self._validate_cost(epsilon, delta)
-        except ReproError:
-            return False
-        return self._fits(epsilon, delta)
-
-    def _commit_state(self, epsilon, delta, spent_epsilon, spent_delta):
+    def _commit_state(self, epsilon, delta, state):
+        spent_epsilon, spent_delta = state
         spent_epsilon += epsilon
         spent_delta += delta
         # Clamp float dust so exact exhaustion reads remaining == 0.0 and a
@@ -165,10 +141,65 @@ class BudgetAccountant(abc.ABC):
             spent_delta = self._total_delta
         return spent_epsilon, spent_delta
 
-    def _commit(self, epsilon, delta):
-        self._spent_epsilon, self._spent_delta = self._commit_state(
-            epsilon, delta, self._spent_epsilon, self._spent_delta
-        )
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total_epsilon(self):
+        """Total epsilon available across all releases."""
+        return self._total_epsilon
+
+    @property
+    def total_delta(self):
+        """Total delta available across all releases."""
+        return self._total_delta
+
+    @property
+    def spent_epsilon(self):
+        """Epsilon consumed so far (the eps of the realized guarantee)."""
+        return self._state_spent(self._ledger_state())[0]
+
+    @property
+    def spent_delta(self):
+        """Delta consumed so far (the delta of the realized guarantee)."""
+        return self._state_spent(self._ledger_state())[1]
+
+    @property
+    def remaining_epsilon(self):
+        """Epsilon still available."""
+        return max(self._total_epsilon - self.spent_epsilon, 0.0)
+
+    @property
+    def remaining_delta(self):
+        """Delta still available."""
+        return max(self._total_delta - self.spent_delta, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Spending
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _validate_cost(self, epsilon, delta):
+        """Validate one (epsilon, delta) cost; return the normalized pair.
+
+        Raises :class:`PrivacyBudgetError` when the cost is malformed for
+        this composition model (independent of the remaining budget).
+        """
+
+    def _fits(self, epsilon, delta):
+        return self._fits_state(epsilon, delta, self._ledger_state())
+
+    def can_spend(self, epsilon, delta=0.0):
+        """True iff one (epsilon, delta) release fits in the budget.
+
+        A malformed cost (non-positive epsilon, delta out of range, delta on
+        a pure accountant) answers False rather than raising — this is a
+        predicate, not a spend.
+        """
+        try:
+            epsilon, delta = self._validate_cost(epsilon, delta)
+        except ReproError:
+            return False
+        return self._fits(epsilon, delta)
 
     def spend(self, epsilon, delta=0.0):
         """Consume one (epsilon, delta) cost; returns the pair.
@@ -177,22 +208,29 @@ class BudgetAccountant(abc.ABC):
         when the cost is invalid or would exceed the budget.
         """
         epsilon, delta = self._validate_cost(epsilon, delta)
-        if not self._fits(epsilon, delta):
+        state = self._ledger_state()
+        if not self._fits_state(epsilon, delta, state):
             raise PrivacyBudgetError(
                 f"cannot spend (eps={epsilon}, delta={delta}): remaining "
                 f"(eps={self.remaining_epsilon}, delta={self.remaining_delta}) "
                 f"of (eps={self._total_epsilon}, delta={self._total_delta})"
             )
-        self._commit(epsilon, delta)
+        self._set_ledger_state(self._commit_state(epsilon, delta, state))
         return epsilon, delta
 
-    def spend_many(self, costs):
+    def spend_many(self, costs, realized_out=None):
         """Atomically consume a batch of (epsilon, delta) costs.
 
         Either the whole batch is charged (and the validated pairs are
         returned) or :class:`PrivacyBudgetError` is raised with no state
         change — the all-or-nothing primitive behind
         ``PrivateQueryEngine.execute_many``.
+
+        ``realized_out``, when given a list, receives one
+        ``(spent_epsilon, spent_delta)`` pair per cost: the cumulative
+        guarantee of the ledger *after* that cost commits — bit-identical
+        to what a loop of :meth:`spend` calls would have read off the
+        properties, since admission simulates exactly that loop.
         """
         # Serving batches are typically many releases at a handful of
         # distinct costs; validate each distinct cost once (validation is
@@ -215,11 +253,13 @@ class BudgetAccountant(abc.ABC):
         # admits boundary dust the looped exhaustion guard refuses). The
         # simulated state is assigned only after every cost fits, keeping
         # spend_many all-or-nothing.
-        spent_epsilon, spent_delta = self._spent_epsilon, self._spent_delta
+        state = self._ledger_state()
+        realized = []
         for index, (epsilon, delta) in enumerate(validated):
-            if not self._fits_state(epsilon, delta, spent_epsilon, spent_delta):
+            if not self._fits_state(epsilon, delta, state):
                 total_eps = sum(eps for eps, _ in validated)
                 total_delta = sum(delta for _, delta in validated)
+                spent_epsilon, spent_delta = self._state_spent(state)
                 raise PrivacyBudgetError(
                     f"batch of {len(validated)} releases needs "
                     f"(eps={total_eps}, delta={total_delta}): release {index} "
@@ -228,15 +268,17 @@ class BudgetAccountant(abc.ABC):
                     f"(eps={max(self._total_epsilon - spent_epsilon, 0.0)}, "
                     f"delta={max(self._total_delta - spent_delta, 0.0)})"
                 )
-            spent_epsilon, spent_delta = self._commit_state(
-                epsilon, delta, spent_epsilon, spent_delta
-            )
-        self._spent_epsilon, self._spent_delta = spent_epsilon, spent_delta
+            state = self._commit_state(epsilon, delta, state)
+            if realized_out is not None:
+                realized.append(self._state_spent(state))
+        self._set_ledger_state(state)
+        if realized_out is not None:
+            realized_out.extend(realized)
         return validated
 
     def snapshot(self):
         """Opaque spend state, for :meth:`restore`."""
-        return (self._spent_epsilon, self._spent_delta)
+        return self._ledger_state()
 
     def restore(self, state):
         """Roll the ledger back to a :meth:`snapshot`.
@@ -247,17 +289,16 @@ class BudgetAccountant(abc.ABC):
         mid-batch); restoring past genuinely released noise would
         under-report real privacy loss.
         """
-        self._spent_epsilon, self._spent_delta = state
+        self._set_ledger_state(state)
 
     def reset(self):
         """Forget all spending (useful between independent experiments)."""
-        self._spent_epsilon = 0.0
-        self._spent_delta = 0.0
+        self._set_ledger_state(self._fresh_state())
 
     def __repr__(self):
         return (
-            f"{type(self).__name__}(spent=({self._spent_epsilon:.6g}, "
-            f"{self._spent_delta:.3g}), total=({self._total_epsilon:.6g}, "
+            f"{type(self).__name__}(spent=({self.spent_epsilon:.6g}, "
+            f"{self.spent_delta:.3g}), total=({self._total_epsilon:.6g}, "
             f"{self._total_delta:.3g}))"
         )
 
@@ -313,9 +354,57 @@ class ApproxDPAccountant(BudgetAccountant):
         return epsilon, _check_delta(delta)
 
 
-def make_accountant(total_epsilon, delta=0.0):
-    """Factory used by the engine: pure when ``delta == 0``, approx otherwise."""
+#: Model aliases accepted by :func:`make_accountant` (and the engine's
+#: ``accountant=`` string form).
+_MODEL_ALIASES = {
+    "auto": "auto",
+    "pure": "pure",
+    "pure-dp": "pure",
+    "basic": "basic",
+    "approx": "basic",
+    "approx-dp": "basic",
+    "rdp": "rdp",
+    "zcdp": "rdp",
+    "renyi": "rdp",
+}
+
+
+def _resolve_model(model, delta):
+    """Normalize an accountant-model alias; one resolver for every entry
+    point (:func:`make_accountant`, the engine's ``accountant=`` string,
+    :func:`repro.privacy.rdp.releases_per_budget`)."""
+    resolved = _MODEL_ALIASES.get(str(model).strip().lower())
+    if resolved is None:
+        raise PrivacyBudgetError(
+            f"unknown accountant model {model!r}; choose from "
+            f"{sorted(set(_MODEL_ALIASES))}"
+        )
+    if resolved == "auto":
+        resolved = "pure" if delta == 0.0 else "basic"
+    return resolved
+
+
+def make_accountant(total_epsilon, delta=0.0, model="auto"):
+    """Factory used by the engine.
+
+    ``model="auto"`` (the historical behaviour) picks pure composition when
+    ``delta == 0`` and basic (eps, delta) composition otherwise. Explicit
+    models: ``"pure"``, ``"basic"`` (aliases ``"approx"``/``"approx-dp"``),
+    and ``"rdp"`` (aliases ``"zcdp"``/``"renyi"``) for the concentrated-DP
+    accountant of :mod:`repro.privacy.rdp` — the tight choice for many
+    Gaussian releases; it needs ``delta > 0`` as its conversion target.
+    """
     delta = _check_delta(delta, "delta")
-    if delta == 0.0:
+    resolved = _resolve_model(model, delta)
+    if resolved == "pure":
+        if delta > 0.0:
+            raise PrivacyBudgetError(
+                f"pure accountant cannot hold a delta budget (got {delta}); "
+                "use model='basic' or model='rdp'"
+            )
         return PureDPAccountant(total_epsilon)
-    return ApproxDPAccountant(total_epsilon, delta)
+    if resolved == "basic":
+        return ApproxDPAccountant(total_epsilon, delta)
+    from repro.privacy.rdp import RDPAccountant
+
+    return RDPAccountant(total_epsilon, delta)

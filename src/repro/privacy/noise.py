@@ -8,14 +8,29 @@ the expected squared error of an m-dimensional answer is ``2 m Delta^2/eps^2``.
 
 The Gaussian mechanism supports the relaxed (eps, delta)-differential
 privacy used by the L2 branch of the matrix-mechanism line (and flagged as
-future work in the paper): noise ``N(0, sigma^2)`` with
-``sigma = Delta_2 * sqrt(2 ln(1.25/delta)) / eps`` calibrated to the *L2*
-sensitivity satisfies (eps, delta)-DP for eps < 1 (Dwork & Roth, Thm A.1).
+future work in the paper): noise ``N(0, sigma^2)`` calibrated to the *L2*
+sensitivity. The default calibration is the **analytic Gaussian mechanism**
+(Balle & Wang, ICML 2018): the smallest sigma whose exact privacy profile
+
+    P(Z >= Delta/(2 sigma) - eps sigma/Delta)
+        - e^eps P(Z >= Delta/(2 sigma) + eps sigma/Delta) <= delta
+
+holds (``Z`` standard normal), found by bisection — valid for **every**
+``eps > 0``. The classical Dwork & Roth calibration
+``sigma = Delta_2 sqrt(2 ln(1.25/delta)) / eps`` is available as
+``mode="classical"``; it is only a sufficient condition for ``eps < 1`` and
+is rejected outside that range. Note that the analytic sigma is **not**
+proportional to ``1/eps``, so batched releases compute one calibrated sigma
+per epsilon (:func:`gaussian_sigma_batch`) instead of scaling a unit-eps
+sigma.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+from scipy.special import log_ndtr, ndtr
 
 from repro.exceptions import ValidationError
 from repro.linalg.validation import (
@@ -32,6 +47,8 @@ __all__ = [
     "laplace_variance",
     "expected_squared_noise",
     "gaussian_sigma",
+    "gaussian_sigma_batch",
+    "gaussian_profile_delta",
     "gaussian_noise",
     "gaussian_noise_batch",
     "expected_squared_gaussian_noise",
@@ -43,6 +60,8 @@ def _batch_scales(unit_scale, epsilons):
     column, ready to broadcast against a ``(k, size)`` draw. ``unit_scale``
     is the noise scale at ``eps = 1`` — the scale formulas divide by
     epsilon last, so this is bit-identical to the per-release calibration.
+    Only valid for noise families whose scale is proportional to ``1/eps``
+    (Laplace; *not* the analytic Gaussian calibration).
     """
     epsilons = as_epsilon_batch(epsilons)
     return (unit_scale / epsilons)[:, None]
@@ -107,15 +126,164 @@ def expected_squared_noise(count, sensitivity, epsilon):
     return float(count) * laplace_variance(scale)
 
 
-def gaussian_sigma(l2_sensitivity, epsilon, delta):
-    """Standard deviation of the analytic Gaussian mechanism:
-    ``Delta_2 * sqrt(2 ln(1.25/delta)) / eps`` ((eps, delta)-DP, eps < 1)."""
-    l2_sensitivity = check_positive(l2_sensitivity, "l2_sensitivity")
-    epsilon = check_positive(epsilon, "epsilon")
+# --------------------------------------------------------------------- #
+# Gaussian calibration
+# --------------------------------------------------------------------- #
+def _check_failure_delta(delta):
     delta = check_positive(delta, "delta")
     if delta >= 1.0:
         raise ValidationError(f"delta must be < 1, got {delta}")
-    return l2_sensitivity * np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon
+    return delta
+
+
+def gaussian_profile_delta(sigma, l2_sensitivity, epsilon):
+    """Exact privacy profile of the Gaussian mechanism at ``epsilon``.
+
+    The smallest ``delta`` for which ``N(0, sigma^2)`` noise on a query of
+    L2 sensitivity ``Delta_2`` is (eps, delta)-DP (Balle & Wang 2018,
+    Theorem 8):
+
+        delta(sigma) = Phi(Delta/(2 sigma) - eps sigma/Delta)
+                       - e^eps Phi(-Delta/(2 sigma) - eps sigma/Delta)
+
+    with ``Phi`` the standard normal CDF. Decreasing in ``sigma``;
+    vectorised over ``sigma`` and/or ``epsilon``. This is the condition the
+    analytic calibration inverts, exposed so tests (and auditors) can
+    verify a calibrated sigma against the promised guarantee.
+    """
+    l2_sensitivity = check_positive(l2_sensitivity, "l2_sensitivity")
+    sigma = np.asarray(sigma, dtype=np.float64)
+    epsilon = np.asarray(epsilon, dtype=np.float64)
+    ratio = sigma / l2_sensitivity
+    with np.errstate(over="ignore", under="ignore", invalid="ignore"):
+        a = 0.5 / ratio - epsilon * ratio
+        b = 0.5 / ratio + epsilon * ratio
+        # e^eps Phi(-b) in log space; the true product never exceeds 1, so
+        # capping the exponent at 0 only suppresses overflow during
+        # bracketing, never changes a meaningful value.
+        tail = np.exp(np.minimum(epsilon + log_ndtr(-b), 0.0))
+        profile = ndtr(a) - tail
+    return profile
+
+
+#: Bisection bracket (in log sigma/Delta) and iteration count for the
+#: analytic calibration. The bracket covers eps from ~1e-18 to ~1e18 at any
+#: delta representable in doubles; the fixed iteration count converges the
+#: interval far below one ulp *and* keeps every batch element's search
+#: independent of its neighbours, so a batch entry is bit-identical to the
+#: same epsilon calibrated alone.
+_ANALYTIC_LOG_BRACKET = (np.log(1e-20), np.log(1e30))
+_ANALYTIC_ITERATIONS = 90
+
+
+def _analytic_sigma_ratios(epsilons, delta):
+    """Minimal ``sigma / Delta_2`` ratios satisfying the profile, per eps.
+
+    Bisection on ``log(sigma/Delta)`` with the invariant that the upper
+    endpoint always satisfies ``profile <= delta``; returning the upper
+    endpoint therefore never under-noises (the interval at convergence is
+    far below one ulp, so this costs no utility).
+    """
+    epsilons = np.asarray(epsilons, dtype=np.float64)
+    lo = np.full(epsilons.shape, _ANALYTIC_LOG_BRACKET[0])
+    hi = np.full(epsilons.shape, _ANALYTIC_LOG_BRACKET[1])
+    if np.any(gaussian_profile_delta(np.exp(hi), 1.0, epsilons) > delta):
+        raise ValidationError(
+            "analytic Gaussian calibration bracket exhausted; epsilon/delta "
+            "outside the calibratable range"
+        )
+    for _ in range(_ANALYTIC_ITERATIONS):
+        mid = 0.5 * (lo + hi)
+        too_small = gaussian_profile_delta(np.exp(mid), 1.0, epsilons) > delta
+        lo = np.where(too_small, mid, lo)
+        hi = np.where(too_small, hi, mid)
+    return np.exp(hi)
+
+
+#: Batches with at most this many *distinct* epsilons calibrate through the
+#: lru-cached scalar path (one cache hit per distinct value on repeated
+#: serving calls); larger spreads run one vectorised bisection instead of a
+#: long Python loop of tiny ones.
+_BATCH_CACHE_MAX_DISTINCT = 32
+
+
+@lru_cache(maxsize=4096)
+def _analytic_sigma_ratio_cached(epsilon, delta):
+    """Scalar analytic ``sigma/Delta`` ratio, memoized for repeated releases.
+
+    Computed through the same vectorised bisection as the batch path (on a
+    one-element array), so a cached single-release sigma is bit-identical
+    to the corresponding batch entry.
+    """
+    return float(_analytic_sigma_ratios(np.array([epsilon]), delta)[0])
+
+
+def gaussian_sigma(l2_sensitivity, epsilon, delta, mode="analytic"):
+    """Standard deviation calibrating the Gaussian mechanism to
+    (eps, delta)-DP.
+
+    ``mode="analytic"`` (default) is the analytic Gaussian mechanism of
+    Balle & Wang (2018): the smallest sigma whose exact privacy profile
+    (:func:`gaussian_profile_delta`) is at most ``delta`` — valid at every
+    ``epsilon > 0``. ``mode="classical"`` is the Dwork & Roth (Thm A.1)
+    formula ``Delta_2 sqrt(2 ln(1.25/delta)) / eps``, a sufficient
+    condition only for ``eps < 1``; requesting it at ``eps >= 1`` raises
+    (the formula silently under-noises there). Where both are valid the
+    analytic sigma is never larger.
+    """
+    l2_sensitivity = check_positive(l2_sensitivity, "l2_sensitivity")
+    epsilon = check_positive(epsilon, "epsilon")
+    delta = _check_failure_delta(delta)
+    if mode == "classical":
+        if epsilon >= 1.0:
+            raise ValidationError(
+                "classical Gaussian calibration (Dwork & Roth Thm A.1) is "
+                f"only valid for epsilon < 1, got {epsilon}; use the default "
+                'mode="analytic" calibration'
+            )
+        return l2_sensitivity * np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon
+    if mode != "analytic":
+        raise ValidationError(f"unknown Gaussian calibration mode {mode!r}")
+    return l2_sensitivity * _analytic_sigma_ratio_cached(epsilon, delta)
+
+
+def gaussian_sigma_batch(l2_sensitivity, epsilons, delta, mode="analytic"):
+    """Per-release Gaussian sigmas for a batch of epsilons, as a ``(k,)``
+    array.
+
+    Entry ``i`` equals ``gaussian_sigma(l2_sensitivity, epsilons[i],
+    delta, mode)`` **bit-exactly** (the analytic bisection is element-wise
+    independent), which is what keeps every row of a batched Gaussian
+    release distributed exactly as the corresponding single release. The
+    analytic calibration is not proportional to ``1/eps``, so this is a
+    genuine per-epsilon solve, vectorised.
+    """
+    l2_sensitivity = check_positive(l2_sensitivity, "l2_sensitivity")
+    epsilons = as_epsilon_batch(epsilons)
+    delta = _check_failure_delta(delta)
+    if mode == "classical":
+        if np.any(epsilons >= 1.0):
+            raise ValidationError(
+                "classical Gaussian calibration is only valid for epsilon < 1; "
+                f"got max epsilon {float(np.max(epsilons))}"
+            )
+        return l2_sensitivity * np.sqrt(2.0 * np.log(1.25 / delta)) / epsilons
+    if mode != "analytic":
+        raise ValidationError(f"unknown Gaussian calibration mode {mode!r}")
+    # Serving batches repeat a handful of distinct epsilons, so solve each
+    # distinct value once. Few distinct values route through the lru-cached
+    # scalar path (amortized across calls on the hot path); many distinct
+    # values run one vectorised bisection over the deduplicated set. Both
+    # are bit-identical per element to the standalone calibration — the
+    # bisection is element-wise independent.
+    unique, inverse = np.unique(epsilons, return_inverse=True)
+    if unique.size <= _BATCH_CACHE_MAX_DISTINCT:
+        ratios = np.array(
+            [_analytic_sigma_ratio_cached(float(eps), delta) for eps in unique]
+        )
+    else:
+        ratios = _analytic_sigma_ratios(unique, delta)
+    return l2_sensitivity * ratios[inverse]
 
 
 def gaussian_noise(size, l2_sensitivity, epsilon, delta, rng=None):
@@ -139,10 +307,14 @@ def gaussian_noise_batch(size, l2_sensitivity, epsilons, delta, rng=None):
 
     The (eps, delta) analogue of :func:`laplace_noise_batch`: a ``(k, size)``
     array whose row ``i`` has standard deviation
-    ``gaussian_sigma(l2_sensitivity, epsilons[i], delta)``.
+    ``gaussian_sigma(l2_sensitivity, epsilons[i], delta)`` exactly. Under
+    the analytic calibration the per-release sigmas are solved per epsilon
+    (:func:`gaussian_sigma_batch`) rather than scaled from a unit-epsilon
+    sigma — the ``1/eps`` shortcut is only correct for the classical
+    formula.
     """
     size = check_positive_int(size, "size")
-    sigmas = _batch_scales(gaussian_sigma(l2_sensitivity, 1.0, delta), epsilons)
+    sigmas = gaussian_sigma_batch(l2_sensitivity, epsilons, delta)[:, None]
     rng = ensure_rng(rng)
     return rng.normal(loc=0.0, scale=sigmas, size=(sigmas.shape[0], size))
 

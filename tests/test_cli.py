@@ -74,3 +74,78 @@ class TestMain:
     def test_decompose_requires_workload(self):
         out = io.StringIO()
         assert main(["decompose"], out=out) == 2
+
+
+class TestPlanTarget:
+    @staticmethod
+    def _workload_file(tmp_path):
+        import numpy as np
+
+        from repro.workloads import wrelated
+
+        path = tmp_path / "w.npy"
+        np.save(path, wrelated(6, 16, s=2, seed=0).matrix)
+        return str(path)
+
+    def test_plan_requires_workload(self):
+        out = io.StringIO()
+        assert main(["plan"], out=out) == 2
+
+    def test_plan_without_delta_stays_pure(self, tmp_path):
+        out = io.StringIO()
+        assert main(["plan", "--workload", self._workload_file(tmp_path)], out=out) == 0
+        text = out.getvalue()
+        assert "pure eps-DP" in text
+        assert "GLM" not in text  # no Gaussian candidates without --delta
+
+    def test_plan_with_positive_delta_adds_gaussian_candidates(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["plan", "--workload", self._workload_file(tmp_path), "--delta", "1e-6"],
+            out=out,
+        )
+        assert code == 0
+        assert "GLM" in out.getvalue()
+
+    def test_explicit_delta_zero_is_not_treated_as_unset(self, tmp_path):
+        # Regression: `--delta 0.0` used to fall through the truthiness
+        # check, silently leaving Gaussian candidates at their default
+        # delta. It must reach them as an explicit (invalid) value: the
+        # candidates are attempted and fail construction with a clear
+        # message, rather than planning at a delta the caller never chose.
+        out = io.StringIO()
+        code = main(
+            ["plan", "--workload", self._workload_file(tmp_path), "--delta", "0.0"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "GLM" in text  # Gaussian candidates were attempted...
+        assert "failed" in text  # ...and rejected delta=0, visibly
+        assert "delta" in text
+
+    def test_budget_delta_without_budget_epsilon_is_a_usage_error(self, tmp_path):
+        # The pairing is checked before any candidate fitting: usage-error
+        # exit code 2, no traceback, no wasted fits.
+        out = io.StringIO()
+        code = main(
+            ["plan", "--workload", self._workload_file(tmp_path),
+             "--budget-delta", "1e-6"],
+            out=out,
+        )
+        assert code == 2
+        assert "--budget-epsilon" in out.getvalue()
+
+    def test_budget_flags_add_capacity_line(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "plan", "--workload", self._workload_file(tmp_path),
+                "--epsilon", "0.05", "--budget-epsilon", "1.0",
+                "--budget-delta", "1e-6",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "releases/budget" in out.getvalue()
+        assert "rdp x" in out.getvalue()

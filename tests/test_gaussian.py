@@ -14,7 +14,10 @@ from repro.mechanisms.gaussian import (
 from repro.privacy.noise import (
     expected_squared_gaussian_noise,
     gaussian_noise,
+    gaussian_noise_batch,
+    gaussian_profile_delta,
     gaussian_sigma,
+    gaussian_sigma_batch,
 )
 from repro.privacy.sensitivity import column_l2_norms, l2_sensitivity
 from repro.workloads import wrange, wrelated
@@ -22,11 +25,78 @@ from repro.workloads import wrange, wrelated
 FAST = {"max_outer": 25, "max_inner": 4, "nesterov_iters": 25, "stall_iters": 6}
 
 
-class TestGaussianNoise:
-    def test_sigma_formula(self):
-        expected = 2.0 * np.sqrt(2 * np.log(1.25 / 1e-5)) / 0.5
-        assert gaussian_sigma(2.0, 0.5, 1e-5) == pytest.approx(expected)
+class TestGaussianCalibration:
+    """The analytic (Balle-Wang) calibration: valid at every epsilon."""
 
+    @pytest.mark.parametrize("epsilon", [0.05, 0.5, 0.99, 1.0, 2.0, 5.0, 10.0])
+    @pytest.mark.parametrize("delta", [1e-5, 1e-9])
+    def test_sigma_satisfies_and_saturates_the_profile(self, epsilon, delta):
+        # The returned sigma meets the exact (eps, delta) guarantee, and is
+        # tight: 0.1% less noise already violates it. This is the
+        # numerical verification of correct calibration at eps >= 1 that
+        # the classical formula fails.
+        sigma = gaussian_sigma(2.0, epsilon, delta)
+        assert gaussian_profile_delta(sigma, 2.0, epsilon) <= delta
+        assert gaussian_profile_delta(0.999 * sigma, 2.0, epsilon) > delta
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3, 0.7, 0.99])
+    def test_analytic_never_noisier_than_classical(self, epsilon):
+        # Where the classical formula is valid (eps < 1) it is a looser
+        # sufficient condition, so the analytic sigma is at most as large.
+        analytic = gaussian_sigma(1.0, epsilon, 1e-6)
+        classical = gaussian_sigma(1.0, epsilon, 1e-6, mode="classical")
+        assert analytic <= classical
+
+    def test_sigma_monotone_decreasing_in_epsilon(self):
+        sigmas = gaussian_sigma_batch(1.0, np.linspace(0.05, 20.0, 40), 1e-6)
+        assert np.all(np.diff(sigmas) < 0.0)
+
+    def test_classical_formula_value(self):
+        expected = 2.0 * np.sqrt(2 * np.log(1.25 / 1e-5)) / 0.5
+        assert gaussian_sigma(2.0, 0.5, 1e-5, mode="classical") == pytest.approx(expected)
+
+    @pytest.mark.parametrize("epsilon", [1.0, 1.5, 10.0])
+    def test_classical_mode_rejects_eps_ge_one(self, epsilon):
+        # The Dwork-Roth theorem does not cover eps >= 1; requesting the
+        # classical formula there must raise, not silently under-noise.
+        with pytest.raises(ValidationError, match="epsilon < 1"):
+            gaussian_sigma(1.0, epsilon, 1e-6, mode="classical")
+        with pytest.raises(ValidationError, match="epsilon < 1"):
+            gaussian_sigma_batch(1.0, [0.5, epsilon], 1e-6, mode="classical")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="mode"):
+            gaussian_sigma(1.0, 0.5, 1e-6, mode="exotic")
+        with pytest.raises(ValidationError, match="mode"):
+            gaussian_sigma_batch(1.0, [0.5], 1e-6, mode="exotic")
+
+    def test_batch_sigmas_bit_identical_to_single(self):
+        # The batched serving path must calibrate each row exactly like a
+        # standalone release — including at eps >= 1, where sigma is no
+        # longer proportional to 1/eps.
+        epsilons = [0.1, 0.5, 1.0, 2.0, 7.5]
+        batch = gaussian_sigma_batch(3.0, epsilons, 1e-7)
+        singles = np.array([gaussian_sigma(3.0, eps, 1e-7) for eps in epsilons])
+        assert np.array_equal(batch, singles)
+
+    def test_classical_batch_matches_single(self):
+        epsilons = [0.1, 0.5, 0.9]
+        batch = gaussian_sigma_batch(2.0, epsilons, 1e-6, mode="classical")
+        singles = [gaussian_sigma(2.0, eps, 1e-6, mode="classical") for eps in epsilons]
+        assert np.allclose(batch, singles, rtol=0, atol=0)
+
+    def test_noise_batch_rows_use_single_release_sigmas(self):
+        # gaussian_noise_batch row i is the single-release draw rescaled:
+        # one (k, size) standard-normal block scaled by the per-eps sigmas.
+        epsilons = [0.5, 1.5, 3.0]
+        got = gaussian_noise_batch(8, 2.0, epsilons, 1e-6, rng=11)
+        rng = np.random.default_rng(11)
+        sigmas = np.array([gaussian_sigma(2.0, eps, 1e-6) for eps in epsilons])
+        expected = rng.normal(loc=0.0, scale=sigmas[:, None], size=(3, 8))
+        assert np.array_equal(got, expected)
+
+
+class TestGaussianNoise:
     def test_sigma_rejects_delta_one(self):
         with pytest.raises(ValidationError):
             gaussian_sigma(1.0, 1.0, 1.0)
@@ -181,3 +251,80 @@ class TestGaussianLRM:
     def test_name(self):
         assert GaussianLowRankMechanism.name == "GLRM"
         assert issubclass(GaussianLowRankMechanism, LowRankMechanism)
+
+
+class TestGaussianAtLargeEpsilon:
+    """eps >= 1 releases across GLM/GNOR/GLRM on the single, batched and
+    compiled-plan paths — the regime the classical formula silently
+    under-noised."""
+
+    EPSILONS = [0.5, 1.0, 2.5]
+
+    def _mechanisms(self, fast_lrm_kwargs):
+        wl = wrelated(8, 32, s=2, seed=0)
+        return wl, [
+            GaussianNoiseOnDataMechanism(delta=1e-6).fit(wl),
+            GaussianNoiseOnResultsMechanism(delta=1e-6).fit(wl),
+            GaussianLowRankMechanism(delta=1e-6, **fast_lrm_kwargs).fit(wl),
+        ]
+
+    def test_expected_error_monotone_decreasing_in_epsilon(self, fast_lrm_kwargs):
+        _, mechanisms = self._mechanisms(fast_lrm_kwargs)
+        for mech in mechanisms:
+            errors = [mech.expected_squared_error(eps) for eps in (0.5, 1.0, 2.0, 5.0)]
+            assert np.all(np.diff(errors) < 0.0), mech.name
+
+    @pytest.mark.parametrize("epsilon", [1.0, 3.0])
+    def test_single_release_empirical_variance(self, fast_lrm_kwargs, epsilon):
+        # At eps >= 1 the released noise matches the analytic expected
+        # error (which the calibration tests tie to the exact guarantee).
+        wl = wrange(6, 16, seed=0)
+        mech = GaussianNoiseOnDataMechanism(delta=1e-6).fit(wl)
+        x = np.ones(16)
+        empirical = mech.empirical_squared_error(x, epsilon, trials=4000, rng=1)
+        assert empirical == pytest.approx(mech.expected_squared_error(epsilon), rel=0.1)
+
+    def test_batched_rows_match_manual_per_epsilon_draw(self, fast_lrm_kwargs):
+        # answer_many row i carries exactly the sigma of a single release
+        # at epsilons[i]: reconstruct the batch from the release operator
+        # and one per-epsilon-calibrated block draw.
+        wl, mechanisms = self._mechanisms(fast_lrm_kwargs)
+        x = np.arange(32.0)
+        for mech in mechanisms:
+            got = mech.answer_many(x, self.EPSILONS, rng=9)
+            operator = mech.release_operator()
+            rng = np.random.default_rng(9)
+            strategy_answers = x if operator.strategy is None else operator.strategy @ x
+            noise = gaussian_noise_batch(
+                strategy_answers.size, operator.sensitivity, self.EPSILONS, 1e-6, rng
+            )
+            noisy = strategy_answers[None, :] + noise
+            expected = (
+                noisy if operator.recombination is None else noisy @ operator.recombination.T
+            )
+            assert np.array_equal(got, expected), mech.name
+
+    def test_compiled_plan_path_at_large_epsilon(self, fast_lrm_kwargs):
+        # engine.execute / execute_many at eps >= 1 run the same calibrated
+        # draw as the mechanism's own answer (compiling changes cost only).
+        from repro.engine import PrivateQueryEngine
+
+        wl = wrange(6, 32, seed=0)
+        data = np.arange(32.0)
+        engine = PrivateQueryEngine(
+            data, total_budget=100.0, delta=1e-3, seed=21,
+            mechanism_kwargs={"GLM": {"delta": 1e-6}},
+        )
+        plan = engine.plan(wl, mechanism="GLM")
+        release = engine.execute(plan, 2.0)
+        expected = plan.mechanism.answer(data, 2.0, np.random.default_rng(21))
+        assert np.array_equal(release.answers, expected)
+
+        batch = engine.execute_many([(plan, eps) for eps in self.EPSILONS])
+        operator = plan.mechanism.release_operator()
+        rng = np.random.default_rng(21)
+        rng.normal(size=32)  # the single release above consumed one draw
+        noise = gaussian_noise_batch(32, operator.sensitivity, self.EPSILONS, 1e-6, rng)
+        expected_rows = (data[None, :] + noise) @ wl.matrix.T
+        for release, row in zip(batch, expected_rows):
+            assert np.allclose(release.answers, row)
