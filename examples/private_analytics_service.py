@@ -19,13 +19,22 @@ The full adoption story in one script, built on the plan/execute split:
    composition** and under the **Rényi/zCDP accountant**
    (``accountant="rdp"``): the RDP ledger sustains an order of magnitude
    more releases from the identical budget, which is what makes a
-   high-traffic (eps, delta) deployment viable.
+   high-traffic (eps, delta) deployment viable,
+8. a **crash-recovery drill**: the budget moves into a durable on-disk
+   ledger (``ledger_path=...``), a worker process is killed ``kill -9``
+   style in the middle of a batch commit, and reopening the ledger shows
+   the realized (eps, delta) guarantee unchanged — the torn batch never
+   spent, and the audit trail replays bit-identically.
 
 Run:  python examples/private_analytics_service.py
 """
 
+import os
+import subprocess
+import sys
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -190,6 +199,69 @@ def main():
             print(f"  release {index}: mechanism={release.mechanism} eps={release.epsilon} "
                   f"delta={release.delta:g} shape={release.metadata['shape']} "
                   f"postprocess={applied or 'none'}")
+        print()
+
+        # --- 8. Crash-recovery drill: a durable budget ledger. ------------
+        # Production budgets must survive crashes: an in-memory accountant
+        # forgets everything spent when the process dies, and a naive
+        # on-disk counter can be left half-written. ledger_path= wraps the
+        # engine's accountant in a DurableAccountant: every spend is
+        # journaled as a write-ahead intent + commit pair, so a spend is
+        # durable exactly when its commit record is — never partially.
+        ledger = str(Path(plan_dir) / "budget.journal")
+        seeded = PrivateQueryEngine(
+            counts.astype(float), total_budget=1.0, seed=7, ledger_path=ledger,
+        )
+        seeded.execute(seeded.plan(cohorts, mechanism="LM"), epsilon=0.1)
+        before = seeded.accountant.spent_epsilon
+        print(f"durable ledger: seeded one release, spent eps={before}")
+
+        # A worker process picks up the same ledger and dies mid-batch —
+        # a torn-write failpoint crashes it (exit 137, like kill -9)
+        # halfway through writing the batch's commit record.
+        worker = (
+            "import numpy as np\n"
+            "from repro.engine import PrivateQueryEngine\n"
+            "from repro.data.histogram import DomainMapper, histogram_from_records\n"
+            "from repro.testing.faults import failpoints\n"
+            "import sys\n"
+            "ledger, nbins = sys.argv[1], 100\n"
+            "rng = np.random.default_rng(7)\n"
+            "ages = np.clip(rng.normal(38, 18, 50_000), 0, 99)\n"
+            "counts, edges = histogram_from_records(ages, bins=nbins, value_range=(0, 100))\n"
+            "mapper = DomainMapper(edges)\n"
+            "cohorts = mapper.range_workload([(0, 17), (18, 24), (25, 34), (35, 44),"
+            " (45, 54), (55, 64), (65, 99)], name='AgeCohorts')\n"
+            "engine = PrivateQueryEngine(counts.astype(float), total_budget=1.0,"
+            " seed=7, ledger_path=ledger)\n"
+            "plan = engine.plan(cohorts, mechanism='LM')\n"
+            "failpoints.arm('ledger.commit.torn', 'torn')\n"
+            "engine.execute_many([(plan, 0.2), (plan, 0.2)])\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", worker, ledger],
+            env=env, capture_output=True, text=True,
+        )
+        print(f"worker killed mid-batch-commit (exit code {result.returncode})")
+
+        # Reopen: the torn batch was never acknowledged, so it never
+        # spent. The realized guarantee is exactly what it was before the
+        # crash, and `ledger recover` (or any reopen) repairs the torn
+        # tail the dead worker left behind.
+        from repro.privacy.ledger import inspect_ledger, recover_ledger
+
+        torn = inspect_ledger(ledger)["torn_tail_bytes"]
+        recover_ledger(ledger)
+        reopened = PrivateQueryEngine(
+            counts.astype(float), total_budget=1.0, seed=7, ledger_path=ledger,
+        )
+        after = reopened.accountant.spent_epsilon
+        print(f"reopened ledger: torn tail of {torn} bytes repaired, "
+              f"realized eps {after} (unchanged: {after == before}), "
+              f"remaining {reopened.accountant.remaining_epsilon}")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,8 @@ Examples::
     python -m repro.cli figure6 --scale full --json out.json
     python -m repro.cli all
     python -m repro.cli plan --workload W.npy --epsilon 0.2 --out W.plan.npz
+    python -m repro.cli ledger inspect --ledger budget.journal
+    python -m repro.cli ledger recover --ledger budget.db
 """
 
 from __future__ import annotations
@@ -39,8 +41,18 @@ def build_parser():
         prog="repro-lrm",
         description="Reproduce tables/figures of the Low-Rank Mechanism paper (VLDB 2012).",
     )
-    targets = ["table1", "all", "decompose", "plan"] + sorted(ALL_FIGURES)
+    targets = ["table1", "all", "decompose", "plan", "ledger"] + sorted(ALL_FIGURES)
     parser.add_argument("target", choices=targets, help="what to regenerate")
+    parser.add_argument(
+        "action", nargs="?", choices=["inspect", "recover"], default=None,
+        help="ledger: 'inspect' (read-only audit summary) or 'recover' "
+        "(repair torn tail, drop dangling intents, compact)",
+    )
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger: path to the durable budget ledger "
+        "(.db/.sqlite selects the SQLite backend, else the JSONL journal)",
+    )
     parser.add_argument(
         "--workload", metavar="NPY", default=None,
         help="decompose/plan: .npy file holding the workload matrix W",
@@ -199,6 +211,46 @@ def _run_plan(args, out):
     return 0
 
 
+def _run_ledger(args, out):
+    from repro.privacy.ledger import inspect_ledger, recover_ledger
+
+    if not args.action:
+        out.write("ledger requires an action: 'inspect' or 'recover'\n")
+        return 2
+    if not args.ledger:
+        out.write("ledger requires --ledger pointing at the ledger file\n")
+        return 2
+    if args.action == "recover":
+        summary = recover_ledger(args.ledger)
+        out.write(f"recovered {summary['path']}\n")
+    else:
+        summary = inspect_ledger(args.ledger)
+    out.write(f"ledger {summary['path']} ({summary['backend']} backend)\n")
+    out.write(
+        f"  model={summary['model']} total_epsilon={summary['total_epsilon']!r} "
+        f"total_delta={summary['total_delta']!r}\n"
+    )
+    out.write(
+        f"  records={summary['records']} committed_txns={summary['committed']} "
+        f"costs={summary['costs']}\n"
+    )
+    out.write(
+        f"  dangling_intents={len(summary['dangling_intents'])} "
+        f"rolled_back={summary['rolled_back']} resets={summary['resets']} "
+        f"torn_tail_bytes={summary['torn_tail_bytes']}\n"
+    )
+    out.write(
+        f"  spent_epsilon={summary['spent_epsilon']!r} "
+        f"spent_delta={summary['spent_delta']!r} "
+        f"remaining_epsilon={summary['remaining_epsilon']!r}\n"
+    )
+    if args.action == "inspect" and (
+        summary["dangling_intents"] or summary["torn_tail_bytes"]
+    ):
+        out.write("  (run 'ledger recover' to repair and compact)\n")
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -210,6 +262,8 @@ def main(argv=None, out=None):
         return _run_decompose(args, out)
     if args.target == "plan":
         return _run_plan(args, out)
+    if args.target == "ledger":
+        return _run_ledger(args, out)
     if args.target == "all":
         for name in sorted(ALL_FIGURES):
             _run_figure(name, args.scale, args.seed, out, chart=args.chart)

@@ -24,14 +24,23 @@ outside the registry) degrade gracefully to memory-only entries.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
-import uuid
 from pathlib import Path
 
 from repro.engine.plan import ExecutionPlan
 from repro.exceptions import ValidationError
+from repro.io.atomic import RetryPolicy, retry_with_backoff
 
 __all__ = ["PlanCache"]
+
+logger = logging.getLogger(__name__)
+
+#: Disk-tier I/O retry: transient ``OSError`` (NFS hiccup, EINTR, a
+#: concurrent writer's rename racing the open) is retried a few times with
+#: jittered backoff before the cache degrades (miss on read, memory-only on
+#: write). Kept short — each attempt may redo real work.
+_DISK_RETRY = RetryPolicy(attempts=3, base_delay=0.005, max_delay=0.05)
 
 
 class PlanCache:
@@ -106,7 +115,9 @@ class PlanCache:
             from repro.io.serialization import PlanFormatError, load_plan
 
             try:
-                plan = load_plan(path)
+                plan = retry_with_backoff(
+                    lambda: load_plan(path), policy=_DISK_RETRY, retry_on=(OSError,)
+                )
             except PlanFormatError:
                 # Stale format (e.g. an archive from an older library
                 # version): a miss — the subsequent put() overwrites it.
@@ -115,8 +126,21 @@ class PlanCache:
             except ValidationError:
                 raise  # integrity/tamper failures must surface, not replan
             except Exception:
-                # Truncated/corrupt archive (e.g. a crashed writer): treat
-                # as a miss; the subsequent put() overwrites it atomically.
+                # Truncated/corrupt archive (e.g. a torn write from a
+                # crashed writer): quarantine it for post-mortem instead of
+                # deleting the evidence, warn, and treat as a miss — the
+                # subsequent put() refits and writes a fresh archive.
+                quarantine = path.with_name(path.name + ".corrupt")
+                try:
+                    os.replace(path, quarantine)
+                    where = f"quarantined to {quarantine.name}"
+                except OSError:
+                    where = "quarantine rename failed; leaving in place"
+                logger.warning(
+                    "plan cache: unreadable archive %s (%s); replanning",
+                    path.name,
+                    where,
+                )
                 self.misses += 1
                 return None
             if plan.plan_key != key:
@@ -169,28 +193,21 @@ class PlanCache:
             return
         from repro.io.serialization import save_plan
 
-        # Write-then-rename so a crash mid-save (or a concurrent reader in a
-        # shared directory) never observes a half-written archive; the
-        # staging name is unique per writer so concurrent engines sharing
-        # the directory cannot clobber each other mid-write.
-        staging = path.with_name(
-            f"{path.name[:-len('.npz')]}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp.npz"
-        )
+        # save_plan writes through repro.io.atomic.atomic_writer (unique
+        # per-writer staging file, fsync, rename-over) so a crash mid-save —
+        # or concurrent engines sharing the directory — never exposes a
+        # half-written archive. Transient OSErrors are retried briefly.
+        def _write():
+            self.directory.mkdir(parents=True, exist_ok=True)
+            save_plan(plan, path)
+
         try:
-            try:
-                self.directory.mkdir(parents=True, exist_ok=True)
-                save_plan(plan, staging)
-                os.replace(staging, path)
-            except (ValidationError, OSError):
-                # Unsupported mechanism state or unwritable disk tier
-                # (including a rename refused because a concurrent reader
-                # holds the target open): keep the memory entry only.
-                return
-        finally:
-            try:
-                staging.unlink(missing_ok=True)
-            except OSError:
-                pass
+            retry_with_backoff(_write, policy=_DISK_RETRY, retry_on=(OSError,))
+        except (ValidationError, OSError):
+            # Unsupported mechanism state or unwritable disk tier
+            # (including a rename refused because a concurrent reader
+            # holds the target open): keep the memory entry only.
+            return
 
     def __contains__(self, key):
         """Existence check only (memory entry or disk archive file): a True
@@ -211,10 +228,11 @@ class PlanCache:
 
     def clear(self, disk=False):
         """Drop the in-memory tier; with ``disk=True`` also delete archives
-        (including staging files a crashed writer may have leaked)."""
+        (including staging files a crashed writer may have leaked and
+        ``*.corrupt`` quarantine files)."""
         self._memory.clear()
         if disk and self.directory is not None and self.directory.exists():
-            for pattern in ("*.plan.npz", "*.tmp.npz"):
+            for pattern in ("*.plan.npz", "*.tmp.npz", "*.tmp", "*.corrupt"):
                 for archive in self.directory.glob(pattern):
                     archive.unlink()
 

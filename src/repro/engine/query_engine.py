@@ -147,6 +147,17 @@ class PrivateQueryEngine:
         accountant of :mod:`repro.privacy.rdp`, which admits far more
         Gaussian releases per (eps, delta) budget than basic composition;
         it requires ``delta > 0``).
+    ledger_path:
+        Path to a durable budget ledger (see :mod:`repro.privacy.ledger`).
+        When given, the engine's accountant is wrapped in a
+        :class:`repro.privacy.ledger.DurableAccountant`: every spend is
+        journaled with write-ahead intent/commit records before it takes
+        effect, so a crash at any instant leaves the spend fully committed
+        or fully absent, reopening the same path replays the audit trail
+        bit-identically, and multiple processes sharing the path cannot
+        jointly overspend. A ``.db``/``.sqlite``/``.sqlite3`` suffix
+        selects the SQLite-WAL backend; anything else the append-only
+        checksummed journal.
     """
 
     # delta and the other plan-API parameters come after the pre-PR-2
@@ -154,7 +165,7 @@ class PrivateQueryEngine:
     # positional callers keep working.
     def __init__(self, data, total_budget, candidates=DEFAULT_CANDIDATES,
                  mechanism_kwargs=None, seed=None, delta=0.0, plan_cache=None,
-                 accountant=None):
+                 accountant=None, ledger_path=None):
         self._set_data(data)
         if isinstance(accountant, BudgetAccountant):
             self._accountant = accountant
@@ -172,6 +183,10 @@ class PrivateQueryEngine:
                 "accountant must be a BudgetAccountant instance or a model "
                 "name ('pure', 'basic', 'rdp')"
             )
+        if ledger_path is not None:
+            from repro.privacy.ledger import open_ledger
+
+            self._accountant = open_ledger(ledger_path, self._accountant)
         if self.delta > 0.0 and candidates is DEFAULT_CANDIDATES:
             candidates = DEFAULT_CANDIDATES + APPROX_DP_CANDIDATES
         self.candidates = tuple(candidates)

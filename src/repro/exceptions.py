@@ -31,3 +31,20 @@ class NotFittedError(ReproError, RuntimeError):
 
 class PrivacyBudgetError(ReproError, ValueError):
     """A privacy-budget operation would overspend or is otherwise invalid."""
+
+
+class LedgerError(ReproError, RuntimeError):
+    """A durable budget-ledger operation failed (see
+    :mod:`repro.privacy.ledger`)."""
+
+
+class LedgerCorruptError(LedgerError):
+    """A ledger's on-disk records fail their integrity checks in a way
+    recovery cannot repair silently: a checksum mismatch or a gap *before*
+    the tail. (A torn final record — the signature of a crashed writer —
+    is repaired automatically and does not raise.)"""
+
+
+class LedgerBusyError(LedgerError):
+    """The cross-process ledger lock could not be acquired within the
+    bounded retry-with-backoff policy; another process is holding it."""

@@ -1,19 +1,35 @@
-"""Persistence: save/load decompositions, fitted mechanisms and plans."""
+"""Persistence: save/load decompositions, fitted mechanisms and plans.
 
-from repro.io.serialization import (
-    load_decomposition,
-    load_fitted_lrm,
-    load_plan,
-    save_decomposition,
-    save_fitted_lrm,
-    save_plan,
-)
+Serialization names are re-exported lazily (PEP 562): ``repro.io.atomic``
+holds dependency-free filesystem primitives that the privacy ledger imports
+while ``repro.core`` is still initialising, so eagerly importing
+``repro.io.serialization`` (which needs ``repro.core.alm``) here would
+create an import cycle.
+"""
 
-__all__ = [
+from repro.io.atomic import RetryPolicy, atomic_writer, fsync_directory, retry_with_backoff
+
+_SERIALIZATION_NAMES = (
     "load_decomposition",
     "load_fitted_lrm",
     "load_plan",
     "save_decomposition",
     "save_fitted_lrm",
     "save_plan",
+)
+
+__all__ = [
+    "RetryPolicy",
+    "atomic_writer",
+    "fsync_directory",
+    "retry_with_backoff",
+    *_SERIALIZATION_NAMES,
 ]
+
+
+def __getattr__(name):
+    if name in _SERIALIZATION_NAMES:
+        from repro.io import serialization
+
+        return getattr(serialization, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

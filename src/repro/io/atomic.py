@@ -1,0 +1,122 @@
+"""Crash-safe filesystem primitives: atomic writes and bounded retries.
+
+Every durable artifact this package writes — plan archives, fitted-LRM
+archives, the budget journal's compacted form — goes through the same
+discipline: write the full content to a uniquely-named staging file in the
+*same directory*, flush and ``fsync`` it, ``os.replace`` it over the final
+name (atomic on POSIX), then ``fsync`` the directory so the rename itself
+is durable. A crash at any instant leaves either the old file or the new
+file, never a half-written hybrid.
+
+:func:`retry_with_backoff` is the shared bounded/jittered retry loop used
+around the ledger's cross-process lock acquisition and the plan cache's
+disk I/O; callers map exhaustion onto their own error type (the ledger
+raises :class:`repro.exceptions.LedgerBusyError`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.testing.faults import fire
+
+__all__ = [
+    "RetryPolicy",
+    "atomic_writer",
+    "fsync_directory",
+    "retry_with_backoff",
+]
+
+#: Jitter source for backoff sleeps. Module-level so tests can seed it;
+#: never used for anything privacy-relevant.
+_JITTER = random.Random()
+
+
+def fsync_directory(path):
+    """fsync a directory so a just-completed rename/create in it survives a
+    crash. Best-effort on filesystems that refuse directory fds."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(path, binary=True):
+    """Yield a file handle whose contents land at ``path`` atomically.
+
+    The handle writes to a per-writer staging file (pid + random suffix,
+    same directory — ``os.replace`` must not cross filesystems). On clean
+    exit the staging file is flushed, fsynced and renamed over ``path``,
+    and the directory is fsynced; on error the staging file is removed and
+    ``path`` is untouched. Concurrent writers to the same ``path`` cannot
+    observe (or clobber) each other's staging files; last rename wins.
+    """
+    path = Path(path)
+    staging = path.with_name(f"{path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp")
+    mode = "wb" if binary else "w"
+    try:
+        with open(staging, mode) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        fire("io.atomic.before_replace")
+        os.replace(staging, path)
+        fire("io.atomic.after_replace")
+        fsync_directory(path.parent)
+    finally:
+        try:
+            staging.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff.
+
+    ``attempts`` total tries; sleep before retry ``i`` (1-based) is
+    ``min(base_delay * 2**(i-1), max_delay)`` scaled by a uniform jitter in
+    ``[0.5, 1.0]`` — jitter *reduces* the wait so contending processes
+    de-synchronize without inflating the worst-case total.
+    """
+
+    attempts: int = 12
+    base_delay: float = 0.001
+    max_delay: float = 0.05
+
+    def delay(self, attempt):
+        raw = min(self.base_delay * (2.0 ** attempt), self.max_delay)
+        return raw * (0.5 + 0.5 * _JITTER.random())
+
+
+def retry_with_backoff(fn, policy=None, retry_on=(OSError,), sleep=time.sleep):
+    """Call ``fn()`` until it succeeds or the policy is exhausted.
+
+    Only exceptions in ``retry_on`` are retried; anything else propagates
+    immediately. After the final failed attempt the last exception is
+    re-raised — callers wanting a domain-specific error (e.g.
+    :class:`repro.exceptions.LedgerBusyError`) catch it and translate.
+    """
+    policy = policy or RetryPolicy()
+    if policy.attempts < 1:
+        raise ValueError("RetryPolicy.attempts must be >= 1")
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == policy.attempts - 1:
+                raise
+            sleep(policy.delay(attempt))

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 
 import numpy as np
 
 from repro.core.alm import Decomposition
 from repro.exceptions import ValidationError
+from repro.io.atomic import atomic_writer
 from repro.workloads.workload import Workload
 
 __all__ = [
@@ -61,6 +63,22 @@ _FITTED_LRM_FORMAT_VERSIONS = (2, 3)
 _FITTED_LRM_FORMAT_VERSION = 3
 _PLAN_FORMAT_VERSIONS = (2, 3)
 _PLAN_FORMAT_VERSION = 3
+
+
+def _atomic_savez(path, **arrays):
+    """``np.savez_compressed`` through :func:`repro.io.atomic.atomic_writer`.
+
+    The archive is assembled in a same-directory staging file, fsynced and
+    renamed over ``path`` — a crash mid-save leaves the previous archive (or
+    nothing), never a truncated ``.npz`` a later load would choke on.
+    Mirrors numpy's convention of appending ``.npz`` to extension-less
+    paths, which passing a file handle would otherwise bypass.
+    """
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    with atomic_writer(path) as fh:
+        np.savez_compressed(fh, **arrays)
 
 
 def _workload_payload(workload):
@@ -155,7 +173,7 @@ def save_decomposition(decomposition, path):
         "history": decomposition.history,
         "perf": decomposition.perf,
     }
-    np.savez_compressed(
+    _atomic_savez(
         path,
         b=decomposition.b,
         l=decomposition.l,
@@ -211,7 +229,7 @@ def save_fitted_lrm(mechanism, path):
         "workload_meta": workload_meta,
         "decomposition": _decomposition_payload(decomposition),
     }
-    np.savez_compressed(
+    _atomic_savez(
         path,
         b=decomposition.b,
         l=decomposition.l,
@@ -388,7 +406,7 @@ def save_plan(plan, path):
         payload = json.dumps(metadata)
     except TypeError as exc:
         raise ValidationError(f"plan metadata is not JSON-serializable: {exc}") from exc
-    np.savez_compressed(
+    _atomic_savez(
         path, metadata=np.frombuffer(payload.encode("utf-8"), dtype=np.uint8), **arrays
     )
 

@@ -7,6 +7,15 @@ from repro.privacy.accountant import (
     make_accountant,
 )
 from repro.privacy.budget import PrivacyBudget, compose_sequential, split_budget
+from repro.privacy.ledger import (
+    DurableAccountant,
+    JournalStore,
+    LedgerStore,
+    SQLiteStore,
+    inspect_ledger,
+    open_ledger,
+    recover_ledger,
+)
 from repro.privacy.noise import (
     expected_squared_gaussian_noise,
     expected_squared_noise,
@@ -39,10 +48,17 @@ __all__ = [
     "ApproxDPAccountant",
     "BudgetAccountant",
     "DEFAULT_ALPHA_GRID",
+    "DurableAccountant",
+    "JournalStore",
+    "LedgerStore",
     "PrivacyBudget",
     "PureDPAccountant",
     "RDPAccountant",
+    "SQLiteStore",
+    "inspect_ledger",
     "make_accountant",
+    "open_ledger",
+    "recover_ledger",
     "column_l1_norms",
     "column_l2_norms",
     "compose_rdp_curves",

@@ -1,0 +1,931 @@
+"""Durable, crash-safe, multi-process budget ledger.
+
+Every privacy guarantee this package makes is only as strong as its budget
+accounting, yet the accountants of :mod:`repro.privacy.accountant` live in
+process memory: a crash mid-batch loses the ledger, a restart silently
+resets spent epsilon to zero, and two engine processes sharing a plan
+directory can each spend the full budget. This module makes *any*
+:class:`~repro.privacy.accountant.BudgetAccountant` durable and safe
+against both failure modes:
+
+* :class:`LedgerStore` is the storage protocol — an ordered, checksummed
+  stream of records plus a cross-process exclusive transaction — with two
+  backends: :class:`JournalStore` (append-only JSONL journal: every record
+  is fsynced, a torn tail from a crashed writer is detected by checksum
+  and repaired, compaction rotates via ``os.replace``) and
+  :class:`SQLiteStore` (WAL-mode SQLite, ``BEGIN IMMEDIATE``
+  transactions, ``synchronous=FULL``).
+* :class:`DurableAccountant` wraps an in-memory accountant with
+  **write-ahead intent/commit records**: a spend is admitted under the
+  store's exclusive lock, journaled as an ``intent`` (the validated
+  costs) followed by a ``commit`` marker, and only a committed intent is
+  replayed on open. A crash at *any* instant therefore leaves the spend
+  either fully committed or fully absent — never partial — which the
+  fault-injection matrix in ``tests/test_ledger_faults.py`` asserts for
+  every registered failpoint on the write path
+  (:func:`repro.testing.faults.ledger_write_failpoints`).
+
+**Bit-identical replay.** The journal stores *costs*, not states: replay
+rebuilds the ledger by pushing each committed cost through the inner
+accountant's ``_commit_state`` hook in commit order — exactly the
+arithmetic the original ``spend`` performed. Scalar sums and RDP curves
+alike reproduce the in-memory state to the last bit (float addition is not
+associative, so order preservation is load-bearing), and the per-release
+``realized`` audit trail of a recovered engine matches the uninterrupted
+run exactly.
+
+**Multi-process atomicity.** The spend path — sync from the store, check
+admission, append intent + commit — runs under the store's exclusive
+cross-process lock (``flock`` for the journal, ``BEGIN IMMEDIATE`` for
+SQLite), so N processes draining one budget serialize their admissions
+against the shared ledger and can never jointly overspend; exact
+exhaustion (``spent == total``, float-dust clamped) behaves precisely as
+it does for a single in-memory accountant. Lock acquisition is bounded:
+after the retry-with-backoff policy is exhausted,
+:class:`repro.exceptions.LedgerBusyError` is raised rather than blocking
+forever.
+
+``snapshot``/``restore`` (the engine's all-or-nothing ``execute_many``
+rollback) stay sound: a durable restore journals a ``rollback`` record
+naming the wrapper's own transactions, so replay excludes them — they are
+never resurrected — while spends committed by *other* processes in the
+interim survive.
+
+Entry points: ``PrivateQueryEngine(..., ledger_path=...)`` wraps the
+engine's accountant automatically; :func:`open_ledger` does the same for a
+bare accountant; :func:`inspect_ledger` / :func:`recover_ledger` back the
+CLI's ``ledger inspect`` / ``ledger recover`` targets.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+import os
+import sqlite3
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.exceptions import (
+    LedgerBusyError,
+    LedgerCorruptError,
+    LedgerError,
+    PrivacyBudgetError,
+)
+from repro.io.atomic import RetryPolicy, fsync_directory, retry_with_backoff
+from repro.privacy.accountant import BudgetAccountant, make_accountant
+from repro.testing.faults import failpoints, fire
+
+try:  # POSIX cross-process file locks; Windows falls back to O_EXCL below.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+__all__ = [
+    "LEDGER_FORMAT_VERSION",
+    "LedgerStore",
+    "JournalStore",
+    "SQLiteStore",
+    "DurableAccountant",
+    "open_store",
+    "open_ledger",
+    "replay_records",
+    "accountant_from_meta",
+    "inspect_ledger",
+    "recover_ledger",
+]
+
+LEDGER_FORMAT_VERSION = 1
+
+#: Path suffixes routed to the SQLite backend by ``backend="auto"``.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+# ---------------------------------------------------------------------- #
+# Record encoding (shared by both backends)
+# ---------------------------------------------------------------------- #
+def _record_crc(record):
+    """SHA-1 of the canonical JSON of ``record`` minus its ``crc`` field.
+
+    ``json.dumps`` renders floats with ``repr`` (shortest round-trip), so
+    the checksum — and replay — see exactly the bits the writer spent.
+    """
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return hashlib.sha1(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def _encode_record(record):
+    record = dict(record)
+    record["crc"] = _record_crc(record)
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _decode_record(text, expected_seq):
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        raise LedgerCorruptError(f"undecodable ledger record: {exc}") from exc
+    if not isinstance(record, dict) or "crc" not in record or "seq" not in record:
+        raise LedgerCorruptError("ledger record missing seq/crc fields")
+    if record["crc"] != _record_crc(record):
+        raise LedgerCorruptError(
+            f"ledger record {record.get('seq')} failed its checksum"
+        )
+    if expected_seq is not None and record["seq"] != expected_seq:
+        raise LedgerCorruptError(
+            f"ledger sequence gap: expected record {expected_seq}, "
+            f"found {record['seq']}"
+        )
+    return record
+
+
+def _txn_id():
+    return f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
+
+
+# ---------------------------------------------------------------------- #
+# Storage protocol
+# ---------------------------------------------------------------------- #
+class LedgerStore(abc.ABC):
+    """Ordered, checksummed record stream + cross-process transactions.
+
+    The contract :class:`DurableAccountant` relies on:
+
+    * :meth:`scan` — read every durable record in commit order (safe
+      without the lock: a concurrent writer's torn tail is tolerated and
+      reported, never misparsed).
+    * :meth:`transact` — exclusive cross-process critical section; all
+      :meth:`append` / :meth:`compact` calls happen inside one. For the
+      journal this is an ``flock`` plus torn-tail repair; for SQLite a
+      ``BEGIN IMMEDIATE`` transaction whose appends become durable
+      atomically at commit. Raises
+      :class:`~repro.exceptions.LedgerBusyError` when the bounded
+      retry-with-backoff policy cannot acquire the lock.
+    * :meth:`append` — add one record (``seq`` and ``crc`` are assigned
+      by the store). ``point`` names the failpoint prefix fired around
+      the write (``{point}.before_append`` / ``.torn`` /
+      ``.after_append``) so the fault matrix can kill a writer at every
+      instant of the protocol.
+    * :meth:`compact` — atomically replace the whole stream with fresh
+      records (recovery/rotation).
+    """
+
+    backend = "store"
+
+    @abc.abstractmethod
+    def scan(self):
+        """Return ``(records, torn_tail_bytes)`` — all durable records in
+        order, plus the size of any trailing torn write (journal only)."""
+
+    @abc.abstractmethod
+    def transact(self):
+        """Context manager: exclusive cross-process critical section."""
+
+    @abc.abstractmethod
+    def append(self, payload, point=None):
+        """Durably append one record (inside :meth:`transact` only)."""
+
+    @abc.abstractmethod
+    def compact(self, payloads):
+        """Atomically rewrite the stream as ``payloads`` (seq renumbered,
+        checksums recomputed); inside :meth:`transact` only."""
+
+    def close(self):
+        """Release any OS resources. Idempotent."""
+
+
+class JournalStore(LedgerStore):
+    """Append-only checksummed JSONL journal with fsync durability.
+
+    One record per line; every append is flushed and fsynced before the
+    spend is considered committed. A crashed writer can leave at most a
+    *torn tail* — a final line without its newline — which the checksummed
+    format detects unambiguously (our writes are single ``line + "\\n"``
+    buffers, and the JSON contains no raw newline, so any partial write
+    lacks the terminator). The tail is truncated on the next locked
+    transaction; corruption anywhere *before* the tail (a checksum
+    mismatch or sequence gap) is unrepairable tampering/rot and raises
+    :class:`~repro.exceptions.LedgerCorruptError`.
+
+    The cross-process lock is ``flock`` on a sibling ``<name>.lock`` file,
+    acquired non-blocking under the store's :class:`RetryPolicy`.
+    """
+
+    backend = "journal"
+
+    def __init__(self, path, retry=None):
+        self.path = Path(path)
+        self.retry = retry or RetryPolicy()
+        self._last_seq = 0
+        self._lock_fd = None
+
+    # -- locking ------------------------------------------------------- #
+    @property
+    def _lock_path(self):
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _try_lock(self, fd):
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        else:  # pragma: no cover - non-POSIX fallback
+            probe = self.path.with_name(self.path.name + ".lockdir")
+            os.mkdir(probe)
+            self._fallback_probe = probe
+
+    def _unlock(self, fd):
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - unlock best effort
+                pass
+        else:  # pragma: no cover - non-POSIX fallback
+            probe = getattr(self, "_fallback_probe", None)
+            if probe is not None:
+                os.rmdir(probe)
+                self._fallback_probe = None
+
+    @contextmanager
+    def transact(self):
+        if self._lock_fd is not None:
+            raise LedgerError("JournalStore.transact does not nest")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self._lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            try:
+                retry_with_backoff(
+                    lambda: self._try_lock(fd), self.retry, retry_on=(OSError,)
+                )
+            except OSError as exc:
+                raise LedgerBusyError(
+                    f"could not lock budget journal {self.path} after "
+                    f"{self.retry.attempts} attempts; another process holds it"
+                ) from exc
+            self._lock_fd = fd
+            self._repair_torn_tail()
+            yield self
+        finally:
+            self._lock_fd = None
+            self._unlock(fd)
+            os.close(fd)
+
+    # -- parsing ------------------------------------------------------- #
+    def _parse(self, data):
+        """Return ``(records, valid_end_offset, torn_tail_bytes)``."""
+        records = []
+        offset = 0
+        expected = 1
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                # Incomplete final line: the unambiguous signature of a
+                # torn write (complete writes always end in the newline).
+                return records, offset, len(data) - offset
+            line = data[offset:newline].decode("utf-8", errors="replace")
+            records.append(_decode_record(line, expected))
+            expected += 1
+            offset = newline + 1
+        return records, offset, 0
+
+    def scan(self):
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0
+        records, _, torn = self._parse(data)
+        self._last_seq = len(records)
+        return records, torn
+
+    def _repair_torn_tail(self):
+        """Truncate a torn final record (lock held). The lost bytes were
+        never acknowledged as committed — dropping them is the *correct*
+        recovery, not data loss."""
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            self._last_seq = 0
+            return
+        records, valid_end, torn = self._parse(data)
+        self._last_seq = len(records)
+        if torn:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    # -- writing ------------------------------------------------------- #
+    def append(self, payload, point=None):
+        if self._lock_fd is None:
+            raise LedgerError("JournalStore.append requires an open transact()")
+        record = {"seq": self._last_seq + 1, **payload}
+        line = (_encode_record(record) + "\n").encode("utf-8")
+        created = not self.path.exists()
+        if point is not None:
+            fire(f"{point}.before_append")
+        with open(self.path, "ab") as fh:
+            if point is not None:
+                failpoints.guarded_write(fh, line, f"{point}.torn")
+            else:
+                fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if created:
+            fsync_directory(self.path.parent)
+        if point is not None:
+            fire(f"{point}.after_append")
+        self._last_seq += 1
+
+    def compact(self, payloads):
+        if self._lock_fd is None:
+            raise LedgerError("JournalStore.compact requires an open transact()")
+        lines = []
+        for index, payload in enumerate(payloads):
+            record = {"seq": index + 1, **payload}
+            lines.append(_encode_record(record) + "\n")
+        staging = self.path.with_name(
+            f"{self.path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.compact.tmp"
+        )
+        try:
+            with open(staging, "wb") as fh:
+                fh.write("".join(lines).encode("utf-8"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            fire("journal.compact.before_replace")
+            os.replace(staging, self.path)
+            fire("journal.compact.after_replace")
+            fsync_directory(self.path.parent)
+        finally:
+            try:
+                staging.unlink(missing_ok=True)
+            except OSError:
+                pass
+        self._last_seq = len(payloads)
+
+
+class SQLiteStore(LedgerStore):
+    """SQLite-WAL ledger backend.
+
+    Records live in one ``ledger(seq, payload)`` table (payload = the same
+    checksummed JSON the journal writes, so both backends share integrity
+    checks and replay). Durability and mutual exclusion come from SQLite
+    itself: the spend path runs inside ``BEGIN IMMEDIATE`` (a cross-process
+    write lock) and becomes durable atomically at ``COMMIT`` under
+    ``synchronous=FULL`` — a crash anywhere inside the transaction leaves
+    no trace of it. Lock contention surfaces as
+    :class:`~repro.exceptions.LedgerBusyError` after the bounded retry
+    policy, mirroring the journal backend.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path, retry=None):
+        self.path = Path(path)
+        self.retry = retry or RetryPolicy()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # timeout=0: sqlite must not block internally — contention is
+        # handled by our own bounded retry loop.
+        self._conn = sqlite3.connect(str(self.path), timeout=0.0, isolation_level=None)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        retry_with_backoff(
+            lambda: self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS ledger ("
+                "seq INTEGER PRIMARY KEY, payload TEXT NOT NULL)"
+            ),
+            self.retry,
+            retry_on=(sqlite3.OperationalError,),
+        )
+        self._in_txn = False
+        self._txn_guarded = False
+
+    @contextmanager
+    def transact(self):
+        if self._in_txn:
+            raise LedgerError("SQLiteStore.transact does not nest")
+        try:
+            retry_with_backoff(
+                lambda: self._conn.execute("BEGIN IMMEDIATE"),
+                self.retry,
+                retry_on=(sqlite3.OperationalError,),
+            )
+        except sqlite3.OperationalError as exc:
+            raise LedgerBusyError(
+                f"could not lock budget ledger {self.path} after "
+                f"{self.retry.attempts} attempts; another process holds it"
+            ) from exc
+        self._in_txn = True
+        self._txn_guarded = False
+        try:
+            yield self
+        except BaseException:
+            self._in_txn = False
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.OperationalError:  # pragma: no cover
+                pass
+            raise
+        else:
+            self._in_txn = False
+            # The txn failpoints cover the spend protocol's point of no
+            # return; fire them only for transactions that wrote guarded
+            # (spend-path) records, not for opens/scans, so the crash
+            # matrix kills the worker mid-spend rather than mid-open.
+            guarded = self._txn_guarded
+            if guarded:
+                fire("sqlite.txn.before_commit")
+            self._conn.execute("COMMIT")
+            if guarded:
+                fire("sqlite.txn.after_commit")
+
+    def scan(self):
+        rows = self._conn.execute(
+            "SELECT seq, payload FROM ledger ORDER BY seq"
+        ).fetchall()
+        records = []
+        for index, (seq, payload) in enumerate(rows):
+            record = _decode_record(payload, index + 1)
+            if record["seq"] != seq:
+                raise LedgerCorruptError(
+                    f"ledger row {seq} holds a record claiming seq {record['seq']}"
+                )
+            records.append(record)
+        return records, 0
+
+    def _next_seq(self):
+        row = self._conn.execute("SELECT COALESCE(MAX(seq), 0) FROM ledger").fetchone()
+        return int(row[0]) + 1
+
+    def append(self, payload, point=None):
+        if not self._in_txn:
+            raise LedgerError("SQLiteStore.append requires an open transact()")
+        record = {"seq": self._next_seq(), **payload}
+        if point is not None:
+            self._txn_guarded = True
+            fire(f"{point}.before_append")
+        self._conn.execute(
+            "INSERT INTO ledger (seq, payload) VALUES (?, ?)",
+            (record["seq"], _encode_record(record)),
+        )
+        if point is not None:
+            fire(f"{point}.after_append")
+
+    def compact(self, payloads):
+        if not self._in_txn:
+            raise LedgerError("SQLiteStore.compact requires an open transact()")
+        self._conn.execute("DELETE FROM ledger")
+        for index, payload in enumerate(payloads):
+            record = {"seq": index + 1, **payload}
+            self._conn.execute(
+                "INSERT INTO ledger (seq, payload) VALUES (?, ?)",
+                (record["seq"], _encode_record(record)),
+            )
+
+    def close(self):
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover
+            pass
+
+
+def open_store(path, backend="auto", retry=None):
+    """Build the :class:`LedgerStore` for ``path``.
+
+    ``backend="auto"`` routes ``.db``/``.sqlite``/``.sqlite3`` suffixes —
+    or an existing file bearing the SQLite magic — to :class:`SQLiteStore`
+    and everything else to :class:`JournalStore`.
+    """
+    path = Path(path)
+    if backend == "auto":
+        backend = "journal"
+        if path.suffix.lower() in _SQLITE_SUFFIXES:
+            backend = "sqlite"
+        elif path.is_file():
+            with open(path, "rb") as fh:
+                if fh.read(16).startswith(b"SQLite format 3"):
+                    backend = "sqlite"
+    if backend == "journal":
+        return JournalStore(path, retry=retry)
+    if backend == "sqlite":
+        return SQLiteStore(path, retry=retry)
+    raise LedgerError(
+        f"unknown ledger backend {backend!r}; choose 'auto', 'journal' or 'sqlite'"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Replay
+# ---------------------------------------------------------------------- #
+def replay_records(records, accountant):
+    """Rebuild ``accountant``'s ledger state from a record stream.
+
+    Applies the committed costs **in commit order** through the
+    accountant's ``_commit_state`` hook — the exact arithmetic the
+    original spends performed, so the rebuilt state (scalar sums, RDP
+    curves) is bit-identical to the in-memory ledger at the moment the
+    last commit record was written. Intents without a commit (a crashed
+    writer) are ignored; ``rollback`` records excise their transactions;
+    ``reset`` clears everything before it.
+
+    Returns a summary dict (``meta``, ``committed`` as ``(txn, costs)``
+    pairs, ``dangling_intents``, ``rolled_back``, ``resets``).
+    """
+    meta = None
+    intents = {}
+    committed = []
+    rolled_back = 0
+    resets = 0
+    for record in records:
+        op = record.get("op")
+        if op == "meta":
+            if meta is not None:
+                raise LedgerCorruptError("duplicate ledger meta header")
+            meta = record
+        elif op == "intent":
+            txn = record["txn"]
+            if txn in intents:
+                raise LedgerCorruptError(f"duplicate intent for txn {txn!r}")
+            intents[txn] = [(float(eps), float(delta)) for eps, delta in record["costs"]]
+        elif op == "commit":
+            txn = record["txn"]
+            costs = intents.pop(txn, None)
+            if costs is None:
+                raise LedgerCorruptError(f"commit for unknown txn {txn!r}")
+            committed.append((txn, costs))
+        elif op == "rollback":
+            undo = set(record["txns"])
+            survivors = [(txn, costs) for txn, costs in committed if txn not in undo]
+            rolled_back += len(committed) - len(survivors)
+            committed = survivors
+        elif op == "reset":
+            resets += 1
+            committed = []
+        else:
+            raise LedgerCorruptError(f"unknown ledger record op {op!r}")
+    state = accountant._fresh_state()
+    for _, costs in committed:
+        for epsilon, delta in costs:
+            state = accountant._commit_state(epsilon, delta, state)
+    accountant._set_ledger_state(state)
+    return {
+        "meta": meta,
+        "committed": committed,
+        "dangling_intents": sorted(intents),
+        "rolled_back": rolled_back,
+        "resets": resets,
+    }
+
+
+def accountant_from_meta(meta):
+    """Rebuild the in-memory accountant a ledger's meta header describes —
+    how ``ledger inspect``/``recover`` replay without the creating engine."""
+    model = meta.get("model")
+    total_epsilon = meta.get("total_epsilon")
+    total_delta = meta.get("total_delta", 0.0)
+    if model == "rdp":
+        from repro.privacy.rdp import RDPAccountant
+
+        alphas = meta.get("alphas")
+        return RDPAccountant(total_epsilon, total_delta, alphas=alphas)
+    try:
+        return make_accountant(total_epsilon, total_delta, model=model)
+    except PrivacyBudgetError as exc:
+        raise LedgerError(
+            f"ledger meta header names unknown accountant model {model!r}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------- #
+# The durable wrapper
+# ---------------------------------------------------------------------- #
+class DurableAccountant(BudgetAccountant):
+    """Crash-safe, multi-process wrapper around any in-memory accountant.
+
+    All accounting arithmetic (validation, admission, composition,
+    reporting) delegates to the wrapped ``accountant`` — this class adds
+    only durability and mutual exclusion:
+
+    * ``spend``/``spend_many`` run under the store's exclusive
+      cross-process transaction: replay any records other processes
+      committed, admit against that synced state via the inner
+      accountant (preserving its all-or-nothing and float-dust
+      semantics exactly), then write an ``intent`` record holding the
+      validated costs followed by a ``commit`` marker. Only the commit
+      makes the spend real; the fault matrix kills writers at every
+      instrumented instant and recovery always lands on *pre* or *post*,
+      bit-identically.
+    * ``snapshot``/``restore`` journal a ``rollback`` record naming this
+      wrapper's own transactions, so a rolled-back charge is excised
+      from replay forever (never resurrected by a later open) while
+      other processes' interim spends survive the restore.
+    * Read properties (``spent_epsilon`` …) serve the last synced state
+      without touching the disk; ``can_spend`` and :meth:`sync` refresh
+      from the store first (lock-free — committed records only).
+
+    The first open of a path writes a ``meta`` header (model, totals,
+    RDP alpha grid); every later open verifies its accountant against it,
+    so one ledger can never be driven by two incompatible budgets.
+    """
+
+    def __init__(self, accountant, store):
+        if isinstance(accountant, DurableAccountant):
+            raise LedgerError("DurableAccountant cannot wrap another DurableAccountant")
+        if not isinstance(accountant, BudgetAccountant):
+            raise LedgerError(
+                "DurableAccountant wraps a BudgetAccountant; got "
+                f"{type(accountant).__name__}"
+            )
+        if accountant.spent_epsilon != 0.0 or accountant.spent_delta != 0.0:
+            raise LedgerError(
+                "DurableAccountant wraps a freshly-constructed accountant; "
+                "the ledger is the single source of spend state (reopen the "
+                "ledger with a fresh accountant to recover prior spending)"
+            )
+        super().__init__(accountant.total_epsilon, accountant.total_delta)
+        #: Audit label: the *model* name of the wrapped accountant, so
+        #: Release.metadata["accountant"] reads the same with or without a
+        #: durable ledger underneath.
+        self.name = accountant.name
+        self._inner = accountant
+        self._store = store
+        self._own_txns = []
+        self._summary = None
+        with self._store.transact():
+            records, _ = self._store.scan()
+            if records:
+                self._replay(records)
+            else:
+                self._store.append(self._meta_payload())
+                self._summary = replay_records([], self._inner)
+
+    # -- plumbing ------------------------------------------------------ #
+    @property
+    def inner(self):
+        """The wrapped in-memory accountant (its state mirrors the ledger
+        as of the last sync)."""
+        return self._inner
+
+    @property
+    def store(self):
+        """The :class:`LedgerStore` backing this accountant."""
+        return self._store
+
+    @property
+    def path(self):
+        return self._store.path
+
+    def close(self):
+        self._store.close()
+
+    def _meta_payload(self):
+        alphas = getattr(self._inner, "alphas", None)
+        return {
+            "op": "meta",
+            "format": LEDGER_FORMAT_VERSION,
+            "model": self._inner.name,
+            "total_epsilon": float(self._inner.total_epsilon),
+            "total_delta": float(self._inner.total_delta),
+            "alphas": None if alphas is None else [float(a) for a in alphas],
+        }
+
+    def _check_meta(self, meta):
+        expected = self._meta_payload()
+        for key in ("model", "total_epsilon", "total_delta", "alphas"):
+            if meta.get(key) != expected[key]:
+                raise LedgerError(
+                    f"budget ledger {self._store.path} was created with "
+                    f"{key}={meta.get(key)!r}; this accountant has "
+                    f"{key}={expected[key]!r} — one ledger cannot serve two "
+                    "budget configurations"
+                )
+
+    def _replay(self, records):
+        summary = replay_records(records, self._inner)
+        if summary["meta"] is None:
+            raise LedgerCorruptError(
+                f"budget ledger {self._store.path} has records but no meta header"
+            )
+        self._check_meta(summary["meta"])
+        self._summary = summary
+        return summary
+
+    def sync(self):
+        """Refresh the in-memory mirror from the store (lock-free read of
+        committed records; a concurrent writer's torn tail is ignored)."""
+        records, _ = self._store.scan()
+        if records:
+            self._replay(records)
+        return self
+
+    # -- delegation: one composition rule, the inner one --------------- #
+    def _validate_cost(self, epsilon, delta):
+        return self._inner._validate_cost(epsilon, delta)
+
+    def _fresh_state(self):
+        return self._inner._fresh_state()
+
+    def _ledger_state(self):
+        return self._inner._ledger_state()
+
+    def _set_ledger_state(self, state):
+        self._inner._set_ledger_state(state)
+
+    def _state_spent(self, state):
+        return self._inner._state_spent(state)
+
+    def _fits_state(self, epsilon, delta, state):
+        return self._inner._fits_state(epsilon, delta, state)
+
+    def _commit_state(self, epsilon, delta, state):
+        return self._inner._commit_state(epsilon, delta, state)
+
+    def can_spend(self, epsilon, delta=0.0):
+        self.sync()
+        return self._inner.can_spend(epsilon, delta)
+
+    # -- the durable spend path ---------------------------------------- #
+    def _charge(self, costs, realized_out=None, many=False):
+        staged_realized = [] if realized_out is not None else None
+        snapshot = None
+        txn = None
+        try:
+            with self._store.transact():
+                records, _ = self._store.scan()
+                self._replay(records)
+                snapshot = self._inner.snapshot()
+                if many:
+                    validated = self._inner.spend_many(
+                        costs, realized_out=staged_realized
+                    )
+                else:
+                    validated = [self._inner.spend(*costs[0])]
+                txn = _txn_id()
+                self._store.append(
+                    {
+                        "op": "intent",
+                        "txn": txn,
+                        "costs": [[float(e), float(d)] for e, d in validated],
+                    },
+                    point="ledger.intent",
+                )
+                self._store.append({"op": "commit", "txn": txn}, point="ledger.commit")
+        except PrivacyBudgetError:
+            # Admission failed inside the inner accountant: nothing was
+            # journaled and the inner ledger is untouched (its spend path
+            # raises before any state change).
+            raise
+        except BaseException:
+            # The journal write (or the sqlite COMMIT) failed after the
+            # inner ledger was charged: the spend is NOT durable, so the
+            # in-memory mirror must roll back to the synced pre-spend
+            # state before the error propagates.
+            if snapshot is not None:
+                self._inner.restore(snapshot)
+            raise
+        self._own_txns.append(txn)
+        if realized_out is not None:
+            realized_out.extend(staged_realized)
+        return validated
+
+    def spend(self, epsilon, delta=0.0):
+        return self._charge([(epsilon, delta)], many=False)[0]
+
+    def spend_many(self, costs, realized_out=None):
+        return self._charge(
+            [tuple(cost) for cost in costs], realized_out=realized_out, many=True
+        )
+
+    # -- snapshot / restore / reset ------------------------------------ #
+    def snapshot(self):
+        """Opaque rollback token: the inner snapshot plus a marker for
+        which of *this wrapper's* transactions existed at snapshot time."""
+        return (self._inner.snapshot(), len(self._own_txns))
+
+    def restore(self, state):
+        """Roll back this wrapper's post-snapshot transactions, durably.
+
+        A ``rollback`` record naming them is journaled, so replay — now or
+        after any future crash — excises them permanently; spends
+        committed by other processes since the snapshot are preserved
+        (the in-memory mirror is rebuilt from the journal, not from the
+        snapshot value).
+        """
+        try:
+            _, marker = state
+            marker = int(marker)
+        except (TypeError, ValueError) as exc:
+            raise LedgerError(
+                "DurableAccountant.restore expects a DurableAccountant.snapshot()"
+            ) from exc
+        rolled = list(self._own_txns[marker:])
+        with self._store.transact():
+            if rolled:
+                self._store.append(
+                    {"op": "rollback", "txns": rolled}, point="ledger.rollback"
+                )
+                del self._own_txns[marker:]
+            records, _ = self._store.scan()
+            self._replay(records)
+
+    def reset(self):
+        """Durably forget all spending (journals a ``reset`` record)."""
+        with self._store.transact():
+            self._store.append({"op": "reset"})
+            records, _ = self._store.scan()
+            self._replay(records)
+        self._own_txns = []
+
+
+def open_ledger(path, accountant, backend="auto", retry=None):
+    """Wrap ``accountant`` in a :class:`DurableAccountant` backed by the
+    ledger at ``path`` (created on first open, replayed on every later
+    one). ``retry`` is the :class:`repro.io.atomic.RetryPolicy` bounding
+    lock acquisition."""
+    return DurableAccountant(accountant, open_store(path, backend=backend, retry=retry))
+
+
+# ---------------------------------------------------------------------- #
+# Inspection and recovery (the CLI's `ledger` target)
+# ---------------------------------------------------------------------- #
+def _summarize(store, records, torn, summary, accountant):
+    spent_epsilon, spent_delta = accountant._state_spent(accountant._ledger_state())
+    return {
+        "path": str(store.path),
+        "backend": store.backend,
+        "records": len(records),
+        "committed": len(summary["committed"]),
+        "costs": sum(len(costs) for _, costs in summary["committed"]),
+        "dangling_intents": summary["dangling_intents"],
+        "rolled_back": summary["rolled_back"],
+        "resets": summary["resets"],
+        "torn_tail_bytes": torn,
+        "model": summary["meta"].get("model"),
+        "total_epsilon": summary["meta"].get("total_epsilon"),
+        "total_delta": summary["meta"].get("total_delta"),
+        "spent_epsilon": spent_epsilon,
+        "spent_delta": spent_delta,
+        "remaining_epsilon": max(
+            summary["meta"].get("total_epsilon") - spent_epsilon, 0.0
+        ),
+    }
+
+
+def _scan_and_replay(store):
+    records, torn = store.scan()
+    if not records:
+        raise LedgerError(f"budget ledger {store.path} is empty or missing")
+    if records[0].get("op") != "meta":
+        raise LedgerCorruptError(f"budget ledger {store.path} has no meta header")
+    accountant = accountant_from_meta(records[0])
+    summary = replay_records(records, accountant)
+    return records, torn, summary, accountant
+
+
+def inspect_ledger(path, backend="auto"):
+    """Read-only audit of a ledger: replays it with a fresh accountant and
+    returns a summary dict (record/commit counts, dangling intents, torn
+    tail, realized spend). Never modifies the ledger."""
+    store = open_store(path, backend=backend)
+    try:
+        records, torn, summary, accountant = _scan_and_replay(store)
+        return _summarize(store, records, torn, summary, accountant)
+    finally:
+        store.close()
+
+
+def recover_ledger(path, backend="auto"):
+    """Repair and compact a ledger after a crash.
+
+    Under the store's exclusive transaction: truncate any torn tail
+    (journal backend), drop dangling intents left by killed writers, apply
+    rollbacks/resets, and rewrite the stream as a clean ``meta`` +
+    intent/commit pair per surviving transaction. The replayed spend state
+    is unchanged by construction — recovery discards only records replay
+    already ignored. Returns the post-recovery summary dict."""
+    store = open_store(path, backend=backend)
+    try:
+        with store.transact():
+            records, torn, summary, accountant = _scan_and_replay(store)
+            meta = {
+                key: value
+                for key, value in summary["meta"].items()
+                if key not in ("seq", "crc")
+            }
+            payloads = [meta]
+            for txn, costs in summary["committed"]:
+                payloads.append(
+                    {
+                        "op": "intent",
+                        "txn": txn,
+                        "costs": [[eps, delta] for eps, delta in costs],
+                    }
+                )
+                payloads.append({"op": "commit", "txn": txn})
+            store.compact(payloads)
+            records, torn = store.scan()
+            summary = replay_records(records, accountant)
+            return _summarize(store, records, torn, summary, accountant)
+    finally:
+        store.close()

@@ -1,0 +1,17 @@
+"""Verification substrate: fault injection for crash-safety testing."""
+
+from repro.testing.faults import (
+    FailPoint,
+    InjectedFault,
+    failpoints,
+    ledger_write_failpoints,
+    registered_failpoints,
+)
+
+__all__ = [
+    "FailPoint",
+    "InjectedFault",
+    "failpoints",
+    "ledger_write_failpoints",
+    "registered_failpoints",
+]

@@ -1,0 +1,158 @@
+"""Failpoint registry semantics (repro.testing.faults).
+
+The crash-matrix suites (test_ledger_faults.py) rely on the registry
+behaving exactly as documented: unknown names fail loudly, env arming
+attaches at registration, "error" flows through OSError handling, and
+"torn" only tears at guarded write sites.
+"""
+
+import io
+
+import pytest
+
+from repro.testing.faults import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    FailPoint,
+    FailPointRegistry,
+    InjectedFault,
+    failpoints,
+    ledger_write_failpoints,
+    registered_failpoints,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    FailPoint.clear()
+    yield
+    FailPoint.clear()
+
+
+class TestRegistry:
+    def test_register_is_idempotent(self):
+        registry = FailPointRegistry(environ={})
+        assert registry.register("a.point") == "a.point"
+        registry.register("a.point")
+        assert registry.known() == ["a.point"]
+
+    def test_unknown_name_raises_on_arm_fire_and_action(self):
+        registry = FailPointRegistry(environ={})
+        with pytest.raises(KeyError):
+            registry.arm("nope", "error")
+        with pytest.raises(KeyError):
+            registry.fire("nope")
+        with pytest.raises(KeyError):
+            registry.action("nope")
+
+    def test_unknown_action_raises(self):
+        registry = FailPointRegistry(environ={})
+        registry.register("a.point")
+        with pytest.raises(ValueError):
+            registry.arm("a.point", "explode")
+
+    def test_unarmed_fire_is_noop(self):
+        registry = FailPointRegistry(environ={})
+        registry.register("a.point")
+        registry.fire("a.point")  # must not raise
+
+    def test_error_action_raises_injected_fault(self):
+        registry = FailPointRegistry(environ={})
+        registry.register("a.point")
+        registry.arm("a.point", "error")
+        with pytest.raises(InjectedFault):
+            registry.fire("a.point")
+        # InjectedFault is an OSError so production handlers catch it.
+        registry.arm("a.point", "error")
+        with pytest.raises(OSError):
+            registry.fire("a.point")
+
+    def test_disarm_one_and_all(self):
+        registry = FailPointRegistry(environ={})
+        registry.register("a.point")
+        registry.register("b.point")
+        registry.arm("a.point", "error")
+        registry.arm("b.point", "error")
+        registry.disarm("a.point")
+        assert registry.action("a.point") is None
+        assert registry.action("b.point") == "error"
+        registry.disarm()
+        assert registry.action("b.point") is None
+
+    def test_active_context_manager_disarms_on_exit(self):
+        registry = FailPointRegistry(environ={})
+        registry.register("a.point")
+        with registry.active("a.point", "error"):
+            assert registry.action("a.point") == "error"
+        assert registry.action("a.point") is None
+
+
+class TestEnvTransport:
+    def test_env_arming_attaches_at_registration(self):
+        registry = FailPointRegistry(environ={ENV_VAR: "late.point=error"})
+        # Not yet registered: arming is pending, not lost.
+        registry.register("late.point")
+        assert registry.action("late.point") == "error"
+
+    def test_env_parses_multiple_entries(self):
+        registry = FailPointRegistry(
+            environ={ENV_VAR: "one.point=error, two.point=torn"}
+        )
+        registry.register("one.point")
+        registry.register("two.point")
+        assert registry.action("one.point") == "error"
+        assert registry.action("two.point") == "torn"
+
+    def test_malformed_env_entry_raises(self):
+        with pytest.raises(ValueError):
+            FailPointRegistry(environ={ENV_VAR: "no-equals-sign"})
+
+    def test_empty_env_is_fine(self):
+        registry = FailPointRegistry(environ={})
+        assert registry.known() == []
+
+
+class TestGuardedWrite:
+    def test_unarmed_guarded_write_writes_everything(self):
+        registry = FailPointRegistry(environ={})
+        registry.register("w.torn")
+        buffer = io.BytesIO()
+        registry.guarded_write(buffer, b"hello world\n", "w.torn")
+        assert buffer.getvalue() == b"hello world\n"
+
+    def test_guarded_write_requires_known_point(self):
+        registry = FailPointRegistry(environ={})
+        with pytest.raises(KeyError):
+            registry.guarded_write(io.BytesIO(), b"data", "w.torn")
+
+
+class TestGlobalHelpers:
+    def test_ledger_write_points_are_registered(self):
+        known = set(registered_failpoints())
+        for backend in ("journal", "sqlite"):
+            points = ledger_write_failpoints(backend)
+            assert points, backend
+            assert set(points) <= known
+        with pytest.raises(ValueError):
+            ledger_write_failpoints("carrier-pigeon")
+
+    def test_journal_matrix_covers_intent_and_commit_tears(self):
+        points = ledger_write_failpoints("journal")
+        assert "ledger.intent.torn" in points
+        assert "ledger.commit.torn" in points
+        assert "ledger.commit.before_append" in points
+        assert "ledger.commit.after_append" in points
+
+    def test_sqlite_matrix_covers_txn_commit(self):
+        points = ledger_write_failpoints("sqlite")
+        assert "sqlite.txn.before_commit" in points
+        assert "sqlite.txn.after_commit" in points
+
+    def test_failpoint_helpers_arm_global_registry(self):
+        FailPoint.error_at("ledger.commit.before_append")
+        assert failpoints.action("ledger.commit.before_append") == "error"
+        FailPoint.clear()
+        assert failpoints.action("ledger.commit.before_append") is None
+
+    def test_crash_exit_code_is_sigkill_style(self):
+        assert CRASH_EXIT_CODE == 137

@@ -765,6 +765,31 @@ class TestPlanCache:
         fresh = PlanCache(directory=tmp_path / "plans")
         assert fresh.get(key) is not None
 
+    def test_corrupt_archive_is_quarantined_with_warning(self, tmp_path, caplog):
+        # The unreadable bytes are preserved for post-mortem (renamed to
+        # *.corrupt) and a warning names the archive — corruption must be
+        # visible, not silently papered over by the refit.
+        import logging
+
+        cache = PlanCache(directory=tmp_path / "plans")
+        wl = wrange(6, 64, seed=0)
+        key = plan_key(wl, "LM")
+        (tmp_path / "plans").mkdir(parents=True)
+        path = cache.path_for(key)
+        path.write_bytes(b"not a zip archive")
+        with caplog.at_level(logging.WARNING, logger="repro.engine.plan_cache"):
+            assert cache.get(key) is None
+        assert "unreadable archive" in caplog.text
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_bytes() == b"not a zip archive"
+        # The refit lands at the original path; the quarantine file stays
+        # until clear(disk=True).
+        _engine(plan_cache=cache).plan(wl, mechanism="LM")
+        assert PlanCache(directory=tmp_path / "plans").get(key) is not None
+        assert quarantined.exists()
+        cache.clear(disk=True)
+        assert not quarantined.exists()
+
     def test_rename_failure_degrades_to_memory(self, tmp_path, monkeypatch):
         # os.replace can fail after a successful staging write (e.g. a
         # concurrent reader holding the target open on Windows); put() must
