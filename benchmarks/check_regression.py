@@ -39,13 +39,16 @@ import sys
 
 def _cell_key(cell):
     # mechanism/epsilon are absent from solver cells and disambiguate
-    # serving cells that share one workload shape. The scaling reports'
+    # serving cells that share one workload shape; workers/mode do the
+    # same for the service load-benchmark cells (one report holds every
+    # worker-count x batched/unbatched combination). The scaling reports'
     # "path" (operator vs dense) is deliberately NOT part of the key, so
     # the dense seed baseline matches the operator candidate cells — the
     # cross-representation comparison is the point of that diff.
     return (
         cell["workload"], cell["m"], cell["n"], cell.get("s"),
         cell.get("mechanism"), cell.get("epsilon"),
+        cell.get("workers"), cell.get("mode"),
     )
 
 
@@ -67,6 +70,10 @@ def _median_gate(baseline, candidate, shared, field, threshold, unit_scale, unit
         name = f"{key[0]} {key[1]}x{key[2]}"
         if key[4] is not None:
             name += f" {key[4]}"
+        if key[6] is not None:
+            name += f" w{key[6]}"
+        if key[7] is not None:
+            name += f" {key[7]}"
         lines.append(
             f"{name:<34} {base_value * unit_scale:>9.4g}{unit} "
             f"{cand_value * unit_scale:>9.4g}{unit} {change:>+8.1%}"

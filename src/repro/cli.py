@@ -10,6 +10,8 @@ Examples::
     python -m repro.cli plan --workload W.npy --epsilon 0.2 --out W.plan.npz
     python -m repro.cli ledger inspect --ledger budget.journal
     python -m repro.cli ledger recover --ledger budget.db
+    python -m repro.cli serve --plans plans/ --workers 4 \\
+        --ledger-root ledgers/ --data counts.npy --budget 2.0
 """
 
 from __future__ import annotations
@@ -41,7 +43,7 @@ def build_parser():
         prog="repro-lrm",
         description="Reproduce tables/figures of the Low-Rank Mechanism paper (VLDB 2012).",
     )
-    targets = ["table1", "all", "decompose", "plan", "ledger"] + sorted(ALL_FIGURES)
+    targets = ["table1", "all", "decompose", "plan", "ledger", "serve"] + sorted(ALL_FIGURES)
     parser.add_argument("target", choices=targets, help="what to regenerate")
     parser.add_argument(
         "action", nargs="?", choices=["inspect", "recover"], default=None,
@@ -93,12 +95,52 @@ def build_parser():
         help="decompose: relative relaxation tolerance (default 1e-2)",
     )
     parser.add_argument(
+        "--plans", metavar="DIR", default=None,
+        help="serve: directory of *.plan.npz archives to share with workers",
+    )
+    parser.add_argument(
+        "--ledger-root", metavar="DIR", default=None,
+        help="serve: directory for the per-tenant durable budget ledgers",
+    )
+    parser.add_argument(
+        "--data", metavar="PATH", default=None,
+        help="serve: private data vector (.npy, or a text/CSV file)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="serve: total per-tenant epsilon budget",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="serve: worker process count (default 2)",
+    )
+    parser.add_argument(
+        "--accountant", default=None,
+        help="serve: budget accounting model (pure/basic/rdp; default auto)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="serve: bind address")
+    parser.add_argument(
+        "--port", type=int, default=8777,
+        help="serve: TCP port (default 8777; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32,
+        help="serve: coalescer batch cap (1 disables micro-batching)",
+    )
+    parser.add_argument(
+        "--max-wait", type=float, default=0.002,
+        help="serve: coalescing window in seconds (default 0.002)",
+    )
+    parser.add_argument(
         "--scale",
         choices=["reduced", "full"],
         default=None,
         help="sweep grid size (default: reduced, or REPRO_FULL_SCALE=1)",
     )
-    parser.add_argument("--seed", type=int, default=2012, help="experiment seed")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="experiment seed (default 2012; serve: fresh entropy unless set)",
+    )
     parser.add_argument("--json", metavar="PATH", default=None, help="also write results as JSON")
     parser.add_argument("--csv", metavar="PATH", default=None, help="also write results as CSV")
     parser.add_argument(
@@ -251,10 +293,60 @@ def _run_ledger(args, out):
     return 0
 
 
+def _run_serve(args, out):
+    from repro.serving.server import ServiceConfig, load_data_vector, serve
+
+    missing = [
+        flag
+        for flag, value in (
+            ("--plans", args.plans),
+            ("--ledger-root", args.ledger_root),
+            ("--data", args.data),
+            ("--budget", args.budget),
+        )
+        if value is None
+    ]
+    if missing:
+        out.write(f"serve requires {', '.join(missing)}\n")
+        return 2
+    config = ServiceConfig(
+        plans_dir=args.plans,
+        ledger_root=args.ledger_root,
+        data=load_data_vector(args.data),
+        total_epsilon=args.budget,
+        total_delta=args.delta if args.delta is not None else 0.0,
+        workers=args.workers,
+        accountant=args.accountant,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+    )
+
+    def ready(service, host, port):
+        out.write(
+            f"serving {len(service.plan_names())} plans on {host}:{port} "
+            f"with {config.workers} workers (Ctrl-C drains and stops)\n"
+        )
+        if hasattr(out, "flush"):
+            out.flush()
+
+    serve(config, ready=ready)
+    out.write("service stopped\n")
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    if args.seed is None and args.target != "serve":
+        # Experiments stay reproducible by default; a *service* must not
+        # release with a deterministic noise stream unless explicitly asked.
+        args.seed = 2012
+    if args.target == "serve":
+        return _run_serve(args, out)
     if args.target == "table1":
         _print_table1(out)
         return 0

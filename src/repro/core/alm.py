@@ -107,12 +107,22 @@ def _norm_tools(norm):
     raise ValidationError(f"norm must be 'l1' or 'l2', got {norm!r}")
 
 __all__ = [
+    "SOLVER_VERSION",
     "Decomposition",
     "decompose_workload",
     "decompose_workload_operator",
     "svd_warm_start",
     "choose_rank",
 ]
+
+#: Monotone revision of the fit quality this solver produces. Bump it when
+#: an optimisation change improves the decompositions themselves (tighter
+#: objective, better rank choice) — NOT for pure speedups that reproduce
+#: the same factors. Plan archives record the version they were fitted
+#: under, so a :class:`repro.engine.plan_cache.PlanCache` configured with
+#: ``min_solver_version`` can expire plans fitted by an older solver and
+#: re-plan on the better one instead of serving the stale fit forever.
+SOLVER_VERSION = 1
 
 
 @dataclass

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import logging
 import os
+import time
 from pathlib import Path
 
 from repro.engine.plan import ExecutionPlan
@@ -58,6 +59,20 @@ class PlanCache:
         refresh recency). Eviction is memory-tier only: on-disk archives
         are left intact, so an evicted plan with a directory backend
         reloads from disk on its next lookup instead of refitting.
+    ttl_seconds:
+        ``None`` (default) for no expiry; otherwise the maximum age of a
+        cached plan. Age is measured from the archive's ``saved_at``
+        provenance stamp (file mtime for pre-provenance archives); memory
+        entries carry the same stamp, so a promoted disk hit expires on
+        schedule rather than living forever in memory. An expired entry
+        reads as a **miss** — the subsequent ``put`` refits and overwrites
+        the stale archive.
+    min_solver_version:
+        ``None`` (default) to accept any archive; otherwise the lowest
+        acceptable :data:`repro.core.alm.SOLVER_VERSION` a disk archive
+        may have been fitted under. Archives from older solvers (including
+        pre-provenance ones, which read as version 0) miss instead of
+        serving a fit the current solver would beat.
 
     Attributes
     ----------
@@ -66,20 +81,34 @@ class PlanCache:
         directory backend (a subset of ``hits``).
     evictions:
         In-memory entries dropped by the ``max_entries`` LRU policy.
+    expirations:
+        Lookups answered as misses because the entry was past
+        ``ttl_seconds`` or below ``min_solver_version``.
     """
 
-    def __init__(self, directory=None, max_entries=None):
+    def __init__(self, directory=None, max_entries=None, ttl_seconds=None,
+                 min_solver_version=None):
         self.directory = Path(directory) if directory is not None else None
         if max_entries is not None:
             from repro.linalg.validation import check_positive_int
 
             max_entries = check_positive_int(max_entries, "max_entries")
         self.max_entries = max_entries
+        if ttl_seconds is not None:
+            from repro.linalg.validation import check_positive
+
+            ttl_seconds = check_positive(ttl_seconds, "ttl_seconds")
+        self.ttl_seconds = ttl_seconds
+        self.min_solver_version = (
+            None if min_solver_version is None else int(min_solver_version)
+        )
         self._memory = {}  # insertion order doubles as LRU order (oldest first)
+        self._saved_at = {}  # key -> provenance stamp of the memory entry
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.expirations = 0
 
     # ------------------------------------------------------------------ #
     # Key / path plumbing
@@ -97,23 +126,69 @@ class PlanCache:
     # ------------------------------------------------------------------ #
     # Lookup / store
     # ------------------------------------------------------------------ #
+    # ------------------------------------------------------------------ #
+    # Staleness (TTL + solver-version provenance)
+    # ------------------------------------------------------------------ #
+    def _memory_entry_fresh(self, key):
+        if self.ttl_seconds is None:
+            return True
+        stamp = self._saved_at.get(key)
+        return stamp is None or time.time() - stamp <= self.ttl_seconds
+
+    def _archive_staleness(self, path):
+        """``(stale, info)`` for a disk archive; ``info`` is its provenance
+        dict when the gate is configured (``None`` otherwise, or when the
+        metadata is unreadable — the load path classifies that failure)."""
+        if self.ttl_seconds is None and self.min_solver_version is None:
+            return False, None
+        from repro.io.serialization import plan_archive_info
+
+        try:
+            info = plan_archive_info(path)
+        except Exception:
+            return False, None
+        if (
+            self.min_solver_version is not None
+            and info["solver_version"] < self.min_solver_version
+        ):
+            return True, info
+        if self.ttl_seconds is not None and info["saved_at"] is not None:
+            if time.time() - info["saved_at"] > self.ttl_seconds:
+                return True, info
+        return False, info
+
     def get(self, key):
         """Return the cached plan for ``key``, or ``None``.
 
         Memory first; on a memory miss with a directory backend, the disk
         archive is loaded, verified against ``key``, promoted into memory
         and returned. Corrupt or mismatched archives raise
-        :class:`repro.exceptions.ValidationError`.
+        :class:`repro.exceptions.ValidationError`. Entries past
+        ``ttl_seconds`` — or disk archives fitted below
+        ``min_solver_version`` — answer as misses, so the caller refits
+        and the subsequent ``put`` overwrites the stale archive.
         """
         plan = self._memory.get(key)
         if plan is not None:
-            self.hits += 1
-            self._touch(key)
-            return plan
+            if self._memory_entry_fresh(key):
+                self.hits += 1
+                self._touch(key)
+                return plan
+            # Expired in memory: drop the entry and fall through to the
+            # disk tier, whose archive gets its own staleness check (it
+            # may have been rewritten by another process since).
+            del self._memory[key]
+            self._saved_at.pop(key, None)
+            self.expirations += 1
         path = self.path_for(key)
         if path is not None and path.exists():
             from repro.io.serialization import PlanFormatError, load_plan
 
+            stale, info = self._archive_staleness(path)
+            if stale:
+                self.expirations += 1
+                self.misses += 1
+                return None
             try:
                 plan = retry_with_backoff(
                     lambda: load_plan(path), policy=_DISK_RETRY, retry_on=(OSError,)
@@ -149,6 +224,12 @@ class PlanCache:
                     f"{plan.plan_key!r}, expected {key!r}"
                 )
             self._memory[key] = plan
+            # The promoted entry inherits the archive's provenance stamp
+            # (not "now"), so it expires on the archive's schedule.
+            if info is not None and info["saved_at"] is not None:
+                self._saved_at[key] = info["saved_at"]
+            else:
+                self._saved_at[key] = time.time()
             self._evict_over_cap()
             self.hits += 1
             self.disk_hits += 1
@@ -172,6 +253,7 @@ class PlanCache:
         while len(self._memory) > self.max_entries:
             oldest = next(iter(self._memory))
             del self._memory[oldest]
+            self._saved_at.pop(oldest, None)
             self.evictions += 1
 
     def put(self, key, plan):
@@ -187,6 +269,7 @@ class PlanCache:
         if key in self._memory:
             self._memory.pop(key)  # re-append: a store refreshes recency
         self._memory[key] = plan
+        self._saved_at[key] = time.time()
         self._evict_over_cap()
         path = self.path_for(key)
         if path is None:
@@ -231,6 +314,7 @@ class PlanCache:
         (including staging files a crashed writer may have leaked and
         ``*.corrupt`` quarantine files)."""
         self._memory.clear()
+        self._saved_at.clear()
         if disk and self.directory is not None and self.directory.exists():
             for pattern in ("*.plan.npz", "*.tmp.npz", "*.tmp", "*.corrupt"):
                 for archive in self.directory.glob(pattern):

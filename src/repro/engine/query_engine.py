@@ -37,6 +37,8 @@ Example
 from __future__ import annotations
 
 import itertools
+import os
+import uuid
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional
@@ -63,11 +65,25 @@ from repro.privacy.accountant import BudgetAccountant, make_accountant
 
 __all__ = ["PrivateQueryEngine", "Release"]
 
-#: Process-wide data-epoch token source. Each engine stamps a fresh token
-#: whenever its data vector is (re)set; compiled plans key their cached
-#: strategy answers (L x) on the token, so tokens must never collide across
-#: engines sharing a plan — a single monotone counter guarantees that.
-_DATA_EPOCHS = itertools.count(1)
+#: Data-epoch token state. Each engine stamps a fresh token whenever its
+#: data vector is (re)set; compiled plans key their cached strategy answers
+#: (L x) on the token, so tokens must never collide across engines sharing
+#: a plan — including engines in *different processes*: a fork duplicates a
+#: bare module-level counter, so a forked worker could re-mint a token its
+#: parent already cached against different data and serve a stale ``L x``.
+#: Tokens are therefore ``"{pid}-{salt}-{n}"`` where the salt is a fresh
+#: uuid minted per process: the pid check below re-salts lazily after a
+#: fork, and the uuid keeps tokens unique even when the OS reuses pids.
+_EPOCH_STATE = {"pid": None, "salt": None, "counter": None}
+
+
+def _next_data_epoch():
+    pid = os.getpid()
+    if _EPOCH_STATE["pid"] != pid:
+        _EPOCH_STATE["pid"] = pid
+        _EPOCH_STATE["salt"] = uuid.uuid4().hex[:12]
+        _EPOCH_STATE["counter"] = itertools.count(1)
+    return f"{pid}-{_EPOCH_STATE['salt']}-{next(_EPOCH_STATE['counter'])}"
 
 
 @dataclass
@@ -158,6 +174,13 @@ class PrivateQueryEngine:
         jointly overspend. A ``.db``/``.sqlite``/``.sqlite3`` suffix
         selects the SQLite-WAL backend; anything else the append-only
         checksummed journal.
+    ledger_retry:
+        Optional :class:`repro.io.atomic.RetryPolicy` governing how long a
+        spend waits on the ledger's cross-process lock before
+        :class:`~repro.exceptions.LedgerBusyError`. The default suits
+        occasional contention (a CLI and a notebook sharing one ledger);
+        a serving deployment with many workers spending on one tenant
+        needs a more patient policy (see ``repro.serving.worker``).
     """
 
     # delta and the other plan-API parameters come after the pre-PR-2
@@ -165,7 +188,7 @@ class PrivateQueryEngine:
     # positional callers keep working.
     def __init__(self, data, total_budget, candidates=DEFAULT_CANDIDATES,
                  mechanism_kwargs=None, seed=None, delta=0.0, plan_cache=None,
-                 accountant=None, ledger_path=None):
+                 accountant=None, ledger_path=None, ledger_retry=None):
         self._set_data(data)
         if isinstance(accountant, BudgetAccountant):
             self._accountant = accountant
@@ -186,7 +209,9 @@ class PrivateQueryEngine:
         if ledger_path is not None:
             from repro.privacy.ledger import open_ledger
 
-            self._accountant = open_ledger(ledger_path, self._accountant)
+            self._accountant = open_ledger(
+                ledger_path, self._accountant, retry=ledger_retry
+            )
         if self.delta > 0.0 and candidates is DEFAULT_CANDIDATES:
             candidates = DEFAULT_CANDIDATES + APPROX_DP_CANDIDATES
         self.candidates = tuple(candidates)
@@ -221,7 +246,7 @@ class PrivateQueryEngine:
         data = as_vector(data, "data").copy()
         data.setflags(write=False)
         self._data = data
-        self._data_epoch = next(_DATA_EPOCHS)
+        self._data_epoch = _next_data_epoch()
 
     def set_data(self, data):
         """Replace the engine's unit counts and stamp a new data epoch.
@@ -239,6 +264,37 @@ class PrivateQueryEngine:
                 f"new data has domain {data.size}, engine expects {self.domain_size}"
             )
         self._set_data(data)
+
+    def adopt_data(self, data, epoch):
+        """Share another engine's (already validated) data vector and epoch.
+
+        The serving tier runs one engine per tenant inside each worker;
+        every tenant answers over the *same* dataset. Giving each engine
+        its own copy via :meth:`set_data` would mint one epoch token per
+        tenant and thrash the compiled plans' bounded per-epoch ``L x``
+        cache, recomputing the strategy answers once per tenant instead of
+        once per dataset. ``adopt_data`` installs a shared read-only vector
+        under a caller-supplied token instead: every adopting engine serves
+        from the same cached ``L x``.
+
+        The caller owns the invariant that makes this sound: one token maps
+        to one immutable vector, forever. ``data`` must already be
+        read-only (pass the ``_data`` of the engine the token was minted
+        by, or freeze your own array); a writable array is rejected rather
+        than defensively copied, since a copy under a shared token would
+        let the copies drift apart behind one cache key.
+        """
+        data = as_vector(data, "data")
+        if data.flags.writeable:
+            raise ValidationError(
+                "adopt_data requires a read-only array: the epoch token "
+                "promises this exact data forever (use set_data to copy "
+                "and stamp a fresh token instead)"
+            )
+        if not isinstance(epoch, str) or not epoch:
+            raise ValidationError("adopt_data epoch must be a non-empty token string")
+        self._data = data
+        self._data_epoch = epoch
 
     @property
     def data_epoch(self):

@@ -22,10 +22,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 
 import numpy as np
 
-from repro.core.alm import Decomposition
+from repro.core.alm import SOLVER_VERSION, Decomposition
 from repro.exceptions import ValidationError
 from repro.io.atomic import atomic_writer
 from repro.workloads.workload import Workload
@@ -38,6 +39,8 @@ __all__ = [
     "load_fitted_lrm",
     "save_plan",
     "load_plan",
+    "plan_from_payload",
+    "plan_archive_info",
 ]
 
 
@@ -102,14 +105,16 @@ def _workload_payload(workload):
 
 
 def _restore_workload(meta, archive, missing_exc):
-    """Inverse of :func:`_workload_payload` against a loaded npz archive."""
+    """Inverse of :func:`_workload_payload` against a loaded npz archive
+    (or any plain ``{name: ndarray}`` mapping, e.g. shared-memory views)."""
     from repro.linalg.operator import operator_from_spec
 
     name = meta.get("name", "restored")
     if "operator" in meta:
         backing = operator_from_spec(meta["operator"], archive)
     else:
-        if "workload" not in archive.files:
+        names = getattr(archive, "files", archive)
+        if "workload" not in names:
             raise missing_exc("not a valid archive: missing 'workload'")
         backing = archive["workload"]
     return Workload(backing, name=name)
@@ -354,6 +359,13 @@ def save_plan(plan, path):
     workload_meta, arrays = _workload_payload(workload)
     metadata = {
         "plan_format_version": _PLAN_FORMAT_VERSION,
+        # Provenance, not format: which solver revision fitted this plan
+        # and when it was archived. Old readers ignore unknown JSON keys,
+        # so adding these does not bump the format version; archives
+        # without them read back as solver_version 0 / saved_at None (the
+        # plan cache falls back to file mtime for TTL purposes).
+        "solver_version": SOLVER_VERSION,
+        "saved_at": time.time(),
         "plan": plan.to_metadata(),
         "workload": workload_meta,
         "mechanism_class": type(mechanism).__name__,
@@ -420,21 +432,35 @@ def load_plan(path):
     or tampered archive is rejected instead of silently releasing against
     the wrong queries.
     """
-    from repro.engine.plan import ExecutionPlan, PlanCandidate
-    from repro.mechanisms.registry import make_mechanism
-
     with np.load(path, allow_pickle=False) as archive:
         try:
             metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
         except KeyError as exc:
             raise PlanFormatError(f"not a plan archive: missing {exc}") from exc
-        if metadata.get("plan_format_version") not in _PLAN_FORMAT_VERSIONS:
-            raise PlanFormatError(
-                f"unsupported plan format version {metadata.get('plan_format_version')}"
-            )
-        workload = _restore_workload(metadata["workload"], archive, PlanFormatError)
-        b = archive["b"] if "b" in archive.files else None
-        l = archive["l"] if "l" in archive.files else None
+        arrays = {name: archive[name] for name in archive.files if name != "metadata"}
+    return plan_from_payload(metadata, arrays)
+
+
+def plan_from_payload(metadata, arrays):
+    """Rebuild an :class:`~repro.engine.plan.ExecutionPlan` from a plan
+    archive's decoded metadata dict plus its arrays as a plain mapping.
+
+    This is :func:`load_plan` minus the npz container, with every
+    format/digest/workload-key integrity check intact — it exists so the
+    serving tier's shared-plan store can reconstruct plans whose arrays
+    live in ``multiprocessing.shared_memory`` (zero-copy, read-only views)
+    through the exact verification path a disk load takes.
+    """
+    from repro.engine.plan import ExecutionPlan, PlanCandidate
+    from repro.mechanisms.registry import make_mechanism
+
+    if metadata.get("plan_format_version") not in _PLAN_FORMAT_VERSIONS:
+        raise PlanFormatError(
+            f"unsupported plan format version {metadata.get('plan_format_version')}"
+        )
+    workload = _restore_workload(metadata["workload"], arrays, PlanFormatError)
+    b = arrays.get("b")
+    l = arrays.get("l")
     plan_meta = metadata["plan"]
     stored_digest = metadata["workload"].get("digest")
     if workload.content_digest != stored_digest:
@@ -493,3 +519,38 @@ def load_plan(path):
         candidates=[PlanCandidate.from_dict(c) for c in plan_meta.get("candidates", [])],
         fit_kwargs=dict(plan_meta.get("fit_kwargs", {})),
     )
+
+
+def plan_archive_info(path):
+    """Cheap provenance read of a plan archive (metadata member only — no
+    array decompression, no mechanism rebuild, no integrity re-hash).
+
+    Returns a dict with ``plan_format_version``, ``solver_version`` (0 for
+    pre-provenance archives), ``saved_at`` (POSIX seconds, or the archive
+    file's mtime for pre-provenance archives), ``mechanism_class``,
+    ``mechanism_label`` and ``workload_key``. This is what the plan
+    cache's TTL / ``min_solver_version`` staleness gate reads before
+    deciding whether a disk archive is worth loading at all.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            metadata = json.loads(bytes(archive["metadata"].tobytes()).decode("utf-8"))
+        except KeyError as exc:
+            raise PlanFormatError(f"not a plan archive: missing {exc}") from exc
+    if "plan_format_version" not in metadata:
+        raise PlanFormatError("not a plan archive: missing plan_format_version")
+    saved_at = metadata.get("saved_at")
+    if saved_at is None:
+        try:
+            saved_at = os.path.getmtime(path)
+        except OSError:
+            saved_at = None
+    plan_meta = metadata.get("plan", {})
+    return {
+        "plan_format_version": metadata.get("plan_format_version"),
+        "solver_version": int(metadata.get("solver_version", 0)),
+        "saved_at": None if saved_at is None else float(saved_at),
+        "mechanism_class": metadata.get("mechanism_class", ""),
+        "mechanism_label": plan_meta.get("mechanism_label"),
+        "workload_key": plan_meta.get("workload_key"),
+    }

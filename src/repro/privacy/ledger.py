@@ -62,6 +62,7 @@ from __future__ import annotations
 import abc
 import hashlib
 import json
+import logging
 import os
 import sqlite3
 import uuid
@@ -96,6 +97,8 @@ __all__ = [
     "inspect_ledger",
     "recover_ledger",
 ]
+
+logger = logging.getLogger(__name__)
 
 LEDGER_FORMAT_VERSION = 1
 
@@ -158,6 +161,14 @@ class LedgerStore(abc.ABC):
     * :meth:`scan` — read every durable record in commit order (safe
       without the lock: a concurrent writer's torn tail is tolerated and
       reported, never misparsed).
+    * :meth:`scan_new` — the incremental form: return only the records
+      appended since this store instance last read the stream, by
+      verifying a backend-specific tail cursor against the stream before
+      trusting it (``resumed=False`` signals the cursor could not be
+      verified — e.g. another process compacted — and the returned
+      records are the **whole** stream again). Spends are O(new records)
+      because of this method; the base implementation degrades to a full
+      :meth:`scan`.
     * :meth:`transact` — exclusive cross-process critical section; all
       :meth:`append` / :meth:`compact` calls happen inside one. For the
       journal this is an ``flock`` plus torn-tail repair; for SQLite a
@@ -180,6 +191,27 @@ class LedgerStore(abc.ABC):
     def scan(self):
         """Return ``(records, torn_tail_bytes)`` — all durable records in
         order, plus the size of any trailing torn write (journal only)."""
+
+    def scan_new(self):
+        """Return ``(new_records, torn_tail_bytes, resumed)``.
+
+        ``resumed=True``: ``new_records`` holds only the records appended
+        since this instance last read (or wrote) the stream, in order.
+        ``resumed=False``: the tail position could not be verified (first
+        read, or the stream was rewritten underneath us) and
+        ``new_records`` is the complete stream. Backends without an
+        incremental path fall back to a full scan.
+        """
+        records, torn = self.scan()
+        return records, torn, False
+
+    def invalidate_cursor(self):
+        """Forget the incremental-scan position (if the backend keeps
+        one): the next :meth:`scan_new` performs a full verification
+        scan. Called after an ambiguous write failure, when the caller's
+        mirror can no longer assume the cursor and the mirror agree on
+        what has been applied."""
+        self._tail_cursor = None
 
     @abc.abstractmethod
     def transact(self):
@@ -222,6 +254,11 @@ class JournalStore(LedgerStore):
         self.retry = retry or RetryPolicy()
         self._last_seq = 0
         self._lock_fd = None
+        # (start_offset, end_offset, seq, crc) of the last complete record
+        # this instance has seen — the incremental-scan cursor. Always
+        # verified against the file bytes before being trusted, so it is a
+        # hint, never an assumption.
+        self._tail_cursor = None
 
     # -- locking ------------------------------------------------------- #
     @property
@@ -273,42 +310,101 @@ class JournalStore(LedgerStore):
             os.close(fd)
 
     # -- parsing ------------------------------------------------------- #
-    def _parse(self, data):
-        """Return ``(records, valid_end_offset, torn_tail_bytes)``."""
+    def _parse(self, data, offset=0, first_seq=1):
+        """Parse records from ``data[offset:]`` expecting sequence numbers
+        from ``first_seq``; returns ``(records, valid_end_offset,
+        torn_tail_bytes, last_record_start)`` (``last_record_start`` is
+        ``None`` when no complete record was parsed)."""
         records = []
-        offset = 0
-        expected = 1
+        expected = first_seq
+        last_start = None
         while offset < len(data):
             newline = data.find(b"\n", offset)
             if newline == -1:
                 # Incomplete final line: the unambiguous signature of a
                 # torn write (complete writes always end in the newline).
-                return records, offset, len(data) - offset
+                return records, offset, len(data) - offset, last_start
             line = data[offset:newline].decode("utf-8", errors="replace")
             records.append(_decode_record(line, expected))
             expected += 1
+            last_start = offset
             offset = newline + 1
-        return records, offset, 0
+        return records, offset, 0, last_start
+
+    def _note_tail(self, records, valid_end, last_start):
+        """Record the incremental-scan cursor after a successful parse."""
+        if records and last_start is not None:
+            self._tail_cursor = (
+                last_start, valid_end, records[-1]["seq"], records[-1]["crc"]
+            )
+        elif last_start is None and valid_end == 0:
+            self._tail_cursor = None
 
     def scan(self):
         try:
             data = self.path.read_bytes()
         except FileNotFoundError:
+            self._tail_cursor = None
             return [], 0
-        records, _, torn = self._parse(data)
+        records, valid_end, torn, last_start = self._parse(data)
         self._last_seq = len(records)
+        self._note_tail(records, valid_end, last_start)
         return records, torn
+
+    def scan_new(self):
+        """Incremental scan: parse only the bytes appended since the
+        cursor, after verifying the cursor's record still sits unchanged
+        at its offsets (a compaction by another process rewrites offsets
+        and/or content, failing the check and forcing a full rescan)."""
+        cursor = self._tail_cursor
+        if cursor is None:
+            records, torn = self.scan()
+            return records, torn, False
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            self._tail_cursor = None
+            self._last_seq = 0
+            return [], 0, False
+        start, end, seq, crc = cursor
+        verified = False
+        if end <= len(data) and data[end - 1:end] == b"\n":
+            line = data[start:end - 1].decode("utf-8", errors="replace")
+            try:
+                record = json.loads(line)
+            except ValueError:
+                record = None
+            verified = (
+                isinstance(record, dict)
+                and record.get("seq") == seq
+                and record.get("crc") == crc
+            )
+        if not verified:
+            records, torn = self.scan()
+            return records, torn, False
+        records, valid_end, torn, last_start = self._parse(
+            data, offset=end, first_seq=seq + 1
+        )
+        self._last_seq = seq + len(records)
+        if records:
+            self._note_tail(records, valid_end, last_start)
+        return records, torn, True
 
     def _repair_torn_tail(self):
         """Truncate a torn final record (lock held). The lost bytes were
         never acknowledged as committed — dropping them is the *correct*
-        recovery, not data loss."""
+        recovery, not data loss. Only ``_last_seq`` (append numbering) is
+        refreshed here — NOT the incremental-scan cursor, which tracks
+        what the *caller* has consumed: records this repair parses were
+        never surfaced, and advancing the cursor past them would make the
+        next ``scan_new`` silently skip them."""
         try:
             data = self.path.read_bytes()
         except FileNotFoundError:
             self._last_seq = 0
+            self._tail_cursor = None
             return
-        records, valid_end, torn = self._parse(data)
+        records, valid_end, torn, last_start = self._parse(data)
         self._last_seq = len(records)
         if torn:
             with open(self.path, "r+b") as fh:
@@ -321,11 +417,13 @@ class JournalStore(LedgerStore):
         if self._lock_fd is None:
             raise LedgerError("JournalStore.append requires an open transact()")
         record = {"seq": self._last_seq + 1, **payload}
+        crc = _record_crc(record)
         line = (_encode_record(record) + "\n").encode("utf-8")
         created = not self.path.exists()
         if point is not None:
             fire(f"{point}.before_append")
         with open(self.path, "ab") as fh:
+            start = fh.tell()
             if point is not None:
                 failpoints.guarded_write(fh, line, f"{point}.torn")
             else:
@@ -337,13 +435,16 @@ class JournalStore(LedgerStore):
         if point is not None:
             fire(f"{point}.after_append")
         self._last_seq += 1
+        self._tail_cursor = (start, start + len(line), record["seq"], crc)
 
     def compact(self, payloads):
         if self._lock_fd is None:
             raise LedgerError("JournalStore.compact requires an open transact()")
         lines = []
+        last_crc = None
         for index, payload in enumerate(payloads):
             record = {"seq": index + 1, **payload}
+            last_crc = _record_crc(record)
             lines.append(_encode_record(record) + "\n")
         staging = self.path.with_name(
             f"{self.path.name}.{os.getpid()}-{uuid.uuid4().hex[:8]}.compact.tmp"
@@ -363,6 +464,12 @@ class JournalStore(LedgerStore):
             except OSError:
                 pass
         self._last_seq = len(payloads)
+        if lines:
+            total = sum(len(line.encode("utf-8")) for line in lines)
+            last = len(lines[-1].encode("utf-8"))
+            self._tail_cursor = (total - last, total, len(payloads), last_crc)
+        else:
+            self._tail_cursor = None
 
 
 class SQLiteStore(LedgerStore):
@@ -400,6 +507,9 @@ class SQLiteStore(LedgerStore):
         )
         self._in_txn = False
         self._txn_guarded = False
+        # (seq, crc) of the last record this instance has seen; verified
+        # by re-reading that row before an incremental scan trusts it.
+        self._tail_cursor = None
 
     @contextmanager
     def transact(self):
@@ -452,7 +562,51 @@ class SQLiteStore(LedgerStore):
                     f"ledger row {seq} holds a record claiming seq {record['seq']}"
                 )
             records.append(record)
+        self._tail_cursor = (
+            (records[-1]["seq"], records[-1]["crc"]) if records else None
+        )
         return records, 0
+
+    def scan_new(self):
+        """Incremental scan: fetch only rows past the cursor seq, after
+        verifying the cursor row still holds the record it held (a compact
+        renumbers from 1, failing the check and forcing a full rescan)."""
+        cursor = self._tail_cursor
+        if cursor is None:
+            records, torn = self.scan()
+            return records, torn, False
+        seq, crc = cursor
+        row = self._conn.execute(
+            "SELECT payload FROM ledger WHERE seq = ?", (seq,)
+        ).fetchone()
+        verified = False
+        if row is not None:
+            try:
+                record = json.loads(row[0])
+            except ValueError:
+                record = None
+            verified = (
+                isinstance(record, dict)
+                and record.get("seq") == seq
+                and record.get("crc") == crc
+            )
+        if not verified:
+            records, torn = self.scan()
+            return records, torn, False
+        rows = self._conn.execute(
+            "SELECT seq, payload FROM ledger WHERE seq > ? ORDER BY seq", (seq,)
+        ).fetchall()
+        records = []
+        for index, (row_seq, payload) in enumerate(rows):
+            record = _decode_record(payload, seq + index + 1)
+            if record["seq"] != row_seq:
+                raise LedgerCorruptError(
+                    f"ledger row {row_seq} holds a record claiming seq {record['seq']}"
+                )
+            records.append(record)
+        if records:
+            self._tail_cursor = (records[-1]["seq"], records[-1]["crc"])
+        return records, 0, True
 
     def _next_seq(self):
         row = self._conn.execute("SELECT COALESCE(MAX(seq), 0) FROM ledger").fetchone()
@@ -471,17 +625,20 @@ class SQLiteStore(LedgerStore):
         )
         if point is not None:
             fire(f"{point}.after_append")
+        self._tail_cursor = (record["seq"], _record_crc(record))
 
     def compact(self, payloads):
         if not self._in_txn:
             raise LedgerError("SQLiteStore.compact requires an open transact()")
         self._conn.execute("DELETE FROM ledger")
+        self._tail_cursor = None
         for index, payload in enumerate(payloads):
             record = {"seq": index + 1, **payload}
             self._conn.execute(
                 "INSERT INTO ledger (seq, payload) VALUES (?, ?)",
                 (record["seq"], _encode_record(record)),
             )
+            self._tail_cursor = (record["seq"], _record_crc(record))
 
     def close(self):
         try:
@@ -627,9 +784,28 @@ class DurableAccountant(BudgetAccountant):
     The first open of a path writes a ``meta`` header (model, totals,
     RDP alpha grid); every later open verifies its accountant against it,
     so one ledger can never be driven by two incompatible budgets.
+
+    **Incremental sync.** Syncs go through the store's :meth:`scan_new`:
+    the wrapper keeps the replayed bookkeeping (committed transactions,
+    dangling intents) in memory and applies only the records appended
+    since its last read, pushing new commits through ``_commit_state`` in
+    commit order — the same arithmetic, in the same order, as a full
+    replay, so the state stays bit-identical to one (the invariant
+    ``tests/test_ledger_incremental.py`` pins). A rollback or reset
+    record, or an unverifiable tail cursor (another process compacted),
+    falls back to recomputing from scratch. Spends are therefore O(new
+    records), not O(whole stream).
+
+    ``compact_every`` (records; ``None`` = never) adds periodic
+    checkpoint compaction: when the stream exceeds the threshold, the
+    spend that noticed rewrites it — inside the same exclusive
+    transaction — as a clean ``meta`` + intent/commit pair per surviving
+    transaction (exactly :func:`recover_ledger`'s rewrite), so long-lived
+    serving ledgers stay bounded by their *live* spend history instead of
+    growing with every request ever served.
     """
 
-    def __init__(self, accountant, store):
+    def __init__(self, accountant, store, compact_every=None):
         if isinstance(accountant, DurableAccountant):
             raise LedgerError("DurableAccountant cannot wrap another DurableAccountant")
         if not isinstance(accountant, BudgetAccountant):
@@ -650,15 +826,29 @@ class DurableAccountant(BudgetAccountant):
         self.name = accountant.name
         self._inner = accountant
         self._store = store
+        if compact_every is not None:
+            compact_every = int(compact_every)
+            if compact_every <= 0:
+                raise LedgerError("compact_every must be a positive record count")
+        self._compact_every = compact_every
         self._own_txns = []
-        self._summary = None
+        self._dirty = False
+        self._reset_replay_state()
         with self._store.transact():
-            records, _ = self._store.scan()
-            if records:
-                self._replay(records)
-            else:
+            self._sync_records()
+            if self._meta is None:
+                if self._records_seen:
+                    raise LedgerCorruptError(
+                        f"budget ledger {self._store.path} has records but "
+                        "no meta header"
+                    )
+                # First open: write the header. The store's append advances
+                # its own tail cursor past the record, so mirror it into
+                # the replay bookkeeping directly instead of re-scanning.
                 self._store.append(self._meta_payload())
-                self._summary = replay_records([], self._inner)
+                self._meta = self._meta_payload()
+                self._records_seen = 1
+                self._refresh_summary()
 
     # -- plumbing ------------------------------------------------------ #
     @property
@@ -701,22 +891,117 @@ class DurableAccountant(BudgetAccountant):
                     "budget configurations"
                 )
 
-    def _replay(self, records):
-        summary = replay_records(records, self._inner)
-        if summary["meta"] is None:
-            raise LedgerCorruptError(
-                f"budget ledger {self._store.path} has records but no meta header"
-            )
-        self._check_meta(summary["meta"])
-        self._summary = summary
-        return summary
+    # -- incremental replay bookkeeping -------------------------------- #
+    def _reset_replay_state(self):
+        """Forget everything replayed so far (a full rescan follows)."""
+        self._meta = None
+        self._committed = []
+        self._intents = {}
+        self._rolled_back = 0
+        self._resets = 0
+        self._records_seen = 0
+        self._inner._set_ledger_state(self._inner._fresh_state())
+        self._refresh_summary()
+
+    def _refresh_summary(self):
+        self._summary = {
+            "meta": self._meta,
+            "committed": list(self._committed),
+            "dangling_intents": sorted(self._intents),
+            "rolled_back": self._rolled_back,
+            "resets": self._resets,
+        }
+
+    def _recompute_state(self):
+        """Rebuild the inner state from the committed list, from scratch —
+        the exact arithmetic :func:`replay_records` performs, needed after
+        any record (rollback/reset) that edits history rather than
+        appending to it."""
+        state = self._inner._fresh_state()
+        for _, costs in self._committed:
+            for epsilon, delta in costs:
+                state = self._inner._commit_state(epsilon, delta, state)
+        self._inner._set_ledger_state(state)
+
+    def _apply_records(self, records):
+        """Fold new records into the replayed bookkeeping and inner state.
+
+        Plain commits are applied *incrementally* — each cost pushed
+        through ``_commit_state`` on top of the current state, which is
+        exactly where a full replay's loop would be at that record, so the
+        result is bit-identical to one. History-editing records
+        (rollback/reset) trigger one from-scratch recompute at the end of
+        the batch instead, again mirroring the full replay's arithmetic.
+        """
+        recompute = False
+        for record in records:
+            op = record.get("op")
+            self._records_seen += 1
+            if op == "meta":
+                if self._meta is not None:
+                    raise LedgerCorruptError("duplicate ledger meta header")
+                self._check_meta(record)
+                self._meta = record
+            elif self._meta is None:
+                raise LedgerCorruptError(
+                    f"budget ledger {self._store.path} has records but no "
+                    "meta header"
+                )
+            elif op == "intent":
+                txn = record["txn"]
+                if txn in self._intents:
+                    raise LedgerCorruptError(f"duplicate intent for txn {txn!r}")
+                self._intents[txn] = [
+                    (float(eps), float(delta)) for eps, delta in record["costs"]
+                ]
+            elif op == "commit":
+                txn = record["txn"]
+                costs = self._intents.pop(txn, None)
+                if costs is None:
+                    raise LedgerCorruptError(f"commit for unknown txn {txn!r}")
+                self._committed.append((txn, costs))
+                if not recompute:
+                    state = self._inner._ledger_state()
+                    for epsilon, delta in costs:
+                        state = self._inner._commit_state(epsilon, delta, state)
+                    self._inner._set_ledger_state(state)
+            elif op == "rollback":
+                undo = set(record["txns"])
+                survivors = [
+                    (txn, costs) for txn, costs in self._committed if txn not in undo
+                ]
+                self._rolled_back += len(self._committed) - len(survivors)
+                self._committed = survivors
+                recompute = True
+            elif op == "reset":
+                self._resets += 1
+                self._committed = []
+                recompute = True
+            else:
+                raise LedgerCorruptError(f"unknown ledger record op {op!r}")
+        if recompute:
+            self._recompute_state()
+        if records:
+            self._refresh_summary()
+
+    def _sync_records(self):
+        """Refresh the mirror from the store: incremental when the store's
+        tail cursor verifies, full replay from scratch otherwise. After an
+        ambiguous write failure (``_dirty``) the cursor itself is suspect
+        — it may sit past durable records the mirror rolled back — so it
+        is dropped and the stream re-verified end to end."""
+        if self._dirty:
+            self._store.invalidate_cursor()
+            self._dirty = False
+        records, _, resumed = self._store.scan_new()
+        if not resumed:
+            self._reset_replay_state()
+        self._apply_records(records)
 
     def sync(self):
         """Refresh the in-memory mirror from the store (lock-free read of
         committed records; a concurrent writer's torn tail is ignored)."""
-        records, _ = self._store.scan()
-        if records:
-            self._replay(records)
+        self._sync_records()
         return self
 
     # -- delegation: one composition rule, the inner one --------------- #
@@ -750,10 +1035,14 @@ class DurableAccountant(BudgetAccountant):
         staged_realized = [] if realized_out is not None else None
         snapshot = None
         txn = None
-        try:
-            with self._store.transact():
-                records, _ = self._store.scan()
-                self._replay(records)
+        with self._store.transact():
+            try:
+                self._sync_records()
+                if self._meta is None:
+                    raise LedgerCorruptError(
+                        f"budget ledger {self._store.path} has records but "
+                        "no meta header"
+                    )
                 snapshot = self._inner.snapshot()
                 if many:
                     validated = self._inner.spend_many(
@@ -762,32 +1051,109 @@ class DurableAccountant(BudgetAccountant):
                 else:
                     validated = [self._inner.spend(*costs[0])]
                 txn = _txn_id()
+                committed_costs = [(float(e), float(d)) for e, d in validated]
                 self._store.append(
                     {
                         "op": "intent",
                         "txn": txn,
-                        "costs": [[float(e), float(d)] for e, d in validated],
+                        "costs": [[e, d] for e, d in committed_costs],
                     },
                     point="ledger.intent",
                 )
                 self._store.append({"op": "commit", "txn": txn}, point="ledger.commit")
-        except PrivacyBudgetError:
-            # Admission failed inside the inner accountant: nothing was
-            # journaled and the inner ledger is untouched (its spend path
-            # raises before any state change).
-            raise
-        except BaseException:
-            # The journal write (or the sqlite COMMIT) failed after the
-            # inner ledger was charged: the spend is NOT durable, so the
-            # in-memory mirror must roll back to the synced pre-spend
-            # state before the error propagates.
-            if snapshot is not None:
-                self._inner.restore(snapshot)
-            raise
+                # The inner state already includes this spend (the
+                # spend/spend_many call above performed it); mirror the
+                # bookkeeping the two appended records represent, so the
+                # next sync resumes past them instead of re-applying.
+                self._committed.append((txn, committed_costs))
+                self._records_seen += 2
+                self._refresh_summary()
+            except PrivacyBudgetError:
+                # Admission failed inside the inner accountant: nothing
+                # was journaled and the inner ledger is untouched (its
+                # spend path raises before any state change).
+                raise
+            except BaseException:
+                # A write failed after the inner ledger was charged. What
+                # actually reached the stream is backend- and
+                # instant-specific (a durable dangling intent, both
+                # records, or — after a sqlite rollback — nothing), so
+                # roll the mirror back to the synced pre-spend state and
+                # mark it dirty: the next sync rescans from scratch
+                # instead of trusting a cursor that may disagree with the
+                # mirror in either direction.
+                if snapshot is not None:
+                    self._inner.restore(snapshot)
+                    if txn is not None and self._committed and (
+                        self._committed[-1][0] == txn
+                    ):
+                        self._committed.pop()
+                        self._refresh_summary()
+                    self._dirty = True
+                raise
         self._own_txns.append(txn)
         if realized_out is not None:
             realized_out.extend(staged_realized)
+        if (
+            self._compact_every is not None
+            and self._records_seen > self._compact_every
+        ):
+            self._maybe_checkpoint()
         return validated
+
+    def _maybe_checkpoint(self):
+        """Checkpoint compaction: rewrite the stream as ``meta`` + one
+        intent/commit pair per surviving transaction (exactly the
+        :func:`recover_ledger` rewrite), in its **own** exclusive
+        transaction — never inside a spend's, because a sqlite compact
+        shares its enclosing transaction and a mid-compact failure would
+        roll the (already admitted) spend back with it. Commit order is
+        preserved by the rewrite, so the replayed state is untouched by
+        construction. A checkpoint failure never fails the spend that
+        triggered it: the stream is left valid either way (atomic journal
+        replace / sqlite rollback) and the next spend simply retries."""
+        try:
+            with self._store.transact():
+                self._sync_records()
+                if self._meta is None or self._records_seen <= self._compact_every:
+                    return
+                payloads = [
+                    {
+                        key: value
+                        for key, value in self._meta.items()
+                        if key not in ("seq", "crc")
+                    }
+                ]
+                for txn, txn_costs in self._committed:
+                    payloads.append(
+                        {
+                            "op": "intent",
+                            "txn": txn,
+                            "costs": [[eps, delta] for eps, delta in txn_costs],
+                        }
+                    )
+                    payloads.append({"op": "commit", "txn": txn})
+                try:
+                    self._store.compact(payloads)
+                except BaseException:
+                    self._dirty = True
+                    raise
+                # Only the stream bookkeeping resets; dropped records
+                # (dangling intents of crashed writers, applied rollbacks
+                # and resets) are exactly those replay already ignored.
+                self._intents = {}
+                self._rolled_back = 0
+                self._resets = 0
+                self._records_seen = len(payloads)
+                self._refresh_summary()
+        except LedgerBusyError:
+            return  # another process holds the lock; the next spend retries
+        except (LedgerError, OSError) as exc:
+            logger.warning(
+                "budget ledger checkpoint failed on %s (stream left valid): %s",
+                self._store.path,
+                exc,
+            )
 
     def spend(self, epsilon, delta=0.0):
         return self._charge([(epsilon, delta)], many=False)[0]
@@ -821,29 +1187,59 @@ class DurableAccountant(BudgetAccountant):
             ) from exc
         rolled = list(self._own_txns[marker:])
         with self._store.transact():
-            if rolled:
-                self._store.append(
-                    {"op": "rollback", "txns": rolled}, point="ledger.rollback"
-                )
-                del self._own_txns[marker:]
-            records, _ = self._store.scan()
-            self._replay(records)
+            try:
+                self._sync_records()
+                if rolled:
+                    self._store.append(
+                        {"op": "rollback", "txns": rolled}, point="ledger.rollback"
+                    )
+                    del self._own_txns[marker:]
+                    # Mirror the record just appended (the cursor is past
+                    # it): excise the named transactions and recompute the
+                    # state from the survivors, exactly as replay would.
+                    undo = set(rolled)
+                    survivors = [
+                        (txn, costs)
+                        for txn, costs in self._committed
+                        if txn not in undo
+                    ]
+                    self._rolled_back += len(self._committed) - len(survivors)
+                    self._committed = survivors
+                    self._records_seen += 1
+                    self._recompute_state()
+                    self._refresh_summary()
+            except BaseException:
+                self._dirty = True
+                raise
 
     def reset(self):
         """Durably forget all spending (journals a ``reset`` record)."""
         with self._store.transact():
-            self._store.append({"op": "reset"})
-            records, _ = self._store.scan()
-            self._replay(records)
+            try:
+                self._sync_records()
+                self._store.append({"op": "reset"})
+                self._resets += 1
+                self._committed = []
+                self._records_seen += 1
+                self._recompute_state()
+                self._refresh_summary()
+            except BaseException:
+                self._dirty = True
+                raise
         self._own_txns = []
 
 
-def open_ledger(path, accountant, backend="auto", retry=None):
+def open_ledger(path, accountant, backend="auto", retry=None, compact_every=None):
     """Wrap ``accountant`` in a :class:`DurableAccountant` backed by the
     ledger at ``path`` (created on first open, replayed on every later
     one). ``retry`` is the :class:`repro.io.atomic.RetryPolicy` bounding
-    lock acquisition."""
-    return DurableAccountant(accountant, open_store(path, backend=backend, retry=retry))
+    lock acquisition; ``compact_every`` enables checkpoint compaction
+    once the stream exceeds that many records."""
+    return DurableAccountant(
+        accountant,
+        open_store(path, backend=backend, retry=retry),
+        compact_every=compact_every,
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,46 @@
+"""Multi-process private-query serving tier.
+
+The deployment shape of the plan/execute engine: N worker processes
+share one read-only copy of every compiled plan's release factors
+(:mod:`~repro.serving.shared_plans`, ``multiprocessing.shared_memory``),
+each worker runs one :class:`~repro.engine.query_engine.PrivateQueryEngine`
+per tenant backed by that tenant's durable budget ledger
+(:mod:`~repro.serving.worker`), a stdlib-only asyncio JSON-lines front-end
+accepts ``plan``/``execute``/``explain``/``budget`` requests
+(:mod:`~repro.serving.server`), and a micro-batching coalescer turns
+concurrent same-``(tenant, plan)`` requests into atomic ``execute_many``
+batches (:mod:`~repro.serving.coalescer`).
+
+Start one from the CLI::
+
+    repro serve --plans plans/ --workers 4 --ledger-root ledgers/ \\
+        --data counts.npy --budget 2.0
+
+or in-process (tests, notebooks)::
+
+    from repro.serving import PlanService, ServiceConfig
+    service = PlanService(ServiceConfig(plans_dir, ledger_root, data, 2.0))
+"""
+
+from repro.serving.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.serving.coalescer import Coalescer, RemoteExecutionError
+from repro.serving.server import PlanService, ServiceConfig, serve
+from repro.serving.shared_plans import SharedPlanStore, attach_plans, stage_plans
+from repro.serving.worker import WorkerConfig, WorkerCrashError, WorkerPool
+
+__all__ = [
+    "AsyncServiceClient",
+    "Coalescer",
+    "PlanService",
+    "RemoteExecutionError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SharedPlanStore",
+    "WorkerConfig",
+    "WorkerCrashError",
+    "WorkerPool",
+    "attach_plans",
+    "serve",
+    "stage_plans",
+]

@@ -1,0 +1,155 @@
+"""Clients for the JSON-lines serving protocol.
+
+:class:`ServiceClient` is a small blocking socket client (tests, scripts,
+the quickstart example); :class:`AsyncServiceClient` the asyncio
+equivalent the load-generator benchmark uses to keep hundreds of requests
+in flight. Both speak the protocol of :mod:`repro.serving.server` —
+one JSON object per line — and raise :class:`ServiceError` for
+``{"ok": false}`` responses, with the server-reported error kind
+preserved on ``.kind``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.exceptions import ReproError
+
+__all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """The server answered ``{"ok": false, ...}``."""
+
+    def __init__(self, kind, message):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+def _raise_or_return(response):
+    if not response.get("ok"):
+        raise ServiceError(
+            response.get("error", "ServiceError"), response.get("message", "")
+        )
+    return response
+
+
+class ServiceClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload):
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("ConnectionClosed", "server closed the connection")
+        return _raise_or_return(json.loads(line))
+
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def plans(self):
+        return self.request({"op": "plan"})["plans"]
+
+    def execute(self, tenant, plan, epsilon, **switches):
+        payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
+        payload.update(switches)
+        return self.request(payload)["release"]
+
+    def budget(self, tenant):
+        return self.request({"op": "budget", "tenant": tenant})["budget"]
+
+    def explain(self, plan, epsilon=None):
+        payload = {"op": "explain", "plan": plan}
+        if epsilon is not None:
+            payload["epsilon"] = epsilon
+        return self.request(payload)["explain"]
+
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio JSON-lines client; safe for concurrent ``execute`` calls
+    from many tasks over one connection (requests are correlated by
+    ``id``)."""
+
+    def __init__(self):
+        self._reader = None
+        self._writer = None
+        self._pending = {}
+        self._next_id = 0
+        self._reader_task = None
+        self._write_lock = None
+
+    @classmethod
+    async def connect(cls, host, port):
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        client._write_lock = asyncio.Lock()
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def _read_loop(self):
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = json.loads(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServiceError("ConnectionClosed", "server closed the connection")
+                    )
+            self._pending.clear()
+
+    async def request(self, payload):
+        loop = asyncio.get_running_loop()
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {**payload, "id": request_id}
+        future = loop.create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            await self._writer.drain()
+        return _raise_or_return(await future)
+
+    async def execute(self, tenant, plan, epsilon, **switches):
+        payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
+        payload.update(switches)
+        return (await self.request(payload))["release"]
+
+    async def budget(self, tenant):
+        return (await self.request({"op": "budget", "tenant": tenant}))["budget"]
+
+    async def close(self):
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass

@@ -1,0 +1,182 @@
+"""Micro-batching coalescer: concurrent requests become one worker batch.
+
+The engine's batched release path (``execute_many``) amortizes the
+per-release noise draw, GEMM and ledger round-trip — but only if someone
+actually forms batches. Under a concurrent front-end, requests for the
+same ``(tenant, plan)`` arrive interleaved across connections;
+:class:`Coalescer` holds each one briefly in a per-key bucket and flushes
+the bucket as a single worker command when it reaches ``max_batch``
+requests or its oldest request has waited ``max_wait`` seconds, whichever
+comes first.
+
+Semantics preserved from the unbatched path:
+
+* **Atomic accounting** — the worker charges the whole bucket through
+  ``spend_many`` (all-or-nothing). If the *batch* is refused for budget
+  (the sum exceeds the remaining budget) the coalescer degrades to
+  **sequential admission**: each request is retried individually, so the
+  requests that do fit are served and only the ones that do not are
+  refused — exactly what unbatched arrival order would have produced.
+* **Ordering** — results resolve onto the originating futures in request
+  order within a bucket; a bucket's requests never reorder.
+* **Flush on shutdown** — :meth:`drain` flushes every pending bucket and
+  awaits in-flight worker calls, so a graceful shutdown serves (and
+  charges) everything it accepted rather than dropping queued requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+
+from repro.exceptions import ReproError
+from repro.serving.worker import WorkerCrashError
+
+__all__ = ["Coalescer", "RemoteExecutionError"]
+
+
+class RemoteExecutionError(ReproError):
+    """A worker reported a failure for this request; ``kind`` is the
+    worker-side exception class name (e.g. ``"PrivacyBudgetError"``)."""
+
+    def __init__(self, kind, message):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+class _Bucket:
+    __slots__ = ("requests", "futures", "timer")
+
+    def __init__(self):
+        self.requests = []  # (epsilon, switches)
+        self.futures = []
+        self.timer = None
+
+
+class Coalescer:
+    """Groups ``submit`` calls by ``(tenant, plan)`` into worker batches.
+
+    ``pool_submit`` is a callable ``(command) -> reply tuple`` executed in
+    a thread (the worker pipe round-trip blocks); the coalescer is
+    otherwise pure asyncio and must be used from one event loop.
+    """
+
+    def __init__(self, pool, max_batch=32, max_wait=0.002, executor=None):
+        if int(max_batch) <= 0:
+            raise ValueError("max_batch must be positive")
+        if float(max_wait) < 0:
+            raise ValueError("max_wait must be non-negative")
+        self._pool = pool
+        #: Thread pool the blocking pipe round-trips run on. ``None`` uses
+        #: the event loop's default executor, whose thread cap
+        #: (``cpu_count + 4``) can sit *below* the worker count — the
+        #: service passes one sized to its pool instead.
+        self._executor = executor
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._buckets = {}
+        self._inflight = set()
+        self._draining = False
+        #: Counters for the benchmark/ops surface.
+        self.batches_flushed = 0
+        self.requests_coalesced = 0
+        self.sequential_retries = 0
+
+    # -- submission ----------------------------------------------------- #
+    async def submit(self, tenant, plan_name, epsilon, switches=None):
+        """Queue one release request; resolves to the release payload dict."""
+        if self._draining:
+            raise RemoteExecutionError("ServiceUnavailable", "server is draining")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        key = (tenant, plan_name)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[key] = bucket
+        bucket.requests.append((float(epsilon), dict(switches or {})))
+        bucket.futures.append(future)
+        if len(bucket.requests) >= self.max_batch:
+            self._flush(key)
+        elif bucket.timer is None:
+            bucket.timer = loop.call_later(self.max_wait, self._flush, key)
+        return await future
+
+    # -- flushing -------------------------------------------------------- #
+    def _flush(self, key):
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        task = asyncio.ensure_future(self._run_batch(key, bucket))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _execute(self, tenant, plan_name, requests):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            functools.partial(
+                self._pool.submit, ("execute", tenant, plan_name, requests)
+            ),
+        )
+
+    async def _run_batch(self, key, bucket):
+        tenant, plan_name = key
+        self.batches_flushed += 1
+        self.requests_coalesced += len(bucket.requests)
+        try:
+            reply = await self._execute(tenant, plan_name, bucket.requests)
+        except WorkerCrashError as exc:
+            for future in bucket.futures:
+                if not future.done():
+                    future.set_exception(
+                        RemoteExecutionError("WorkerCrashError", str(exc))
+                    )
+            return
+        except BaseException as exc:  # pragma: no cover - defensive
+            for future in bucket.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if reply[0] == "ok":
+            for future, payload in zip(bucket.futures, reply[1]):
+                if not future.done():
+                    future.set_result(payload)
+            return
+        kind, message = reply[1], reply[2]
+        if kind == "PrivacyBudgetError" and len(bucket.requests) > 1:
+            # The batch total did not fit, but individual requests might:
+            # degrade to sequential admission, preserving request order.
+            await self._sequential(key, bucket)
+            return
+        for future in bucket.futures:
+            if not future.done():
+                future.set_exception(RemoteExecutionError(kind, message))
+
+    async def _sequential(self, key, bucket):
+        tenant, plan_name = key
+        for (epsilon, switches), future in zip(bucket.requests, bucket.futures):
+            if future.done():
+                continue
+            self.sequential_retries += 1
+            try:
+                reply = await self._execute(tenant, plan_name, [(epsilon, switches)])
+            except WorkerCrashError as exc:
+                future.set_exception(RemoteExecutionError("WorkerCrashError", str(exc)))
+                continue
+            if reply[0] == "ok":
+                future.set_result(reply[1][0])
+            else:
+                future.set_exception(RemoteExecutionError(reply[1], reply[2]))
+
+    # -- shutdown -------------------------------------------------------- #
+    async def drain(self):
+        """Flush everything pending and await all in-flight batches."""
+        self._draining = True
+        for key in list(self._buckets):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)

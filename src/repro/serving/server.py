@@ -1,0 +1,327 @@
+"""Asyncio JSON-lines front-end for the private-query serving tier.
+
+Stdlib-only TCP protocol: one JSON object per line in each direction.
+Requests carry an ``op`` plus op-specific fields; responses echo the
+request's optional ``id`` and are ``{"ok": true, ...}`` or ``{"ok": false,
+"error": <kind>, "message": ...}``. Ops:
+
+* ``{"op": "plan"}`` — list the served plans with their metadata.
+* ``{"op": "execute", "tenant": t, "plan": name, "epsilon": e,
+  "non_negative"/"integral"/"consistent": bool?}`` — one budgeted release.
+  Batched through the :class:`~repro.serving.coalescer.Coalescer` unless
+  the service was built with ``max_batch=1``.
+* ``{"op": "explain", "plan": name, "epsilon": e?}`` — the plan's
+  optimizer report (no budget consumed).
+* ``{"op": "budget", "tenant": t}`` — the tenant's ledger state.
+* ``{"op": "ping"}`` — liveness.
+
+Tenants name ledger files on disk, so they are restricted to
+``[A-Za-z0-9_.-]``, max 64 chars, not starting with a dot — everything
+else is rejected before it reaches a path join.
+
+:class:`PlanService` owns the moving parts (shared segment, worker pool,
+coalescer, TCP server) and tears them down in reverse order on
+:meth:`~PlanService.shutdown`: stop accepting, drain the coalescer (every
+accepted request is served and charged), stop the workers, unlink the
+segment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import re
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.serving.coalescer import Coalescer, RemoteExecutionError
+from repro.serving.shared_plans import stage_plans
+from repro.serving.worker import WorkerConfig, WorkerCrashError, WorkerPool
+
+__all__ = ["ServiceConfig", "PlanService", "serve"]
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$")
+
+#: Post-processing switches accepted on the wire.
+_SWITCHES = ("non_negative", "integral", "consistent")
+
+
+class ServiceConfig:
+    """Everything a :class:`PlanService` needs, in one picklable bag.
+
+    ``data`` is the private unit-count vector (array-like) the service
+    answers over; ``total_epsilon``/``total_delta`` the per-tenant budget;
+    ``max_batch=1`` disables coalescing (every request is its own worker
+    round-trip); ``max_wait`` is the coalescing window in seconds.
+    """
+
+    def __init__(self, plans_dir, ledger_root, data, total_epsilon,
+                 total_delta=0.0, workers=2, accountant=None,
+                 ledger_suffix=".journal", seed=None, host="127.0.0.1",
+                 port=0, max_batch=32, max_wait=0.002):
+        self.plans_dir = str(plans_dir)
+        self.ledger_root = str(ledger_root)
+        self.data = data
+        self.total_epsilon = float(total_epsilon)
+        self.total_delta = float(total_delta)
+        self.workers = int(workers)
+        self.accountant = accountant
+        self.ledger_suffix = ledger_suffix
+        self.seed = seed
+        self.host = host
+        self.port = int(port)
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+
+
+def _check_tenant(tenant):
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ValidationError(
+            "tenant must match [A-Za-z0-9_][A-Za-z0-9_.-]{0,63} "
+            f"(it names a ledger file); got {tenant!r}"
+        )
+    return tenant
+
+
+class PlanService:
+    """The serving tier: shared plans + worker pool + coalescer + TCP."""
+
+    def __init__(self, config, respawn=True, failpoints_by_worker=None):
+        self.config = config
+        Path(config.ledger_root).mkdir(parents=True, exist_ok=True)
+        self._store, self._manifest = stage_plans(config.plans_dir, config.data)
+        worker_config = WorkerConfig(
+            manifest=self._manifest,
+            ledger_root=config.ledger_root,
+            total_epsilon=config.total_epsilon,
+            total_delta=config.total_delta,
+            accountant=config.accountant,
+            ledger_suffix=config.ledger_suffix,
+            seed=config.seed,
+        )
+        self.pool = WorkerPool(
+            worker_config,
+            workers=config.workers,
+            respawn=respawn,
+            failpoints_by_worker=failpoints_by_worker,
+        )
+        # Blocking pipe round-trips run here, NOT on the loop's default
+        # executor: its ``cpu_count + 4`` thread cap can sit below the
+        # worker count, which would idle workers under load. Sized past
+        # the pool so budget/explain calls never queue behind a full
+        # complement of in-flight executes.
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers + 4, thread_name_prefix="repro-serve"
+        )
+        self.coalescer = Coalescer(
+            self.pool,
+            max_batch=config.max_batch,
+            max_wait=config.max_wait,
+            executor=self._executor,
+        )
+        self._server = None
+        self._plan_infos = None
+        self._closed = False
+
+    # -- service operations (also the in-process API the tests use) ---- #
+    def plan_names(self):
+        return self._store.plan_names()
+
+    async def _in_thread(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, functools.partial(fn, *args))
+
+    async def plan_list(self):
+        if self._plan_infos is None:
+            infos = []
+            for name in self.plan_names():
+                reply = await self._in_thread(self.pool.submit, ("plan_info", name))
+                if reply[0] != "ok":
+                    raise RemoteExecutionError(reply[1], reply[2])
+                infos.append(reply[1])
+            self._plan_infos = infos
+        return self._plan_infos
+
+    async def execute(self, tenant, plan_name, epsilon, switches=None):
+        _check_tenant(tenant)
+        if plan_name not in self._manifest.plans:
+            raise ValidationError(
+                f"unknown plan {plan_name!r}; available: {self.plan_names()}"
+            )
+        if self.config.max_batch > 1:
+            return await self.coalescer.submit(tenant, plan_name, epsilon, switches)
+        reply = await self._in_thread(
+            self.pool.submit,
+            ("execute", tenant, plan_name, [(float(epsilon), dict(switches or {}))]),
+        )
+        if reply[0] != "ok":
+            raise RemoteExecutionError(reply[1], reply[2])
+        return reply[1][0]
+
+    async def budget(self, tenant):
+        _check_tenant(tenant)
+        reply = await self._in_thread(self.pool.submit, ("budget", tenant))
+        if reply[0] != "ok":
+            raise RemoteExecutionError(reply[1], reply[2])
+        return reply[1]
+
+    async def explain(self, plan_name, epsilon=None):
+        if plan_name not in self._manifest.plans:
+            raise ValidationError(
+                f"unknown plan {plan_name!r}; available: {self.plan_names()}"
+            )
+        reply = await self._in_thread(self.pool.submit, ("explain", plan_name, epsilon))
+        if reply[0] != "ok":
+            raise RemoteExecutionError(reply[1], reply[2])
+        return reply[1]
+
+    # -- TCP protocol --------------------------------------------------- #
+    async def _handle_request(self, request):
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True, "workers": self.pool.size}
+        if op == "plan":
+            return {"ok": True, "plans": await self.plan_list()}
+        if op == "execute":
+            switches = {
+                name: bool(request[name]) for name in _SWITCHES if name in request
+            }
+            epsilon = request.get("epsilon")
+            if not isinstance(epsilon, (int, float)) or isinstance(epsilon, bool):
+                raise ValidationError(f"epsilon must be a number; got {epsilon!r}")
+            release = await self.execute(
+                request.get("tenant"), request.get("plan"), epsilon, switches
+            )
+            return {"ok": True, "release": release}
+        if op == "budget":
+            return {"ok": True, "budget": await self.budget(request.get("tenant"))}
+        if op == "explain":
+            epsilon = request.get("epsilon")
+            return {
+                "ok": True,
+                "explain": await self.explain(request.get("plan"), epsilon),
+            }
+        raise ValidationError(
+            f"unknown op {op!r}; choose plan/execute/explain/budget/ping"
+        )
+
+    async def _respond(self, line, writer, write_lock):
+        """Parse, dispatch and answer one request line."""
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValidationError("request must be a JSON object")
+            request_id = request.get("id")
+            response = await self._handle_request(request)
+        except RemoteExecutionError as exc:
+            response = {"ok": False, "error": exc.kind, "message": exc.message}
+        except (ValidationError, ValueError) as exc:
+            response = {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+        except WorkerCrashError as exc:
+            response = {"ok": False, "error": "WorkerCrashError", "message": str(exc)}
+        if request_id is not None:
+            response["id"] = request_id
+        async with write_lock:
+            try:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # client went away
+                pass
+
+    async def _handle_connection(self, reader, writer):
+        # Requests on one connection are dispatched CONCURRENTLY — that is
+        # what lets the coalescer see simultaneous requests and form
+        # batches (a serial read-dispatch-reply loop would defeat it).
+        # Responses are written as they complete, so pipelined clients
+        # must correlate by "id" (AsyncServiceClient does); a strict
+        # request-reply client like ServiceClient is unaffected.
+        write_lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(self._respond(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # -- lifecycle ------------------------------------------------------- #
+    async def start(self):
+        """Bind the TCP server; returns (host, port) actually bound."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        return self.address
+
+    @property
+    def address(self):
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def serve_forever(self):
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self):
+        """Graceful drain: stop accepting, serve everything accepted,
+        stop the workers, release the shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.coalescer.drain()
+        await self._in_thread(self.pool.shutdown)
+        self._executor.shutdown(wait=True)
+        self._store.unlink()
+
+
+async def _serve_async(config, ready=None):
+    service = PlanService(config)
+    host, port = await service.start()
+    if ready is not None:
+        ready(service, host, port)
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.shutdown()
+    return service
+
+
+def serve(config, ready=None):
+    """Blocking entry point (the CLI's ``serve`` target): run the service
+    until interrupted, then drain gracefully. ``ready(service, host,
+    port)`` is called once the socket is bound."""
+    try:
+        asyncio.run(_serve_async(config, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+
+
+def load_data_vector(path):
+    """Load the service's private data vector from ``.npy`` (or a
+    whitespace/comma text file) — the CLI's ``--data`` loader."""
+    path = Path(path)
+    if path.suffix == ".npy":
+        return np.load(path, allow_pickle=False)
+    return np.loadtxt(path, delimiter="," if path.suffix == ".csv" else None)

@@ -1,0 +1,371 @@
+"""Serving workers: one process per slot, one engine per tenant.
+
+Each worker attaches to the shared plan segment (:mod:`~repro.serving.shared_plans`),
+rebuilds its plans once, and lazily constructs a
+:class:`repro.engine.query_engine.PrivateQueryEngine` per tenant. Every
+tenant engine
+
+* **adopts** the shared data vector under the service-wide epoch token
+  (zero-copy; all tenants in a worker share each plan's cached ``L x``),
+* is backed by a per-tenant :class:`repro.privacy.ledger.DurableAccountant`
+  at ``ledger_root/<tenant><suffix>`` — one ledger *path* per tenant shared
+  by every worker, so N workers spending for the same tenant compose
+  through the ledger's cross-process atomicity and can never jointly
+  overspend.
+
+The parent talks to workers over ``multiprocessing.Pipe`` with plain
+tuples: ``("execute", tenant, plan_name, [(epsilon, switches), ...])``,
+``("budget", tenant)``, ``("explain", plan_name, epsilon)``, ``("ping",)``,
+``("shutdown",)``. Replies are ``("ok", payload)`` or ``("error",
+exception_class_name, message)`` — exceptions never cross the pipe raw, so
+a worker bug cannot poison the parent's unpickler.
+
+:class:`WorkerPool` is the parent-side handle: it spawns the workers
+(spawn context — the parent runs an asyncio event loop, which ``fork``
+would duplicate into the child), checks them out per request through a
+free-slot queue, and detects crashed workers (EOF on the pipe) so the
+caller sees :class:`WorkerCrashError` instead of a hang. Crashed workers
+are replaced on the next checkout; their in-flight batch is reported
+failed, and any half-written ledger record is repaired by the next spend
+through the ledger's own recovery (see ``tests/test_serving_service.py``'s
+crash drill).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from pathlib import Path
+
+from repro.exceptions import ReproError, ValidationError
+from repro.io.atomic import RetryPolicy
+
+__all__ = [
+    "WorkerConfig",
+    "WorkerPool",
+    "WorkerCrashError",
+    "worker_main",
+    "SERVING_LEDGER_RETRY",
+]
+
+#: Lock patience for per-tenant ledgers under serving load. The library
+#: default (~0.2 s of cumulative backoff) suits occasional contention; a
+#: pool of workers spending on ONE tenant's flock-serialized ledger at
+#: high concurrency queues dozens of spends deep, so workers wait ~2 s
+#: before surfacing LedgerBusyError as backpressure to the client.
+SERVING_LEDGER_RETRY = RetryPolicy(attempts=48, base_delay=0.001, max_delay=0.05)
+
+
+class WorkerCrashError(ReproError):
+    """A worker died (or its pipe broke) while serving a request."""
+
+
+class WorkerConfig:
+    """Picklable per-service worker parameters.
+
+    ``total_epsilon``/``total_delta`` are the **per-tenant** budget;
+    ``accountant`` the model name (``None`` for the default composition);
+    ``ledger_suffix`` picks the ledger backend by file extension;
+    ``seed`` the base RNG seed (worker index and tenant name are folded in
+    so no two engines share a noise stream; ``None`` for OS entropy);
+    ``ledger_retry`` the ledger lock patience (``None`` for
+    :data:`SERVING_LEDGER_RETRY`); ``failpoints`` an optional
+    ``{point: action}`` dict armed at worker startup (the crash-drill
+    hook, mirroring ``REPRO_FAILPOINTS``).
+    """
+
+    def __init__(self, manifest, ledger_root, total_epsilon, total_delta=0.0,
+                 accountant=None, ledger_suffix=".journal", seed=None,
+                 ledger_retry=None, failpoints=None):
+        self.manifest = manifest
+        self.ledger_root = str(ledger_root)
+        self.total_epsilon = float(total_epsilon)
+        self.total_delta = float(total_delta)
+        self.accountant = accountant
+        self.ledger_suffix = ledger_suffix
+        self.seed = seed
+        self.ledger_retry = SERVING_LEDGER_RETRY if ledger_retry is None else ledger_retry
+        self.failpoints = dict(failpoints or {})
+
+
+def _tenant_seed(base, worker_index, tenant):
+    if base is None:
+        return None
+    import hashlib
+
+    digest = hashlib.sha1(f"{base}:{worker_index}:{tenant}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _release_payload(release):
+    """JSON-able wire form of one Release (the audit log keeps the full
+    object worker-side; the wire carries what a client can use)."""
+    return {
+        "values": release.answers.tolist(),
+        "mechanism": release.mechanism,
+        "epsilon": release.epsilon,
+        "delta": release.delta,
+        "expected_error": release.expected_error,
+        "realized": release.metadata.get("realized"),
+    }
+
+
+class _WorkerState:
+    """Everything one worker process owns."""
+
+    def __init__(self, config, worker_index):
+        from repro.serving.shared_plans import attach_plans
+
+        self.config = config
+        self.worker_index = worker_index
+        self.store = attach_plans(config.manifest)
+        self.data, self.data_epoch = self.store.data()
+        self.engines = {}
+
+    def engine(self, tenant):
+        engine = self.engines.get(tenant)
+        if engine is None:
+            from repro.engine.query_engine import PrivateQueryEngine
+
+            config = self.config
+            ledger_path = Path(config.ledger_root) / f"{tenant}{config.ledger_suffix}"
+            ledger_path.parent.mkdir(parents=True, exist_ok=True)
+            engine = PrivateQueryEngine(
+                self.data,
+                total_budget=config.total_epsilon,
+                delta=config.total_delta,
+                seed=_tenant_seed(config.seed, self.worker_index, tenant),
+                accountant=config.accountant,
+                ledger_path=ledger_path,
+                ledger_retry=config.ledger_retry,
+            )
+            engine.adopt_data(self.data, self.data_epoch)
+            self.engines[tenant] = engine
+        return engine
+
+    # -- command handlers ---------------------------------------------- #
+    def execute(self, tenant, plan_name, requests):
+        engine = self.engine(tenant)
+        plan = self.store.plan(plan_name)
+        if len(requests) == 1:
+            epsilon, switches = requests[0]
+            releases = [engine.execute(plan, epsilon, **switches)]
+        else:
+            releases = engine.execute_many(
+                [(plan, epsilon, switches) for epsilon, switches in requests]
+            )
+        return [_release_payload(release) for release in releases]
+
+    def budget(self, tenant):
+        engine = self.engine(tenant)
+        accountant = engine.accountant
+        sync = getattr(accountant, "sync", None)
+        if sync is not None:
+            sync()
+        return {
+            "tenant": tenant,
+            "model": accountant.name,
+            "total_epsilon": accountant.total_epsilon,
+            "total_delta": accountant.total_delta,
+            "spent_epsilon": accountant.spent_epsilon,
+            "spent_delta": accountant.spent_delta,
+            "remaining_epsilon": accountant.remaining_epsilon,
+        }
+
+    def explain(self, plan_name, epsilon):
+        plan = self.store.plan(plan_name)
+        return plan.explain(epsilon=epsilon)
+
+    def plan_info(self, plan_name):
+        metadata = self.store.metadata(plan_name)
+        plan_meta = metadata.get("plan", {})
+        workload_meta = metadata.get("workload", {})
+        return {
+            "name": plan_name,
+            "mechanism": plan_meta.get("mechanism_label"),
+            "workload_key": plan_meta.get("workload_key"),
+            "shape": workload_meta.get("shape"),
+            "solver_version": metadata.get("solver_version", 0),
+            "requires_delta": metadata.get("delta") is not None,
+        }
+
+
+def worker_main(connection, config, worker_index):
+    """Worker process entry point: blocking command loop over the pipe."""
+    if config.failpoints:
+        from repro.testing.faults import failpoints
+
+        for name, action in config.failpoints.items():
+            failpoints.arm(name, action)
+    state = _WorkerState(config, worker_index)
+    try:
+        while True:
+            try:
+                command = connection.recv()
+            except EOFError:  # parent died: nothing left to serve
+                break
+            op = command[0]
+            if op == "shutdown":
+                connection.send(("ok", "bye"))
+                break
+            try:
+                if op == "execute":
+                    payload = state.execute(command[1], command[2], command[3])
+                elif op == "budget":
+                    payload = state.budget(command[1])
+                elif op == "explain":
+                    payload = state.explain(command[1], command[2])
+                elif op == "plan_info":
+                    payload = state.plan_info(command[1])
+                elif op == "ping":
+                    payload = {"pid": os.getpid(), "worker": worker_index}
+                else:
+                    raise ValidationError(f"unknown worker command {op!r}")
+                connection.send(("ok", payload))
+            except BaseException as exc:  # reported to the parent, never raised raw
+                connection.send(("error", type(exc).__name__, str(exc)))
+    finally:
+        for engine in state.engines.values():
+            close = getattr(engine.accountant, "close", None)
+            if close is not None:
+                close()
+        state.store.close()
+        connection.close()
+
+
+class _WorkerHandle:
+    def __init__(self, process, connection, index):
+        self.process = process
+        self.connection = connection
+        self.index = index
+        self.lock = threading.Lock()
+
+    def request(self, command):
+        """One synchronous round-trip (serialized per worker)."""
+        with self.lock:
+            try:
+                self.connection.send(command)
+                return self.connection.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"worker {self.index} (pid {self.process.pid}) died "
+                    f"serving {command[0]!r}"
+                ) from exc
+
+    def alive(self):
+        return self.process.is_alive()
+
+    def stop(self, timeout=5.0):
+        if self.process.is_alive():
+            try:
+                with self.lock:
+                    self.connection.send(("shutdown",))
+                    self.connection.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        self.connection.close()
+
+
+class WorkerPool:
+    """Parent-side pool: spawn, dispatch, replace-on-crash, drain.
+
+    ``submit`` checks a worker out of the free queue, runs one request,
+    and returns it — callers block only when all workers are busy. A
+    crashed worker is not returned to the queue; a fresh replacement is
+    spawned in its place (``respawn=False`` disables this, for crash
+    drills that count workers).
+    """
+
+    def __init__(self, config, workers, respawn=True, failpoints_by_worker=None):
+        if int(workers) <= 0:
+            raise ValidationError("WorkerPool needs at least one worker")
+        self._config = config
+        self._context = multiprocessing.get_context("spawn")
+        self._respawn = respawn
+        self._failpoints_by_worker = dict(failpoints_by_worker or {})
+        self._next_index = 0
+        self._handles = []
+        self._free = None  # created lazily: a plain thread-safe queue
+        import queue
+
+        self._free = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        for _ in range(int(workers)):
+            self._spawn()
+
+    def _spawn(self):
+        index = self._next_index
+        self._next_index += 1
+        config = self._config
+        failpoints = self._failpoints_by_worker.get(index)
+        if failpoints:
+            config = WorkerConfig(
+                manifest=config.manifest,
+                ledger_root=config.ledger_root,
+                total_epsilon=config.total_epsilon,
+                total_delta=config.total_delta,
+                accountant=config.accountant,
+                ledger_suffix=config.ledger_suffix,
+                seed=config.seed,
+                ledger_retry=config.ledger_retry,
+                failpoints=failpoints,
+            )
+        parent_end, worker_end = self._context.Pipe()
+        process = self._context.Process(
+            target=worker_main,
+            args=(worker_end, config, index),
+            name=f"repro-serve-{index}",
+            daemon=True,
+        )
+        process.start()
+        worker_end.close()
+        handle = _WorkerHandle(process, parent_end, index)
+        self._handles.append(handle)
+        self._free.put(handle)
+        return handle
+
+    @property
+    def size(self):
+        return sum(1 for handle in self._handles if handle.alive())
+
+    def submit(self, command, timeout=None):
+        """Run one command on any free worker; returns the reply tuple —
+        ``("ok", payload)`` or ``("error", exception_name, message)`` —
+        verbatim, so callers map worker-reported failures onto their own
+        error surface. Raises :class:`WorkerCrashError` if the worker dies
+        mid-request (its slot is respawned unless ``respawn=False``).
+        """
+        if self._closed:
+            raise ValidationError("WorkerPool is closed")
+        import queue as queue_module
+
+        try:
+            handle = self._free.get(timeout=timeout)
+        except queue_module.Empty as exc:
+            raise WorkerCrashError("no free worker within timeout") from exc
+        try:
+            reply = handle.request(command)
+        except WorkerCrashError:
+            with self._lock:
+                if not self._closed and self._respawn:
+                    self._spawn()
+            raise
+        self._free.put(handle)
+        return reply
+
+    def shutdown(self):
+        """Graceful drain: every worker finishes its in-flight request,
+        receives ``shutdown``, and is joined."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for handle in self._handles:
+            handle.stop()
+        self._handles = []

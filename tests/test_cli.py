@@ -149,3 +149,36 @@ class TestPlanTarget:
         assert code == 0
         assert "releases/budget" in out.getvalue()
         assert "rdp x" in out.getvalue()
+
+
+class TestServeTarget:
+    def test_serve_requires_its_flags(self):
+        out = io.StringIO()
+        code = main(["serve"], out=out)
+        assert code == 2
+        message = out.getvalue()
+        for flag in ("--plans", "--ledger-root", "--data", "--budget"):
+            assert flag in message
+
+    def test_serve_missing_flags_reported_individually(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["serve", "--plans", str(tmp_path), "--data", str(tmp_path / "x.npy")],
+            out=out,
+        )
+        assert code == 2
+        message = out.getvalue()
+        assert "--ledger-root" in message and "--budget" in message
+        assert "--plans" not in message
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--plans", "p", "--ledger-root", "l", "--data", "d.npy",
+             "--budget", "2.0", "--workers", "4", "--port", "0",
+             "--max-batch", "16", "--max-wait", "0.01", "--accountant", "rdp"]
+        )
+        assert args.budget == 2.0 and args.workers == 4
+        assert args.max_batch == 16 and args.max_wait == 0.01
+        assert args.accountant == "rdp"
+        # serve must not inherit the experiments' deterministic default seed
+        assert args.seed is None

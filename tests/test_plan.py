@@ -1,6 +1,8 @@
 """Tests for the plan/execute API: ExecutionPlan, PlanCache, accountant
 routing, and the budget-accounting edge cases of the executor."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -863,6 +865,124 @@ class TestPlanCacheLRU:
     def test_max_entries_validated(self):
         with pytest.raises(ValidationError):
             PlanCache(max_entries=0)
+
+
+class _FakeClock:
+    """Stand-in for the ``time`` module inside ``plan_cache``: only
+    ``time()`` is consulted by the staleness gates."""
+
+    def __init__(self, now):
+        self.now = float(now)
+
+    def time(self):
+        return self.now
+
+
+class TestPlanCacheStaleness:
+    """TTL + solver-version provenance gates (disk-tier freshness)."""
+
+    def _plan(self):
+        from repro.engine.plan import build_plan
+
+        return build_plan(wrange(4, 16, seed=0), epsilon_hint=0.1, mechanism="LM")
+
+    def _patch_clock(self, monkeypatch, start=None):
+        import time as real_time
+
+        import repro.engine.plan_cache as plan_cache_module
+
+        clock = _FakeClock(real_time.time() if start is None else start)
+        monkeypatch.setattr(plan_cache_module, "time", clock)
+        return clock
+
+    def test_ttl_expires_memory_entry(self, monkeypatch):
+        clock = self._patch_clock(monkeypatch)
+        cache = PlanCache(ttl_seconds=60)
+        plan = self._plan()
+        cache.put(plan.plan_key, plan)
+        assert cache.get(plan.plan_key) is plan
+        clock.now += 120
+        assert cache.get(plan.plan_key) is None
+        assert cache.expirations == 1
+        assert len(cache) == 0  # the stale memory entry was dropped
+
+    def test_ttl_expires_disk_archive(self, tmp_path, monkeypatch):
+        plan = self._plan()
+        writer = PlanCache(directory=tmp_path / "plans")
+        writer.put(plan.plan_key, plan)
+
+        clock = self._patch_clock(monkeypatch)
+        reader = PlanCache(directory=tmp_path / "plans", ttl_seconds=60)
+        clock.now += 120
+        assert reader.get(plan.plan_key) is None
+        assert reader.expirations == 1
+        # The refit's put() overwrites the stale archive, after which the
+        # entry is fresh again.
+        reader.put(plan.plan_key, plan)
+        assert reader.get(plan.plan_key) is plan
+
+    def test_promoted_disk_hit_inherits_archive_stamp(self, tmp_path, monkeypatch):
+        # A disk hit promoted into memory must expire on the *archive's*
+        # schedule, not live a fresh TTL from the promotion instant.
+        plan = self._plan()
+        writer = PlanCache(directory=tmp_path / "plans")
+        writer.put(plan.plan_key, plan)
+
+        clock = self._patch_clock(monkeypatch)
+        reader = PlanCache(directory=tmp_path / "plans", ttl_seconds=100)
+        clock.now += 60
+        assert reader.get(plan.plan_key) is not None  # promoted, 60s old
+        clock.now += 60  # now 120s past save: expired even though promoted at 60s
+        assert reader.get(plan.plan_key) is None
+        assert reader.expirations >= 1
+
+    def test_old_solver_version_misses(self, tmp_path):
+        from repro.core.alm import SOLVER_VERSION
+
+        plan = self._plan()
+        writer = PlanCache(directory=tmp_path / "plans")
+        writer.put(plan.plan_key, plan)
+
+        strict = PlanCache(
+            directory=tmp_path / "plans", min_solver_version=SOLVER_VERSION + 1
+        )
+        assert strict.get(plan.plan_key) is None
+        assert strict.expirations == 1 and strict.misses == 1
+
+        accepting = PlanCache(
+            directory=tmp_path / "plans", min_solver_version=SOLVER_VERSION
+        )
+        assert accepting.get(plan.plan_key) is not None
+        assert accepting.disk_hits == 1
+
+    def test_pre_provenance_archive_reads_as_version_zero(self, tmp_path):
+        import numpy as np_module
+
+        from repro.io.serialization import plan_archive_info, save_plan
+
+        plan = self._plan()
+        path = tmp_path / "old.plan.npz"
+        save_plan(plan, path)
+        # Strip the provenance fields the way an old-library archive lacks
+        # them entirely.
+        with np_module.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        metadata = json.loads(bytes(payload["metadata"].tobytes()).decode("utf-8"))
+        metadata.pop("solver_version", None)
+        metadata.pop("saved_at", None)
+        payload["metadata"] = np_module.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np_module.uint8
+        )
+        np_module.savez(path, **payload)
+        info = plan_archive_info(path)
+        assert info["solver_version"] == 0
+        assert info["saved_at"] is not None  # falls back to the file mtime
+
+    def test_ttl_validated(self):
+        with pytest.raises(ValidationError):
+            PlanCache(ttl_seconds=0)
+        with pytest.raises(ValidationError):
+            PlanCache(ttl_seconds=-5)
 
 
 class TestCacheHitPrivacyGuard:
