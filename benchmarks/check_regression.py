@@ -27,6 +27,12 @@ With ``--memory-field`` (e.g. ``peak_bytes``, the scaling benchmark's
 tracemalloc high-water mark) the same median gate additionally runs on a
 per-cell memory metric with its own ``--memory-threshold`` — a fit that
 got faster by materialising what it used to stream still fails.
+
+With ``--availability-field`` (e.g. ``availability``, recorded per cell
+by the service load benchmark) an **absolute floor** gate runs over every
+*candidate* cell carrying the field: any cell below
+``--availability-floor`` (default 0.99) fails, regardless of what the
+baseline measured — availability is a contract, not a trajectory.
 """
 
 from __future__ import annotations
@@ -67,13 +73,7 @@ def _median_gate(baseline, candidate, shared, field, threshold, unit_scale, unit
         cand_value = float(candidate[key][field])
         change = cand_value / base_value - 1.0
         changes.append(change)
-        name = f"{key[0]} {key[1]}x{key[2]}"
-        if key[4] is not None:
-            name += f" {key[4]}"
-        if key[6] is not None:
-            name += f" w{key[6]}"
-        if key[7] is not None:
-            name += f" {key[7]}"
+        name = _cell_name(key)
         lines.append(
             f"{name:<34} {base_value * unit_scale:>9.4g}{unit} "
             f"{cand_value * unit_scale:>9.4g}{unit} {change:>+8.1%}"
@@ -85,6 +85,34 @@ def _median_gate(baseline, candidate, shared, field, threshold, unit_scale, unit
     return median_change, lines
 
 
+def _cell_name(key):
+    name = f"{key[0]} {key[1]}x{key[2]}"
+    if key[4] is not None:
+        name += f" {key[4]}"
+    if key[6] is not None:
+        name += f" w{key[6]}"
+    if key[7] is not None:
+        name += f" {key[7]}"
+    return name
+
+
+def _availability_gate(candidate, field, floor):
+    """Absolute floor over every candidate cell carrying ``field``."""
+    cells = sorted(
+        (key for key in candidate if field in candidate[key]), key=str
+    )
+    if not cells:
+        return 0.0, False, [f"no candidate cells carry {field!r}; availability gate skipped"]
+    lines = []
+    worst = 1.0
+    for key in cells:
+        value = float(candidate[key][field])
+        worst = min(worst, value)
+        lines.append(f"{_cell_name(key):<34} {field} {value:>8.4f}")
+    lines.append(f"minimum {field}: {worst:.4f} (floor {floor:.4f})")
+    return worst, worst < floor, lines
+
+
 def compare(
     baseline_path,
     candidate_path,
@@ -92,6 +120,8 @@ def compare(
     time_field="fit_seconds_best",
     memory_field=None,
     memory_threshold=0.25,
+    availability_field=None,
+    availability_floor=0.99,
 ):
     """Return (exit_code, lines) comparing candidate against baseline."""
     baseline = _load_cells(baseline_path)
@@ -127,6 +157,17 @@ def compare(
                     "REGRESSION: candidate peak memory grew past the baseline allowance"
                 )
                 code = 1
+
+    if availability_field is not None:
+        _, below, availability_lines = _availability_gate(
+            candidate, availability_field, availability_floor
+        )
+        lines.extend(availability_lines)
+        if below:
+            lines.append(
+                "REGRESSION: availability fell below the absolute floor"
+            )
+            code = 1
 
     missing = sorted(set(baseline) ^ set(candidate), key=str)
     if missing:
@@ -165,6 +206,18 @@ def main(argv=None):
         default=0.25,
         help="maximum tolerated median memory growth (fraction, default 0.25)",
     )
+    parser.add_argument(
+        "--availability-field",
+        default=None,
+        help="optional per-cell availability field (e.g. availability) held "
+        "to an absolute floor over every candidate cell carrying it",
+    )
+    parser.add_argument(
+        "--availability-floor",
+        type=float,
+        default=0.99,
+        help="minimum tolerated availability (absolute, default 0.99)",
+    )
     args = parser.parse_args(argv)
     code, lines = compare(
         args.baseline,
@@ -173,6 +226,8 @@ def main(argv=None):
         args.time_field,
         memory_field=args.memory_field,
         memory_threshold=args.memory_threshold,
+        availability_field=args.availability_field,
+        availability_floor=args.availability_floor,
     )
     print("\n".join(lines))
     return code

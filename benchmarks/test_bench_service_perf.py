@@ -15,6 +15,15 @@ asserts the acceptance criterion:
 * **throughput** — 4-worker coalesced serving sustains >=
   :data:`TARGET_COALESCED_SPEEDUP` x the releases/sec of the 1-worker
   unbatched control.
+* **availability under faults** — an extra ``faults`` cell re-runs the
+  4-worker coalesced shape while a chaos task SIGKILLs a random worker
+  every :data:`KILL_INTERVAL` seconds; the supervised pool must keep
+  logical availability (success after bounded retries, deliberately shed
+  requests excluded) at or above :data:`TARGET_AVAILABILITY`.
+
+Every cell records ``availability`` and ``shed_rate`` so
+``check_regression.py --availability-field availability`` can hold an
+absolute floor across reports.
 
 All requests are one tenant on one plan — the worst case for the durable
 ledger (every spend contends on one flock-serialized file) and therefore
@@ -81,6 +90,21 @@ MAX_WAIT = 0.004
 #: Budget large enough that no cell exhausts it.
 TOTAL_BUDGET = 1e9
 
+#: Chaos shape for the ``faults`` cell: one random worker SIGKILLed every
+#: KILL_INTERVAL seconds while the load generator runs; the cell must keep
+#: logical availability at or above TARGET_AVAILABILITY.
+KILL_INTERVAL = 0.4
+TARGET_AVAILABILITY = 0.99
+
+#: Structured refusals that never charge the ledger: retried freely and
+#: excluded from the availability denominator (deliberate load shedding).
+_SHED_KINDS = frozenset({"LedgerBusyError", "overloaded", "deadline_exceeded"})
+#: Failures a resilient client retries in the faults cell: the worker died
+#: or hung under it (the supervisor respawns; the retry lands elsewhere).
+_FAULT_KINDS = frozenset(
+    {"WorkerCrashError", "WorkerTimeoutError", "InternalError"}
+)
+
 
 def _stage(tmp_dir):
     plans = Path(tmp_dir) / "plans"
@@ -105,34 +129,79 @@ BUSY_RETRIES = 10
 BUSY_BACKOFF = 0.05
 
 
-async def _drive(client, requests, concurrency, busy_count=None):
+async def _drive(client, requests, concurrency, stats=None, retry_faults=False):
     """Fire ``requests`` executes with at most ``concurrency`` in flight;
-    returns per-request latencies (seconds) in completion order."""
+    returns per-request latencies (seconds) in completion order. ``stats``
+    accumulates attempt/shed/fault counters; with ``retry_faults`` the
+    driver also retries crash-shaped failures (the faults cell)."""
     from repro.serving import ServiceError
 
     semaphore = asyncio.Semaphore(concurrency)
     latencies = []
+    if stats is None:
+        stats = {}
+    for field in ("attempts", "served", "shed", "faulted",
+                  "failed_hard", "failed_shed_only"):
+        stats.setdefault(field, 0)
 
     async def one():
         async with semaphore:
             start = time.perf_counter()
+            served = False
+            saw_fault = False
             for attempt in range(BUSY_RETRIES + 1):
+                stats["attempts"] += 1
                 try:
                     await client.execute("bench", "bench", WORKLOAD["epsilon"])
+                    served = True
                     break
                 except ServiceError as exc:
-                    if exc.kind != "LedgerBusyError" or attempt == BUSY_RETRIES:
+                    if exc.kind in _SHED_KINDS:
+                        stats["shed"] += 1
+                    elif retry_faults and exc.kind in _FAULT_KINDS:
+                        stats["faulted"] += 1
+                        saw_fault = True
+                    else:
                         raise
-                    if busy_count is not None:
-                        busy_count[0] += 1
+                    if attempt == BUSY_RETRIES:
+                        break
                     await asyncio.sleep(BUSY_BACKOFF * (attempt + 1))
-            latencies.append(time.perf_counter() - start)
+            if served:
+                stats["served"] += 1
+                latencies.append(time.perf_counter() - start)
+            elif saw_fault:
+                stats["failed_hard"] += 1
+            else:
+                stats["failed_shed_only"] += 1
 
     await asyncio.gather(*[one() for _ in range(requests)])
     return latencies
 
 
+async def _kill_loop(service, stopping, kills):
+    """The faults cell's chaos task: SIGKILL a random live worker every
+    KILL_INTERVAL seconds until told to stop."""
+    import os
+    import random
+    import signal
+
+    rng = random.Random(1307)
+    while not stopping.is_set():
+        await asyncio.sleep(KILL_INTERVAL)
+        pids = service.pool.pids()
+        if pids:
+            os.kill(rng.choice(pids), signal.SIGKILL)
+            kills[0] += 1
+
+
 async def _run_service(tmp_dir, plans, data, workers, mode, reps):
+    faults = mode == "faults"
+    supervision = (
+        # Tight supervision so respawns land within the measured window.
+        dict(heartbeat_interval=0.2, heartbeat_timeout=0.6,
+             restart_budget=10_000, backoff_base=0.02, healthy_after=5.0)
+        if faults else {}
+    )
     config = ServiceConfig(
         plans_dir=plans,
         ledger_root=Path(tmp_dir) / f"ledgers-{workers}-{mode}",
@@ -142,21 +211,34 @@ async def _run_service(tmp_dir, plans, data, workers, mode, reps):
         seed=7,
         max_batch=1 if mode == "unbatched" else MAX_BATCH,
         max_wait=MAX_WAIT,
+        **supervision,
     )
     service = PlanService(config)
     host, port = await service.start()
     client = await AsyncServiceClient.connect(host, port)
+    kills = [0]
     try:
         await _drive(client, min(REQUESTS, 32), CONCURRENCY)  # warm-up, untimed
         latencies = []
         walls = []
-        busy_count = [0]
-        for _ in range(reps):
-            start = time.perf_counter()
-            latencies.extend(
-                await _drive(client, REQUESTS, CONCURRENCY, busy_count=busy_count)
-            )
-            walls.append(time.perf_counter() - start)
+        stats = {}
+        stopping = asyncio.Event()
+        killer = (
+            asyncio.ensure_future(_kill_loop(service, stopping, kills))
+            if faults else None
+        )
+        try:
+            for _ in range(reps):
+                start = time.perf_counter()
+                latencies.extend(
+                    await _drive(client, REQUESTS, CONCURRENCY, stats=stats,
+                                 retry_faults=faults)
+                )
+                walls.append(time.perf_counter() - start)
+        finally:
+            stopping.set()
+            if killer is not None:
+                await killer
         batches = service.coalescer.batches_flushed
         coalesced = service.coalescer.requests_coalesced
     finally:
@@ -164,6 +246,7 @@ async def _run_service(tmp_dir, plans, data, workers, mode, reps):
         await service.shutdown()
     latencies = np.asarray(latencies)
     best_wall = min(walls)
+    decided = stats["served"] + stats["failed_hard"]
     return {
         **WORKLOAD,
         "workers": workers,
@@ -173,10 +256,13 @@ async def _run_service(tmp_dir, plans, data, workers, mode, reps):
         "max_batch": config.max_batch,
         "p50_latency_seconds": float(np.percentile(latencies, 50)),
         "p99_latency_seconds": float(np.percentile(latencies, 99)),
-        "releases_per_second": REQUESTS / best_wall,
+        "releases_per_second": (stats["served"] / reps) / best_wall,
         "wall_seconds_all": walls,
-        "busy_retries": busy_count[0],
+        "busy_retries": stats["shed"],
         "mean_batch_size": (coalesced / batches) if batches else 1.0,
+        "availability": stats["served"] / decided if decided else 1.0,
+        "shed_rate": stats["shed"] / max(1, stats["attempts"]),
+        "worker_kills": kills[0],
     }
 
 
@@ -191,6 +277,12 @@ def test_service_throughput_and_latency(tmp_path):
                 _run_service(tmp_path, plans, data, workers, mode, reps)
             )
             cells.append(cell)
+    # Availability under faults: the 4-worker coalesced shape with a chaos
+    # task killing a random worker every KILL_INTERVAL seconds.
+    faults_cell = asyncio.run(
+        _run_service(tmp_path, plans, data, 4, "faults", reps)
+    )
+    cells.append(faults_cell)
 
     def rps(workers, mode):
         return next(
@@ -210,13 +302,15 @@ def test_service_throughput_and_latency(tmp_path):
         "reps": reps,
         "cells": cells,
         "speedup_4coalesced_vs_1unbatched": speedup,
+        "availability_under_faults": faults_cell["availability"],
+        "worker_kills_under_faults": faults_cell["worker_kills"],
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2))
 
     print()
     header = (
         f"{'workers':>7} {'mode':<10} {'rps':>9} {'p50 ms':>8} {'p99 ms':>8} "
-        f"{'batch':>6} {'busy':>5}"
+        f"{'batch':>6} {'busy':>5} {'avail':>7} {'shed':>6}"
     )
     print(header)
     for cell in cells:
@@ -225,15 +319,26 @@ def test_service_throughput_and_latency(tmp_path):
             f"{cell['releases_per_second']:>9,.0f} "
             f"{cell['p50_latency_seconds'] * 1e3:>8.2f} "
             f"{cell['p99_latency_seconds'] * 1e3:>8.2f} "
-            f"{cell['mean_batch_size']:>6.1f} {cell['busy_retries']:>5}"
+            f"{cell['mean_batch_size']:>6.1f} {cell['busy_retries']:>5} "
+            f"{cell['availability']:>7.4f} {cell['shed_rate']:>6.2%}"
         )
     print(
         f"4-worker coalesced vs 1-worker unbatched: {speedup:.2f}x "
         f"(target {TARGET_COALESCED_SPEEDUP}x; report: {OUTPUT_PATH})"
+    )
+    print(
+        f"availability under faults ({faults_cell['worker_kills']} worker "
+        f"kills): {faults_cell['availability']:.4f} "
+        f"(floor {TARGET_AVAILABILITY})"
     )
 
     assert speedup >= TARGET_COALESCED_SPEEDUP, (
         f"coalesced 4-worker throughput only {speedup:.2f}x the 1-worker "
         f"unbatched control (target {TARGET_COALESCED_SPEEDUP}x); see "
         f"{OUTPUT_PATH} for per-cell data"
+    )
+    assert faults_cell["availability"] >= TARGET_AVAILABILITY, (
+        f"availability under worker kills fell to "
+        f"{faults_cell['availability']:.4f} (floor {TARGET_AVAILABILITY}); "
+        f"see {OUTPUT_PATH} for the faults cell"
     )

@@ -13,7 +13,10 @@ The deployment shape of the engine, end to end and in one process tree:
    draw and one worker round-trip per *batch*,
 4. every tenant's budget lives in its own durable ledger under
    ``ledger_root``; after a graceful shutdown the ledger *replays* to
-   exactly the budget the service reported.
+   exactly the budget the service reported,
+5. a **chaos drill** closes the loop: kill a worker process live and watch
+   the supervisor respawn it (the ``health`` op narrates), then hot-reload
+   a brand-new plan into the running service without dropping a request.
 
 The CLI equivalent of steps 2-3 is::
 
@@ -24,6 +27,8 @@ Run:  PYTHONPATH=src python examples/serving_quickstart.py
 """
 
 import asyncio
+import os
+import signal
 import tempfile
 import time
 from pathlib import Path
@@ -53,14 +58,14 @@ def stage_plans(plans_dir):
     for name, workload in (("cohorts", cohorts), ("bands", bands)):
         plan = build_plan(workload, epsilon_hint=0.1, mechanism="LM")
         save_plan(plan, Path(plans_dir) / f"{name}.plan.npz")
-    return counts
+    return counts, mapper
 
 
 async def main():
     with tempfile.TemporaryDirectory() as tmp:
         plans_dir = Path(tmp) / "plans"
         plans_dir.mkdir()
-        counts = stage_plans(plans_dir)
+        counts, mapper = stage_plans(plans_dir)
         print(f"planned 2 workloads into {len(list(plans_dir.iterdir()))} plan files")
 
         # --- Boot the service: shared plans + 2 workers + TCP. -----------
@@ -123,7 +128,43 @@ async def main():
             print(f"overdraft refused at the ledger: {exc.kind}")
         print()
 
+        # --- Chaos drill 1: kill a worker, watch the supervisor heal. ----
+        # SIGKILL one of the two workers mid-service. The supervisor
+        # notices (heartbeat or the next dispatch), respawns the slot, and
+        # the health op shows the service back at full strength.
+        victim = service.pool.pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        print(f"chaos: killed worker pid {victim}")
+        for _ in range(100):
+            health = await client.health()
+            if health["restarts"] >= 1 and health["alive"] == config.workers:
+                break
+            await asyncio.sleep(0.1)
+        print(f"recovered: {health['alive']}/{health['workers']} workers "
+              f"alive after {health['restarts']} restart(s); service still "
+              f"answers: {(await client.request({'op': 'ping'}))['pong']}")
+        print()
+
+        # --- Chaos drill 2: hot-reload a new plan into the live service. -
+        # A third plan lands on disk and `reload` stages a fresh shared
+        # segment, swaps the workers generation by generation (in-flight
+        # requests keep completing), and unlinks the old segment. The CLI
+        # equivalent is `repro serve --watch-plans`, which does this
+        # automatically whenever the plans directory changes.
+        decades = mapper.range_workload(
+            [(d, d + 9) for d in range(0, 100, 10)], name="Decades"
+        )
+        plan = build_plan(decades, epsilon_hint=0.1, mechanism="LM")
+        save_plan(plan, plans_dir / "decades.plan.npz")
+        reloaded = await client.reload()
+        release = await client.execute("acme", "decades", 0.05)
+        print(f"hot reload: generation {reloaded['generation']} now serves "
+              f"{reloaded['plans']}; new plan answered "
+              f"{len(release['values'])} range queries without a restart")
+        print()
+
         # --- Graceful drain, then audit the durable ledger. --------------
+        acme = await client.budget("acme")  # refresh after the drills
         await client.close()
         await service.shutdown()
         ledger = Path(tmp) / "ledgers" / "acme.journal"

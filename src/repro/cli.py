@@ -132,6 +132,25 @@ def build_parser():
         help="serve: coalescing window in seconds (default 0.002)",
     )
     parser.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="serve: in-flight execute cap; past it requests are shed "
+        "as 'overloaded' with a retry_after hint (default 1024)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0,
+        help="serve: per-request worker deadline in seconds; a worker "
+        "past it is presumed hung, killed and respawned (default 30)",
+    )
+    parser.add_argument(
+        "--watch-plans", action="store_true",
+        help="serve: poll --plans for changes and hot-reload the shared "
+        "plan segment without dropping in-flight requests",
+    )
+    parser.add_argument(
+        "--watch-interval", type=float, default=2.0,
+        help="serve: --watch-plans poll interval in seconds (default 2)",
+    )
+    parser.add_argument(
         "--scale",
         choices=["reduced", "full"],
         default=None,
@@ -322,6 +341,10 @@ def _run_serve(args, out):
         port=args.port,
         max_batch=args.max_batch,
         max_wait=args.max_wait,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        watch_plans=args.watch_plans,
+        watch_interval=args.watch_interval,
     )
 
     def ready(service, host, port):

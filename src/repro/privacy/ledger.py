@@ -95,6 +95,7 @@ __all__ = [
     "replay_records",
     "accountant_from_meta",
     "inspect_ledger",
+    "ledger_health",
     "recover_ledger",
 ]
 
@@ -1289,6 +1290,46 @@ def inspect_ledger(path, backend="auto"):
         return _summarize(store, records, torn, summary, accountant)
     finally:
         store.close()
+
+
+def ledger_health(path, backend="auto"):
+    """Cheap read-side liveness probe of one ledger: a raw scan with no
+    accountant replay, no locks held for the journal read, and no
+    modification. The serving tier's ``health`` op calls this per tenant;
+    ``ok`` means the file exists, parses, carries a meta header, and has
+    neither a torn tail nor dangling intents awaiting repair."""
+    path = Path(path)
+    if not path.exists():
+        return {"path": str(path), "exists": False, "ok": False}
+    store = open_store(path, backend=backend)
+    try:
+        records, torn = store.scan()
+    except LedgerCorruptError as exc:
+        return {
+            "path": str(path), "exists": True, "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    finally:
+        store.close()
+    has_meta = bool(records) and records[0].get("op") == "meta"
+    intents = {
+        record["txn"] for record in records if record.get("op") == "intent"
+    }
+    closed = {
+        record["txn"]
+        for record in records
+        if record.get("op") in ("commit", "rollback")
+    }
+    dangling = len(intents - closed)
+    return {
+        "path": str(path),
+        "backend": store.backend,
+        "exists": True,
+        "records": len(records),
+        "torn_tail_bytes": torn,
+        "dangling_intents": dangling,
+        "ok": has_meta and torn == 0 and dangling == 0,
+    }
 
 
 def recover_ledger(path, backend="auto"):

@@ -4,12 +4,15 @@ The deployment shape of the plan/execute engine: N worker processes
 share one read-only copy of every compiled plan's release factors
 (:mod:`~repro.serving.shared_plans`, ``multiprocessing.shared_memory``),
 each worker runs one :class:`~repro.engine.query_engine.PrivateQueryEngine`
-per tenant backed by that tenant's durable budget ledger
+per tenant backed by that tenant's durable budget ledger, supervised with
+heartbeats, per-request deadlines, restart budgets and quarantine
 (:mod:`~repro.serving.worker`), a stdlib-only asyncio JSON-lines front-end
-accepts ``plan``/``execute``/``explain``/``budget`` requests
+accepts ``plan``/``execute``/``explain``/``budget``/``ping``/``health``/
+``reload`` requests with deadline- and queue-based load shedding
 (:mod:`~repro.serving.server`), and a micro-batching coalescer turns
 concurrent same-``(tenant, plan)`` requests into atomic ``execute_many``
-batches (:mod:`~repro.serving.coalescer`).
+batches (:mod:`~repro.serving.coalescer`). Plans hot-reload from disk via
+the ``reload`` op or ``--watch-plans``.
 
 Start one from the CLI::
 
@@ -26,7 +29,13 @@ from repro.serving.client import AsyncServiceClient, ServiceClient, ServiceError
 from repro.serving.coalescer import Coalescer, RemoteExecutionError
 from repro.serving.server import PlanService, ServiceConfig, serve
 from repro.serving.shared_plans import SharedPlanStore, attach_plans, stage_plans
-from repro.serving.worker import WorkerConfig, WorkerCrashError, WorkerPool
+from repro.serving.worker import (
+    WorkerBusyError,
+    WorkerConfig,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTimeoutError,
+)
 
 __all__ = [
     "AsyncServiceClient",
@@ -37,9 +46,11 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "SharedPlanStore",
+    "WorkerBusyError",
     "WorkerConfig",
     "WorkerCrashError",
     "WorkerPool",
+    "WorkerTimeoutError",
     "attach_plans",
     "serve",
     "stage_plans",

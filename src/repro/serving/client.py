@@ -6,51 +6,152 @@ equivalent the load-generator benchmark uses to keep hundreds of requests
 in flight. Both speak the protocol of :mod:`repro.serving.server` —
 one JSON object per line — and raise :class:`ServiceError` for
 ``{"ok": false}`` responses, with the server-reported error kind
-preserved on ``.kind``.
+preserved on ``.kind`` and any ``retry_after`` hint on ``.retry_after``.
+
+Resilience behaviour shared by both clients:
+
+* **Backpressure retries** — a ``LedgerBusyError`` or ``overloaded``
+  refusal is a *terminal* reply stating nothing was charged, so the
+  client retries it transparently with jittered backoff honouring the
+  server's ``retry_after`` hint, capped at ``max_busy_wait`` total —
+  then surfaces the refusal.
+* **Socket timeout + idempotent reconnect** (blocking client) — every
+  round-trip is bounded by ``timeout``; a timed-out or broken connection
+  is torn down (a half-read stream can never desync later replies) and
+  transparently reconnected-and-retried **once**, but only for
+  idempotent ops (``ping``/``plan``/``explain``/``budget``/``health``).
+  An ``execute`` whose reply never arrived is *not* retried — the spend
+  may have been charged — and surfaces as a ``Timeout``/
+  ``ConnectionClosed`` error with the outcome explicitly unknown.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 
 from repro.exceptions import ReproError
 
 __all__ = ["ServiceClient", "AsyncServiceClient", "ServiceError"]
 
+#: Ops with no side effects: safe to replay after a reconnect.
+_IDEMPOTENT_OPS = frozenset({"ping", "plan", "explain", "budget", "health"})
+
+#: Terminal refusals that explicitly charged nothing: safe to retry after
+#: backing off, whatever the op.
+_BUSY_KINDS = frozenset({"LedgerBusyError", "overloaded"})
+
+#: Backoff used when a busy reply carries no ``retry_after`` hint.
+_DEFAULT_RETRY_AFTER = 0.05
+
 
 class ServiceError(ReproError):
-    """The server answered ``{"ok": false, ...}``."""
+    """The server answered ``{"ok": false, ...}`` (or the connection
+    failed client-side: kinds ``Timeout``/``ConnectionClosed``)."""
 
-    def __init__(self, kind, message):
+    def __init__(self, kind, message, retry_after=None):
         super().__init__(f"{kind}: {message}")
         self.kind = kind
         self.message = message
+        self.retry_after = retry_after
 
 
 def _raise_or_return(response):
     if not response.get("ok"):
         raise ServiceError(
-            response.get("error", "ServiceError"), response.get("message", "")
+            response.get("error", "ServiceError"),
+            response.get("message", ""),
+            retry_after=response.get("retry_after"),
         )
     return response
+
+
+def _busy_delay(response):
+    """Jittered backoff for a busy refusal, or None when not retryable."""
+    if response.get("ok") or response.get("error") not in _BUSY_KINDS:
+        return None
+    hint = response.get("retry_after") or _DEFAULT_RETRY_AFTER
+    return float(hint) * (1.0 + 0.5 * random.random())
 
 
 class ServiceClient:
     """Blocking JSON-lines client over one TCP connection."""
 
-    def __init__(self, host, port, timeout=30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(self, host, port, timeout=30.0, max_busy_wait=2.0):
+        self._host = host
+        self._port = port
+        self.timeout = None if timeout is None else float(timeout)
+        self.max_busy_wait = float(max_busy_wait)
+        self.reconnects = 0
+        self._sock = None
+        self._file = None
+        self._connect()
+
+    # -- connection management ------------------------------------------ #
+    def _connect(self):
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self.timeout
+        )
+        self._sock.settimeout(self.timeout)
         self._file = self._sock.makefile("rwb")
 
-    def request(self, payload):
-        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+    def _disconnect(self):
+        for closer in (self._file, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+        self._file = None
+        self._sock = None
+
+    def _roundtrip(self, payload):
+        """One write-read cycle; any failure tears the connection down so
+        a half-read stream can never desync the next reply."""
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+        try:
+            self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except (socket.timeout, TimeoutError) as exc:
+            self._disconnect()
+            raise ServiceError(
+                "Timeout",
+                f"no reply within {self.timeout}s (request outcome unknown)",
+            ) from exc
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            self._disconnect()
+            raise ServiceError("ConnectionClosed", str(exc)) from exc
         if not line:
+            self._disconnect()
             raise ServiceError("ConnectionClosed", "server closed the connection")
-        return _raise_or_return(json.loads(line))
+        return json.loads(line)
+
+    # -- request surface ------------------------------------------------- #
+    def request(self, payload):
+        op = payload.get("op")
+        idempotent = op in _IDEMPOTENT_OPS
+        give_up = time.monotonic() + self.max_busy_wait
+        reconnect_retried = False
+        while True:
+            try:
+                response = self._roundtrip(payload)
+            except ServiceError as exc:
+                if (idempotent and not reconnect_retried
+                        and exc.kind in ("Timeout", "ConnectionClosed")):
+                    reconnect_retried = True
+                    continue
+                raise
+            delay = _busy_delay(response)
+            if delay is not None and time.monotonic() + delay <= give_up:
+                time.sleep(delay)
+                continue
+            return _raise_or_return(response)
 
     def ping(self):
         return self.request({"op": "ping"})
@@ -58,8 +159,10 @@ class ServiceClient:
     def plans(self):
         return self.request({"op": "plan"})["plans"]
 
-    def execute(self, tenant, plan, epsilon, **switches):
+    def execute(self, tenant, plan, epsilon, deadline_ms=None, **switches):
         payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         payload.update(switches)
         return self.request(payload)["release"]
 
@@ -72,11 +175,17 @@ class ServiceClient:
             payload["epsilon"] = epsilon
         return self.request(payload)["explain"]
 
+    def health(self, ledgers=False):
+        payload = {"op": "health"}
+        if ledgers:
+            payload["ledgers"] = True
+        return self.request(payload)["health"]
+
+    def reload(self):
+        return self.request({"op": "reload"})["reload"]
+
     def close(self):
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._disconnect()
 
     def __enter__(self):
         return self
@@ -97,10 +206,17 @@ class AsyncServiceClient:
         self._next_id = 0
         self._reader_task = None
         self._write_lock = None
+        self.max_busy_wait = 2.0
+        #: Wire-sanity counters: replies whose id matched a future already
+        #: resolved, and replies whose id matched nothing at all. Both stay
+        #: zero when the exactly-one-terminal-reply invariant holds.
+        self.duplicate_replies = 0
+        self.unmatched_replies = 0
 
     @classmethod
-    async def connect(cls, host, port):
+    async def connect(cls, host, port, max_busy_wait=2.0):
         client = cls()
+        client.max_busy_wait = float(max_busy_wait)
         client._reader, client._writer = await asyncio.open_connection(host, port)
         client._write_lock = asyncio.Lock()
         client._reader_task = asyncio.ensure_future(client._read_loop())
@@ -113,8 +229,14 @@ class AsyncServiceClient:
                 if not line:
                     break
                 response = json.loads(line)
-                future = self._pending.pop(response.get("id"), None)
-                if future is not None and not future.done():
+                request_id = response.get("id")
+                if request_id not in self._pending:
+                    self.unmatched_replies += 1
+                    continue
+                future = self._pending.pop(request_id)
+                if future.done():
+                    self.duplicate_replies += 1
+                else:
                     future.set_result(response)
         finally:
             for future in self._pending.values():
@@ -124,7 +246,7 @@ class AsyncServiceClient:
                     )
             self._pending.clear()
 
-    async def request(self, payload):
+    async def _request_once(self, payload):
         loop = asyncio.get_running_loop()
         self._next_id += 1
         request_id = self._next_id
@@ -134,15 +256,36 @@ class AsyncServiceClient:
         async with self._write_lock:
             self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
             await self._writer.drain()
-        return _raise_or_return(await future)
+        return await future
 
-    async def execute(self, tenant, plan, epsilon, **switches):
+    async def request(self, payload):
+        give_up = time.monotonic() + self.max_busy_wait
+        while True:
+            response = await self._request_once(payload)
+            delay = _busy_delay(response)
+            if delay is not None and time.monotonic() + delay <= give_up:
+                await asyncio.sleep(delay)
+                continue
+            return _raise_or_return(response)
+
+    async def execute(self, tenant, plan, epsilon, deadline_ms=None, **switches):
         payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         payload.update(switches)
         return (await self.request(payload))["release"]
 
     async def budget(self, tenant):
         return (await self.request({"op": "budget", "tenant": tenant}))["budget"]
+
+    async def health(self, ledgers=False):
+        payload = {"op": "health"}
+        if ledgers:
+            payload["ledgers"] = True
+        return (await self.request(payload))["health"]
+
+    async def reload(self):
+        return (await self.request({"op": "reload"}))["reload"]
 
     async def close(self):
         if self._reader_task is not None:

@@ -22,12 +22,17 @@ Semantics preserved from the unbatched path:
 * **Flush on shutdown** — :meth:`drain` flushes every pending bucket and
   awaits in-flight worker calls, so a graceful shutdown serves (and
   charges) everything it accepted rather than dropping queued requests.
+* **Deadlines** — a request may carry a monotonic ``deadline``; a member
+  whose deadline passed while it waited in the bucket (or queued for a
+  sequential retry) is shed *before* dispatch — it is never charged — and
+  fails with ``deadline_exceeded``. A batch never dispatches expired work.
 """
 
 from __future__ import annotations
 
 import asyncio
 import functools
+import time
 
 from repro.exceptions import ReproError
 from repro.serving.worker import WorkerCrashError
@@ -37,20 +42,25 @@ __all__ = ["Coalescer", "RemoteExecutionError"]
 
 class RemoteExecutionError(ReproError):
     """A worker reported a failure for this request; ``kind`` is the
-    worker-side exception class name (e.g. ``"PrivacyBudgetError"``)."""
+    worker-side exception class name (e.g. ``"PrivacyBudgetError"``) or a
+    structured shedding kind (``"overloaded"``/``"deadline_exceeded"``).
+    ``retry_after`` is an optional seconds hint for when retrying might
+    succeed — it rides the wire reply so clients can back off."""
 
-    def __init__(self, kind, message):
+    def __init__(self, kind, message, retry_after=None):
         super().__init__(f"{kind}: {message}")
         self.kind = kind
         self.message = message
+        self.retry_after = retry_after
 
 
 class _Bucket:
-    __slots__ = ("requests", "futures", "timer")
+    __slots__ = ("requests", "futures", "deadlines", "timer")
 
     def __init__(self):
         self.requests = []  # (epsilon, switches)
         self.futures = []
+        self.deadlines = []  # monotonic timestamps (or None), one per request
         self.timer = None
 
 
@@ -62,7 +72,8 @@ class Coalescer:
     otherwise pure asyncio and must be used from one event loop.
     """
 
-    def __init__(self, pool, max_batch=32, max_wait=0.002, executor=None):
+    def __init__(self, pool, max_batch=32, max_wait=0.002, executor=None,
+                 on_shed=None):
         if int(max_batch) <= 0:
             raise ValueError("max_batch must be positive")
         if float(max_wait) < 0:
@@ -78,14 +89,19 @@ class Coalescer:
         self._buckets = {}
         self._inflight = set()
         self._draining = False
+        self._on_shed = on_shed  # callback(kind) for the service's counters
         #: Counters for the benchmark/ops surface.
         self.batches_flushed = 0
         self.requests_coalesced = 0
         self.sequential_retries = 0
+        self.shed_expired = 0
 
     # -- submission ----------------------------------------------------- #
-    async def submit(self, tenant, plan_name, epsilon, switches=None):
-        """Queue one release request; resolves to the release payload dict."""
+    async def submit(self, tenant, plan_name, epsilon, switches=None,
+                     deadline=None):
+        """Queue one release request; resolves to the release payload dict.
+        ``deadline`` (monotonic seconds) sheds the request instead of
+        dispatching it if it is still queued when the deadline passes."""
         if self._draining:
             raise RemoteExecutionError("ServiceUnavailable", "server is draining")
         loop = asyncio.get_running_loop()
@@ -97,11 +113,31 @@ class Coalescer:
             self._buckets[key] = bucket
         bucket.requests.append((float(epsilon), dict(switches or {})))
         bucket.futures.append(future)
+        bucket.deadlines.append(None if deadline is None else float(deadline))
         if len(bucket.requests) >= self.max_batch:
             self._flush(key)
         elif bucket.timer is None:
             bucket.timer = loop.call_later(self.max_wait, self._flush, key)
         return await future
+
+    def _shed_expired(self, requests, futures, deadlines):
+        """Fail every expired member pre-dispatch; returns the live ones."""
+        now = time.monotonic()
+        live = []
+        for request, future, deadline in zip(requests, futures, deadlines):
+            if deadline is not None and deadline <= now:
+                self.shed_expired += 1
+                if self._on_shed is not None:
+                    self._on_shed("deadline_exceeded")
+                if not future.done():
+                    future.set_exception(RemoteExecutionError(
+                        "deadline_exceeded",
+                        "deadline expired while the request was queued",
+                        retry_after=self.max_wait,
+                    ))
+            else:
+                live.append((request, future, deadline))
+        return live
 
     # -- flushing -------------------------------------------------------- #
     def _flush(self, key):
@@ -125,47 +161,54 @@ class Coalescer:
 
     async def _run_batch(self, key, bucket):
         tenant, plan_name = key
+        live = self._shed_expired(bucket.requests, bucket.futures, bucket.deadlines)
+        if not live:
+            return  # the whole bucket expired while it waited
+        requests = [entry[0] for entry in live]
+        futures = [entry[1] for entry in live]
         self.batches_flushed += 1
-        self.requests_coalesced += len(bucket.requests)
+        self.requests_coalesced += len(requests)
         try:
-            reply = await self._execute(tenant, plan_name, bucket.requests)
+            reply = await self._execute(tenant, plan_name, requests)
         except WorkerCrashError as exc:
-            for future in bucket.futures:
+            for future in futures:
                 if not future.done():
                     future.set_exception(
-                        RemoteExecutionError("WorkerCrashError", str(exc))
+                        RemoteExecutionError(type(exc).__name__, str(exc))
                     )
             return
         except BaseException as exc:  # pragma: no cover - defensive
-            for future in bucket.futures:
+            for future in futures:
                 if not future.done():
                     future.set_exception(exc)
             return
         if reply[0] == "ok":
-            for future, payload in zip(bucket.futures, reply[1]):
+            for future, payload in zip(futures, reply[1]):
                 if not future.done():
                     future.set_result(payload)
             return
         kind, message = reply[1], reply[2]
-        if kind == "PrivacyBudgetError" and len(bucket.requests) > 1:
+        if kind == "PrivacyBudgetError" and len(requests) > 1:
             # The batch total did not fit, but individual requests might:
             # degrade to sequential admission, preserving request order.
-            await self._sequential(key, bucket)
+            await self._sequential(key, live)
             return
-        for future in bucket.futures:
+        for future in futures:
             if not future.done():
                 future.set_exception(RemoteExecutionError(kind, message))
 
-    async def _sequential(self, key, bucket):
+    async def _sequential(self, key, members):
         tenant, plan_name = key
-        for (epsilon, switches), future in zip(bucket.requests, bucket.futures):
+        for (epsilon, switches), future, deadline in members:
             if future.done():
                 continue
+            if not self._shed_expired([(epsilon, switches)], [future], [deadline]):
+                continue  # expired while earlier members of the batch retried
             self.sequential_retries += 1
             try:
                 reply = await self._execute(tenant, plan_name, [(epsilon, switches)])
             except WorkerCrashError as exc:
-                future.set_exception(RemoteExecutionError("WorkerCrashError", str(exc)))
+                future.set_exception(RemoteExecutionError(type(exc).__name__, str(exc)))
                 continue
             if reply[0] == "ok":
                 future.set_result(reply[1][0])

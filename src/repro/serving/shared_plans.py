@@ -86,9 +86,31 @@ def _read_archive(path):
     return metadata, arrays
 
 
-def stage_plans(plans_dir, data):
+def _is_stale(metadata, ttl_seconds, min_solver_version):
+    """The plan cache's eviction gates, applied at staging time: an
+    archive whose top-level ``saved_at`` is older than ``ttl_seconds`` or
+    whose ``solver_version`` is below ``min_solver_version`` is stale."""
+    if min_solver_version is not None:
+        if int(metadata.get("solver_version", 0)) < int(min_solver_version):
+            return True
+    if ttl_seconds is not None:
+        saved_at = metadata.get("saved_at")
+        if saved_at is None:
+            return True
+        import time
+
+        if time.time() - float(saved_at) > float(ttl_seconds):
+            return True
+    return False
+
+
+def stage_plans(plans_dir, data, ttl_seconds=None, min_solver_version=None):
     """Stage every ``*.plan.npz`` under ``plans_dir`` (non-recursive) plus
     the private ``data`` vector into a fresh shared-memory segment.
+
+    ``ttl_seconds``/``min_solver_version`` apply the plan cache's staleness
+    gates at staging time: stale archives are *skipped* (the hot-reload
+    eviction decision); staging fails only when nothing fresh remains.
 
     Returns ``(store, manifest)`` where ``store`` is the parent-side
     :class:`SharedPlanStore` (owns the segment; call :meth:`~SharedPlanStore.unlink`
@@ -111,6 +133,8 @@ def stage_plans(plans_dir, data):
             raise ValidationError(f"duplicate plan name {name!r} in {plans_dir}")
         names_seen.add(name)
         metadata, arrays = _read_archive(path)
+        if _is_stale(metadata, ttl_seconds, min_solver_version):
+            continue
         entries = []
         for array_name in sorted(arrays):
             array = np.ascontiguousarray(arrays[array_name])
@@ -119,6 +143,11 @@ def stage_plans(plans_dir, data):
             offset += array.nbytes
             entries.append((array_name, array))
         staged.append((name, metadata, entries))
+    if not staged:
+        raise ValidationError(
+            f"every plan archive in {plans_dir} is stale under "
+            f"ttl_seconds={ttl_seconds} / min_solver_version={min_solver_version}"
+        )
     offset = _aligned(offset)
     data_entry = (offset, str(data.dtype), data.shape)
     offset += data.nbytes

@@ -1,4 +1,4 @@
-"""Serving workers: one process per slot, one engine per tenant.
+"""Serving workers: one supervised process per slot, one engine per tenant.
 
 Each worker attaches to the shared plan segment (:mod:`~repro.serving.shared_plans`),
 rebuilds its plans once, and lazily constructs a
@@ -18,24 +18,31 @@ tuples: ``("execute", tenant, plan_name, [(epsilon, switches), ...])``,
 ``("budget", tenant)``, ``("explain", plan_name, epsilon)``, ``("ping",)``,
 ``("shutdown",)``. Replies are ``("ok", payload)`` or ``("error",
 exception_class_name, message)`` — exceptions never cross the pipe raw, so
-a worker bug cannot poison the parent's unpickler.
+a worker bug cannot poison the parent's unpickler. A worker announces
+itself with one unsolicited ``("ready", info)`` message once its engines
+can serve; the parent only dispatches to workers that completed this
+handshake, so a slow boot is never mistaken for a hang.
 
-:class:`WorkerPool` is the parent-side handle: it spawns the workers
-(spawn context — the parent runs an asyncio event loop, which ``fork``
-would duplicate into the child), checks them out per request through a
-free-slot queue, and detects crashed workers (EOF on the pipe) so the
-caller sees :class:`WorkerCrashError` instead of a hang. Crashed workers
-are replaced on the next checkout; their in-flight batch is reported
-failed, and any half-written ledger record is repaired by the next spend
-through the ledger's own recovery (see ``tests/test_serving_service.py``'s
-crash drill).
+:class:`WorkerPool` is the parent-side supervisor. Each of the ``workers``
+**slots** owns at most one live worker process at a time; a supervisor
+thread heartbeats idle workers, executes delayed respawns, and enforces a
+**restart budget with exponential backoff** per slot — a crash-looping slot
+is *quarantined* (left empty, visible in :meth:`WorkerPool.health`) instead
+of flapping forever. Every pipe round-trip carries a deadline: a worker
+that stops answering — hung, not just dead — is killed with SIGKILL and
+its slot respawned, surfacing :class:`WorkerTimeoutError` to the caller.
+:meth:`WorkerPool.reload` swaps every slot to a new :class:`WorkerConfig`
+generation-by-generation without dropping in-flight requests — the hot
+plan-reload primitive.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
 import threading
+import time
 from pathlib import Path
 
 from repro.exceptions import ReproError, ValidationError
@@ -45,6 +52,8 @@ __all__ = [
     "WorkerConfig",
     "WorkerPool",
     "WorkerCrashError",
+    "WorkerTimeoutError",
+    "WorkerBusyError",
     "worker_main",
     "SERVING_LEDGER_RETRY",
 ]
@@ -58,7 +67,28 @@ SERVING_LEDGER_RETRY = RetryPolicy(attempts=48, base_delay=0.001, max_delay=0.05
 
 
 class WorkerCrashError(ReproError):
-    """A worker died (or its pipe broke) while serving a request."""
+    """A worker died (or its pipe broke) while serving a request.
+
+    ``delivered`` records whether the command reached the worker before it
+    died: an *undelivered* command is safe to retry on another worker (no
+    side effects happened); a delivered one is not — for ``execute`` the
+    ledger may already hold the spend.
+    """
+
+    def __init__(self, message, delivered=True):
+        super().__init__(message)
+        self.delivered = delivered
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A worker exceeded its per-request deadline: hung, killed, respawned."""
+
+
+class WorkerBusyError(WorkerCrashError):
+    """No worker became free within the checkout timeout (pool saturated)."""
+
+    def __init__(self, message):
+        super().__init__(message, delivered=False)
 
 
 class WorkerConfig:
@@ -87,6 +117,23 @@ class WorkerConfig:
         self.seed = seed
         self.ledger_retry = SERVING_LEDGER_RETRY if ledger_retry is None else ledger_retry
         self.failpoints = dict(failpoints or {})
+
+    def replace(self, **overrides):
+        """A copy with some fields swapped (manifest for hot reload,
+        failpoints for per-slot drills)."""
+        fields = {
+            "manifest": self.manifest,
+            "ledger_root": self.ledger_root,
+            "total_epsilon": self.total_epsilon,
+            "total_delta": self.total_delta,
+            "accountant": self.accountant,
+            "ledger_suffix": self.ledger_suffix,
+            "seed": self.seed,
+            "ledger_retry": self.ledger_retry,
+            "failpoints": self.failpoints,
+        }
+        fields.update(overrides)
+        return WorkerConfig(**fields)
 
 
 def _tenant_seed(base, worker_index, tenant):
@@ -193,12 +240,13 @@ class _WorkerState:
 
 def worker_main(connection, config, worker_index):
     """Worker process entry point: blocking command loop over the pipe."""
-    if config.failpoints:
-        from repro.testing.faults import failpoints
+    from repro.testing.faults import failpoints, fire
 
-        for name, action in config.failpoints.items():
-            failpoints.arm(name, action)
+    for name, action in config.failpoints.items():
+        failpoints.arm(name, action)
+    fire("serving.worker.boot")
     state = _WorkerState(config, worker_index)
+    connection.send(("ready", {"pid": os.getpid(), "worker": worker_index}))
     try:
         while True:
             try:
@@ -210,6 +258,7 @@ def worker_main(connection, config, worker_index):
                 connection.send(("ok", "bye"))
                 break
             try:
+                fire("serving.worker.request")
                 if op == "execute":
                     payload = state.execute(command[1], command[2], command[3])
                 elif op == "budget":
@@ -222,6 +271,7 @@ def worker_main(connection, config, worker_index):
                     payload = {"pid": os.getpid(), "worker": worker_index}
                 else:
                     raise ValidationError(f"unknown worker command {op!r}")
+                fire("serving.worker.before_reply")
                 connection.send(("ok", payload))
             except BaseException as exc:  # reported to the parent, never raised raw
                 connection.send(("error", type(exc).__name__, str(exc)))
@@ -234,88 +284,200 @@ def worker_main(connection, config, worker_index):
         connection.close()
 
 
+class _Slot:
+    """One supervised worker position: restart accounting lives here, the
+    process itself lives in the (replaceable) handle."""
+
+    def __init__(self, slot_id):
+        self.slot_id = slot_id
+        self.handle = None
+        self.restarts = 0        # consecutive, reset once a worker stays healthy
+        self.total_restarts = 0
+        self.quarantined = False
+        self.respawn_due = 0.0   # monotonic time a pending delayed respawn runs
+
+
 class _WorkerHandle:
-    def __init__(self, process, connection, index):
+    def __init__(self, process, connection, index, slot, generation):
         self.process = process
         self.connection = connection
         self.index = index
+        self.slot = slot
+        self.generation = generation
         self.lock = threading.Lock()
+        self.ready = threading.Event()
+        self.dead = False       # crashed / killed: never dispatch again
+        self.retired = False    # deliberately replaced: don't count as a crash
+        self.spawned_at = time.monotonic()
+        self.last_ok = self.spawned_at
 
-    def request(self, command):
-        """One synchronous round-trip (serialized per worker)."""
+    def request(self, command, deadline=None):
+        """One synchronous round-trip (serialized per worker). ``deadline``
+        is a monotonic timestamp bounding the wait for the reply; past it
+        the worker is presumed hung and :class:`WorkerTimeoutError` raises
+        (the pool kills and respawns it)."""
         with self.lock:
+            if self.dead or self.retired:
+                raise WorkerCrashError(
+                    f"worker {self.index} is gone", delivered=False
+                )
             try:
                 self.connection.send(command)
-                return self.connection.recv()
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashError(
+                    f"worker {self.index} (pid {self.process.pid}) died before "
+                    f"accepting {command[0]!r}",
+                    delivered=False,
+                ) from exc
+            try:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self.connection.poll(remaining):
+                        raise WorkerTimeoutError(
+                            f"worker {self.index} (pid {self.process.pid}) exceeded "
+                            f"its deadline serving {command[0]!r}"
+                        )
+                reply = self.connection.recv()
             except (EOFError, BrokenPipeError, OSError) as exc:
                 raise WorkerCrashError(
                     f"worker {self.index} (pid {self.process.pid}) died "
                     f"serving {command[0]!r}"
                 ) from exc
+            self.last_ok = time.monotonic()
+            return reply
+
+    def heartbeat(self, timeout):
+        """Ping an *idle* worker; True when healthy or busy, False when it
+        is provably dead or hung (caller kills + respawns)."""
+        if not self.lock.acquire(blocking=False):
+            return True  # mid-request: the per-request deadline covers it
+        try:
+            if self.dead or self.retired:
+                return True
+            try:
+                self.connection.send(("ping",))
+                if not self.connection.poll(timeout):
+                    return False
+                self.connection.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                return False
+            self.last_ok = time.monotonic()
+            return True
+        finally:
+            self.lock.release()
 
     def alive(self):
-        return self.process.is_alive()
+        return not self.dead and self.process.is_alive()
 
     def stop(self, timeout=5.0):
-        if self.process.is_alive():
-            try:
-                with self.lock:
+        """Graceful retire: wait out any in-flight request, ask the worker
+        to exit, then join (escalating to SIGKILL if it won't)."""
+        self.retired = True
+        with self.lock:
+            if not self.dead and self.process.is_alive():
+                try:
                     self.connection.send(("shutdown",))
-                    self.connection.recv()
-            except (EOFError, BrokenPipeError, OSError):
-                pass
+                    if self.connection.poll(timeout):
+                        self.connection.recv()
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+            self.dead = True
         self.process.join(timeout)
         if self.process.is_alive():  # pragma: no cover - stuck worker
-            self.process.terminate()
+            self.process.kill()
             self.process.join(timeout)
-        self.connection.close()
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 class WorkerPool:
-    """Parent-side pool: spawn, dispatch, replace-on-crash, drain.
+    """Parent-side supervisor: spawn, dispatch, heartbeat, replace, drain.
 
-    ``submit`` checks a worker out of the free queue, runs one request,
-    and returns it — callers block only when all workers are busy. A
-    crashed worker is not returned to the queue; a fresh replacement is
-    spawned in its place (``respawn=False`` disables this, for crash
-    drills that count workers).
+    ``submit`` checks a worker out of the free queue, runs one request
+    under a deadline, and returns it — callers block only while all
+    workers are busy (up to ``timeout``, then :class:`WorkerBusyError`).
+    A crashed or hung worker is killed and its **slot** respawned by the
+    supervisor thread: immediately on the first crash, then with
+    exponential backoff, and after ``restart_budget`` consecutive crashes
+    the slot is quarantined — the pool keeps serving on its remaining
+    slots instead of flapping. ``respawn=False`` quarantines on the first
+    crash (for drills that count workers). ``failpoints_by_worker`` keys
+    on the monotonically increasing worker *index* (respawns never re-arm);
+    ``failpoints_by_slot`` keys on the slot and re-arms every respawn —
+    the crash-loop drill hook.
     """
 
-    def __init__(self, config, workers, respawn=True, failpoints_by_worker=None):
+    def __init__(self, config, workers, respawn=True, failpoints_by_worker=None,
+                 failpoints_by_slot=None, request_timeout=30.0,
+                 heartbeat_interval=1.0, heartbeat_timeout=5.0,
+                 restart_budget=5, backoff_base=0.1, backoff_max=5.0,
+                 healthy_after=30.0, boot_timeout=60.0):
         if int(workers) <= 0:
             raise ValidationError("WorkerPool needs at least one worker")
         self._config = config
         self._context = multiprocessing.get_context("spawn")
         self._respawn = respawn
         self._failpoints_by_worker = dict(failpoints_by_worker or {})
+        self._failpoints_by_slot = dict(failpoints_by_slot or {})
+        self.request_timeout = None if request_timeout is None else float(request_timeout)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.restart_budget = int(restart_budget)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.healthy_after = float(healthy_after)
+        self.boot_timeout = float(boot_timeout)
         self._next_index = 0
-        self._handles = []
-        self._free = None  # created lazily: a plain thread-safe queue
-        import queue
-
-        self._free = queue.Queue()
+        self._generation = 0
+        self._crashes = 0
+        self._timeouts = 0
+        self._free = queue_module.Queue()
         self._closed = False
         self._lock = threading.Lock()
-        for _ in range(int(workers)):
-            self._spawn()
+        self._reload_lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._slots = [_Slot(slot_id) for slot_id in range(int(workers))]
+        with self._lock:
+            for slot in self._slots:
+                self._spawn(slot, enqueue=False)
+        # Boot happens in parallel, but the free queue is filled in slot
+        # order so first dispatches land on worker 0, 1, ... — tests and
+        # failpoint drills rely on that determinism.
+        boot_handles = [slot.handle for slot in self._slots]
+        deadline = time.monotonic() + self.boot_timeout
+        for handle in boot_handles:
+            while not (handle.ready.is_set() or handle.dead):
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.005)
+            if handle.ready.is_set() and not handle.dead and not handle.retired:
+                self._free.put(handle)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
 
-    def _spawn(self):
+    # ------------------------------------------------------------------ #
+    # Spawning and the ready handshake
+    # ------------------------------------------------------------------ #
+    def _config_for(self, index, slot_id):
+        merged = {}
+        merged.update(self._failpoints_by_slot.get(slot_id) or {})
+        merged.update(self._failpoints_by_worker.get(index) or {})
+        if merged:
+            return self._config.replace(failpoints=merged)
+        return self._config
+
+    def _spawn(self, slot, enqueue=True):
+        """Start a worker for ``slot`` (caller holds ``self._lock``). The
+        handle only enters the free queue once its ready handshake lands;
+        ``enqueue=False`` leaves that to the caller (initial boot, which
+        enqueues in slot order)."""
         index = self._next_index
         self._next_index += 1
-        config = self._config
-        failpoints = self._failpoints_by_worker.get(index)
-        if failpoints:
-            config = WorkerConfig(
-                manifest=config.manifest,
-                ledger_root=config.ledger_root,
-                total_epsilon=config.total_epsilon,
-                total_delta=config.total_delta,
-                accountant=config.accountant,
-                ledger_suffix=config.ledger_suffix,
-                seed=config.seed,
-                ledger_retry=config.ledger_retry,
-                failpoints=failpoints,
-            )
+        config = self._config_for(index, slot.slot_id)
         parent_end, worker_end = self._context.Pipe()
         process = self._context.Process(
             target=worker_main,
@@ -325,39 +487,271 @@ class WorkerPool:
         )
         process.start()
         worker_end.close()
-        handle = _WorkerHandle(process, parent_end, index)
-        self._handles.append(handle)
-        self._free.put(handle)
+        handle = _WorkerHandle(process, parent_end, index, slot, self._generation)
+        slot.handle = handle
+        slot.respawn_due = 0.0
+        threading.Thread(
+            target=self._await_ready,
+            args=(handle, enqueue),
+            name=f"repro-serve-ready-{index}",
+            daemon=True,
+        ).start()
         return handle
 
+    def _await_ready(self, handle, enqueue=True):
+        try:
+            if not handle.connection.poll(self.boot_timeout):
+                raise WorkerTimeoutError(
+                    f"worker {handle.index} did not become ready within "
+                    f"{self.boot_timeout}s"
+                )
+            message = handle.connection.recv()
+            if not (isinstance(message, tuple) and message and message[0] == "ready"):
+                raise WorkerCrashError(
+                    f"worker {handle.index} sent {message!r} instead of the "
+                    "ready handshake"
+                )
+        except (EOFError, BrokenPipeError, OSError, WorkerCrashError):
+            self._report_crash(handle, hung=False)
+            return
+        handle.ready.set()
+        handle.last_ok = time.monotonic()
+        if not enqueue:
+            return
+        with self._lock:
+            usable = (
+                not self._closed
+                and not handle.retired
+                and not handle.dead
+                and handle.slot.handle is handle
+            )
+        if usable:
+            self._free.put(handle)
+
+    # ------------------------------------------------------------------ #
+    # Crash accounting, backoff, quarantine
+    # ------------------------------------------------------------------ #
+    def _report_crash(self, handle, hung):
+        """Count one worker death exactly once and schedule its slot's
+        respawn (or quarantine it)."""
+        with self._lock:
+            if handle.dead:
+                return
+            handle.dead = True
+            retired = handle.retired
+            if not retired:
+                self._crashes += 1
+                if hung:
+                    self._timeouts += 1
+        try:
+            if handle.process.is_alive():
+                handle.process.kill()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+        with self._lock:
+            slot = handle.slot
+            if self._closed or retired or slot.handle is not handle:
+                return
+            slot.handle = None
+            if not self._respawn:
+                slot.quarantined = True
+                return
+            now = time.monotonic()
+            if now - handle.spawned_at >= self.healthy_after:
+                slot.restarts = 0
+            slot.restarts += 1
+            slot.total_restarts += 1
+            if slot.restarts > self.restart_budget:
+                slot.quarantined = True
+                return
+            if slot.restarts == 1:
+                self._spawn(slot)  # first crash: replace immediately
+            else:
+                delay = min(
+                    self.backoff_max, self.backoff_base * (2 ** (slot.restarts - 2))
+                )
+                slot.respawn_due = now + delay
+                self._wakeup.set()
+
+    # ------------------------------------------------------------------ #
+    # Supervisor thread: delayed respawns + heartbeats
+    # ------------------------------------------------------------------ #
+    def _supervise(self):
+        while True:
+            self._wakeup.wait(timeout=self._poll_interval())
+            self._wakeup.clear()
+            if self._closed:
+                return
+            self._run_due_respawns()
+            self._heartbeat_sweep()
+
+    def _poll_interval(self):
+        interval = self.heartbeat_interval
+        now = time.monotonic()
+        with self._lock:
+            for slot in self._slots:
+                if slot.handle is None and not slot.quarantined and slot.respawn_due:
+                    interval = min(interval, max(0.01, slot.respawn_due - now))
+        return max(0.01, interval)
+
+    def _run_due_respawns(self):
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                return
+            for slot in self._slots:
+                if (
+                    slot.handle is None
+                    and not slot.quarantined
+                    and slot.respawn_due
+                    and slot.respawn_due <= now
+                ):
+                    self._spawn(slot)
+
+    def _heartbeat_sweep(self):
+        now = time.monotonic()
+        with self._lock:
+            candidates = [
+                slot.handle
+                for slot in self._slots
+                if slot.handle is not None
+                and slot.handle.ready.is_set()
+                and not slot.handle.dead
+                and now - slot.handle.last_ok >= self.heartbeat_interval
+            ]
+        for handle in candidates:
+            if self._closed:
+                return
+            if not handle.heartbeat(self.heartbeat_timeout):
+                self._report_crash(handle, hung=handle.process.is_alive())
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
     @property
     def size(self):
-        return sum(1 for handle in self._handles if handle.alive())
+        with self._lock:
+            return sum(
+                1 for slot in self._slots
+                if slot.handle is not None and slot.handle.alive()
+            )
 
-    def submit(self, command, timeout=None):
+    def pids(self):
+        """Live worker pids (the chaos suite's kill list)."""
+        with self._lock:
+            return [
+                slot.handle.process.pid
+                for slot in self._slots
+                if slot.handle is not None and slot.handle.alive()
+            ]
+
+    def submit(self, command, timeout=None, deadline=None):
         """Run one command on any free worker; returns the reply tuple —
         ``("ok", payload)`` or ``("error", exception_name, message)`` —
         verbatim, so callers map worker-reported failures onto their own
         error surface. Raises :class:`WorkerCrashError` if the worker dies
-        mid-request (its slot is respawned unless ``respawn=False``).
+        mid-request (its slot is respawned per the supervision policy),
+        :class:`WorkerTimeoutError` if it hangs past the deadline (killed
+        and respawned), :class:`WorkerBusyError` if no worker frees up
+        within ``timeout``. ``deadline`` is a monotonic timestamp for this
+        request's pipe round-trip; None applies ``request_timeout``.
+        A command the worker provably never received is retried once on
+        another worker before the crash surfaces.
         """
         if self._closed:
             raise ValidationError("WorkerPool is closed")
-        import queue as queue_module
+        checkout_deadline = None if timeout is None else time.monotonic() + timeout
+        retries = 0
+        while True:
+            remaining = (
+                None if checkout_deadline is None
+                else max(0.0, checkout_deadline - time.monotonic())
+            )
+            try:
+                handle = self._free.get(timeout=remaining)
+            except queue_module.Empty as exc:
+                raise WorkerBusyError("no free worker within timeout") from exc
+            if handle.dead or handle.retired:
+                continue  # dropped: its slot is already being handled
+            request_deadline = deadline
+            if request_deadline is None and self.request_timeout is not None:
+                request_deadline = time.monotonic() + self.request_timeout
+            try:
+                reply = handle.request(command, deadline=request_deadline)
+            except WorkerTimeoutError:
+                self._report_crash(handle, hung=True)
+                raise
+            except WorkerCrashError as exc:
+                self._report_crash(handle, hung=False)
+                if not exc.delivered and retries < 1:
+                    retries += 1
+                    continue  # provably undelivered: safe on another worker
+                raise
+            self._free.put(handle)
+            return reply
 
-        try:
-            handle = self._free.get(timeout=timeout)
-        except queue_module.Empty as exc:
-            raise WorkerCrashError("no free worker within timeout") from exc
-        try:
-            reply = handle.request(command)
-        except WorkerCrashError:
+    # ------------------------------------------------------------------ #
+    # Health, hot reload, drain
+    # ------------------------------------------------------------------ #
+    def health(self):
+        """Supervision snapshot: per-slot liveness plus pool counters."""
+        with self._lock:
+            slots = []
+            for slot in self._slots:
+                handle = slot.handle
+                slots.append({
+                    "slot": slot.slot_id,
+                    "alive": bool(handle is not None and handle.alive()),
+                    "ready": bool(handle is not None and handle.ready.is_set()),
+                    "pid": handle.process.pid if handle is not None else None,
+                    "generation": handle.generation if handle is not None else None,
+                    "restarts": slot.total_restarts,
+                    "quarantined": slot.quarantined,
+                })
+            return {
+                "workers": len(self._slots),
+                "alive": sum(1 for entry in slots if entry["alive"]),
+                "quarantined": sum(1 for entry in slots if entry["quarantined"]),
+                "crashes": self._crashes,
+                "timeouts": self._timeouts,
+                "restarts": sum(slot.total_restarts for slot in self._slots),
+                "generation": self._generation,
+                "slots": slots,
+            }
+
+    def reload(self, new_config):
+        """Swap every slot to ``new_config`` one generation at a time.
+
+        Each slot spawns its new-generation worker, waits for its ready
+        handshake, then gracefully retires the old worker — which first
+        finishes any in-flight request, so nothing is dropped. Quarantined
+        slots are given a clean restart record (the new config may well
+        remove the crash cause). Returns the new generation number."""
+        from repro.testing.faults import fire
+
+        with self._reload_lock:
             with self._lock:
-                if not self._closed and self._respawn:
-                    self._spawn()
-            raise
-        self._free.put(handle)
-        return reply
+                if self._closed:
+                    raise ValidationError("WorkerPool is closed")
+                self._generation += 1
+                generation = self._generation
+                self._config = new_config
+                slots = list(self._slots)
+            for slot in slots:
+                fire("serving.reload.mid_swap")
+                with self._lock:
+                    if self._closed:
+                        break
+                    slot.quarantined = False
+                    slot.restarts = 0
+                    old = slot.handle
+                    if old is not None and old.generation >= generation:
+                        continue  # a respawn already picked up the new config
+                    fresh = self._spawn(slot)
+                fresh.ready.wait(timeout=self.boot_timeout)
+                if old is not None:
+                    old.stop()
+            return generation
 
     def shutdown(self):
         """Graceful drain: every worker finishes its in-flight request,
@@ -366,6 +760,11 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
-        for handle in self._handles:
+            handles = [slot.handle for slot in self._slots if slot.handle is not None]
+        self._wakeup.set()
+        self._supervisor.join(timeout=5.0)
+        for handle in handles:
             handle.stop()
-        self._handles = []
+        with self._lock:
+            for slot in self._slots:
+                slot.handle = None

@@ -15,6 +15,10 @@ of three actions:
 * ``"error"`` — raise :class:`InjectedFault` (an ``OSError`` subclass), so
   in-process tests can exercise error-handling paths without killing the
   interpreter.
+* ``"delay"`` / ``"delay:SECONDS"`` — sleep at the firing site, then
+  continue. Simulates a *hung* (not dead) component: a worker armed with
+  ``serving.worker.request=delay:2.5`` stalls its pipe long enough for the
+  parent's per-request deadline to fire and the supervisor to kill it.
 
 Arming is either **programmatic** (the :meth:`FailPointRegistry.active`
 context manager, or helpers like :meth:`FailPoint.crash_before`) for
@@ -46,6 +50,7 @@ __all__ = [
     "guarded_write",
     "registered_failpoints",
     "ledger_write_failpoints",
+    "serving_failpoints",
 ]
 
 #: Environment variable read at registry construction (i.e. at import in a
@@ -56,7 +61,25 @@ ENV_VAR = "REPRO_FAILPOINTS"
 #: status for a SIGKILL-ed process, so test assertions read naturally.
 CRASH_EXIT_CODE = 137
 
-_ACTIONS = ("crash", "torn", "error")
+_ACTIONS = ("crash", "torn", "error", "delay")
+
+#: Sleep applied by a bare ``"delay"`` arming (no ``:SECONDS`` suffix).
+DEFAULT_DELAY_SECONDS = 0.05
+
+
+def _parse_delay(action):
+    """``"delay"`` / ``"delay:1.5"`` -> seconds, or None for other actions."""
+    if action == "delay":
+        return DEFAULT_DELAY_SECONDS
+    if action.startswith("delay:"):
+        try:
+            seconds = float(action.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(f"malformed delay action {action!r}; expected 'delay:SECONDS'")
+        if seconds < 0:
+            raise ValueError(f"delay action {action!r} must not be negative")
+        return seconds
+    return None
 
 
 class InjectedFault(OSError):
@@ -119,7 +142,7 @@ class FailPointRegistry:
     # ------------------------------------------------------------------ #
     def arm(self, name, action):
         self._check_known(name)
-        if action not in _ACTIONS:
+        if action not in _ACTIONS and _parse_delay(action) is None:
             raise ValueError(f"unknown failpoint action {action!r}; choose from {_ACTIONS}")
         self._armed[name] = action
 
@@ -159,6 +182,12 @@ class FailPointRegistry:
             return
         if action == "error":
             raise InjectedFault(f"injected fault at failpoint {name!r}")
+        delay = _parse_delay(action)
+        if delay is not None:
+            import time
+
+            time.sleep(delay)
+            return
         os._exit(CRASH_EXIT_CODE)
 
     def guarded_write(self, fh, data, point):
@@ -250,6 +279,32 @@ failpoints.register("journal.compact.before_replace", "journal compaction/rotati
 failpoints.register("journal.compact.after_replace", "journal compaction/rotation")
 failpoints.register("io.atomic.before_replace", "atomic on-disk writes (serialization)")
 failpoints.register("io.atomic.after_replace", "atomic on-disk writes (serialization)")
+
+
+# ---------------------------------------------------------------------- #
+# Serving-tier failpoints
+# ---------------------------------------------------------------------- #
+# Fired by the worker loop, the TCP front-end and the hot-reload path.
+# ``crash`` at a worker point is the kill-worker drill; ``delay:SECONDS``
+# at ``serving.worker.request`` is the hung-pipe drill the per-request
+# deadline must catch; the reload points let the chaos suite crash the
+# parent-side staging/swap mid-flight.
+_SERVING_POINTS = (
+    ("serving.worker.boot", "worker startup, before the ready handshake"),
+    ("serving.worker.request", "worker loop, after recv and before dispatch"),
+    ("serving.worker.before_reply", "worker loop, after dispatch and before send"),
+    ("serving.conn.drop", "TCP front-end, before writing a reply line"),
+    ("serving.reload.before_stage", "hot reload, before staging the new segment"),
+    ("serving.reload.before_swap", "hot reload, staged but before worker swap"),
+    ("serving.reload.mid_swap", "hot reload, between per-slot generation swaps"),
+)
+for _name, _doc in _SERVING_POINTS:
+    failpoints.register(_name, _doc)
+
+
+def serving_failpoints():
+    """The serving-tier failpoint names (the chaos suite's drill list)."""
+    return [name for name, _ in _SERVING_POINTS]
 
 
 def ledger_write_failpoints(backend="journal"):

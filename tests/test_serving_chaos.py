@@ -1,0 +1,305 @@
+"""Seeded chaos soak for the serving tier.
+
+Hammers a live TCP service with concurrent driver traffic while a chaos
+controller SIGKILLs random workers, a pre-armed worker crashes pre-spend,
+another hangs its pipe (caught by the per-request deadline), one client
+connection is dropped mid-request, and a hot plan reload lands mid-soak.
+
+The invariant trio asserted at the end:
+
+1. **Exactly one terminal reply** per wire request — the multiplexed
+   client's ``unmatched_replies`` / ``duplicate_replies`` anomaly
+   counters stay zero and every driver attempt resolves.
+2. **No lost or duplicated charges** — replaying the tenant ledger
+   yields at least one cost per successful release, and at most one
+   extra (orphaned) cost per attempt whose outcome was genuinely
+   unknown (crash/timeout after dispatch). Shed and busy refusals are
+   never charged.
+3. **Availability** ≥ 99 % of logical requests succeed (with bounded
+   retries), excluding deliberately shed traffic — deliberate worker
+   kills never take the service down.
+
+Seeded via ``REPRO_CHAOS_SEED`` (default 1307) so CI failures replay.
+"""
+
+import asyncio
+import os
+import random
+import shutil
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.plan import build_plan
+from repro.io.serialization import save_plan
+from repro.privacy.ledger import inspect_ledger, ledger_health
+from repro.serving import AsyncServiceClient, PlanService, ServiceConfig, ServiceError
+from repro.testing.faults import failpoints
+from repro.workloads import prefix_workload, wrelated
+
+N = 32
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1307"))
+
+DRIVERS = 6
+REQUESTS_PER_DRIVER = 25
+MAX_ATTEMPTS = 6
+EPSILON = 0.02
+
+# Terminal refusals that never charge the ledger: safe to retry freely
+# and excluded from the availability denominator.
+_SHED_KINDS = {"overloaded", "deadline_exceeded", "LedgerBusyError"}
+# Failures where a spend MAY have been charged before the reply was
+# lost: these bound how many orphaned ledger costs are acceptable.
+_UNKNOWN_KINDS = {
+    "WorkerCrashError", "WorkerTimeoutError", "Timeout",
+    "ConnectionClosed", "InternalError", "ServiceUnavailable",
+}
+
+
+@pytest.fixture
+def chaos_dirs(tmp_path):
+    plans = tmp_path / "plans"
+    plans.mkdir()
+    for name, workload in (
+        ("related", wrelated(8, N, s=2, seed=1)),
+        ("prefix", prefix_workload(N)),
+    ):
+        plan = build_plan(workload, epsilon_hint=0.1, mechanism="LM")
+        save_plan(plan, plans / f"{name}.plan.npz")
+    return plans, tmp_path / "ledgers"
+
+
+class _Tally:
+    def __init__(self):
+        self.successes = 0
+        self.shed = 0
+        self.unknown_failures = 0
+        self.other_failures = 0
+        self.logical_ok = 0
+        self.logical_failed = 0
+
+
+async def _driver(client, rng, plans, tally):
+    for _ in range(REQUESTS_PER_DRIVER):
+        await asyncio.sleep(rng.uniform(0.0, 0.01))
+        done = False
+        for _ in range(MAX_ATTEMPTS):
+            plan = rng.choice(plans)
+            try:
+                await client.execute("acme", plan, EPSILON, deadline_ms=2000)
+            except ServiceError as error:
+                if error.kind in _SHED_KINDS:
+                    tally.shed += 1
+                elif error.kind in _UNKNOWN_KINDS:
+                    tally.unknown_failures += 1
+                else:
+                    tally.other_failures += 1
+                await asyncio.sleep(rng.uniform(0.01, 0.05))
+                continue
+            tally.successes += 1
+            done = True
+            break
+        if done:
+            tally.logical_ok += 1
+        else:
+            tally.logical_failed += 1
+
+
+async def _chaos_controller(service, rng, plans_dir, live_plans, soaking):
+    """Random SIGKILLs + one mid-soak hot reload + one dropped connection."""
+    kills = 0
+    reloaded = False
+    dropped = False
+    started = time.monotonic()
+    # Run at least until the minimum chaos quota is met, even if the
+    # drivers drain their traffic quickly.
+    while soaking.is_set() or kills < 3 or not reloaded or not dropped:
+        await asyncio.sleep(rng.uniform(0.25, 0.45))
+        elapsed = time.monotonic() - started
+        if not reloaded and elapsed > 1.0:
+            # Hot reload mid-soak: a third plan lands and swaps in live.
+            plan = build_plan(
+                wrelated(4, N, s=2, seed=5), epsilon_hint=0.1, mechanism="LM"
+            )
+            save_plan(plan, plans_dir / "extra.plan.npz")
+            await service.reload()
+            live_plans.append("extra")
+            reloaded = True
+            continue
+        if not dropped and elapsed > 0.5:
+            # A client vanishes mid-request: the server must shrug.
+            host, port = service.address
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b'{"op": "execute", "tenant": "ghost", "plan": "related",'
+                b' "epsilon": 0.01}\n'
+            )
+            writer.transport.abort()
+            dropped = True
+            continue
+        pids = service.pool.pids()
+        if pids and kills < 5:
+            os.kill(rng.choice(pids), signal.SIGKILL)
+            kills += 1
+    return kills, reloaded, dropped
+
+
+class TestChaosSoak:
+    def test_soak_under_kills_hangs_reload_and_drops(self, chaos_dirs):
+        plans_dir, ledger_root = chaos_dirs
+        rng = random.Random(SEED)
+        config = ServiceConfig(
+            plans_dir=plans_dir, ledger_root=ledger_root,
+            data=np.arange(float(N)),
+            total_epsilon=50.0, workers=3, seed=17,
+            max_batch=8, max_wait=0.004,
+            request_timeout=0.75,
+            heartbeat_interval=0.2, heartbeat_timeout=0.6,
+            restart_budget=50, backoff_base=0.02, healthy_after=5.0,
+        )
+        # Worker 0 crashes pre-spend on its first dispatch; worker 1 hangs
+        # its pipe (the per-request deadline must catch it). Respawns are
+        # clean: these arm by monotonic worker index, not slot.
+        failpoints_by_worker = {
+            0: {"serving.worker.request": "crash"},
+            1: {"serving.worker.request": "delay:2.5"},
+        }
+        tally = _Tally()
+        live_plans = ["related", "prefix"]
+
+        async def scenario():
+            service = PlanService(config, failpoints_by_worker=failpoints_by_worker)
+            host, port = await service.start()
+            client = await AsyncServiceClient.connect(
+                host, port, max_busy_wait=2.0
+            )
+            soaking = asyncio.Event()
+            soaking.set()
+            chaos = asyncio.ensure_future(
+                _chaos_controller(service, rng, plans_dir, live_plans, soaking)
+            )
+            try:
+                await asyncio.gather(*[
+                    _driver(client, random.Random(SEED + i), live_plans, tally)
+                    for i in range(DRIVERS)
+                ])
+            finally:
+                soaking.clear()
+            kills, reloaded, dropped = await chaos
+            # Let the supervisor finish respawning after the last kill.
+            for _ in range(100):
+                health = await client.health()
+                if health["alive"] == config.workers:
+                    break
+                await asyncio.sleep(0.1)
+            # The new plan genuinely serves post-reload (retrying past any
+            # worker still settling from the final kill).
+            for attempt in range(5):
+                try:
+                    fresh = await client.execute("acme", "extra", EPSILON)
+                except ServiceError as error:
+                    assert error.kind in _UNKNOWN_KINDS | _SHED_KINDS
+                    tally.unknown_failures += error.kind in _UNKNOWN_KINDS
+                    await asyncio.sleep(0.1)
+                    continue
+                break
+            tally.successes += 1
+            health = await client.health(ledgers=True)
+            budget = await client.budget("acme")
+            anomalies = (client.unmatched_replies, client.duplicate_replies)
+            await client.close()
+            await service.shutdown()
+            return kills, reloaded, dropped, fresh, health, budget, anomalies
+
+        kills, reloaded, dropped, fresh, health, budget, anomalies = (
+            asyncio.run(scenario())
+        )
+
+        # The chaos actually happened.
+        assert kills >= 3 and reloaded and dropped
+        assert health["crashes"] >= 2  # kills + armed faults were noticed
+        assert len(fresh["values"]) == 4
+
+        # Invariant 1: exactly one terminal reply per wire request.
+        assert anomalies == (0, 0)
+        total_logical = DRIVERS * REQUESTS_PER_DRIVER
+        assert tally.logical_ok + tally.logical_failed == total_logical
+        assert tally.other_failures == 0  # only structured, expected kinds
+
+        # Invariant 2: ledger replay equals served spend up to orphans
+        # bounded by genuinely-unknown attempts; nothing shed was charged.
+        replayed = inspect_ledger(ledger_root / "acme.journal")
+        orphans = replayed["costs"] - tally.successes
+        assert 0 <= orphans <= tally.unknown_failures
+        assert replayed["spent_epsilon"] == pytest.approx(
+            EPSILON * replayed["costs"]
+        )
+        assert budget["spent_epsilon"] == pytest.approx(
+            replayed["spent_epsilon"]
+        )
+        probe = health["ledgers"]["acme"]
+        assert probe["records"] > 0
+
+        # Invariant 3: availability floor, excluding deliberate sheds.
+        availability = tally.logical_ok / total_logical
+        assert availability >= 0.99, (
+            f"availability {availability:.4f} < 0.99 "
+            f"(seed {SEED}, tally {vars(tally)})"
+        )
+
+        # The service rode out the soak: reload landed, workers recovered.
+        assert health["generation"] == 1 and health["reloads"] == 1
+        assert health["alive"] == 3 and health["quarantined"] == 0
+
+
+class TestReloadFaults:
+    def test_crash_during_reload_keeps_old_generation(self, chaos_dirs):
+        plans_dir, ledger_root = chaos_dirs
+        config = ServiceConfig(
+            plans_dir=plans_dir, ledger_root=ledger_root,
+            data=np.arange(float(N)),
+            total_epsilon=5.0, workers=1, seed=11, max_batch=4,
+        )
+
+        async def scenario():
+            service = PlanService(config)
+            host, port = await service.start()
+            client = await AsyncServiceClient.connect(host, port)
+            try:
+                plan = build_plan(
+                    wrelated(4, N, s=2, seed=5), epsilon_hint=0.1, mechanism="LM"
+                )
+                save_plan(plan, plans_dir / "extra.plan.npz")
+                # The swap dies after the new segment is staged: the old
+                # generation must keep serving and the staged segment must
+                # not leak.
+                with failpoints.active("serving.reload.before_swap", "error"):
+                    with pytest.raises(ServiceError) as excinfo:
+                        await client.reload()
+                failed_kind = excinfo.value.kind
+                still_serving = await client.execute("acme", "related", 0.05)
+                health_mid = await client.health()
+                # Disarmed, the same reload goes through.
+                result = await client.reload()
+                fresh = await client.execute("acme", "extra", 0.05)
+                health_end = await client.health()
+            finally:
+                await client.close()
+                await service.shutdown()
+            return failed_kind, still_serving, health_mid, result, fresh, health_end
+
+        failed_kind, still_serving, health_mid, result, fresh, health_end = (
+            asyncio.run(scenario())
+        )
+        assert failed_kind == "InternalError"
+        assert len(still_serving["values"]) == 8
+        assert health_mid["generation"] == 0 and health_mid["reloads"] == 0
+        assert health_mid["plans"] == ["prefix", "related"]
+        assert result["generation"] == 1
+        assert len(fresh["values"]) == 4
+        assert health_end["reloads"] == 1
+        # The failed attempt charged nothing and corrupted nothing.
+        probe = ledger_health(ledger_root / "acme.journal")
+        assert probe["ok"]
