@@ -16,7 +16,11 @@ The deployment shape of the engine, end to end and in one process tree:
    exactly the budget the service reported,
 5. a **chaos drill** closes the loop: kill a worker process live and watch
    the supervisor respawn it (the ``health`` op narrates), then hot-reload
-   a brand-new plan into the running service without dropping a request.
+   a brand-new plan into the running service without dropping a request,
+6. an **exactly-once drill**: every ``execute`` carries an idempotency key
+   (auto-generated unless you pass one), so retrying after an ambiguous
+   failure — even across a worker kill — replays the stored release
+   byte-for-byte from the durable result journal with zero extra charge.
 
 The CLI equivalent of steps 2-3 is::
 
@@ -27,6 +31,7 @@ Run:  PYTHONPATH=src python examples/serving_quickstart.py
 """
 
 import asyncio
+import json
 import os
 import signal
 import tempfile
@@ -161,6 +166,35 @@ async def main():
         print(f"hot reload: generation {reloaded['generation']} now serves "
               f"{reloaded['plans']}; new plan answered "
               f"{len(release['values'])} range queries without a restart")
+        print()
+
+        # --- Chaos drill 3: retry safely with an idempotency key. --------
+        # Every execute carries a key (auto-generated UUID by default;
+        # pass key=... to control it, key=False to opt out). The release
+        # is journaled under that key at commit, so when a client can't
+        # tell whether its request landed — timeout, dropped connection,
+        # killed worker — it simply re-sends the SAME key: a duplicate is
+        # answered from the durable result journal, bit-identical and
+        # never charged twice. Here we even SIGKILL a worker between the
+        # two sends to show the result survives worker death (it lives in
+        # the ledger, not in any process's memory).
+        before = (await client.budget("acme"))["spent_epsilon"]
+        first = await client.execute("acme", "cohorts", 0.05, key="report-q3")
+        os.kill(service.pool.pids()[0], signal.SIGKILL)  # chaos, again
+        retried = await client.execute("acme", "cohorts", 0.05, key="report-q3")
+        after = (await client.budget("acme"))["spent_epsilon"]
+        identical = json.dumps(first, sort_keys=True) == json.dumps(
+            retried, sort_keys=True
+        )
+        health = await client.health()
+        print(f"exactly-once: retried key 'report-q3' byte-identical="
+              f"{identical}, charged once ({after - before:.2f} eps for 2 "
+              f"sends), dedup hits so far: {health['dedup_hits']}")
+        for _ in range(100):  # let the supervisor respawn the killed slot
+            health = await client.health()
+            if health["alive"] == config.workers:
+                break
+            await asyncio.sleep(0.1)
         print()
 
         # --- Graceful drain, then audit the durable ledger. --------------

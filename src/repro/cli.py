@@ -48,12 +48,18 @@ def build_parser():
     parser.add_argument(
         "action", nargs="?", choices=["inspect", "recover"], default=None,
         help="ledger: 'inspect' (read-only audit summary) or 'recover' "
-        "(repair torn tail, drop dangling intents, compact)",
+        "(repair torn tail, reconcile keyed orphans, drop dangling "
+        "intents, compact)",
     )
     parser.add_argument(
         "--ledger", metavar="PATH", default=None,
         help="ledger: path to the durable budget ledger "
         "(.db/.sqlite selects the SQLite backend, else the JSONL journal)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="ledger recover: report the torn tail, dangling intents and "
+        "reconcilable keyed orphans WITHOUT mutating the journal",
     )
     parser.add_argument(
         "--workload", metavar="NPY", default=None,
@@ -282,8 +288,11 @@ def _run_ledger(args, out):
         out.write("ledger requires --ledger pointing at the ledger file\n")
         return 2
     if args.action == "recover":
-        summary = recover_ledger(args.ledger)
-        out.write(f"recovered {summary['path']}\n")
+        summary = recover_ledger(args.ledger, dry_run=args.dry_run)
+        if args.dry_run:
+            out.write(f"dry run: {summary['path']} left untouched\n")
+        else:
+            out.write(f"recovered {summary['path']}\n")
     else:
         summary = inspect_ledger(args.ledger)
     out.write(f"ledger {summary['path']} ({summary['backend']} backend)\n")
@@ -293,7 +302,7 @@ def _run_ledger(args, out):
     )
     out.write(
         f"  records={summary['records']} committed_txns={summary['committed']} "
-        f"costs={summary['costs']}\n"
+        f"costs={summary['costs']} keyed_results={summary['keyed_results']}\n"
     )
     out.write(
         f"  dangling_intents={len(summary['dangling_intents'])} "
@@ -305,9 +314,17 @@ def _run_ledger(args, out):
         f"spent_delta={summary['spent_delta']!r} "
         f"remaining_epsilon={summary['remaining_epsilon']!r}\n"
     )
-    if args.action == "inspect" and (
-        summary["dangling_intents"] or summary["torn_tail_bytes"]
-    ):
+    if args.action == "recover":
+        verb = "would reconcile" if args.dry_run else "reconciled"
+        out.write(
+            f"  {verb} {summary['reconciled_orphans']} orphaned intent(s); "
+            f"freed keys: {summary['freed_keys'] or '[]'}\n"
+        )
+        if args.dry_run and (
+            summary["reconciled_orphans"] or summary["torn_tail_bytes"]
+        ):
+            out.write("  (re-run without --dry-run to repair and compact)\n")
+    elif summary["dangling_intents"] or summary["torn_tail_bytes"]:
         out.write("  (run 'ledger recover' to repair and compact)\n")
     return 0
 

@@ -235,6 +235,12 @@ class PrivateQueryEngine:
         # configuration rather than once per call).
         self._local_plans = {}
         self._releases = []
+        # Idempotency fallback for plain in-memory accountants: key ->
+        # journal payload of the release it charged. A DurableAccountant
+        # keeps this index in the ledger itself (spend_keyed); this dict
+        # gives keyed execution the same exactly-once semantics within one
+        # engine lifetime when no ledger is attached.
+        self._keyed_results = {}
 
     # ------------------------------------------------------------------ #
     # Data epochs
@@ -617,7 +623,146 @@ class PrivateQueryEngine:
             realized=realized,
         )
 
-    def execute(self, plan, epsilon, non_negative=False, integral=False, consistent=False):
+    @staticmethod
+    def _check_request_key(key):
+        if key is None:
+            return None
+        if not isinstance(key, str) or not key or len(key) > 128:
+            raise ValidationError(
+                "request_key must be a non-empty string of at most 128 "
+                f"characters; got {key!r}"
+            )
+        return key
+
+    @staticmethod
+    def _journal_payload(release):
+        """The JSON-able durable form of a release — everything needed to
+        replay it bit-identically (JSON floats round-trip via ``repr``, so
+        the stored vector is the released vector to the last bit)."""
+        metadata = {}
+        for name, value in release.metadata.items():
+            if name == "shape" and value is not None:
+                value = list(value)
+            metadata[name] = value
+        return {
+            "values": release.answers.tolist(),
+            "mechanism": release.mechanism,
+            "epsilon": float(release.epsilon),
+            "delta": float(release.delta),
+            "expected_error": release.expected_error,
+            "workload_key": release.workload_key,
+            "metadata": metadata,
+        }
+
+    @staticmethod
+    def _release_from_payload(payload):
+        """Rebuild a :class:`Release` from its journal payload. The
+        rebuilt release is flagged ``metadata["deduplicated"] = True`` —
+        it re-exposes an already-charged release, never a new one."""
+        metadata = dict(payload.get("metadata") or {})
+        shape = metadata.get("shape")
+        if shape is not None:
+            metadata["shape"] = tuple(shape)
+        metadata["deduplicated"] = True
+        expected = payload.get("expected_error")
+        return Release(
+            answers=np.asarray(payload["values"], dtype=np.float64),
+            mechanism=payload["mechanism"],
+            epsilon=float(payload["epsilon"]),
+            delta=float(payload.get("delta", 0.0)),
+            expected_error=None if expected is None else float(expected),
+            workload_key=payload.get("workload_key", ""),
+            metadata=metadata,
+        )
+
+    def _spend_keyed_local(self, entries, produce):
+        """In-memory mirror of ``DurableAccountant.spend_keyed`` for plain
+        accountants: same dedup/fold semantics, same (result, deduped)
+        return shape, with the result journal held in ``_keyed_results``
+        instead of on disk."""
+        results = [None] * len(entries)
+        fresh_positions = []
+        fresh_costs = []
+        fresh_keys = []
+        batch_index = {}
+        dup_positions = []
+        for position, (cost, key) in enumerate(entries):
+            stored = None if key is None else self._keyed_results.get(key)
+            if stored is not None:
+                results[position] = (stored, True)
+            elif key is not None and key in batch_index:
+                dup_positions.append((position, batch_index[key]))
+            else:
+                if key is not None:
+                    batch_index[key] = len(fresh_positions)
+                fresh_positions.append(position)
+                fresh_costs.append(cost)
+                fresh_keys.append(key)
+        if not fresh_positions:
+            return results
+        ledger_state = self._accountant.snapshot()
+        realized = []
+        if len(fresh_costs) == 1:
+            self._accountant.spend(*fresh_costs[0])
+            realized.append(
+                (self._accountant.spent_epsilon, self._accountant.spent_delta)
+            )
+        else:
+            self._accountant.spend_many(fresh_costs, realized_out=realized)
+        try:
+            payloads = list(produce(list(fresh_positions), realized))
+        except BaseException:
+            self._accountant.restore(ledger_state)
+            raise
+        for index, position in enumerate(fresh_positions):
+            if fresh_keys[index] is not None:
+                self._keyed_results[fresh_keys[index]] = payloads[index]
+            results[position] = (payloads[index], False)
+        for position, fresh_index in dup_positions:
+            results[position] = (payloads[fresh_index], True)
+        return results
+
+    def _execute_keyed(self, prepared):
+        """Exactly-once execution of a validated batch whose entries are
+        ``(plan, (epsilon, delta), switches, key)``.
+
+        Dedup, charging and the result journal live in the accountant
+        (``DurableAccountant.spend_keyed`` when a ledger is attached — the
+        dedup check runs inside the ledger's exclusive transaction, so a
+        key retried from another process replays instead of re-charging).
+        Fresh releases are built *before* the intent/commit pair is
+        journaled and are logged in the audit trail; deduplicated
+        positions return the stored release rebuilt from its journal
+        payload (``metadata["deduplicated"] = True``) and are **not**
+        re-logged — no new privacy event happened.
+        """
+        entries = [(cost, key) for _, cost, _, key in prepared]
+        produced = {}
+
+        def produce(positions, realized):
+            subset = [prepared[position][:3] for position in positions]
+            staged = self._produce_batch(subset, realized)
+            for position, release in zip(positions, staged):
+                produced[position] = release
+            return [self._journal_payload(release) for release in staged]
+
+        spend_keyed = getattr(self._accountant, "spend_keyed", None)
+        if spend_keyed is not None:
+            outcomes = spend_keyed(entries, produce)
+        else:
+            outcomes = self._spend_keyed_local(entries, produce)
+        releases = []
+        for position, (payload, deduped) in enumerate(outcomes):
+            if deduped:
+                releases.append(self._release_from_payload(payload))
+            else:
+                release = produced[position]
+                self._releases.append(release)
+                releases.append(release)
+        return releases
+
+    def execute(self, plan, epsilon, non_negative=False, integral=False,
+                consistent=False, request_key=None):
         """One budgeted release of a plan's answers at ``epsilon``.
 
         Charges (``epsilon``, plan's per-release ``delta``) to the
@@ -626,8 +771,27 @@ class PrivateQueryEngine:
         log untouched. The post-processing switches are privacy-free (see
         :mod:`repro.analysis.postprocess`) and are recorded in
         ``Release.metadata``.
+
+        ``request_key`` (an idempotency key, any non-empty string up to
+        128 characters) makes the release **exactly-once**: the first
+        execution charges the budget and durably journals the released
+        vector alongside the charge's commit record (when the engine is
+        ledger-backed), and every later call with the same key — after a
+        crash, a timeout, or from another process sharing the ledger —
+        returns the *same* release bit-identically with zero additional
+        charge, flagged ``metadata["deduplicated"] = True``.
         """
+        request_key = self._check_request_key(request_key)
         epsilon, delta = self._check_executable(plan, epsilon)
+        if request_key is not None:
+            switches = {
+                "non_negative": non_negative,
+                "integral": integral,
+                "consistent": consistent,
+            }
+            return self._execute_keyed(
+                [(plan, (epsilon, delta), switches, request_key)]
+            )[0]
         ledger_state = self._accountant.snapshot()
         self._accountant.spend(epsilon, delta)
         realized = (self._accountant.spent_epsilon, self._accountant.spent_delta)
@@ -650,10 +814,17 @@ class PrivateQueryEngine:
         """Atomically release a batch of requests through the vectorised
         multi-release path.
 
-        Each request is ``(plan, epsilon)`` or ``(plan, epsilon, switches)``
-        where ``switches`` is a dict overriding the batch-default
-        post-processing flags for that release (e.g. ``{"integral": True}``
-        for a count workload next to a ``{"consistent": True}`` one).
+        Each request is ``(plan, epsilon)``, ``(plan, epsilon, switches)``
+        or ``(plan, epsilon, switches, key)`` where ``switches`` is a dict
+        overriding the batch-default post-processing flags for that
+        release (e.g. ``{"integral": True}`` for a count workload next to
+        a ``{"consistent": True}`` one) and ``key`` is an optional
+        idempotency key giving that request exactly-once semantics (see
+        :meth:`execute`): an already-charged key is answered from the
+        durable result journal with zero additional charge, duplicate
+        keys within one batch fold into a single charge, and only the
+        still-fresh requests are charged (atomically). A batch with no
+        keys takes the unkeyed all-or-nothing path below, unchanged.
 
         Requests are grouped by plan: each group's noise is drawn in **one**
         ``(k, r)`` RNG call and recombined with one GEMM through the plan's
@@ -691,11 +862,14 @@ class PrivateQueryEngine:
             try:
                 plan, epsilon = request[0], request[1]
                 overrides = request[2] if len(request) > 2 else {}
+                key = request[3] if len(request) > 3 else None
             except (TypeError, IndexError, KeyError) as exc:
                 raise ValidationError(
-                    "each execute_many request must be (plan, epsilon) or "
-                    f"(plan, epsilon, switches); got {request!r}"
+                    "each execute_many request must be (plan, epsilon), "
+                    "(plan, epsilon, switches) or (plan, epsilon, switches, "
+                    f"key); got {request!r}"
                 ) from exc
+            key = self._check_request_key(key)
             if not isinstance(overrides, dict):
                 raise ValidationError(
                     "execute_many switches must be a dict of post-processing "
@@ -719,9 +893,12 @@ class PrivateQueryEngine:
                 plan_deltas[id(plan)] = delta
                 if eps_key is not None:
                     checked_epsilons[eps_key] = checked
-            prepared.append((plan, (checked, delta), {**defaults, **overrides}))
+            prepared.append((plan, (checked, delta), {**defaults, **overrides}, key))
         if not prepared:
             raise ValidationError("execute_many needs at least one (plan, epsilon) request")
+        if any(entry[3] is not None for entry in prepared):
+            return self._execute_keyed(prepared)
+        prepared = [entry[:3] for entry in prepared]
         ledger_state = self._accountant.snapshot()
         # Per-cost realized ledger states, in request order: bit-identical
         # to what a loop of execute() calls would have recorded (spend_many

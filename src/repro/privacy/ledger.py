@@ -51,6 +51,20 @@ naming the wrapper's own transactions, so replay excludes them — they are
 never resurrected — while spends committed by *other* processes in the
 interim survive.
 
+**Exactly-once releases.** :meth:`DurableAccountant.spend_keyed` extends
+the intent/commit protocol into a durable *result journal*: the intent
+record carries the caller's idempotency ``keys`` and the commit record
+stores the released ``results`` (checksummed like every record), so a
+retried key — in-flight, after a SIGKILL, or after a full restart —
+returns the stored release with **zero additional charge**. The dedup
+check runs *inside* the exclusive spend transaction, so two processes
+racing one key serialize: one charges, the other replays. A dangling
+keyed intent (a writer killed between intent and commit) reconciles
+definitively at recovery time: the charge never committed, so the key is
+freed for retry — a keyed spend always lands on exactly
+*charged-with-replayable-result* or *uncharged-with-free-key*, never a
+third state.
+
 Entry points: ``PrivateQueryEngine(..., ledger_path=...)`` wraps the
 engine's accountant automatically; :func:`open_ledger` does the same for a
 bare accountant; :func:`inspect_ledger` / :func:`recover_ledger` back the
@@ -688,13 +702,24 @@ def replay_records(records, accountant):
     ``reset`` clears everything before it.
 
     Returns a summary dict (``meta``, ``committed`` as ``(txn, costs)``
-    pairs, ``dangling_intents``, ``rolled_back``, ``resets``).
+    pairs, ``dangling_intents``, ``rolled_back``, ``resets``, plus the
+    result journal: ``keyed`` maps committed txn ids to their
+    ``{"keys", "results"}`` and ``orphaned_keys`` lists the idempotency
+    keys attached to dangling intents — charges that never committed, so
+    the keys are free for retry).
     """
     meta = None
     intents = {}
     committed = []
+    keyed = {}
     rolled_back = 0
     resets = 0
+
+    def _prune_keyed(undo):
+        for txn in list(keyed):
+            if txn in undo:
+                del keyed[txn]
+
     for record in records:
         op = record.get("op")
         if op == "meta":
@@ -705,21 +730,39 @@ def replay_records(records, accountant):
             txn = record["txn"]
             if txn in intents:
                 raise LedgerCorruptError(f"duplicate intent for txn {txn!r}")
-            intents[txn] = [(float(eps), float(delta)) for eps, delta in record["costs"]]
+            costs = [(float(eps), float(delta)) for eps, delta in record["costs"]]
+            keys = record.get("keys")
+            if keys is not None and len(keys) != len(costs):
+                raise LedgerCorruptError(
+                    f"intent for txn {txn!r} carries {len(keys)} keys for "
+                    f"{len(costs)} costs"
+                )
+            intents[txn] = (costs, keys)
         elif op == "commit":
             txn = record["txn"]
-            costs = intents.pop(txn, None)
-            if costs is None:
+            entry = intents.pop(txn, None)
+            if entry is None:
                 raise LedgerCorruptError(f"commit for unknown txn {txn!r}")
+            costs, keys = entry
             committed.append((txn, costs))
+            results = record.get("results")
+            if keys is not None and results is not None:
+                if len(results) != len(keys):
+                    raise LedgerCorruptError(
+                        f"commit for txn {txn!r} carries {len(results)} "
+                        f"results for {len(keys)} keys"
+                    )
+                keyed[txn] = {"keys": list(keys), "results": list(results)}
         elif op == "rollback":
             undo = set(record["txns"])
             survivors = [(txn, costs) for txn, costs in committed if txn not in undo]
             rolled_back += len(committed) - len(survivors)
             committed = survivors
+            _prune_keyed(undo)
         elif op == "reset":
             resets += 1
             committed = []
+            keyed = {}
         else:
             raise LedgerCorruptError(f"unknown ledger record op {op!r}")
     state = accountant._fresh_state()
@@ -727,10 +770,19 @@ def replay_records(records, accountant):
         for epsilon, delta in costs:
             state = accountant._commit_state(epsilon, delta, state)
     accountant._set_ledger_state(state)
+    orphaned_keys = sorted(
+        key
+        for _, keys in intents.values()
+        if keys is not None
+        for key in keys
+        if key is not None
+    )
     return {
         "meta": meta,
         "committed": committed,
+        "keyed": keyed,
         "dangling_intents": sorted(intents),
+        "orphaned_keys": orphaned_keys,
         "rolled_back": rolled_back,
         "resets": resets,
     }
@@ -834,6 +886,9 @@ class DurableAccountant(BudgetAccountant):
         self._compact_every = compact_every
         self._own_txns = []
         self._dirty = False
+        #: Keyed spends answered from the durable result journal instead
+        #: of charging the budget (monotone per accountant instance).
+        self.dedup_hits = 0
         self._reset_replay_state()
         with self._store.transact():
             self._sync_records()
@@ -898,6 +953,8 @@ class DurableAccountant(BudgetAccountant):
         self._meta = None
         self._committed = []
         self._intents = {}
+        self._keyed = {}
+        self._keys = {}
         self._rolled_back = 0
         self._resets = 0
         self._records_seen = 0
@@ -908,10 +965,50 @@ class DurableAccountant(BudgetAccountant):
         self._summary = {
             "meta": self._meta,
             "committed": list(self._committed),
+            "keyed": dict(self._keyed),
             "dangling_intents": sorted(self._intents),
             "rolled_back": self._rolled_back,
             "resets": self._resets,
         }
+
+    def _register_keyed(self, txn, keys, results):
+        """Index a committed result set by its idempotency keys. First
+        writer wins: a key can only appear twice if an earlier holder was
+        rolled back and re-spent, in which case the live txn re-indexes."""
+        self._keyed[txn] = {"keys": list(keys), "results": list(results)}
+        for index, key in enumerate(keys):
+            if key is not None and key not in self._keys:
+                self._keys[key] = (txn, index)
+
+    def _prune_keyed(self, undo):
+        """Drop the result-journal entries (and their dedup-index keys)
+        for the transactions in ``undo`` — rolled back, so the keys are
+        free for retry."""
+        for txn in list(self._keyed):
+            if txn in undo:
+                del self._keyed[txn]
+        self._keys = {
+            key: ref for key, ref in self._keys.items() if ref[0] not in undo
+        }
+
+    def _lookup_result(self, key):
+        """The stored result for ``key`` as of the last sync, or ``None``
+        if the key has never committed (or was rolled back)."""
+        ref = self._keys.get(key)
+        if ref is None:
+            return None
+        txn, index = ref
+        entry = self._keyed.get(txn)
+        if entry is None:
+            return None
+        return entry["results"][index]
+
+    def result_for(self, key):
+        """Sync from the store and return the durably stored result for
+        idempotency ``key``, or ``None`` if no keyed spend with that key
+        has committed."""
+        self.sync()
+        return self._lookup_result(key)
 
     def _recompute_state(self):
         """Rebuild the inner state from the committed list, from scratch —
@@ -952,15 +1049,31 @@ class DurableAccountant(BudgetAccountant):
                 txn = record["txn"]
                 if txn in self._intents:
                     raise LedgerCorruptError(f"duplicate intent for txn {txn!r}")
-                self._intents[txn] = [
+                costs = [
                     (float(eps), float(delta)) for eps, delta in record["costs"]
                 ]
+                keys = record.get("keys")
+                if keys is not None and len(keys) != len(costs):
+                    raise LedgerCorruptError(
+                        f"intent for txn {txn!r} carries {len(keys)} keys "
+                        f"for {len(costs)} costs"
+                    )
+                self._intents[txn] = (costs, keys)
             elif op == "commit":
                 txn = record["txn"]
-                costs = self._intents.pop(txn, None)
-                if costs is None:
+                entry = self._intents.pop(txn, None)
+                if entry is None:
                     raise LedgerCorruptError(f"commit for unknown txn {txn!r}")
+                costs, keys = entry
                 self._committed.append((txn, costs))
+                results = record.get("results")
+                if keys is not None and results is not None:
+                    if len(results) != len(keys):
+                        raise LedgerCorruptError(
+                            f"commit for txn {txn!r} carries {len(results)} "
+                            f"results for {len(keys)} keys"
+                        )
+                    self._register_keyed(txn, keys, results)
                 if not recompute:
                     state = self._inner._ledger_state()
                     for epsilon, delta in costs:
@@ -973,10 +1086,13 @@ class DurableAccountant(BudgetAccountant):
                 ]
                 self._rolled_back += len(self._committed) - len(survivors)
                 self._committed = survivors
+                self._prune_keyed(undo)
                 recompute = True
             elif op == "reset":
                 self._resets += 1
                 self._committed = []
+                self._keyed = {}
+                self._keys = {}
                 recompute = True
             else:
                 raise LedgerCorruptError(f"unknown ledger record op {op!r}")
@@ -1126,14 +1242,20 @@ class DurableAccountant(BudgetAccountant):
                     }
                 ]
                 for txn, txn_costs in self._committed:
-                    payloads.append(
-                        {
-                            "op": "intent",
-                            "txn": txn,
-                            "costs": [[eps, delta] for eps, delta in txn_costs],
-                        }
-                    )
-                    payloads.append({"op": "commit", "txn": txn})
+                    intent = {
+                        "op": "intent",
+                        "txn": txn,
+                        "costs": [[eps, delta] for eps, delta in txn_costs],
+                    }
+                    commit = {"op": "commit", "txn": txn}
+                    entry = self._keyed.get(txn)
+                    if entry is not None:
+                        # The dedup index survives compaction: keys and
+                        # stored results ride along with their txn.
+                        intent["keys"] = entry["keys"]
+                        commit["results"] = entry["results"]
+                    payloads.append(intent)
+                    payloads.append(commit)
                 try:
                     self._store.compact(payloads)
                 except BaseException:
@@ -1163,6 +1285,132 @@ class DurableAccountant(BudgetAccountant):
         return self._charge(
             [tuple(cost) for cost in costs], realized_out=realized_out, many=True
         )
+
+    def spend_keyed(self, requests, produce):
+        """Exactly-once spend: charge each request at most once per key
+        and journal the produced results durably.
+
+        ``requests`` is a list of ``((epsilon, delta), key)`` pairs; a
+        ``key`` of ``None`` opts that request out of deduplication. Under
+        the store's exclusive transaction, every key is first checked
+        against the durable result journal — a hit returns the stored
+        result with **zero additional charge** (two processes racing one
+        key serialize here: one charges, the other replays). The
+        still-fresh requests are charged atomically through the inner
+        accountant, then ``produce(positions, realized)`` is called — with
+        the request indices just charged and their realized cumulative
+        costs — to build the results *before* anything is journaled: one
+        ``intent`` record carrying the keys, then one ``commit`` record
+        carrying the results. A crash before the commit therefore leaves
+        an uncharged ledger and free keys; a crash after it leaves a
+        charged ledger whose results every future retry replays.
+
+        Duplicate keys *within* one call fold: one charge, the same
+        result returned at every position. Returns a list aligned with
+        ``requests`` of ``(result, deduped)`` pairs.
+        """
+        results = [None] * len(requests)
+        payloads = []
+        with self._store.transact():
+            self._sync_records()
+            if self._meta is None:
+                raise LedgerCorruptError(
+                    f"budget ledger {self._store.path} has records but "
+                    "no meta header"
+                )
+            fresh_positions = []
+            fresh_costs = []
+            fresh_keys = []
+            batch_index = {}  # key -> index into fresh_positions
+            dup_positions = []  # (position, fresh index) in-call folds
+            for position, (cost, key) in enumerate(requests):
+                stored = None if key is None else self._lookup_result(key)
+                if stored is not None:
+                    self.dedup_hits += 1
+                    results[position] = (stored, True)
+                elif key is not None and key in batch_index:
+                    self.dedup_hits += 1
+                    dup_positions.append((position, batch_index[key]))
+                else:
+                    if key is not None:
+                        batch_index[key] = len(fresh_positions)
+                    fresh_positions.append(position)
+                    fresh_costs.append(tuple(cost))
+                    fresh_keys.append(key)
+            if not fresh_positions:
+                return results
+            snapshot = self._inner.snapshot()
+            txn = None
+            try:
+                staged_realized = []
+                if len(fresh_costs) == 1:
+                    validated = [self._inner.spend(*fresh_costs[0])]
+                    staged_realized.append(
+                        (self._inner.spent_epsilon, self._inner.spent_delta)
+                    )
+                else:
+                    validated = self._inner.spend_many(
+                        fresh_costs, realized_out=staged_realized
+                    )
+                payloads = list(
+                    produce(list(fresh_positions), list(staged_realized))
+                )
+                if len(payloads) != len(fresh_positions):
+                    raise LedgerError(
+                        "spend_keyed produce() returned "
+                        f"{len(payloads)} results for {len(fresh_positions)} "
+                        "charged requests"
+                    )
+                txn = _txn_id()
+                committed_costs = [(float(e), float(d)) for e, d in validated]
+                intent = {
+                    "op": "intent",
+                    "txn": txn,
+                    "costs": [[e, d] for e, d in committed_costs],
+                }
+                commit = {"op": "commit", "txn": txn}
+                stored_results = None
+                if any(key is not None for key in fresh_keys):
+                    intent["keys"] = list(fresh_keys)
+                    stored_results = [
+                        payloads[i] if fresh_keys[i] is not None else None
+                        for i in range(len(fresh_keys))
+                    ]
+                    commit["results"] = stored_results
+                self._store.append(intent, point="ledger.intent")
+                self._store.append(commit, point="ledger.commit")
+                self._committed.append((txn, committed_costs))
+                if stored_results is not None:
+                    self._register_keyed(txn, fresh_keys, stored_results)
+                self._records_seen += 2
+                self._refresh_summary()
+            except PrivacyBudgetError:
+                # Admission failed inside the inner accountant: nothing
+                # was journaled and the inner ledger is untouched.
+                raise
+            except BaseException:
+                # Charged but not durably committed (a produce() or write
+                # failure): same recovery as _charge — roll the mirror
+                # back and force a from-scratch rescan on the next sync.
+                self._inner.restore(snapshot)
+                if txn is not None:
+                    if self._committed and self._committed[-1][0] == txn:
+                        self._committed.pop()
+                    self._prune_keyed({txn})
+                    self._refresh_summary()
+                self._dirty = True
+                raise
+            for index, position in enumerate(fresh_positions):
+                results[position] = (payloads[index], False)
+            for position, fresh_index in dup_positions:
+                results[position] = (payloads[fresh_index], True)
+        self._own_txns.append(txn)
+        if (
+            self._compact_every is not None
+            and self._records_seen > self._compact_every
+        ):
+            self._maybe_checkpoint()
+        return results
 
     # -- snapshot / restore / reset ------------------------------------ #
     def snapshot(self):
@@ -1206,6 +1454,7 @@ class DurableAccountant(BudgetAccountant):
                     ]
                     self._rolled_back += len(self._committed) - len(survivors)
                     self._committed = survivors
+                    self._prune_keyed(undo)
                     self._records_seen += 1
                     self._recompute_state()
                     self._refresh_summary()
@@ -1221,6 +1470,8 @@ class DurableAccountant(BudgetAccountant):
                 self._store.append({"op": "reset"})
                 self._resets += 1
                 self._committed = []
+                self._keyed = {}
+                self._keys = {}
                 self._records_seen += 1
                 self._recompute_state()
                 self._refresh_summary()
@@ -1254,7 +1505,12 @@ def _summarize(store, records, torn, summary, accountant):
         "records": len(records),
         "committed": len(summary["committed"]),
         "costs": sum(len(costs) for _, costs in summary["committed"]),
+        "keyed_results": sum(
+            sum(1 for result in entry["results"] if result is not None)
+            for entry in summary.get("keyed", {}).values()
+        ),
         "dangling_intents": summary["dangling_intents"],
+        "orphaned_keys": summary.get("orphaned_keys", []),
         "rolled_back": summary["rolled_back"],
         "resets": summary["resets"],
         "torn_tail_bytes": torn,
@@ -1321,6 +1577,10 @@ def ledger_health(path, backend="auto"):
         if record.get("op") in ("commit", "rollback")
     }
     dangling = len(intents - closed)
+    keyed_results = sum(
+        1 for record in records
+        if record.get("op") == "commit" and record.get("results")
+    )
     return {
         "path": str(path),
         "backend": store.backend,
@@ -1328,23 +1588,44 @@ def ledger_health(path, backend="auto"):
         "records": len(records),
         "torn_tail_bytes": torn,
         "dangling_intents": dangling,
+        "keyed_results": keyed_results,
         "ok": has_meta and torn == 0 and dangling == 0,
     }
 
 
-def recover_ledger(path, backend="auto"):
+def recover_ledger(path, backend="auto", dry_run=False):
     """Repair and compact a ledger after a crash.
 
     Under the store's exclusive transaction: truncate any torn tail
     (journal backend), drop dangling intents left by killed writers, apply
     rollbacks/resets, and rewrite the stream as a clean ``meta`` +
-    intent/commit pair per surviving transaction. The replayed spend state
-    is unchanged by construction — recovery discards only records replay
-    already ignored. Returns the post-recovery summary dict."""
+    intent/commit pair per surviving transaction — keyed transactions keep
+    their idempotency keys and stored results, so the exactly-once dedup
+    index survives recovery. Orphan reconciliation is definitive: a
+    dangling *keyed* intent never committed its charge, so recovery drops
+    it and frees the key for retry (reported as ``reconciled_orphans`` /
+    ``freed_keys``); a committed keyed transaction keeps its replayable
+    result. The replayed spend state is unchanged by construction —
+    recovery discards only records replay already ignored. Returns the
+    post-recovery summary dict.
+
+    ``dry_run=True`` reports what recovery *would* do — torn tail bytes,
+    dangling intents, reconcilable orphaned keys — from a lock-free scan
+    that never mutates the stream (no transaction is opened, so not even
+    the journal backend's torn-tail repair runs)."""
     store = open_store(path, backend=backend)
     try:
+        if dry_run:
+            records, torn, summary, accountant = _scan_and_replay(store)
+            report = _summarize(store, records, torn, summary, accountant)
+            report["dry_run"] = True
+            report["reconciled_orphans"] = len(summary["dangling_intents"])
+            report["freed_keys"] = list(summary["orphaned_keys"])
+            return report
         with store.transact():
             records, torn, summary, accountant = _scan_and_replay(store)
+            reconciled = len(summary["dangling_intents"])
+            freed_keys = list(summary["orphaned_keys"])
             meta = {
                 key: value
                 for key, value in summary["meta"].items()
@@ -1352,17 +1633,25 @@ def recover_ledger(path, backend="auto"):
             }
             payloads = [meta]
             for txn, costs in summary["committed"]:
-                payloads.append(
-                    {
-                        "op": "intent",
-                        "txn": txn,
-                        "costs": [[eps, delta] for eps, delta in costs],
-                    }
-                )
-                payloads.append({"op": "commit", "txn": txn})
+                intent = {
+                    "op": "intent",
+                    "txn": txn,
+                    "costs": [[eps, delta] for eps, delta in costs],
+                }
+                commit = {"op": "commit", "txn": txn}
+                entry = summary["keyed"].get(txn)
+                if entry is not None:
+                    intent["keys"] = entry["keys"]
+                    commit["results"] = entry["results"]
+                payloads.append(intent)
+                payloads.append(commit)
             store.compact(payloads)
             records, torn = store.scan()
             summary = replay_records(records, accountant)
-            return _summarize(store, records, torn, summary, accountant)
+            report = _summarize(store, records, torn, summary, accountant)
+            report["dry_run"] = False
+            report["reconciled_orphans"] = reconciled
+            report["freed_keys"] = freed_keys
+            return report
     finally:
         store.close()

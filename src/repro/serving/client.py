@@ -12,17 +12,27 @@ Resilience behaviour shared by both clients:
 
 * **Backpressure retries** — a ``LedgerBusyError`` or ``overloaded``
   refusal is a *terminal* reply stating nothing was charged, so the
-  client retries it transparently with jittered backoff honouring the
-  server's ``retry_after`` hint, capped at ``max_busy_wait`` total —
-  then surfaces the refusal.
+  client retries it transparently with jittered backoff. Each refusal's
+  **own** ``retry_after`` hint is honoured (hints change as load moves),
+  and the sleep is clamped to the remaining ``max_busy_wait`` window —
+  one oversized hint no longer forfeits the rest of the window. Past the
+  window, the refusal surfaces.
+* **Idempotency keys** — both clients stamp every ``execute`` with an
+  auto-generated idempotency key (pass ``key=`` to supply your own, or
+  ``key=False`` to opt out). The server journals the released vector
+  under the key, so replaying it returns the original noised answer with
+  zero additional budget charge.
 * **Socket timeout + idempotent reconnect** (blocking client) — every
   round-trip is bounded by ``timeout``; a timed-out or broken connection
   is torn down (a half-read stream can never desync later replies) and
-  transparently reconnected-and-retried **once**, but only for
-  idempotent ops (``ping``/``plan``/``explain``/``budget``/``health``).
-  An ``execute`` whose reply never arrived is *not* retried — the spend
-  may have been charged — and surfaces as a ``Timeout``/
-  ``ConnectionClosed`` error with the outcome explicitly unknown.
+  transparently reconnected-and-retried **once** for idempotent
+  requests: ``ping``/``plan``/``explain``/``budget``/``health`` *and any
+  keyed* ``execute`` — if the lost request was charged, the retry
+  replays the journaled result rather than spending again. Only an
+  explicitly unkeyed ``execute`` (``key=False``) still surfaces a
+  ``Timeout``/``ConnectionClosed`` with the outcome unknown. The async
+  client reconnects-and-retries keyed requests on ``ConnectionClosed``
+  the same way.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import json
 import random
 import socket
 import time
+import uuid
 
 from repro.exceptions import ReproError
 
@@ -75,6 +86,47 @@ def _busy_delay(response):
         return None
     hint = response.get("retry_after") or _DEFAULT_RETRY_AFTER
     return float(hint) * (1.0 + 0.5 * random.random())
+
+
+def _next_busy_sleep(response, give_up):
+    """How long to sleep before retrying a busy refusal, or None to stop.
+
+    Re-reads ``retry_after`` from *this* refusal (the hint moves with
+    server load, so the first reply's hint must not be reused for the
+    whole window) and clamps the sleep to the time left before
+    ``give_up`` — a single hint larger than the remainder used to abort
+    retrying outright even though window budget remained.
+    """
+    delay = _busy_delay(response)
+    if delay is None:
+        return None
+    remaining = give_up - time.monotonic()
+    if remaining <= 0:
+        return None
+    return min(delay, remaining)
+
+
+def _is_idempotent(payload):
+    """Safe to replay after a reconnect: side-effect-free ops, plus any
+    ``execute`` carrying an idempotency key (the ledger's result journal
+    makes its replay return the original release, charged once)."""
+    op = payload.get("op")
+    return op in _IDEMPOTENT_OPS or (op == "execute" and bool(payload.get("key")))
+
+
+def _execute_payload(tenant, plan, epsilon, deadline_ms, key, switches):
+    """Build an ``execute`` request, stamping an auto-generated
+    idempotency key unless the caller supplied one (``key=<str>``) or
+    explicitly opted out (``key=False``)."""
+    payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
+    if key is None:
+        payload["key"] = uuid.uuid4().hex
+    elif key is not False:
+        payload["key"] = key
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    payload.update(switches)
+    return payload
 
 
 class ServiceClient:
@@ -134,8 +186,7 @@ class ServiceClient:
 
     # -- request surface ------------------------------------------------- #
     def request(self, payload):
-        op = payload.get("op")
-        idempotent = op in _IDEMPOTENT_OPS
+        idempotent = _is_idempotent(payload)
         give_up = time.monotonic() + self.max_busy_wait
         reconnect_retried = False
         while True:
@@ -147,8 +198,8 @@ class ServiceClient:
                     reconnect_retried = True
                     continue
                 raise
-            delay = _busy_delay(response)
-            if delay is not None and time.monotonic() + delay <= give_up:
+            delay = _next_busy_sleep(response, give_up)
+            if delay is not None:
                 time.sleep(delay)
                 continue
             return _raise_or_return(response)
@@ -159,11 +210,13 @@ class ServiceClient:
     def plans(self):
         return self.request({"op": "plan"})["plans"]
 
-    def execute(self, tenant, plan, epsilon, deadline_ms=None, **switches):
-        payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
-        if deadline_ms is not None:
-            payload["deadline_ms"] = deadline_ms
-        payload.update(switches)
+    def execute(self, tenant, plan, epsilon, deadline_ms=None, key=None,
+                **switches):
+        """One budgeted release. ``key`` is the idempotency key: ``None``
+        (default) auto-generates a fresh one per call, a string reuses
+        the caller's key (a repeat returns the original release, charged
+        once), ``False`` opts out of exactly-once entirely."""
+        payload = _execute_payload(tenant, plan, epsilon, deadline_ms, key, switches)
         return self.request(payload)["release"]
 
     def budget(self, tenant):
@@ -200,6 +253,8 @@ class AsyncServiceClient:
     ``id``)."""
 
     def __init__(self):
+        self._host = None
+        self._port = None
         self._reader = None
         self._writer = None
         self._pending = {}
@@ -207,6 +262,7 @@ class AsyncServiceClient:
         self._reader_task = None
         self._write_lock = None
         self.max_busy_wait = 2.0
+        self.reconnects = 0
         #: Wire-sanity counters: replies whose id matched a future already
         #: resolved, and replies whose id matched nothing at all. Both stay
         #: zero when the exactly-one-terminal-reply invariant holds.
@@ -216,11 +272,32 @@ class AsyncServiceClient:
     @classmethod
     async def connect(cls, host, port, max_busy_wait=2.0):
         client = cls()
+        client._host = host
+        client._port = port
         client.max_busy_wait = float(max_busy_wait)
-        client._reader, client._writer = await asyncio.open_connection(host, port)
-        client._write_lock = asyncio.Lock()
-        client._reader_task = asyncio.ensure_future(client._read_loop())
+        await client._open()
         return client
+
+    async def _open(self):
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _reconnect(self):
+        """Tear down the dead connection and dial again (the read loop
+        already failed every pending future when the socket closed)."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        await self._open()
+        self.reconnects += 1
 
     async def _read_loop(self):
         try:
@@ -259,20 +336,30 @@ class AsyncServiceClient:
         return await future
 
     async def request(self, payload):
+        idempotent = _is_idempotent(payload)
         give_up = time.monotonic() + self.max_busy_wait
+        reconnect_retried = False
         while True:
-            response = await self._request_once(payload)
-            delay = _busy_delay(response)
-            if delay is not None and time.monotonic() + delay <= give_up:
+            try:
+                response = await self._request_once(payload)
+            except ServiceError as exc:
+                if (idempotent and not reconnect_retried
+                        and exc.kind == "ConnectionClosed"):
+                    reconnect_retried = True
+                    await self._reconnect()
+                    continue
+                raise
+            delay = _next_busy_sleep(response, give_up)
+            if delay is not None:
                 await asyncio.sleep(delay)
                 continue
             return _raise_or_return(response)
 
-    async def execute(self, tenant, plan, epsilon, deadline_ms=None, **switches):
-        payload = {"op": "execute", "tenant": tenant, "plan": plan, "epsilon": epsilon}
-        if deadline_ms is not None:
-            payload["deadline_ms"] = deadline_ms
-        payload.update(switches)
+    async def execute(self, tenant, plan, epsilon, deadline_ms=None, key=None,
+                      **switches):
+        """One budgeted release; ``key`` as in :meth:`ServiceClient.execute`
+        (``None`` auto-generates, a string reuses, ``False`` opts out)."""
+        payload = _execute_payload(tenant, plan, epsilon, deadline_ms, key, switches)
         return (await self.request(payload))["release"]
 
     async def budget(self, tenant):

@@ -26,6 +26,27 @@ Semantics preserved from the unbatched path:
   whose deadline passed while it waited in the bucket (or queued for a
   sequential retry) is shed *before* dispatch — it is never charged — and
   fails with ``deadline_exceeded``. A batch never dispatches expired work.
+
+Exactly-once additions:
+
+* **In-window duplicate folding** — two submissions carrying the same
+  idempotency ``key`` while one bucket is open *fold*: one request is
+  dispatched (one spend, one noise draw) and the single result resolves
+  every folded future — two replies, byte-identical. Duplicates that miss
+  the window dedup at the ledger instead (one charge either way).
+* **Keyed dispatch is crash-retryable** — a batch in which every request
+  carries a key is submitted with ``retry_delivered=True``: a worker
+  SIGKILLed after delivery is retried once on another worker, which
+  either replays the committed results from the ledger's dedup index or
+  charges the still-free keys exactly once.
+
+Fairness addition:
+
+* **Round-robin flush order** — flushed buckets enter a ready queue and
+  dispatch round-robin across ``(tenant, plan)`` keys (least recently
+  dispatched key first) under a ``max_concurrent`` batch cap, so one hot
+  tenant saturating ``max_batch`` cannot monopolise the worker pool while
+  a quiet tenant's single request starves in the queue.
 """
 
 from __future__ import annotations
@@ -33,6 +54,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import time
+from collections import deque
 
 from repro.exceptions import ReproError
 from repro.serving.worker import WorkerCrashError
@@ -54,13 +76,48 @@ class RemoteExecutionError(ReproError):
         self.retry_after = retry_after
 
 
+class _Entry:
+    """One dispatched request position in a bucket — possibly fanned out
+    to several waiters when same-key submissions folded into it."""
+
+    __slots__ = ("request", "futures", "deadline")
+
+    def __init__(self, request, future, deadline):
+        self.request = request  # (epsilon, switches, key)
+        self.futures = [future]
+        self.deadline = deadline  # monotonic timestamp or None
+
+    def fold(self, future, deadline):
+        """Attach another waiter for the same idempotency key. The entry
+        keeps the *more permissive* deadline: the single dispatch serves
+        every waiter, so it sheds only when all of them would."""
+        self.futures.append(future)
+        if self.deadline is not None:
+            self.deadline = (
+                None if deadline is None else max(self.deadline, deadline)
+            )
+
+    def resolve(self, payload):
+        for future in self.futures:
+            if not future.done():
+                future.set_result(payload)
+
+    def fail(self, exc):
+        for future in self.futures:
+            if not future.done():
+                future.set_exception(exc)
+
+    @property
+    def done(self):
+        return all(future.done() for future in self.futures)
+
+
 class _Bucket:
-    __slots__ = ("requests", "futures", "deadlines", "timer")
+    __slots__ = ("entries", "by_key", "timer")
 
     def __init__(self):
-        self.requests = []  # (epsilon, switches)
-        self.futures = []
-        self.deadlines = []  # monotonic timestamps (or None), one per request
+        self.entries = []
+        self.by_key = {}  # idempotency key -> _Entry (in-window folding)
         self.timer = None
 
 
@@ -70,14 +127,19 @@ class Coalescer:
     ``pool_submit`` is a callable ``(command) -> reply tuple`` executed in
     a thread (the worker pipe round-trip blocks); the coalescer is
     otherwise pure asyncio and must be used from one event loop.
+    ``max_concurrent`` caps how many flushed batches run at once (``None``
+    = unlimited, the pre-fairness behaviour); flushed buckets beyond the
+    cap queue and dispatch round-robin across ``(tenant, plan)`` keys.
     """
 
     def __init__(self, pool, max_batch=32, max_wait=0.002, executor=None,
-                 on_shed=None):
+                 on_shed=None, max_concurrent=None):
         if int(max_batch) <= 0:
             raise ValueError("max_batch must be positive")
         if float(max_wait) < 0:
             raise ValueError("max_wait must be non-negative")
+        if max_concurrent is not None and int(max_concurrent) <= 0:
+            raise ValueError("max_concurrent must be positive (or None)")
         self._pool = pool
         #: Thread pool the blocking pipe round-trips run on. ``None`` uses
         #: the event loop's default executor, whose thread cap
@@ -86,7 +148,13 @@ class Coalescer:
         self._executor = executor
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self._max_concurrent = (
+            None if max_concurrent is None else int(max_concurrent)
+        )
         self._buckets = {}
+        self._ready = deque()  # flushed (key, bucket) awaiting dispatch
+        self._last_dispatch = {}  # key -> seq of its most recent dispatch
+        self._dispatch_seq = 0
         self._inflight = set()
         self._draining = False
         self._on_shed = on_shed  # callback(kind) for the service's counters
@@ -95,48 +163,58 @@ class Coalescer:
         self.requests_coalesced = 0
         self.sequential_retries = 0
         self.shed_expired = 0
+        self.duplicates_folded = 0
 
     # -- submission ----------------------------------------------------- #
     async def submit(self, tenant, plan_name, epsilon, switches=None,
-                     deadline=None):
+                     deadline=None, key=None):
         """Queue one release request; resolves to the release payload dict.
         ``deadline`` (monotonic seconds) sheds the request instead of
-        dispatching it if it is still queued when the deadline passes."""
+        dispatching it if it is still queued when the deadline passes.
+        ``key`` is an optional idempotency key: a second submission with
+        the same key while the bucket is still open folds onto the first —
+        one dispatched spend, every waiter resolved with the same payload.
+        """
         if self._draining:
             raise RemoteExecutionError("ServiceUnavailable", "server is draining")
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        key = (tenant, plan_name)
-        bucket = self._buckets.get(key)
+        bucket_key = (tenant, plan_name)
+        bucket = self._buckets.get(bucket_key)
         if bucket is None:
             bucket = _Bucket()
-            self._buckets[key] = bucket
-        bucket.requests.append((float(epsilon), dict(switches or {})))
-        bucket.futures.append(future)
-        bucket.deadlines.append(None if deadline is None else float(deadline))
-        if len(bucket.requests) >= self.max_batch:
-            self._flush(key)
+            self._buckets[bucket_key] = bucket
+        deadline = None if deadline is None else float(deadline)
+        if key is not None and key in bucket.by_key:
+            self.duplicates_folded += 1
+            bucket.by_key[key].fold(future, deadline)
+            return await future
+        entry = _Entry((float(epsilon), dict(switches or {}), key), future, deadline)
+        bucket.entries.append(entry)
+        if key is not None:
+            bucket.by_key[key] = entry
+        if len(bucket.entries) >= self.max_batch:
+            self._flush(bucket_key)
         elif bucket.timer is None:
-            bucket.timer = loop.call_later(self.max_wait, self._flush, key)
+            bucket.timer = loop.call_later(self.max_wait, self._flush, bucket_key)
         return await future
 
-    def _shed_expired(self, requests, futures, deadlines):
-        """Fail every expired member pre-dispatch; returns the live ones."""
+    def _shed_expired(self, entries):
+        """Fail every expired entry pre-dispatch; returns the live ones."""
         now = time.monotonic()
         live = []
-        for request, future, deadline in zip(requests, futures, deadlines):
-            if deadline is not None and deadline <= now:
+        for entry in entries:
+            if entry.deadline is not None and entry.deadline <= now:
                 self.shed_expired += 1
                 if self._on_shed is not None:
                     self._on_shed("deadline_exceeded")
-                if not future.done():
-                    future.set_exception(RemoteExecutionError(
-                        "deadline_exceeded",
-                        "deadline expired while the request was queued",
-                        retry_after=self.max_wait,
-                    ))
+                entry.fail(RemoteExecutionError(
+                    "deadline_exceeded",
+                    "deadline expired while the request was queued",
+                    retry_after=self.max_wait,
+                ))
             else:
-                live.append((request, future, deadline))
+                live.append(entry)
         return live
 
     # -- flushing -------------------------------------------------------- #
@@ -146,46 +224,70 @@ class Coalescer:
             return
         if bucket.timer is not None:
             bucket.timer.cancel()
-        task = asyncio.ensure_future(self._run_batch(key, bucket))
-        self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
+        self._ready.append((key, bucket))
+        self._pump()
+
+    def _pump(self):
+        """Dispatch ready buckets round-robin across keys, up to the
+        concurrency cap: among everything ready, the key dispatched
+        longest ago (never-dispatched first, arrival order on ties) goes
+        next — a hot tenant refilling its bucket every window cannot
+        starve a quiet tenant's single queued request."""
+        while self._ready and (
+            self._max_concurrent is None
+            or len(self._inflight) < self._max_concurrent
+        ):
+            index = min(
+                range(len(self._ready)),
+                key=lambda i: self._last_dispatch.get(self._ready[i][0], -1),
+            )
+            key, bucket = self._ready[index]
+            del self._ready[index]
+            self._dispatch_seq += 1
+            self._last_dispatch[key] = self._dispatch_seq
+            task = asyncio.ensure_future(self._run_batch(key, bucket))
+            self._inflight.add(task)
+            task.add_done_callback(self._batch_done)
+
+    def _batch_done(self, task):
+        self._inflight.discard(task)
+        self._pump()
 
     async def _execute(self, tenant, plan_name, requests):
         loop = asyncio.get_running_loop()
+        # A batch in which EVERY request carries an idempotency key is
+        # safe to retry even after a post-delivery worker crash: the
+        # ledger's dedup index replays any committed spend.
+        retryable = all(request[2] is not None for request in requests)
         return await loop.run_in_executor(
             self._executor,
             functools.partial(
-                self._pool.submit, ("execute", tenant, plan_name, requests)
+                self._pool.submit, ("execute", tenant, plan_name, requests),
+                retry_delivered=retryable,
             ),
         )
 
     async def _run_batch(self, key, bucket):
         tenant, plan_name = key
-        live = self._shed_expired(bucket.requests, bucket.futures, bucket.deadlines)
+        live = self._shed_expired(bucket.entries)
         if not live:
             return  # the whole bucket expired while it waited
-        requests = [entry[0] for entry in live]
-        futures = [entry[1] for entry in live]
+        requests = [entry.request for entry in live]
         self.batches_flushed += 1
         self.requests_coalesced += len(requests)
         try:
             reply = await self._execute(tenant, plan_name, requests)
         except WorkerCrashError as exc:
-            for future in futures:
-                if not future.done():
-                    future.set_exception(
-                        RemoteExecutionError(type(exc).__name__, str(exc))
-                    )
+            for entry in live:
+                entry.fail(RemoteExecutionError(type(exc).__name__, str(exc)))
             return
         except BaseException as exc:  # pragma: no cover - defensive
-            for future in futures:
-                if not future.done():
-                    future.set_exception(exc)
+            for entry in live:
+                entry.fail(exc)
             return
         if reply[0] == "ok":
-            for future, payload in zip(futures, reply[1]):
-                if not future.done():
-                    future.set_result(payload)
+            for entry, payload in zip(live, reply[1]):
+                entry.resolve(payload)
             return
         kind, message = reply[1], reply[2]
         if kind == "PrivacyBudgetError" and len(requests) > 1:
@@ -193,33 +295,35 @@ class Coalescer:
             # degrade to sequential admission, preserving request order.
             await self._sequential(key, live)
             return
-        for future in futures:
-            if not future.done():
-                future.set_exception(RemoteExecutionError(kind, message))
+        for entry in live:
+            entry.fail(RemoteExecutionError(kind, message))
 
-    async def _sequential(self, key, members):
+    async def _sequential(self, key, entries):
         tenant, plan_name = key
-        for (epsilon, switches), future, deadline in members:
-            if future.done():
+        for entry in entries:
+            if entry.done:
                 continue
-            if not self._shed_expired([(epsilon, switches)], [future], [deadline]):
+            if not self._shed_expired([entry]):
                 continue  # expired while earlier members of the batch retried
             self.sequential_retries += 1
             try:
-                reply = await self._execute(tenant, plan_name, [(epsilon, switches)])
+                reply = await self._execute(tenant, plan_name, [entry.request])
             except WorkerCrashError as exc:
-                future.set_exception(RemoteExecutionError(type(exc).__name__, str(exc)))
+                entry.fail(RemoteExecutionError(type(exc).__name__, str(exc)))
                 continue
             if reply[0] == "ok":
-                future.set_result(reply[1][0])
+                entry.resolve(reply[1][0])
             else:
-                future.set_exception(RemoteExecutionError(reply[1], reply[2]))
+                entry.fail(RemoteExecutionError(reply[1], reply[2]))
 
     # -- shutdown -------------------------------------------------------- #
     async def drain(self):
-        """Flush everything pending and await all in-flight batches."""
+        """Flush everything pending, dispatch the ready queue to empty,
+        and await all in-flight batches."""
         self._draining = True
         for key in list(self._buckets):
             self._flush(key)
-        while self._inflight:
-            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        while self._ready or self._inflight:
+            self._pump()
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)

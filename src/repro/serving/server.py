@@ -7,9 +7,15 @@ request's optional ``id`` and are ``{"ok": true, ...}`` or ``{"ok": false,
 
 * ``{"op": "plan"}`` — list the served plans with their metadata.
 * ``{"op": "execute", "tenant": t, "plan": name, "epsilon": e,
-  "non_negative"/"integral"/"consistent": bool?}`` — one budgeted release.
-  Batched through the :class:`~repro.serving.coalescer.Coalescer` unless
-  the service was built with ``max_batch=1``.
+  "key": str?, "non_negative"/"integral"/"consistent": bool?}`` — one
+  budgeted release. Batched through the
+  :class:`~repro.serving.coalescer.Coalescer` unless the service was
+  built with ``max_batch=1``. ``key`` is an optional idempotency key:
+  repeating it — on a retry, another connection, or after a full restart
+  — returns the original noised release with zero additional budget
+  charge (the ledger journals results by key). The dedup marker itself
+  is stripped before the wire so a replayed reply is byte-identical to
+  the original; dedup hits are counted in ``health`` instead.
 * ``{"op": "explain", "plan": name, "epsilon": e?}`` — the plan's
   optimizer report (no budget consumed).
 * ``{"op": "budget", "tenant": t}`` — the tenant's ledger state.
@@ -142,6 +148,19 @@ def _check_tenant(tenant):
     return tenant
 
 
+def _check_key(key):
+    """Validate an optional idempotency key (journaled verbatim in ledger
+    records, so bounded)."""
+    if key is None:
+        return None
+    if not isinstance(key, str) or not key or len(key) > 128:
+        raise ValidationError(
+            f"idempotency key must be a non-empty string of at most "
+            f"128 characters; got {key!r}"
+        )
+    return key
+
+
 class PlanService:
     """The serving tier: shared plans + worker pool + coalescer + TCP."""
 
@@ -190,6 +209,10 @@ class PlanService:
             max_wait=config.max_wait,
             executor=self._executor,
             on_shed=self._count_shed,
+            # Fairness: never more concurrent batches than workers, so the
+            # round-robin ready queue — not pool contention — decides
+            # which (tenant, plan) group dispatches next.
+            max_concurrent=config.workers,
         )
         self._server = None
         self._plan_infos = None
@@ -201,6 +224,9 @@ class PlanService:
         self._watch_task = None
         self.shed_overloaded = 0
         self.shed_deadline = 0
+        #: Ledger-level idempotency-key replays served by this process
+        #: (in-window folds are counted by the coalescer separately).
+        self.dedup_hits = 0
 
     def _count_shed(self, kind):
         if kind == "overloaded":
@@ -228,8 +254,9 @@ class PlanService:
         return self._plan_infos
 
     async def execute(self, tenant, plan_name, epsilon, switches=None,
-                      deadline=None):
+                      deadline=None, key=None):
         _check_tenant(tenant)
+        _check_key(key)
         if plan_name not in self._manifest.plans:
             raise ValidationError(
                 f"unknown plan {plan_name!r}; available: {self.plan_names()}"
@@ -255,17 +282,32 @@ class PlanService:
         self._exec_inflight += 1
         try:
             if self.config.max_batch > 1:
-                return await self.coalescer.submit(
-                    tenant, plan_name, epsilon, switches, deadline=deadline
+                payload = await self.coalescer.submit(
+                    tenant, plan_name, epsilon, switches, deadline=deadline,
+                    key=key,
                 )
-            reply = await self._in_thread(
-                self.pool.submit,
-                ("execute", tenant, plan_name,
-                 [(float(epsilon), dict(switches or {}))]),
-            )
-            if reply[0] != "ok":
-                raise RemoteExecutionError(reply[1], reply[2])
-            return reply[1][0]
+            else:
+                reply = await self._in_thread(
+                    functools.partial(
+                        self.pool.submit,
+                        ("execute", tenant, plan_name,
+                         [(float(epsilon), dict(switches or {}), key)]),
+                        # A keyed single-request dispatch is exactly-once
+                        # even if the worker dies after delivery: the
+                        # retry replays or charges via the dedup index.
+                        retry_delivered=key is not None,
+                    )
+                )
+                if reply[0] != "ok":
+                    raise RemoteExecutionError(reply[1], reply[2])
+                payload = reply[1][0]
+            # Strip the out-of-band dedup marker before the payload reaches
+            # the wire: a replayed reply must be byte-identical to the
+            # original. Folded waiters share one payload dict, so only the
+            # first pop sees the flag — the hit is counted exactly once.
+            if payload.pop("deduplicated", False):
+                self.dedup_hits += 1
+            return payload
         finally:
             self._exec_inflight -= 1
 
@@ -301,7 +343,9 @@ class PlanService:
                 "requests_coalesced": self.coalescer.requests_coalesced,
                 "sequential_retries": self.coalescer.sequential_retries,
                 "shed_expired": self.coalescer.shed_expired,
+                "duplicates_folded": self.coalescer.duplicates_folded,
             },
+            "dedup_hits": self.dedup_hits,
             "plans": self.plan_names(),
             "reloads": self._reloads,
         })
@@ -384,7 +428,7 @@ class PlanService:
                 deadline = time.monotonic() + float(deadline_ms) / 1000.0
             release = await self.execute(
                 request.get("tenant"), request.get("plan"), epsilon, switches,
-                deadline=deadline,
+                deadline=deadline, key=request.get("key"),
             )
             return {"ok": True, "release": release}
         if op == "budget":

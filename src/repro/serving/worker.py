@@ -14,7 +14,8 @@ tenant engine
   overspend.
 
 The parent talks to workers over ``multiprocessing.Pipe`` with plain
-tuples: ``("execute", tenant, plan_name, [(epsilon, switches), ...])``,
+tuples: ``("execute", tenant, plan_name, [(epsilon, switches, key), ...])``
+(the idempotency ``key`` element is optional and may be ``None``),
 ``("budget", tenant)``, ``("explain", plan_name, epsilon)``, ``("ping",)``,
 ``("shutdown",)``. Replies are ``("ok", payload)`` or ``("error",
 exception_class_name, message)`` — exceptions never cross the pipe raw, so
@@ -147,7 +148,11 @@ def _tenant_seed(base, worker_index, tenant):
 
 def _release_payload(release):
     """JSON-able wire form of one Release (the audit log keeps the full
-    object worker-side; the wire carries what a client can use)."""
+    object worker-side; the wire carries what a client can use).
+
+    ``deduplicated`` is out-of-band dispatch metadata — the server pops it
+    into its dedup-hit counters before the payload reaches the wire, so a
+    replayed release stays byte-identical to the original reply."""
     return {
         "values": release.answers.tolist(),
         "mechanism": release.mechanism,
@@ -155,6 +160,7 @@ def _release_payload(release):
         "delta": release.delta,
         "expected_error": release.expected_error,
         "realized": release.metadata.get("realized"),
+        "deduplicated": bool(release.metadata.get("deduplicated")),
     }
 
 
@@ -195,12 +201,23 @@ class _WorkerState:
     def execute(self, tenant, plan_name, requests):
         engine = self.engine(tenant)
         plan = self.store.plan(plan_name)
-        if len(requests) == 1:
-            epsilon, switches = requests[0]
-            releases = [engine.execute(plan, epsilon, **switches)]
+        # Requests are (epsilon, switches) or (epsilon, switches, key):
+        # the idempotency key rides through to the engine, whose keyed
+        # path answers already-charged keys from the durable result
+        # journal instead of spending again.
+        normalized = [
+            (request[0], request[1], request[2] if len(request) > 2 else None)
+            for request in requests
+        ]
+        if len(normalized) == 1:
+            epsilon, switches, key = normalized[0]
+            releases = [engine.execute(plan, epsilon, request_key=key, **switches)]
         else:
             releases = engine.execute_many(
-                [(plan, epsilon, switches) for epsilon, switches in requests]
+                [
+                    (plan, epsilon, switches, key)
+                    for epsilon, switches, key in normalized
+                ]
             )
         return [_release_payload(release) for release in releases]
 
@@ -645,7 +662,7 @@ class WorkerPool:
                 if slot.handle is not None and slot.handle.alive()
             ]
 
-    def submit(self, command, timeout=None, deadline=None):
+    def submit(self, command, timeout=None, deadline=None, retry_delivered=False):
         """Run one command on any free worker; returns the reply tuple —
         ``("ok", payload)`` or ``("error", exception_name, message)`` —
         verbatim, so callers map worker-reported failures onto their own
@@ -657,6 +674,15 @@ class WorkerPool:
         request's pipe round-trip; None applies ``request_timeout``.
         A command the worker provably never received is retried once on
         another worker before the crash surfaces.
+
+        ``retry_delivered=True`` additionally retries a crash (or hang)
+        *after* delivery once — only safe for idempotent commands, i.e.
+        an ``execute`` where **every** request carries an idempotency key:
+        if the dead worker's spend committed, the retry replays the stored
+        result from the ledger's dedup index (the dedup check runs inside
+        the ledger's exclusive transaction, so even a not-quite-dead
+        victim racing the retry cannot double-charge); if it never
+        committed, the key is free and the retry charges it exactly once.
         """
         if self._closed:
             raise ValidationError("WorkerPool is closed")
@@ -680,12 +706,22 @@ class WorkerPool:
                 reply = handle.request(command, deadline=request_deadline)
             except WorkerTimeoutError:
                 self._report_crash(handle, hung=True)
+                if (
+                    retry_delivered
+                    and retries < 1
+                    and (
+                        request_deadline is None
+                        or request_deadline - time.monotonic() > 0.05
+                    )
+                ):
+                    retries += 1
+                    continue  # keyed: the ledger dedups any committed spend
                 raise
             except WorkerCrashError as exc:
                 self._report_crash(handle, hung=False)
-                if not exc.delivered and retries < 1:
+                if (not exc.delivered or retry_delivered) and retries < 1:
                     retries += 1
-                    continue  # provably undelivered: safe on another worker
+                    continue  # undelivered, or keyed and therefore idempotent
                 raise
             self._free.put(handle)
             return reply

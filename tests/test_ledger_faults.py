@@ -176,6 +176,82 @@ class TestCrashMatrix:
             assert states_equal(ledger_state(path, model), recovered)
 
 
+@pytest.mark.parametrize("backend", ("journal", "sqlite"))
+class TestKeyedCrashMatrix:
+    """Kill a worker at every ledger write-path failpoint during a *keyed*
+    execute. The exactly-once invariant: recovery lands on charged-with-
+    replayable-result or uncharged-with-free-key — never a third state —
+    and a retry of the same key always converges to exactly one charge."""
+
+    KEYED_WORKER = """
+import sys
+import numpy as np
+from repro.engine import PrivateQueryEngine
+from repro.workloads import wrange
+
+path = sys.argv[1]
+engine = PrivateQueryEngine(np.arange(64.0), total_budget=1.0, seed=0, ledger_path=path)
+plan = engine.plan(wrange(6, 64, seed=0), mechanism="LM")
+release = engine.execute(plan, epsilon=0.2, request_key="K1")
+print("DONE", float(release.answers[0]))
+"""
+
+    def _run_keyed_worker(self, path, failpoint, action):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env[ENV_VAR] = f"{failpoint}={action}"
+        return subprocess.run(
+            [sys.executable, "-c", self.KEYED_WORKER, str(path)],
+            env=env, capture_output=True, text=True, timeout=240,
+        )
+
+    def test_keyed_execute_crash_is_charged_or_free_never_torn(self, tmp_path, backend):
+        from repro.engine import PrivateQueryEngine
+        from repro.workloads import wrange
+
+        suffix = "budget.db" if backend == "sqlite" else "budget.journal"
+        for index, point in enumerate(ledger_write_failpoints(backend)):
+            path = tmp_path / f"cell{index}" / suffix
+            path.parent.mkdir()
+            action = "torn" if point.endswith(".torn") else "crash"
+            result = self._run_keyed_worker(path, point, action)
+            assert result.returncode == CRASH_EXIT_CODE, (point, result.stderr)
+
+            # Orphan reconciliation is definitive: after recover, a keyed
+            # dangling intent is either gone (key freed) or was committed
+            # (result replayable) — and recover says which.
+            summary = recover_ledger(path)
+            assert summary["dangling_intents"] == []
+            engine = PrivateQueryEngine(
+                np.arange(64.0), total_budget=1.0, seed=1, ledger_path=path
+            )
+            stored = engine.accountant.result_for("K1")
+            charged = stored is not None
+            if charged:
+                # State A: the commit is durable — exactly one charge and
+                # the stored release is replayable.
+                assert summary["costs"] == 1, point
+                assert summary["freed_keys"] == [], point
+            else:
+                # State B: nothing charged; if the intent had landed, the
+                # recover freed its key for retry.
+                assert summary["costs"] == 0, point
+                assert engine.accountant.spent_epsilon == 0.0, point
+                assert all(key == "K1" for key in summary["freed_keys"]), point
+
+            # The retry converges both states to exactly one charge.
+            plan = engine.plan(wrange(6, 64, seed=0), mechanism="LM")
+            retried = engine.execute(plan, epsilon=0.2, request_key="K1")
+            assert engine.accountant.spent_epsilon == pytest.approx(0.2), point
+            if charged:
+                assert retried.metadata.get("deduplicated") is True, point
+                assert retried.answers.tolist() == stored["values"], point
+            # And replaying the key once more is bit-identical, charge-free.
+            replayed = engine.execute(plan, epsilon=0.2, request_key="K1")
+            assert replayed.answers.tolist() == retried.answers.tolist(), point
+            assert engine.accountant.spent_epsilon == pytest.approx(0.2), point
+
+
 class TestEngineCrashRecovery:
     """Kill an engine worker mid-batch; the reopened engine's realized
     (eps, delta) audit trail must match an uninterrupted control run."""

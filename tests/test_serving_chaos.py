@@ -1,40 +1,48 @@
-"""Seeded chaos soak for the serving tier.
+"""Seeded chaos soak for the serving tier, with execute-retries enabled.
 
 Hammers a live TCP service with concurrent driver traffic while a chaos
 controller SIGKILLs random workers, a pre-armed worker crashes pre-spend,
 another hangs its pipe (caught by the per-request deadline), one client
 connection is dropped mid-request, and a hot plan reload lands mid-soak.
+Every logical request carries ONE idempotency key reused across all of
+its retries, so a lost reply is retried freely — the ledger's result
+journal makes the retry replay any already-committed spend.
 
 The invariant trio asserted at the end:
 
 1. **Exactly one terminal reply** per wire request — the multiplexed
    client's ``unmatched_replies`` / ``duplicate_replies`` anomaly
-   counters stay zero and every driver attempt resolves.
-2. **No lost or duplicated charges** — replaying the tenant ledger
-   yields at least one cost per successful release, and at most one
-   extra (orphaned) cost per attempt whose outcome was genuinely
-   unknown (crash/timeout after dispatch). Shed and busy refusals are
-   never charged.
-3. **Availability** ≥ 99 % of logical requests succeed (with bounded
-   retries), excluding deliberately shed traffic — deliberate worker
-   kills never take the service down.
+   counters stay zero, every driver attempt resolves, and after
+   reconciliation retries every logical request reached success.
+2. **Exactly-once accounting, no orphan slack** — the replayed ledger
+   equals the spend of the *unique served keys* exactly: one cost per
+   key, zero double-charges, and re-executing a sample of served keys
+   returns bit-identical replies with zero additional charge
+   (``health``'s dedup-hit counter ticks instead). ``ledger recover``
+   afterwards reconciles any dangling keyed intents without changing
+   the replayed state.
+3. **Availability** ≥ 99 % of logical requests succeed within the
+   bounded in-soak retries — deliberate worker kills never take the
+   service down.
 
 Seeded via ``REPRO_CHAOS_SEED`` (default 1307) so CI failures replay.
 """
 
 import asyncio
+import json
 import os
 import random
 import shutil
 import signal
 import time
+import uuid
 
 import numpy as np
 import pytest
 
 from repro.engine.plan import build_plan
 from repro.io.serialization import save_plan
-from repro.privacy.ledger import inspect_ledger, ledger_health
+from repro.privacy.ledger import inspect_ledger, ledger_health, recover_ledger
 from repro.serving import AsyncServiceClient, PlanService, ServiceConfig, ServiceError
 from repro.testing.faults import failpoints
 from repro.workloads import prefix_workload, wrelated
@@ -81,14 +89,19 @@ class _Tally:
         self.logical_failed = 0
 
 
-async def _driver(client, rng, plans, tally):
+async def _driver(client, rng, plans, tally, served, failed):
     for _ in range(REQUESTS_PER_DRIVER):
         await asyncio.sleep(rng.uniform(0.0, 0.01))
+        # ONE idempotency key per logical request, reused across every
+        # retry: however many attempts it takes, it is one spend.
+        key = uuid.uuid4().hex
+        plan = rng.choice(plans)
         done = False
         for _ in range(MAX_ATTEMPTS):
-            plan = rng.choice(plans)
             try:
-                await client.execute("acme", plan, EPSILON, deadline_ms=2000)
+                reply = await client.execute(
+                    "acme", plan, EPSILON, deadline_ms=2000, key=key
+                )
             except ServiceError as error:
                 if error.kind in _SHED_KINDS:
                     tally.shed += 1
@@ -99,12 +112,14 @@ async def _driver(client, rng, plans, tally):
                 await asyncio.sleep(rng.uniform(0.01, 0.05))
                 continue
             tally.successes += 1
+            served[key] = (plan, reply)
             done = True
             break
         if done:
             tally.logical_ok += 1
         else:
             tally.logical_failed += 1
+            failed.append((key, plan))
 
 
 async def _chaos_controller(service, rng, plans_dir, live_plans, soaking):
@@ -168,6 +183,17 @@ class TestChaosSoak:
         }
         tally = _Tally()
         live_plans = ["related", "prefix"]
+        served = {}   # key -> (plan, reply): every logical success
+        failed = []   # (key, plan): exhausted in-soak retries
+
+        async def _retry_until_served(client, plan, key, attempts=30):
+            for _ in range(attempts):
+                try:
+                    return await client.execute("acme", plan, EPSILON, key=key)
+                except ServiceError as error:
+                    assert error.kind in _UNKNOWN_KINDS | _SHED_KINDS
+                    await asyncio.sleep(0.1)
+            raise AssertionError(f"key {key!r} never reached a success")
 
         async def scenario():
             service = PlanService(config, failpoints_by_worker=failpoints_by_worker)
@@ -182,7 +208,10 @@ class TestChaosSoak:
             )
             try:
                 await asyncio.gather(*[
-                    _driver(client, random.Random(SEED + i), live_plans, tally)
+                    _driver(
+                        client, random.Random(SEED + i), live_plans, tally,
+                        served, failed,
+                    )
                     for i in range(DRIVERS)
                 ])
             finally:
@@ -194,26 +223,33 @@ class TestChaosSoak:
                 if health["alive"] == config.workers:
                     break
                 await asyncio.sleep(0.1)
-            # The new plan genuinely serves post-reload (retrying past any
-            # worker still settling from the final kill).
-            for attempt in range(5):
-                try:
-                    fresh = await client.execute("acme", "extra", EPSILON)
-                except ServiceError as error:
-                    assert error.kind in _UNKNOWN_KINDS | _SHED_KINDS
-                    tally.unknown_failures += error.kind in _UNKNOWN_KINDS
-                    await asyncio.sleep(0.1)
-                    continue
-                break
-            tally.successes += 1
+            # Reconciliation: every logical request that exhausted its
+            # in-soak retries is retried (same key) until it succeeds —
+            # exactly-once makes that always safe, so no request is ever
+            # left without a terminal success.
+            for key, plan in failed:
+                served[key] = (plan, await _retry_until_served(client, plan, key))
+            # The new plan genuinely serves post-reload — keyed like
+            # everything else, so the retries stay charge-safe.
+            fresh = await _retry_until_served(client, "extra", "extra-probe")
+            # Exactly-once, witnessed on the wire: re-executing a sample
+            # of already-served keys returns bit-identical replies.
+            sampler = random.Random(SEED + 999)
+            sample = sampler.sample(sorted(served), k=min(10, len(served)))
+            for key in sample:
+                plan, original = served[key]
+                replay = await client.execute("acme", plan, EPSILON, key=key)
+                assert json.dumps(replay, sort_keys=True) == json.dumps(
+                    original, sort_keys=True
+                ), f"retried key {key!r} was not bit-identical"
             health = await client.health(ledgers=True)
             budget = await client.budget("acme")
             anomalies = (client.unmatched_replies, client.duplicate_replies)
             await client.close()
             await service.shutdown()
-            return kills, reloaded, dropped, fresh, health, budget, anomalies
+            return kills, reloaded, dropped, fresh, health, budget, anomalies, sample
 
-        kills, reloaded, dropped, fresh, health, budget, anomalies = (
+        kills, reloaded, dropped, fresh, health, budget, anomalies, sample = (
             asyncio.run(scenario())
         )
 
@@ -222,27 +258,38 @@ class TestChaosSoak:
         assert health["crashes"] >= 2  # kills + armed faults were noticed
         assert len(fresh["values"]) == 4
 
-        # Invariant 1: exactly one terminal reply per wire request.
+        # Invariant 1: exactly one terminal reply per wire request, and
+        # after reconciliation every logical request reached success.
         assert anomalies == (0, 0)
         total_logical = DRIVERS * REQUESTS_PER_DRIVER
         assert tally.logical_ok + tally.logical_failed == total_logical
         assert tally.other_failures == 0  # only structured, expected kinds
+        assert len(served) == total_logical
 
-        # Invariant 2: ledger replay equals served spend up to orphans
-        # bounded by genuinely-unknown attempts; nothing shed was charged.
+        # Invariant 2: STRICT equality — the ledger replays to exactly one
+        # cost per unique served key (drivers + the reload probe), with no
+        # orphan slack; the sampled replays charged nothing and were
+        # answered from the result journal (dedup counter ticked).
         replayed = inspect_ledger(ledger_root / "acme.journal")
-        orphans = replayed["costs"] - tally.successes
-        assert 0 <= orphans <= tally.unknown_failures
+        unique_keys_served = total_logical + 1  # + the "extra" probe
+        assert replayed["costs"] == unique_keys_served, (
+            f"double-charge or lost spend: ledger replays "
+            f"{replayed['costs']} costs for {unique_keys_served} unique "
+            f"keys (seed {SEED}, tally {vars(tally)})"
+        )
+        assert replayed["keyed_results"] == unique_keys_served
         assert replayed["spent_epsilon"] == pytest.approx(
-            EPSILON * replayed["costs"]
+            EPSILON * unique_keys_served
         )
         assert budget["spent_epsilon"] == pytest.approx(
             replayed["spent_epsilon"]
         )
+        assert health["dedup_hits"] >= len(sample)
         probe = health["ledgers"]["acme"]
         assert probe["records"] > 0
 
-        # Invariant 3: availability floor, excluding deliberate sheds.
+        # Invariant 3: availability floor within the bounded in-soak
+        # retries (reconciliation not counted).
         availability = tally.logical_ok / total_logical
         assert availability >= 0.99, (
             f"availability {availability:.4f} < 0.99 "
@@ -252,6 +299,15 @@ class TestChaosSoak:
         # The service rode out the soak: reload landed, workers recovered.
         assert health["generation"] == 1 and health["reloads"] == 1
         assert health["alive"] == 3 and health["quarantined"] == 0
+
+        # Orphan reconciliation is definitive: recover drops any dangling
+        # keyed intents the kills left behind WITHOUT changing the
+        # replayed spend — the freed keys were all retried to success, so
+        # their charges live under committed records already.
+        recovered = recover_ledger(ledger_root / "acme.journal")
+        assert recovered["dangling_intents"] == []
+        assert recovered["costs"] == unique_keys_served
+        assert recovered["keyed_results"] == unique_keys_served
 
 
 class TestReloadFaults:

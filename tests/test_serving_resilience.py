@@ -265,11 +265,11 @@ class TestLoadShedding:
             def __init__(self):
                 self.commands = []
 
-            def submit(self, command, timeout=None):
+            def submit(self, command, timeout=None, retry_delivered=False):
                 self.commands.append(command)
                 _, tenant, plan, requests = command
                 time.sleep(0.15)  # the batch the expired member would join
-                return ("ok", [{"epsilon": eps} for eps, _ in requests])
+                return ("ok", [{"epsilon": req[0]} for req in requests])
 
         async def scenario():
             pool = _SlowPool()
@@ -461,12 +461,19 @@ class TestClientHardening:
             assert excinfo.value.kind == "Timeout"
             assert client.reconnects == 1
             assert counters["requests"] == 2  # the retry really went out
-            # execute is NOT retried: the spend outcome is unknown.
+            # A (default) keyed execute IS retried once now: the key makes
+            # the replay exactly-once even if the lost request charged.
             with pytest.raises(ServiceError) as excinfo:
                 client.execute("alice", "related", 0.01)
             assert excinfo.value.kind == "Timeout"
+            assert counters["requests"] == 4
+            # Opting out of the key restores at-most-once: no retry, and
+            # the outcome is explicitly unknown.
+            with pytest.raises(ServiceError) as excinfo:
+                client.execute("alice", "related", 0.01, key=False)
+            assert excinfo.value.kind == "Timeout"
             assert "unknown" in excinfo.value.message
-            assert counters["requests"] == 3
+            assert counters["requests"] == 5
             client.close()
         finally:
             stop()

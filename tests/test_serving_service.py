@@ -167,20 +167,20 @@ class _FakePool:
         self.commands = []
         self.remaining = remaining  # per-pool budget when not None
 
-    def submit(self, command, timeout=None):
+    def submit(self, command, timeout=None, retry_delivered=False):
         assert command[0] == "execute"
         _, tenant, plan_name, requests = command
         self.commands.append(command)
         if self.remaining is not None:
-            total = sum(epsilon for epsilon, _ in requests)
+            total = sum(request[0] for request in requests)
             if total > self.remaining + 1e-12:
                 return ("error", "PrivacyBudgetError", "insufficient budget")
             self.remaining -= total
         return (
             "ok",
             [
-                {"tenant": tenant, "plan": plan_name, "epsilon": epsilon}
-                for epsilon, _ in requests
+                {"tenant": tenant, "plan": plan_name, "epsilon": request[0]}
+                for request in requests
             ],
         )
 
