@@ -45,14 +45,19 @@ import pytest
 
 from repro.exceptions import PrivacyBudgetError
 from repro.privacy.accountant import ApproxDPAccountant
+from repro.privacy.cost import NoiseCost
 from repro.privacy.rdp import RDPAccountant, releases_per_budget
 
 pytestmark = pytest.mark.perf
 
 _HERE = Path(__file__).resolve().parent
 OUTPUT_PATH = _HERE / "BENCH_accounting.json"
+SUBSAMPLED_OUTPUT_PATH = _HERE / "BENCH_accounting_subsampled.json"
 BASIC_BASELINE_PATH = _HERE / "baselines" / "BENCH_accounting_basic_pr5.json"
 RDP_BASELINE_PATH = _HERE / "baselines" / "BENCH_accounting_pr5.json"
+SUBSAMPLED_BASELINE_PATH = (
+    _HERE / "baselines" / "BENCH_accounting_subsampled_pr10.json"
+)
 
 #: Minimum acceptable per-cell RDP/basic release-count ratio (the PR's
 #: acceptance criterion) and the grid median it typically lands at.
@@ -177,6 +182,117 @@ def test_rdp_releases_per_budget_win():
         basic_cells + rdp_cells,
     )
     print(f"wrote {OUTPUT_PATH}")
+
+
+#: Subsampling-amplification grid (typed-cost PR): each cell drains the RDP
+#: accountant twice with identically-calibrated Gaussian releases — once
+#: unsampled, once wrapped at sample rate q — and gates on the amplified
+#: capacity win. Counts are pure float arithmetic, so the committed baseline
+#: ``baselines/BENCH_accounting_subsampled_pr10.json`` is exact.
+SUBSAMPLED_GRID = [
+    {"epsilon": 0.5, "delta": 1e-7, "budget_epsilon": 4.0,
+     "budget_delta": 1e-5, "sample_rate": 0.1},
+    {"epsilon": 0.5, "delta": 1e-7, "budget_epsilon": 4.0,
+     "budget_delta": 1e-5, "sample_rate": 0.5},
+    {"epsilon": 1.0, "delta": 1e-8, "budget_epsilon": 8.0,
+     "budget_delta": 1e-5, "sample_rate": 0.2},
+]
+
+
+def _drain_cost(accountant, cost):
+    """Spend a typed cost until refused; returns (count, secs)."""
+    count = 0
+    started = time.perf_counter()
+    while accountant.can_spend(cost):
+        accountant.spend(cost)
+        count += 1
+    return count, time.perf_counter() - started
+
+
+def _subsampled_cell_key(cell, sample_rate):
+    return {
+        "workload": (
+            f"subgauss-q{sample_rate:g}-E{cell['budget_epsilon']:g}"
+            f"-D{cell['budget_delta']:g}"
+        ),
+        "m": 1,
+        "n": 1,
+        "s": None,
+        "mechanism": "SUBGAUSS",
+        "epsilon": cell["epsilon"],
+    }
+
+
+def test_subsampled_capacity_win():
+    """Subsampling at q<1 admits strictly more releases than the unsampled
+    twin under the same RDP ledger, and the analytic predictor agrees with
+    the drained count."""
+    cells = []
+    for cell in SUBSAMPLED_GRID:
+        eps, delta = cell["epsilon"], cell["delta"]
+        budget_eps, budget_delta = cell["budget_epsilon"], cell["budget_delta"]
+        q = cell["sample_rate"]
+
+        plain_cost = NoiseCost(family="gaussian", epsilon=eps, delta=delta)
+        sub_cost = NoiseCost(
+            family="subsampled_gaussian", epsilon=eps, delta=delta, sample_rate=q
+        )
+        plain = RDPAccountant(budget_eps, budget_delta)
+        plain_count, _ = _drain_cost(plain, plain_cost)
+        sub = RDPAccountant(budget_eps, budget_delta)
+        sub_count, sub_seconds = _drain_cost(sub, sub_cost)
+
+        assert sub_count > plain_count, (
+            f"subsampling at q={q} admitted {sub_count} releases vs "
+            f"{plain_count} unsampled — amplification must win strictly"
+        )
+        predicted = releases_per_budget(
+            eps, delta, budget_eps, budget_delta, model="rdp", sample_rate=q
+        )
+        assert abs(sub_count - predicted) <= 1, (sub_count, predicted, cell)
+
+        print(
+            f"eps={eps:g} delta={delta:g} q={q:g} budget=({budget_eps:g}, "
+            f"{budget_delta:g}): unsampled {plain_count:>5} vs subsampled "
+            f"{sub_count:>6} releases ({sub_count / plain_count:.1f}x, "
+            f"drain {sub_seconds * 1e3:.1f} ms)"
+        )
+        cells.append({
+            **_subsampled_cell_key(cell, q),
+            "sample_rate": q,
+            "releases": sub_count,
+            "unsampled_releases": plain_count,
+            "amplification_ratio": sub_count / plain_count,
+            "epsilon_per_release": budget_eps / sub_count,
+            "drain_seconds": sub_seconds,
+        })
+
+    _write_report(
+        SUBSAMPLED_OUTPUT_PATH,
+        "Subsampled-Gaussian capacity report (machine-independent: counts "
+        "are exact float arithmetic). Committed baseline is "
+        "BENCH_accounting_subsampled_pr10.json; diff with check_regression "
+        "--time-field epsilon_per_release.",
+        cells,
+    )
+    print(f"wrote {SUBSAMPLED_OUTPUT_PATH}")
+
+
+def test_subsampled_baseline_matches_current_arithmetic():
+    """The committed subsampled baseline is exact; the current amplified
+    RDP arithmetic must reproduce its release counts identically."""
+    if not SUBSAMPLED_BASELINE_PATH.exists():
+        pytest.skip(f"baseline {SUBSAMPLED_BASELINE_PATH.name} not committed yet")
+    cells = json.loads(SUBSAMPLED_BASELINE_PATH.read_text())["cells"]
+    assert len(cells) == len(SUBSAMPLED_GRID)
+    for cell, spec in zip(cells, SUBSAMPLED_GRID):
+        expected = releases_per_budget(
+            spec["epsilon"], spec["delta"],
+            spec["budget_epsilon"], spec["budget_delta"],
+            model="rdp", sample_rate=spec["sample_rate"],
+        )
+        assert abs(cell["releases"] - expected) <= 1, (cell, expected)
+        assert cell["releases"] > cell["unsampled_releases"]
 
 
 def test_committed_baselines_match_current_arithmetic():

@@ -304,6 +304,15 @@ def _run_ledger(args, out):
         f"  records={summary['records']} committed_txns={summary['committed']} "
         f"costs={summary['costs']} keyed_results={summary['keyed_results']}\n"
     )
+    # Per-noise-family breakdown of the committed costs: count plus the
+    # total charged (epsilon, delta) each family contributed. Pre-typed
+    # (format 1) journal entries report as "untyped".
+    for family in sorted(summary.get("families") or {}):
+        stats = summary["families"][family]
+        out.write(
+            f"  cost[{family}]: count={stats['count']} "
+            f"epsilon={stats['epsilon']!r} delta={stats['delta']!r}\n"
+        )
     out.write(
         f"  dangling_intents={len(summary['dangling_intents'])} "
         f"rolled_back={summary['rolled_back']} resets={summary['resets']} "

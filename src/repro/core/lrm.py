@@ -241,6 +241,7 @@ class LowRankMechanism(Mechanism):
     def plan_metadata(self):
         """Base metadata plus the decomposition facts ``explain()`` reports."""
         meta = super().plan_metadata()
+        meta["noise"] = self._noise_family
         if self._decomposition is not None:
             decomposition = self._decomposition
             meta["decomposition_rank"] = int(decomposition.rank)

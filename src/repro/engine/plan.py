@@ -265,6 +265,14 @@ class ExecutionPlan:
         """Per-release delta charged by this plan (0.0 for pure eps-DP)."""
         return float(getattr(self.mechanism, "delta", 0.0)) if self.requires_delta else 0.0
 
+    def release_cost(self, epsilon):
+        """The typed :class:`~repro.privacy.cost.NoiseCost` one execution
+        of this plan at ``epsilon`` charges (see
+        :meth:`repro.mechanisms.base.Mechanism.release_cost`). This is
+        exactly what the engine hands the accountant and journals in
+        ``Release.metadata["cost"]``."""
+        return self.mechanism.release_cost(epsilon)
+
     def compile(self):
         """Memoized :class:`repro.engine.compiled.CompiledPlan` for serving.
 
@@ -329,6 +337,24 @@ class ExecutionPlan:
         probes = [self.epsilon_hint]
         if epsilon is not None and epsilon != self.epsilon_hint:
             probes.append(check_positive(epsilon, "epsilon"))
+        try:
+            cost = self.release_cost(probes[-1])
+        except ReproError:
+            cost = None
+        if cost is not None:
+            rendered = f"{cost.family} (eps={cost.epsilon:g}"
+            if cost.delta > 0.0:
+                rendered += f", delta={cost.delta:g}"
+            if cost.sigma_or_scale is not None:
+                rendered += f", noise scale {cost.sigma_or_scale:.6g}"
+            if cost.sample_rate < 1.0:
+                charged_eps, charged_delta = cost.charged_pair()
+                rendered += (
+                    f", q={cost.sample_rate:g} -> charged eps={charged_eps:.6g}"
+                    f", delta={charged_delta:g}"
+                )
+            rendered += ")"
+            lines.append(f"  release cost     : {rendered}")
         for probe in probes:
             predicted = self.predicted_error(probe)
             rendered = f"{predicted:.6g}" if predicted is not None else "no closed form"
@@ -369,21 +395,30 @@ class ExecutionPlan:
         # the not-applicable handler below.
         budget_delta = _check_delta(budget_delta, "budget_delta")
         cost_delta = self.delta
+        sample_rate = 1.0
+        try:
+            sample_rate = float(self.release_cost(probe).sample_rate)
+        except ReproError:
+            pass
         counts = []
         base_model = "basic" if (cost_delta > 0.0 or budget_delta > 0.0) else "pure"
         for model in (base_model, "rdp"):
             try:
                 count = releases_per_budget(
-                    probe, cost_delta, budget, budget_delta, model=model
+                    probe, cost_delta, budget, budget_delta, model=model,
+                    sample_rate=sample_rate,
                 )
             except PrivacyBudgetError:
                 # e.g. RDP without a delta budget: not applicable.
                 counts.append(f"{model} n/a")
                 continue
             counts.append(f"{model} x{count}")
+        per_release = f"eps={probe:g}, delta={cost_delta:g}"
+        if sample_rate < 1.0:
+            per_release += f", q={sample_rate:g}"
         return (
             f"  releases/budget  : {' | '.join(counts)} "
-            f"(eps={probe:g}, delta={cost_delta:g} per release against "
+            f"({per_release} per release against "
             f"budget eps={budget:g}, delta={budget_delta:g})"
         )
 

@@ -194,8 +194,11 @@ class PlanCache:
                     lambda: load_plan(path), policy=_DISK_RETRY, retry_on=(OSError,)
                 )
             except PlanFormatError:
-                # Stale format (e.g. an archive from an older library
-                # version): a miss — the subsequent put() overwrites it.
+                # Unreadable-but-benign format: an archive from an older
+                # library version, or a *newer* one (e.g. a version-4 spec
+                # archive written by a release whose mechanism class this
+                # environment cannot import). A miss — the subsequent
+                # put() overwrites it.
                 self.misses += 1
                 return None
             except ValidationError:

@@ -62,6 +62,7 @@ from repro.linalg.validation import as_vector, check_positive, ensure_rng
 from repro.mechanisms.base import Mechanism, as_workload
 from repro.mechanisms.registry import make_mechanism
 from repro.privacy.accountant import BudgetAccountant, make_accountant
+from repro.privacy.cost import NoiseCost
 
 __all__ = ["PrivateQueryEngine", "Release"]
 
@@ -107,8 +108,12 @@ class Release:
         Cache key of the workload (for auditing).
     metadata:
         Audit trail: workload shape, the post-processing switches actually
-        applied, the plan key, the accountant model, and ``realized`` —
-        the cumulative (epsilon, delta) guarantee the accountant's ledger
+        applied, the plan key, the accountant model, ``cost`` — the full
+        typed :class:`repro.privacy.cost.NoiseCost` record charged for
+        this release (family, base (epsilon, delta), calibrated noise
+        magnitude, sensitivity, sample rate, and for subsampled releases
+        the amplified ``charged`` pair) — and ``realized`` — the
+        cumulative (epsilon, delta) guarantee the accountant's ledger
         promised right after this release's charge committed (identical
         between looped and batched execution).
     """
@@ -372,10 +377,10 @@ class PrivateQueryEngine:
         a validator.
         """
         try:
-            epsilon, delta = self._check_executable(plan, epsilon)
+            cost = self._check_executable(plan, epsilon)
         except ValidationError:
             return False
-        return self._accountant.can_spend(epsilon, delta)
+        return self._accountant.can_spend(cost)
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -534,14 +539,22 @@ class PrivateQueryEngine:
     # Execution
     # ------------------------------------------------------------------ #
     def _check_executable(self, plan, epsilon):
-        """Validate one (plan, epsilon) request; returns its (eps, delta) cost."""
+        """Validate one (plan, epsilon) request; returns its typed
+        :class:`~repro.privacy.cost.NoiseCost`.
+
+        The cost's (epsilon, delta) are exactly the floats the scalar
+        engine charged — ``check_positive(epsilon)`` and ``plan.delta`` —
+        with the noise family, calibrated magnitude and (for subsampled
+        plans) the sample rate riding along for the accountant and the
+        audit trail.
+        """
         if not isinstance(plan, ExecutionPlan):
             raise ValidationError(
                 f"execute expects an ExecutionPlan, got {type(plan).__name__}; "
                 "build one with engine.plan(workload)"
             )
         self._check_domain(plan.domain_size)
-        return check_positive(epsilon, "epsilon"), plan.delta
+        return plan.release_cost(check_positive(epsilon, "epsilon"))
 
     def _predicted_error(self, plan, epsilon, memo=None):
         """Analytic expected error of one release (None without a closed
@@ -569,17 +582,20 @@ class PrivateQueryEngine:
         }
 
     def _finalize_release(
-        self, plan, epsilon, delta, answers, non_negative, integral, consistent,
+        self, plan, cost, answers, non_negative, integral, consistent,
         expected_memo=None, metadata_base=None, realized=None,
     ):
         """Post-process raw noisy answers and wrap them as a Release; the
         budget must already be charged.
 
-        ``realized`` is the cumulative (spent_epsilon, spent_delta)
-        guarantee of the accountant *after* this release's charge
-        committed — the audit trail of what the whole ledger promises at
-        that point, which under non-additive accounting (RDP) is the only
-        faithful per-release privacy figure.
+        ``cost`` is the typed :class:`NoiseCost` the accountant was
+        charged; its (epsilon, delta) populate the Release fields exactly
+        as the scalar pair used to, and its full record is journaled under
+        ``metadata["cost"]``. ``realized`` is the cumulative
+        (spent_epsilon, spent_delta) guarantee of the accountant *after*
+        this release's charge committed — the audit trail of what the
+        whole ledger promises at that point, which under non-additive
+        accounting (RDP) is the only faithful per-release privacy figure.
         """
         if non_negative or integral or consistent:
             # Only the consistency projection reads W; clamping/rounding
@@ -594,6 +610,7 @@ class PrivateQueryEngine:
         metadata = dict(metadata_base if metadata_base is not None else self._metadata_base(plan))
         if realized is not None:
             metadata["realized"] = {"epsilon": realized[0], "delta": realized[1]}
+        metadata["cost"] = cost.to_record()
         metadata["postprocess"] = {
             "non_negative": bool(non_negative),
             "integral": bool(integral),
@@ -602,24 +619,24 @@ class PrivateQueryEngine:
         return Release(
             answers=answers,
             mechanism=plan.mechanism_label,
-            epsilon=epsilon,
-            delta=delta,
-            expected_error=self._predicted_error(plan, epsilon, expected_memo),
+            epsilon=cost.epsilon,
+            delta=cost.delta,
+            expected_error=self._predicted_error(plan, cost.epsilon, expected_memo),
             workload_key=plan.workload_key,
             metadata=metadata,
         )
 
-    def _build_release(self, plan, epsilon, delta, non_negative, integral,
+    def _build_release(self, plan, cost, non_negative, integral,
                        consistent, realized=None):
         """Produce one release without logging it; the budget must already
         be charged. Runs through the plan's compiled release operator —
         noise draw plus recombination, with the strategy answers ``L x``
         cached per data epoch."""
         answers = plan.compile().answer(
-            self._data, epsilon, self._rng, epoch=self._data_epoch
+            self._data, cost.epsilon, self._rng, epoch=self._data_epoch
         )
         return self._finalize_release(
-            plan, epsilon, delta, answers, non_negative, integral, consistent,
+            plan, cost, answers, non_negative, integral, consistent,
             realized=realized,
         )
 
@@ -703,7 +720,7 @@ class PrivateQueryEngine:
         ledger_state = self._accountant.snapshot()
         realized = []
         if len(fresh_costs) == 1:
-            self._accountant.spend(*fresh_costs[0])
+            self._accountant.spend(fresh_costs[0])
             realized.append(
                 (self._accountant.spent_epsilon, self._accountant.spent_delta)
             )
@@ -724,7 +741,8 @@ class PrivateQueryEngine:
 
     def _execute_keyed(self, prepared):
         """Exactly-once execution of a validated batch whose entries are
-        ``(plan, (epsilon, delta), switches, key)``.
+        ``(plan, cost, switches, key)`` with ``cost`` a typed
+        :class:`NoiseCost`.
 
         Dedup, charging and the result journal live in the accountant
         (``DurableAccountant.spend_keyed`` when a ledger is attached — the
@@ -782,7 +800,7 @@ class PrivateQueryEngine:
         charge, flagged ``metadata["deduplicated"] = True``.
         """
         request_key = self._check_request_key(request_key)
-        epsilon, delta = self._check_executable(plan, epsilon)
+        cost = self._check_executable(plan, epsilon)
         if request_key is not None:
             switches = {
                 "non_negative": non_negative,
@@ -790,14 +808,14 @@ class PrivateQueryEngine:
                 "consistent": consistent,
             }
             return self._execute_keyed(
-                [(plan, (epsilon, delta), switches, request_key)]
+                [(plan, cost, switches, request_key)]
             )[0]
         ledger_state = self._accountant.snapshot()
-        self._accountant.spend(epsilon, delta)
+        self._accountant.spend(cost)
         realized = (self._accountant.spent_epsilon, self._accountant.spent_delta)
         try:
             release = self._build_release(
-                plan, epsilon, delta, non_negative, integral, consistent,
+                plan, cost, non_negative, integral, consistent,
                 realized=realized,
             )
         except BaseException:
@@ -846,17 +864,17 @@ class PrivateQueryEngine:
         defaults = {
             "non_negative": non_negative, "integral": integral, "consistent": consistent,
         }
-        # Per-batch memos: a 256-request batch typically holds a handful of
-        # plans and epsilons, so plan validation (isinstance + domain +
-        # delta) and epsilon validation run once per distinct value, not
-        # once per request — several microseconds per request (the ABC
-        # isinstance inside check_positive plus the plan property chain),
-        # which is on the order of the whole batched per-release cost.
-        # Memo validity requires _check_executable to stay pure in
-        # (plan identity, epsilon value); a future check depending on
-        # anything else must bypass these memos.
-        plan_deltas = {}
-        checked_epsilons = {}
+        # Per-batch memo: a 256-request batch typically holds a handful of
+        # plans and epsilons, so validation plus typed-cost construction
+        # runs once per distinct (plan, epsilon), not once per request —
+        # several microseconds per request (the ABC isinstance inside
+        # check_positive plus the plan property chain), which is on the
+        # order of the whole batched per-release cost. Memoizing also makes
+        # equal requests share one NoiseCost *object*, which the
+        # accountants' own spend_many memo keys on. Memo validity requires
+        # _check_executable to stay pure in (plan identity, epsilon value);
+        # a future check depending on anything else must bypass this memo.
+        cost_memo = {}
         prepared = []
         for request in requests:
             try:
@@ -881,19 +899,18 @@ class PrivateQueryEngine:
                     f"unknown post-processing switches {sorted(unknown)}; "
                     f"choose from {sorted(defaults)}"
                 )
-            delta = plan_deltas.get(id(plan))
             eps_key = (
                 epsilon
                 if isinstance(epsilon, (int, float)) and not isinstance(epsilon, bool)
                 else None
             )
-            checked = checked_epsilons.get(eps_key) if eps_key is not None else None
-            if delta is None or checked is None:
-                checked, delta = self._check_executable(plan, epsilon)
-                plan_deltas[id(plan)] = delta
-                if eps_key is not None:
-                    checked_epsilons[eps_key] = checked
-            prepared.append((plan, (checked, delta), {**defaults, **overrides}, key))
+            memo_key = (id(plan), eps_key) if eps_key is not None else None
+            cost = cost_memo.get(memo_key) if memo_key is not None else None
+            if cost is None:
+                cost = self._check_executable(plan, epsilon)
+                if memo_key is not None:
+                    cost_memo[memo_key] = cost
+            prepared.append((plan, cost, {**defaults, **overrides}, key))
         if not prepared:
             raise ValidationError("execute_many needs at least one (plan, epsilon) request")
         if any(entry[3] is not None for entry in prepared):
@@ -932,18 +949,18 @@ class PrivateQueryEngine:
             metadata_base = self._metadata_base(plan)
             if len(indices) == 1:
                 index = indices[0]
-                _, (epsilon, delta), switches = prepared[index]
+                _, cost, switches = prepared[index]
                 answers = plan.compile().answer(
-                    self._data, epsilon, self._rng, epoch=self._data_epoch
+                    self._data, cost.epsilon, self._rng, epoch=self._data_epoch
                 )
                 staged[index] = self._finalize_release(
-                    plan, epsilon, delta, answers,
+                    plan, cost, answers,
                     expected_memo=expected_memo, metadata_base=metadata_base,
                     realized=realized[index],
                     **switches,
                 )
                 continue
-            epsilons = [prepared[index][1][0] for index in indices]
+            epsilons = [prepared[index][1].epsilon for index in indices]
             batch = plan.compile().answer_many(
                 self._data, epsilons, self._rng, epoch=self._data_epoch
             )
@@ -951,9 +968,9 @@ class PrivateQueryEngine:
             # batch buffer — rows never overlap, so releases cannot alias
             # each other's answers.
             for row, index in zip(batch, indices):
-                _, (epsilon, delta), switches = prepared[index]
+                _, cost, switches = prepared[index]
                 staged[index] = self._finalize_release(
-                    plan, epsilon, delta, row,
+                    plan, cost, row,
                     expected_memo=expected_memo, metadata_base=metadata_base,
                     realized=realized[index],
                     **switches,

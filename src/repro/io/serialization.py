@@ -64,8 +64,16 @@ _FORMAT_VERSION = 1
 # archives remain readable.
 _FITTED_LRM_FORMAT_VERSIONS = (2, 3)
 _FITTED_LRM_FORMAT_VERSION = 3
-_PLAN_FORMAT_VERSIONS = (2, 3)
+# Plan version 4 = version 3 plus an optional ``mechanism_archive`` member:
+# mechanisms the registry cannot rebuild (wrappers like SubsampledMechanism,
+# arbitrary custom classes) persist through the Mechanism.to_spec/from_spec
+# protocol instead. Only archives that actually need it are written as
+# version 4, so registry/low-rank plans stay readable by older releases;
+# an older reader hitting a version-4 archive gets PlanFormatError — a
+# graceful plan-cache miss, not an integrity failure.
+_PLAN_FORMAT_VERSIONS = (2, 3, 4)
 _PLAN_FORMAT_VERSION = 3
+_PLAN_SPEC_FORMAT_VERSION = 4
 
 
 def _atomic_savez(path, **arrays):
@@ -307,6 +315,63 @@ def _rebuild_lowrank(class_name, delta, fit_kwargs):
     return LowRankMechanism(**kwargs)
 
 
+def _spec_payload(mechanism):
+    """The ``mechanism_archive`` member of a version-4 plan archive, or
+    ``None`` when the mechanism does not (usably) implement the spec
+    protocol.
+
+    The spec must be JSON-serializable and must round-trip:
+    ``type(m).from_spec(m.to_spec()).to_spec() == m.to_spec()`` — the
+    load-time rebuild is gated on producing a mechanism that describes
+    itself identically, so a lossy ``to_spec`` is refused at save time
+    rather than restoring a differently-configured mechanism later.
+    """
+    cls = type(mechanism)
+    try:
+        spec = mechanism.to_spec()
+        json.dumps(spec)
+        rebuilt = cls.from_spec(spec)
+        if type(rebuilt) is not cls or rebuilt.to_spec() != spec:
+            return None
+    except Exception:
+        return None
+    return {"class": cls.__name__, "module": cls.__module__, "spec": spec}
+
+
+def _mechanism_from_spec_payload(payload):
+    """Rebuild the mechanism of a version-4 archive's ``mechanism_archive``.
+
+    Unimportable modules, unknown classes, non-Mechanism classes and
+    ``from_spec`` failures all raise :class:`PlanFormatError` — the
+    archive was written by an environment this one cannot reproduce, which
+    the plan cache treats as a miss (replan), not as tampering.
+    """
+    import importlib
+
+    from repro.mechanisms.base import Mechanism
+
+    try:
+        module = importlib.import_module(str(payload["module"]))
+        cls = getattr(module, str(payload["class"]))
+    except Exception as exc:
+        raise PlanFormatError(
+            f"plan archive references an unimportable mechanism class "
+            f"{payload.get('module')!r}.{payload.get('class')!r}: {exc}"
+        ) from exc
+    if not (isinstance(cls, type) and issubclass(cls, Mechanism)):
+        raise PlanFormatError(
+            f"plan archive's mechanism class {payload.get('class')!r} is "
+            "not a Mechanism subclass"
+        )
+    try:
+        return cls.from_spec(payload.get("spec", {}))
+    except Exception as exc:
+        raise PlanFormatError(
+            f"plan archive's mechanism spec could not rebuild "
+            f"{payload.get('class')!r}: {exc}"
+        ) from exc
+
+
 def _refit_reproduces(mechanism, label, fit_kwargs):
     """True iff ``make_mechanism(label, **fit_kwargs)`` rebuilds a mechanism
     with the same constructor state as ``mechanism``.
@@ -341,8 +406,12 @@ def save_plan(plan, path):
     mechanisms store only the workload plus their constructor kwargs and
     are refit deterministically on load (their fits are cheap and
     data-independent) — allowed only when the kwargs provably rebuild the
-    same constructor state, so a plan carrying e.g. a customized
-    ``unit_sensitivity`` not captured by the kwargs raises
+    same constructor state. Mechanisms the registry cannot rebuild but
+    that implement the :meth:`repro.mechanisms.base.Mechanism.to_spec`
+    protocol (wrappers like
+    :class:`repro.mechanisms.subsampled.SubsampledMechanism`, custom
+    classes) are written as version-4 archives carrying their spec and are
+    rebuilt + refit on load. A plan fitting none of these paths raises
     :class:`ValidationError` instead of silently restoring with
     differently-calibrated noise.
     """
@@ -404,16 +473,34 @@ def save_plan(plan, path):
         metadata["decomposition"] = _decomposition_payload(decomposition)
     else:
         # Mirror load_plan's reconstruction (stored delta folded in) and
-        # refuse to persist unless it reproduces this mechanism exactly.
+        # persist via registry refit when the kwargs provably reproduce
+        # this mechanism. Otherwise fall back to the spec protocol
+        # (version 4): wrappers and custom classes whose constructor state
+        # is not plain JSON kwargs archive their to_spec() instead.
         effective_kwargs = dict(plan.fit_kwargs)
         if requires_delta:
             effective_kwargs.setdefault("delta", mechanism.delta)
-        if not _refit_reproduces(mechanism, plan.mechanism_label, effective_kwargs):
-            raise ValidationError(
-                f"plan with mechanism {type(mechanism).__name__!r} is not serializable: "
-                "its constructor state is not captured by the stored fit kwargs "
-                "(low-rank mechanisms persist their decomposition instead)"
-            )
+        try:
+            kwargs_serializable = bool(json.dumps(effective_kwargs)) or True
+        except TypeError:
+            kwargs_serializable = False
+        if not (
+            kwargs_serializable
+            and _refit_reproduces(mechanism, plan.mechanism_label, effective_kwargs)
+        ):
+            spec_payload = _spec_payload(mechanism)
+            if spec_payload is None:
+                raise ValidationError(
+                    f"plan with mechanism {type(mechanism).__name__!r} is not serializable: "
+                    "its constructor state is not captured by the stored fit kwargs "
+                    "and it does not implement the to_spec/from_spec protocol "
+                    "(low-rank mechanisms persist their decomposition instead)"
+                )
+            metadata["plan_format_version"] = _PLAN_SPEC_FORMAT_VERSION
+            metadata["mechanism_archive"] = spec_payload
+            # The spec supersedes the kwargs, which may not be
+            # JSON-serializable (e.g. a wrapped mechanism instance).
+            metadata["plan"]["fit_kwargs"] = {}
     try:
         payload = json.dumps(metadata)
     except TypeError as exc:
@@ -504,6 +591,11 @@ def plan_from_payload(metadata, arrays):
         mechanism = _rebuild_lowrank(class_name, delta, fit_kwargs)
         mechanism._workload = workload
         mechanism._decomposition = _restore_decomposition(b, l, details)
+    elif metadata.get("mechanism_archive") is not None:
+        # Version-4 spec archive: rebuild through the spec protocol, then
+        # refit deterministically against the verified workload.
+        mechanism = _mechanism_from_spec_payload(metadata["mechanism_archive"])
+        mechanism.fit(workload)
     else:
         if delta is not None:
             fit_kwargs.setdefault("delta", delta)

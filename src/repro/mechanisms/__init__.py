@@ -7,6 +7,7 @@ from repro.mechanisms.baselines import (
     NoiseOnResultsMechanism,
 )
 from repro.mechanisms.gaussian import (
+    DiscreteGaussianNoiseOnResultsMechanism,
     GaussianNoiseOnDataMechanism,
     GaussianNoiseOnResultsMechanism,
 )
@@ -15,9 +16,11 @@ from repro.mechanisms.matrix_mechanism import MatrixMechanism
 from repro.mechanisms.operator import ReleaseOperator
 from repro.mechanisms.registry import PAPER_MECHANISMS, make_mechanism, mechanism_names
 from repro.mechanisms.strategy import StrategyMechanism, SVDStrategyMechanism
+from repro.mechanisms.subsampled import SubsampledMechanism
 from repro.mechanisms.wavelet import WaveletMechanism
 
 __all__ = [
+    "DiscreteGaussianNoiseOnResultsMechanism",
     "GaussianNoiseOnDataMechanism",
     "GaussianNoiseOnResultsMechanism",
     "HierarchicalMechanism",
@@ -30,6 +33,7 @@ __all__ = [
     "ReleaseOperator",
     "SVDStrategyMechanism",
     "StrategyMechanism",
+    "SubsampledMechanism",
     "WaveletMechanism",
     "as_workload",
     "make_mechanism",

@@ -35,6 +35,7 @@ from repro.linalg.validation import (
     check_positive_int,
     ensure_rng,
 )
+from repro.privacy.cost import NoiseCost
 from repro.workloads.workload import Workload
 
 __all__ = ["Mechanism", "as_workload"]
@@ -176,6 +177,65 @@ class Mechanism(abc.ABC):
         once fitted.
         """
         return None
+
+    # ------------------------------------------------------------------ #
+    # Privacy cost
+    # ------------------------------------------------------------------ #
+    def release_cost(self, epsilon):
+        """The typed :class:`~repro.privacy.cost.NoiseCost` of one release.
+
+        Operator-backed mechanisms delegate to
+        :meth:`ReleaseOperator.cost`, which records the noise family,
+        calibrated magnitude and sensitivity alongside the (eps, delta)
+        guarantee. Mechanisms without an operator fall back to the family
+        the scalar accountants historically assumed from
+        :attr:`requires_delta` — the same (eps, delta) floats, now
+        self-describing. Subclasses with richer structure (subsampling,
+        custom calibration) override this.
+        """
+        epsilon = check_positive(epsilon, "epsilon")
+        operator = self.release_operator()
+        if operator is not None and operator.noise != "none":
+            return operator.cost(epsilon)
+        # No operator (or a zero-sensitivity "none" release): charge the
+        # (eps, delta) the scalar engine always charged for this mechanism
+        # — the declared delta, even when no noise is actually drawn.
+        delta = float(getattr(self, "delta", 0.0)) if self.requires_delta else 0.0
+        family = "gaussian" if delta > 0.0 else "laplace"
+        if operator is not None:
+            return NoiseCost(
+                family=family, epsilon=epsilon, delta=delta, sensitivity=0.0
+            )
+        return NoiseCost(family=family, epsilon=epsilon, delta=delta)
+
+    # ------------------------------------------------------------------ #
+    # Spec protocol (disk plan-cache survival for custom mechanisms)
+    # ------------------------------------------------------------------ #
+    def to_spec(self):
+        """Constructor arguments as a JSON-serializable dict.
+
+        Mechanisms implementing this protocol can be archived inside a
+        saved :class:`repro.engine.plan.ExecutionPlan` even when they are
+        not in the built-in registry: the plan file stores
+        ``{class, module, spec}`` and the loader rebuilds the mechanism
+        with :meth:`from_spec` and refits it. The default raises — only
+        mechanisms whose full configuration round-trips through plain JSON
+        should opt in. Fitted state is NOT part of the spec; the loader
+        restores it separately (or refits).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the spec protocol; "
+            "override to_spec()/from_spec() to make it plan-cacheable"
+        )
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Rebuild a mechanism from :meth:`to_spec` output.
+
+        Default: the spec is the constructor keyword dict. Subclasses
+        whose constructors take non-JSON arguments override this.
+        """
+        return cls(**dict(spec))
 
     # ------------------------------------------------------------------ #
     # Error accounting

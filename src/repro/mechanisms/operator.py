@@ -27,9 +27,13 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.linalg.operator import WorkloadOperator
+from repro.privacy.cost import NoiseCost
 from repro.privacy.noise import (
+    discrete_gaussian_noise,
+    discrete_gaussian_noise_batch,
     gaussian_noise,
     gaussian_noise_batch,
+    gaussian_sigma,
     laplace_noise,
     laplace_noise_batch,
 )
@@ -72,10 +76,12 @@ class ReleaseOperator:
         ``Delta(L)`` under the mechanism's norm (L1 for Laplace, L2 for
         Gaussian).
     noise:
-        ``"laplace"``, ``"gaussian"``, or ``"none"`` (a zero-sensitivity
-        strategy releases exact strategy answers — the mechanism decides).
+        ``"laplace"``, ``"gaussian"``, ``"discrete_gaussian"`` (integer
+        noise at the Gaussian-calibrated sigma, for integral releases),
+        or ``"none"`` (a zero-sensitivity strategy releases exact
+        strategy answers — the mechanism decides).
     delta:
-        Per-release failure probability (Gaussian noise only).
+        Per-release failure probability (Gaussian-family noise only).
     """
 
     strategy: Optional[Union[np.ndarray, WorkloadOperator]]
@@ -85,10 +91,14 @@ class ReleaseOperator:
     delta: float = 0.0
 
     def __post_init__(self):
-        if self.noise not in ("laplace", "gaussian", "none"):
+        if self.noise not in ("laplace", "gaussian", "discrete_gaussian", "none"):
             raise ValidationError(f"unknown noise family {self.noise!r}")
-        if self.noise == "gaussian" and not 0.0 < self.delta < 1.0:
-            raise ValidationError(f"gaussian noise needs 0 < delta < 1, got {self.delta}")
+        if self.noise in ("gaussian", "discrete_gaussian") and not (
+            0.0 < self.delta < 1.0
+        ):
+            raise ValidationError(
+                f"{self.noise} noise needs 0 < delta < 1, got {self.delta}"
+            )
 
     @property
     def strategy_size(self):
@@ -100,6 +110,43 @@ class ReleaseOperator:
         """The data-dependent half of a release: ``L x`` (or ``x``)."""
         return x if self.strategy is None else _apply(self.strategy, x)
 
+    def cost(self, epsilon):
+        """The typed :class:`~repro.privacy.cost.NoiseCost` of one release.
+
+        The (epsilon, delta) guarantee matches what the scalar engine
+        charged bit for bit; the family and noise magnitude make the audit
+        record self-describing. ``noise="none"`` (a zero-sensitivity
+        strategy) still charges the declared pair, under the family the
+        scalar accountants historically *assumed* for it (Gaussian when
+        the release carries a delta, Laplace otherwise).
+        """
+        epsilon = float(epsilon)
+        if self.noise == "laplace":
+            return NoiseCost(
+                family="laplace",
+                epsilon=epsilon,
+                sigma_or_scale=(
+                    self.sensitivity / epsilon if self.sensitivity > 0.0 else None
+                ),
+                sensitivity=self.sensitivity,
+            )
+        if self.noise in ("gaussian", "discrete_gaussian"):
+            return NoiseCost(
+                family=self.noise,
+                epsilon=epsilon,
+                delta=self.delta,
+                sigma_or_scale=(
+                    gaussian_sigma(self.sensitivity, epsilon, self.delta)
+                    if self.sensitivity > 0.0
+                    else None
+                ),
+                sensitivity=self.sensitivity,
+            )
+        family = "gaussian" if self.delta > 0.0 else "laplace"
+        return NoiseCost(
+            family=family, epsilon=epsilon, delta=self.delta, sensitivity=0.0
+        )
+
     # ------------------------------------------------------------------ #
     # Releasing
     # ------------------------------------------------------------------ #
@@ -107,6 +154,10 @@ class ReleaseOperator:
         """One ``(k, size)`` draw covering the whole batch."""
         if self.noise == "laplace":
             return laplace_noise_batch(size, self.sensitivity, epsilons, rng)
+        if self.noise == "discrete_gaussian":
+            return discrete_gaussian_noise_batch(
+                size, self.sensitivity, epsilons, self.delta, rng
+            )
         return gaussian_noise_batch(size, self.sensitivity, epsilons, self.delta, rng)
 
     def answer(self, strategy_answers, epsilon, rng):
@@ -121,6 +172,10 @@ class ReleaseOperator:
         elif self.noise == "laplace":
             noisy = strategy_answers + laplace_noise(
                 strategy_answers.size, self.sensitivity, epsilon, rng
+            )
+        elif self.noise == "discrete_gaussian":
+            noisy = strategy_answers + discrete_gaussian_noise(
+                strategy_answers.size, self.sensitivity, epsilon, self.delta, rng
             )
         else:
             noisy = strategy_answers + gaussian_noise(

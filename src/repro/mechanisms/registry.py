@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.exceptions import ValidationError
 from repro.mechanisms.baselines import NoiseOnDataMechanism, NoiseOnResultsMechanism
 from repro.mechanisms.gaussian import (
+    DiscreteGaussianNoiseOnResultsMechanism,
     GaussianNoiseOnDataMechanism,
     GaussianNoiseOnResultsMechanism,
 )
@@ -36,6 +37,12 @@ def _make_glrm(**kwargs):
     return GaussianLowRankMechanism(**kwargs)
 
 
+def _make_subsampled(**kwargs):
+    from repro.mechanisms.subsampled import SubsampledMechanism
+
+    return SubsampledMechanism(**kwargs)
+
+
 _FACTORIES = {
     "MM": MatrixMechanism,
     "LM": NoiseOnDataMechanism,
@@ -47,8 +54,10 @@ _FACTORIES = {
     "LRM": _make_lrm,
     "GLM": GaussianNoiseOnDataMechanism,
     "GNOR": GaussianNoiseOnResultsMechanism,
+    "DGNOR": DiscreteGaussianNoiseOnResultsMechanism,
     "GLRM": _make_glrm,
     "SVDM": SVDStrategyMechanism,
+    "SUB": _make_subsampled,
 }
 
 

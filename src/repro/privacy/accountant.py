@@ -25,6 +25,22 @@ curve for the Rényi one — so :meth:`BudgetAccountant.spend_many` can
 simulate the sequential ledger for *any* composition rule and stay
 all-or-nothing and bit-identical to a loop of :meth:`spend` calls.
 
+Costs flow through the hooks either as legacy ``(epsilon, delta)`` float
+pairs or as typed :class:`repro.privacy.cost.NoiseCost` objects.  The
+additive accountants charge a typed cost's *charged pair* (the amplified
+(ε, δ) guarantee — identical to ``(epsilon, delta)`` at sample rate 1), so
+scalar arithmetic is bit-for-bit unchanged; the RDP accountant reads the
+family off the typed cost instead of inferring it from ``delta``.
+
+Migration note for ``spend()`` callers: ``spend(epsilon, delta)`` still
+accepts two scalars and returns the validated pair.  It now *also* accepts
+a single :class:`~repro.privacy.cost.NoiseCost` (``spend(cost)``, no
+separate delta) and then returns that cost object; ``spend_many`` likewise
+accepts a mix of pairs and typed costs.  Code that unpacked the return
+value as ``eps, delta = accountant.spend(...)`` must use
+``repro.privacy.cost.charged_pair`` on the result if it may receive typed
+costs — ``NoiseCost`` is deliberately not iterable.
+
 Both scalar accountants absorb floating-point dust at the boundary:
 spending a budget down in steps whose exact sum equals the total always
 succeeds and leaves ``remaining_epsilon == 0.0`` exactly (no
@@ -39,6 +55,7 @@ import abc
 
 from repro.exceptions import PrivacyBudgetError, ReproError
 from repro.linalg.validation import check_positive
+from repro.privacy.cost import NoiseCost, as_spend_cost, charged_pair
 
 __all__ = [
     "BudgetAccountant",
@@ -104,7 +121,8 @@ class BudgetAccountant(abc.ABC):
         satisfy under this accountant's composition rule."""
         return state
 
-    def _fits_state(self, epsilon, delta, state):
+    def _fits_state(self, cost, state):
+        epsilon, delta = charged_pair(cost)
         spent_epsilon, spent_delta = state
         # A fully-spent coordinate admits nothing more: the slack below only
         # forgives float dust on the *last* spend that reaches the total —
@@ -119,7 +137,8 @@ class BudgetAccountant(abc.ABC):
             and delta <= max(self._total_delta - spent_delta, 0.0) + self._delta_slack
         )
 
-    def _commit_state(self, epsilon, delta, state):
+    def _commit_state(self, cost, state):
+        epsilon, delta = charged_pair(cost)
         spent_epsilon, spent_delta = state
         spent_epsilon += epsilon
         spent_delta += delta
@@ -179,51 +198,75 @@ class BudgetAccountant(abc.ABC):
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
     def _validate_cost(self, epsilon, delta):
-        """Validate one (epsilon, delta) cost; return the normalized pair.
+        """Validate one charged (epsilon, delta) pair; return it normalized.
 
         Raises :class:`PrivacyBudgetError` when the cost is malformed for
         this composition model (independent of the remaining budget).
+        Typed costs are validated on their *charged pair* — the single
+        δ-handling rule every accountant shares — so e.g. a Gaussian
+        :class:`~repro.privacy.cost.NoiseCost` is rejected by the pure
+        accountant exactly like a scalar ``delta > 0`` cost.
         """
 
-    def _fits(self, epsilon, delta):
-        return self._fits_state(epsilon, delta, self._ledger_state())
+    def _validate(self, cost):
+        """Normalize/validate a cost: float pair in, float pair out;
+        :class:`~repro.privacy.cost.NoiseCost` in, the same cost out."""
+        if isinstance(cost, NoiseCost):
+            self._validate_cost(*cost.charged_pair())
+            return cost
+        epsilon, delta = cost
+        return self._validate_cost(epsilon, delta)
 
-    def can_spend(self, epsilon, delta=0.0):
-        """True iff one (epsilon, delta) release fits in the budget.
+    def _fits(self, cost):
+        return self._fits_state(cost, self._ledger_state())
 
-        A malformed cost (non-positive epsilon, delta out of range, delta on
-        a pure accountant) answers False rather than raising — this is a
+    def can_spend(self, cost, delta=0.0):
+        """True iff one release at ``cost`` fits in the budget.
+
+        ``cost`` is a scalar epsilon (with ``delta``), an
+        ``(epsilon, delta)`` pair, or a typed
+        :class:`~repro.privacy.cost.NoiseCost`. A malformed cost
+        (non-positive epsilon, delta out of range, delta on a pure
+        accountant) answers False rather than raising — this is a
         predicate, not a spend.
         """
         try:
-            epsilon, delta = self._validate_cost(epsilon, delta)
+            cost = self._validate(as_spend_cost(cost, delta))
         except ReproError:
             return False
-        return self._fits(epsilon, delta)
+        return self._fits(cost)
 
-    def spend(self, epsilon, delta=0.0):
-        """Consume one (epsilon, delta) cost; returns the pair.
+    def spend(self, cost, delta=0.0):
+        """Consume one cost; returns the validated cost.
 
-        Raises :class:`PrivacyBudgetError` (leaving the ledger untouched)
-        when the cost is invalid or would exceed the budget.
+        ``spend(epsilon, delta)`` keeps the historical scalar form and
+        returns the validated ``(epsilon, delta)`` pair;
+        ``spend(noise_cost)`` consumes a typed
+        :class:`~repro.privacy.cost.NoiseCost` (no separate ``delta``)
+        and returns it. Raises :class:`PrivacyBudgetError` (leaving the
+        ledger untouched) when the cost is invalid or would exceed the
+        budget.
         """
-        epsilon, delta = self._validate_cost(epsilon, delta)
+        cost = self._validate(as_spend_cost(cost, delta))
         state = self._ledger_state()
-        if not self._fits_state(epsilon, delta, state):
+        if not self._fits_state(cost, state):
+            epsilon, delta = charged_pair(cost)
             raise PrivacyBudgetError(
                 f"cannot spend (eps={epsilon}, delta={delta}): remaining "
                 f"(eps={self.remaining_epsilon}, delta={self.remaining_delta}) "
                 f"of (eps={self._total_epsilon}, delta={self._total_delta})"
             )
-        self._set_ledger_state(self._commit_state(epsilon, delta, state))
-        return epsilon, delta
+        self._set_ledger_state(self._commit_state(cost, state))
+        return cost
 
     def spend_many(self, costs, realized_out=None):
-        """Atomically consume a batch of (epsilon, delta) costs.
+        """Atomically consume a batch of costs (pairs or NoiseCosts).
 
-        Either the whole batch is charged (and the validated pairs are
-        returned) or :class:`PrivacyBudgetError` is raised with no state
-        change — the all-or-nothing primitive behind
+        Either the whole batch is charged (and the validated costs are
+        returned — pairs for pair input, the typed cost for
+        :class:`~repro.privacy.cost.NoiseCost` input) or
+        :class:`PrivacyBudgetError` is raised with no state change — the
+        all-or-nothing primitive behind
         ``PrivateQueryEngine.execute_many``.
 
         ``realized_out``, when given a list, receives one
@@ -234,14 +277,16 @@ class BudgetAccountant(abc.ABC):
         """
         # Serving batches are typically many releases at a handful of
         # distinct costs; validate each distinct cost once (validation is
-        # pure in the cost pair).
+        # pure in the cost). NoiseCost is frozen/hashable, so typed costs
+        # memoize exactly like pair tuples.
         memo = {}
         validated = []
         for cost in costs:
-            cost = tuple(cost)
+            if not isinstance(cost, NoiseCost):
+                cost = tuple(cost)
             checked = memo.get(cost)
             if checked is None:
-                checked = memo[cost] = self._validate_cost(*cost)
+                checked = memo[cost] = self._validate(cost)
             validated.append(checked)
         if not validated:
             raise PrivacyBudgetError("spend_many needs at least one cost")
@@ -255,10 +300,12 @@ class BudgetAccountant(abc.ABC):
         # spend_many all-or-nothing.
         state = self._ledger_state()
         realized = []
-        for index, (epsilon, delta) in enumerate(validated):
-            if not self._fits_state(epsilon, delta, state):
-                total_eps = sum(eps for eps, _ in validated)
-                total_delta = sum(delta for _, delta in validated)
+        for index, cost in enumerate(validated):
+            if not self._fits_state(cost, state):
+                charged = [charged_pair(entry) for entry in validated]
+                total_eps = sum(eps for eps, _ in charged)
+                total_delta = sum(delta for _, delta in charged)
+                epsilon, delta = charged_pair(cost)
                 spent_epsilon, spent_delta = self._state_spent(state)
                 raise PrivacyBudgetError(
                     f"batch of {len(validated)} releases needs "
@@ -268,7 +315,7 @@ class BudgetAccountant(abc.ABC):
                     f"(eps={max(self._total_epsilon - spent_epsilon, 0.0)}, "
                     f"delta={max(self._total_delta - spent_delta, 0.0)})"
                 )
-            state = self._commit_state(epsilon, delta, state)
+            state = self._commit_state(cost, state)
             if realized_out is not None:
                 realized.append(self._state_spent(state))
         self._set_ledger_state(state)

@@ -1,0 +1,269 @@
+"""Typed per-release privacy costs.
+
+Historically every layer of the stack passed a bare ``(epsilon, delta)``
+pair and the RDP accountant *inferred* the noise family from it ("δ=0
+means Laplace").  That inference was a documented assumption, not a
+structural fact: the ledger composed curves it could not verify, and new
+noise families (subsampled Gaussian, discrete Gaussian) had no way to
+describe themselves.  :class:`NoiseCost` replaces the scalar vocabulary
+with a self-describing value object that every layer — mechanisms,
+accountants, the durable ledger, release metadata, ``explain()`` and the
+CLI — shares.
+
+Bit-compatibility contract
+--------------------------
+Scalar ``(epsilon, delta)`` costs remain first-class everywhere a
+:class:`NoiseCost` is accepted, and the arithmetic an accountant performs
+on them is unchanged: :func:`charged_pair` returns the pair itself, and
+the RDP curve for a typed Laplace/Gaussian cost is computed with exactly
+the legacy expressions, so existing ledgers and tests see bit-identical
+floats.
+
+``NoiseCost`` is deliberately **not iterable**: legacy code paths that
+normalised costs with ``tuple(cost)`` must go through
+:func:`as_spend_cost` instead, so a typed cost can never be silently
+downcast to an untyped pair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+#: Noise families a :class:`NoiseCost` may describe.  ``laplace`` is the
+#: pure-DP family; the other three satisfy (ε, δ)-DP with δ > 0.
+COST_FAMILIES = (
+    "laplace",
+    "gaussian",
+    "subsampled_gaussian",
+    "discrete_gaussian",
+)
+
+#: Families whose per-release guarantee requires δ > 0.
+_DELTA_FAMILIES = ("gaussian", "subsampled_gaussian", "discrete_gaussian")
+
+
+def amplified_pair(epsilon, delta, sample_rate):
+    """The (ε, δ) guarantee after amplification by Bernoulli subsampling.
+
+    Standard bound (Balle, Barthe & Gaboardi 2018; Li, Qardaji & Su 2012):
+    running an (ε, δ)-DP mechanism on a subsample that includes each row
+    independently with probability ``q`` satisfies
+    ``(log(1 + q·(e^ε − 1)), q·δ)``-DP on the full dataset.
+    """
+    if sample_rate >= 1.0:
+        return float(epsilon), float(delta)
+    amplified_epsilon = math.log1p(sample_rate * math.expm1(epsilon))
+    return amplified_epsilon, sample_rate * delta
+
+
+@dataclass(frozen=True)
+class NoiseCost:
+    """Self-describing privacy cost of one release.
+
+    Parameters
+    ----------
+    family:
+        One of :data:`COST_FAMILIES`.
+    epsilon, delta:
+        The (ε, δ)-DP guarantee of the *base* mechanism, i.e. before any
+        subsampling amplification.  ``delta`` must be 0 for ``laplace``
+        and in (0, 1) for the Gaussian families.
+    sigma_or_scale:
+        Audit-only record of the calibrated noise magnitude (Laplace
+        scale b or Gaussian σ, per unit sensitivity times
+        ``sensitivity``).  Never used in accounting arithmetic — the
+        accountants re-derive noise magnitudes from (ε, δ) with the
+        exact legacy expressions so composition stays bit-identical.
+    sensitivity:
+        The query sensitivity the noise was calibrated against (L1 for
+        Laplace, L2 for the Gaussian families).  Audit-only.
+    sample_rate:
+        Bernoulli inclusion probability q of the subsample the release
+        was computed from.  q < 1 is only meaningful for
+        ``subsampled_gaussian``; additive accountants charge the
+        amplified pair, the RDP accountant composes the subsampled
+        Gaussian curve.
+    """
+
+    family: str
+    epsilon: float
+    delta: float = 0.0
+    sigma_or_scale: float | None = None
+    sensitivity: float = 1.0
+    sample_rate: float = 1.0
+
+    def __post_init__(self):
+        if self.family not in COST_FAMILIES:
+            raise ValidationError(
+                f"unknown noise family {self.family!r}; expected one of "
+                f"{COST_FAMILIES}"
+            )
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "delta", float(self.delta))
+        object.__setattr__(self, "sensitivity", float(self.sensitivity))
+        object.__setattr__(self, "sample_rate", float(self.sample_rate))
+        if self.sigma_or_scale is not None:
+            object.__setattr__(
+                self, "sigma_or_scale", float(self.sigma_or_scale)
+            )
+        if not self.epsilon > 0.0 or not math.isfinite(self.epsilon):
+            raise ValidationError(
+                f"epsilon must be a positive finite float, got {self.epsilon!r}"
+            )
+        if self.family == "laplace":
+            if self.delta != 0.0:
+                raise ValidationError(
+                    f"laplace cost must have delta == 0, got {self.delta!r}"
+                )
+        elif self.family in _DELTA_FAMILIES:
+            if not 0.0 < self.delta < 1.0:
+                raise ValidationError(
+                    f"{self.family} cost needs delta in (0, 1), got "
+                    f"{self.delta!r}"
+                )
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValidationError(
+                f"sample_rate must be in (0, 1], got {self.sample_rate!r}"
+            )
+        if self.sample_rate < 1.0 and self.family != "subsampled_gaussian":
+            raise ValidationError(
+                f"sample_rate < 1 is only valid for subsampled_gaussian "
+                f"costs, not {self.family!r}"
+            )
+        if self.sensitivity < 0.0 or not math.isfinite(self.sensitivity):
+            raise ValidationError(
+                f"sensitivity must be a non-negative finite float, got "
+                f"{self.sensitivity!r}"
+            )
+        if self.sigma_or_scale is not None and not self.sigma_or_scale >= 0.0:
+            raise ValidationError(
+                f"sigma_or_scale must be non-negative, got "
+                f"{self.sigma_or_scale!r}"
+            )
+
+    def charged_pair(self):
+        """The (ε, δ) an additive (pure/basic) accountant charges.
+
+        This is the single δ-handling rule shared by every accountant:
+        the *amplified* per-release guarantee is what sums against the
+        budget.  For q = 1 it is exactly ``(epsilon, delta)`` — the same
+        floats the scalar code path charged — so untyped and typed
+        releases of the same guarantee compose bit-identically.
+        """
+        return amplified_pair(self.epsilon, self.delta, self.sample_rate)
+
+    def to_record(self):
+        """JSON-serializable dict for journals and release metadata."""
+        record = {
+            "family": self.family,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "sensitivity": self.sensitivity,
+            "sample_rate": self.sample_rate,
+        }
+        if self.sigma_or_scale is not None:
+            record["sigma_or_scale"] = self.sigma_or_scale
+        if self.sample_rate < 1.0:
+            # Audit convenience only — from_record() re-derives it.
+            charged_epsilon, charged_delta = self.charged_pair()
+            record["charged"] = [charged_epsilon, charged_delta]
+        return record
+
+    @classmethod
+    def from_record(cls, record):
+        """Rebuild a cost from :meth:`to_record` output.
+
+        Unknown keys (including the derived ``charged`` pair) are
+        ignored so newer writers stay readable.
+        """
+        if not isinstance(record, dict) or "family" not in record:
+            raise ValidationError(
+                f"not a NoiseCost record: {record!r}"
+            )
+        try:
+            return cls(
+                family=record["family"],
+                epsilon=record["epsilon"],
+                delta=record.get("delta", 0.0),
+                sigma_or_scale=record.get("sigma_or_scale"),
+                sensitivity=record.get("sensitivity", 1.0),
+                sample_rate=record.get("sample_rate", 1.0),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"malformed NoiseCost record {record!r}: {exc}"
+            ) from exc
+
+
+def charged_pair(cost):
+    """The (ε, δ) pair an additive accountant charges for ``cost``.
+
+    Typed costs delegate to :meth:`NoiseCost.charged_pair`; untyped
+    ``(epsilon, delta)`` pairs are returned as the same floats, keeping
+    the scalar arithmetic untouched.
+    """
+    if isinstance(cost, NoiseCost):
+        return cost.charged_pair()
+    epsilon, delta = cost
+    return float(epsilon), float(delta)
+
+
+def as_spend_cost(cost, delta=0.0):
+    """Normalise a ``spend()``-style argument to a NoiseCost or pair.
+
+    ``spend(epsilon, delta)`` historically took two scalars; it now also
+    accepts a :class:`NoiseCost` (in which case the separate ``delta``
+    argument must be left at 0 — the typed cost already carries its δ).
+    Pair tuples/lists are normalised to float pairs for the legacy path.
+    """
+    if isinstance(cost, NoiseCost):
+        if delta not in (0, 0.0):
+            raise ValidationError(
+                "spend(cost, delta) with a typed NoiseCost must not pass a "
+                f"separate delta (got {delta!r}); the cost already carries it"
+            )
+        return cost
+    if isinstance(cost, (tuple, list)):
+        if len(cost) != 2:
+            raise ValidationError(
+                f"cost pair must have exactly two entries, got {cost!r}"
+            )
+        if delta not in (0, 0.0):
+            raise ValidationError(
+                "spend() with an (epsilon, delta) pair must not pass a "
+                f"separate delta (got {delta!r})"
+            )
+        return float(cost[0]), float(cost[1])
+    try:
+        return float(cost), float(delta)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"cannot interpret {cost!r} as a privacy cost; expected a scalar "
+            "epsilon, an (epsilon, delta) pair, or a NoiseCost"
+        ) from exc
+
+
+def cost_record(cost):
+    """Journal encoding: list pair for untyped costs, dict for typed."""
+    if isinstance(cost, NoiseCost):
+        return cost.to_record()
+    epsilon, delta = cost
+    return [float(epsilon), float(delta)]
+
+
+def cost_from_record(record):
+    """Inverse of :func:`cost_record`; the journal upgrade shim.
+
+    Pre-typed (format 1) journals encode every cost as an
+    ``[epsilon, delta]`` list — those come back as the same float pair
+    the scalar accountants always replayed, bit for bit.  Typed costs
+    (format 2) are dicts and come back as :class:`NoiseCost`.
+    """
+    if isinstance(record, dict):
+        return NoiseCost.from_record(record)
+    if isinstance(record, (tuple, list)) and len(record) == 2:
+        return float(record[0]), float(record[1])
+    raise ValidationError(f"unrecognised cost record {record!r}")

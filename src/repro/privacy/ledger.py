@@ -91,6 +91,13 @@ from repro.exceptions import (
 )
 from repro.io.atomic import RetryPolicy, fsync_directory, retry_with_backoff
 from repro.privacy.accountant import BudgetAccountant, make_accountant
+from repro.privacy.cost import (
+    NoiseCost,
+    as_spend_cost,
+    charged_pair,
+    cost_from_record,
+    cost_record,
+)
 from repro.testing.faults import failpoints, fire
 
 try:  # POSIX cross-process file locks; Windows falls back to O_EXCL below.
@@ -100,6 +107,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 
 __all__ = [
     "LEDGER_FORMAT_VERSION",
+    "ACCEPTED_LEDGER_FORMATS",
     "LedgerStore",
     "JournalStore",
     "SQLiteStore",
@@ -115,7 +123,16 @@ __all__ = [
 
 logger = logging.getLogger(__name__)
 
-LEDGER_FORMAT_VERSION = 1
+# Format 2 (typed costs): an intent's "costs" array may mix the legacy
+# [epsilon, delta] list encoding with NoiseCost record dicts. Format-1
+# streams (scalar pairs only) are a strict subset and replay through the
+# same shim (repro.privacy.cost.cost_from_record) bit-identically.
+LEDGER_FORMAT_VERSION = 2
+
+#: Meta-header formats this reader replays. Unknown *fields* in the meta
+#: header only warn (forward compatibility); an unknown *format number* is
+#: a genuinely incompatible stream and still refuses.
+ACCEPTED_LEDGER_FORMATS = (1, 2)
 
 #: Path suffixes routed to the SQLite backend by ``backend="auto"``.
 _SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
@@ -163,6 +180,16 @@ def _decode_record(text, expected_seq):
 
 def _txn_id():
     return f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
+
+
+def _committed_cost(cost):
+    """Normalize a validated cost for the mirror and the journal: typed
+    costs stay typed (journaled as record dicts), pairs become plain
+    float tuples (journaled as the legacy [epsilon, delta] lists)."""
+    if isinstance(cost, NoiseCost):
+        return cost
+    epsilon, delta = cost
+    return (float(epsilon), float(delta))
 
 
 # ---------------------------------------------------------------------- #
@@ -730,7 +757,7 @@ def replay_records(records, accountant):
             txn = record["txn"]
             if txn in intents:
                 raise LedgerCorruptError(f"duplicate intent for txn {txn!r}")
-            costs = [(float(eps), float(delta)) for eps, delta in record["costs"]]
+            costs = [cost_from_record(entry) for entry in record["costs"]]
             keys = record.get("keys")
             if keys is not None and len(keys) != len(costs):
                 raise LedgerCorruptError(
@@ -767,8 +794,8 @@ def replay_records(records, accountant):
             raise LedgerCorruptError(f"unknown ledger record op {op!r}")
     state = accountant._fresh_state()
     for _, costs in committed:
-        for epsilon, delta in costs:
-            state = accountant._commit_state(epsilon, delta, state)
+        for cost in costs:
+            state = accountant._commit_state(cost, state)
     accountant._set_ledger_state(state)
     orphaned_keys = sorted(
         key
@@ -946,6 +973,30 @@ class DurableAccountant(BudgetAccountant):
                     f"{key}={expected[key]!r} — one ledger cannot serve two "
                     "budget configurations"
                 )
+        declared = meta.get("format", 1)
+        if declared not in ACCEPTED_LEDGER_FORMATS:
+            raise LedgerError(
+                f"budget ledger {self._store.path} declares format "
+                f"{declared!r}; this reader replays formats "
+                f"{ACCEPTED_LEDGER_FORMATS}"
+            )
+        # Forward compatibility: a newer writer may add meta fields this
+        # version does not know. They cannot change what replay computes
+        # (costs live in intent records, verified per record), so warn
+        # instead of refusing — mixed-version deployments keep serving
+        # across a schema bump.
+        unknown = sorted(
+            key
+            for key in meta
+            if key not in expected and key not in ("seq", "crc")
+        )
+        if unknown:
+            logger.warning(
+                "budget ledger %s meta header carries unknown fields %s "
+                "(written by a newer version?); ignoring them",
+                self._store.path,
+                unknown,
+            )
 
     # -- incremental replay bookkeeping -------------------------------- #
     def _reset_replay_state(self):
@@ -1017,8 +1068,8 @@ class DurableAccountant(BudgetAccountant):
         appending to it."""
         state = self._inner._fresh_state()
         for _, costs in self._committed:
-            for epsilon, delta in costs:
-                state = self._inner._commit_state(epsilon, delta, state)
+            for cost in costs:
+                state = self._inner._commit_state(cost, state)
         self._inner._set_ledger_state(state)
 
     def _apply_records(self, records):
@@ -1049,9 +1100,7 @@ class DurableAccountant(BudgetAccountant):
                 txn = record["txn"]
                 if txn in self._intents:
                     raise LedgerCorruptError(f"duplicate intent for txn {txn!r}")
-                costs = [
-                    (float(eps), float(delta)) for eps, delta in record["costs"]
-                ]
+                costs = [cost_from_record(entry) for entry in record["costs"]]
                 keys = record.get("keys")
                 if keys is not None and len(keys) != len(costs):
                     raise LedgerCorruptError(
@@ -1076,8 +1125,8 @@ class DurableAccountant(BudgetAccountant):
                     self._register_keyed(txn, keys, results)
                 if not recompute:
                     state = self._inner._ledger_state()
-                    for epsilon, delta in costs:
-                        state = self._inner._commit_state(epsilon, delta, state)
+                    for cost in costs:
+                        state = self._inner._commit_state(cost, state)
                     self._inner._set_ledger_state(state)
             elif op == "rollback":
                 undo = set(record["txns"])
@@ -1137,15 +1186,15 @@ class DurableAccountant(BudgetAccountant):
     def _state_spent(self, state):
         return self._inner._state_spent(state)
 
-    def _fits_state(self, epsilon, delta, state):
-        return self._inner._fits_state(epsilon, delta, state)
+    def _fits_state(self, cost, state):
+        return self._inner._fits_state(cost, state)
 
-    def _commit_state(self, epsilon, delta, state):
-        return self._inner._commit_state(epsilon, delta, state)
+    def _commit_state(self, cost, state):
+        return self._inner._commit_state(cost, state)
 
-    def can_spend(self, epsilon, delta=0.0):
+    def can_spend(self, cost, delta=0.0):
         self.sync()
-        return self._inner.can_spend(epsilon, delta)
+        return self._inner.can_spend(cost, delta)
 
     # -- the durable spend path ---------------------------------------- #
     def _charge(self, costs, realized_out=None, many=False):
@@ -1166,14 +1215,14 @@ class DurableAccountant(BudgetAccountant):
                         costs, realized_out=staged_realized
                     )
                 else:
-                    validated = [self._inner.spend(*costs[0])]
+                    validated = [self._inner.spend(costs[0])]
                 txn = _txn_id()
-                committed_costs = [(float(e), float(d)) for e, d in validated]
+                committed_costs = [_committed_cost(cost) for cost in validated]
                 self._store.append(
                     {
                         "op": "intent",
                         "txn": txn,
-                        "costs": [[e, d] for e, d in committed_costs],
+                        "costs": [cost_record(cost) for cost in committed_costs],
                     },
                     point="ledger.intent",
                 )
@@ -1245,7 +1294,7 @@ class DurableAccountant(BudgetAccountant):
                     intent = {
                         "op": "intent",
                         "txn": txn,
-                        "costs": [[eps, delta] for eps, delta in txn_costs],
+                        "costs": [cost_record(cost) for cost in txn_costs],
                     }
                     commit = {"op": "commit", "txn": txn}
                     entry = self._keyed.get(txn)
@@ -1278,12 +1327,14 @@ class DurableAccountant(BudgetAccountant):
                 exc,
             )
 
-    def spend(self, epsilon, delta=0.0):
-        return self._charge([(epsilon, delta)], many=False)[0]
+    def spend(self, cost, delta=0.0):
+        return self._charge([as_spend_cost(cost, delta)], many=False)[0]
 
     def spend_many(self, costs, realized_out=None):
         return self._charge(
-            [tuple(cost) for cost in costs], realized_out=realized_out, many=True
+            [cost if isinstance(cost, NoiseCost) else tuple(cost) for cost in costs],
+            realized_out=realized_out,
+            many=True,
         )
 
     def spend_keyed(self, requests, produce):
@@ -1335,7 +1386,9 @@ class DurableAccountant(BudgetAccountant):
                     if key is not None:
                         batch_index[key] = len(fresh_positions)
                     fresh_positions.append(position)
-                    fresh_costs.append(tuple(cost))
+                    fresh_costs.append(
+                        cost if isinstance(cost, NoiseCost) else tuple(cost)
+                    )
                     fresh_keys.append(key)
             if not fresh_positions:
                 return results
@@ -1344,7 +1397,7 @@ class DurableAccountant(BudgetAccountant):
             try:
                 staged_realized = []
                 if len(fresh_costs) == 1:
-                    validated = [self._inner.spend(*fresh_costs[0])]
+                    validated = [self._inner.spend(fresh_costs[0])]
                     staged_realized.append(
                         (self._inner.spent_epsilon, self._inner.spent_delta)
                     )
@@ -1362,11 +1415,11 @@ class DurableAccountant(BudgetAccountant):
                         "charged requests"
                     )
                 txn = _txn_id()
-                committed_costs = [(float(e), float(d)) for e, d in validated]
+                committed_costs = [_committed_cost(cost) for cost in validated]
                 intent = {
                     "op": "intent",
                     "txn": txn,
-                    "costs": [[e, d] for e, d in committed_costs],
+                    "costs": [cost_record(cost) for cost in committed_costs],
                 }
                 commit = {"op": "commit", "txn": txn}
                 stored_results = None
@@ -1497,6 +1550,28 @@ def open_ledger(path, accountant, backend="auto", retry=None, compact_every=None
 # ---------------------------------------------------------------------- #
 # Inspection and recovery (the CLI's `ledger` target)
 # ---------------------------------------------------------------------- #
+def _cost_families(committed):
+    """Per-family audit breakdown of a replayed ledger's committed costs.
+
+    Returns ``{family: {"count", "epsilon", "delta"}}`` where epsilon /
+    delta sum each release's *charged* (amplified) pair — the additive
+    ε-equivalent, a legible audit figure even when the live accountant is
+    RDP. Pre-typed scalar costs are grouped under ``"untyped"``.
+    """
+    families = {}
+    for _, costs in committed:
+        for cost in costs:
+            family = cost.family if isinstance(cost, NoiseCost) else "untyped"
+            epsilon, delta = charged_pair(cost)
+            entry = families.setdefault(
+                family, {"count": 0, "epsilon": 0.0, "delta": 0.0}
+            )
+            entry["count"] += 1
+            entry["epsilon"] += epsilon
+            entry["delta"] += delta
+    return families
+
+
 def _summarize(store, records, torn, summary, accountant):
     spent_epsilon, spent_delta = accountant._state_spent(accountant._ledger_state())
     return {
@@ -1513,6 +1588,7 @@ def _summarize(store, records, torn, summary, accountant):
         "orphaned_keys": summary.get("orphaned_keys", []),
         "rolled_back": summary["rolled_back"],
         "resets": summary["resets"],
+        "families": _cost_families(summary["committed"]),
         "torn_tail_bytes": torn,
         "model": summary["meta"].get("model"),
         "total_epsilon": summary["meta"].get("total_epsilon"),
@@ -1636,7 +1712,7 @@ def recover_ledger(path, backend="auto", dry_run=False):
                 intent = {
                     "op": "intent",
                     "txn": txn,
-                    "costs": [[eps, delta] for eps, delta in costs],
+                    "costs": [cost_record(cost) for cost in costs],
                 }
                 commit = {"op": "commit", "txn": txn}
                 entry = summary["keyed"].get(txn)

@@ -23,8 +23,10 @@ ledger of :class:`RDPAccountant` is one array:
 
 :class:`RDPAccountant` plugs into the engine through
 ``make_accountant(..., model="rdp")`` or
-``PrivateQueryEngine(..., accountant="rdp")``. Costs still arrive as the
-engine's (epsilon, delta) pairs; the accountant maps them to curves:
+``PrivateQueryEngine(..., accountant="rdp")``. Costs arrive either as
+typed :class:`repro.privacy.cost.NoiseCost` objects — the accountant
+dispatches on the declared family (:func:`noise_cost_rdp_curve`) — or as
+legacy (epsilon, delta) pairs, which keep the historical inference:
 
 * ``delta == 0`` — a Laplace release at scale ``Delta/eps`` (every pure
   mechanism in this package is Laplace-noised; the Laplace curve is *not*
@@ -34,24 +36,38 @@ engine's (epsilon, delta) pairs; the accountant maps them to curves:
   produces for that (eps, delta). A release that actually used a larger
   sigma (e.g. ``mode="classical"``) is accounted conservatively, never
   optimistically, since the RDP curve shrinks as sigma grows.
+
+Typed Laplace/Gaussian costs are mapped with *exactly* the legacy
+expressions (same sigma calibration, same curve arithmetic), so a typed
+release composes bit-identically with its scalar twin. The typed
+vocabulary additionally unlocks :func:`subsampled_gaussian_rdp_curve` —
+the Sampled Gaussian Mechanism bound of Mironov, Talwar & Zhang (2019),
+far tighter under composition than charging the amplified (ε, δ) pair —
+and the discrete Gaussian, whose curve equals the continuous one at the
+same sigma (Canonne–Kamath–Steinke 2020).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from scipy.special import gammaln, logsumexp
+
 from repro.exceptions import PrivacyBudgetError
 from repro.linalg.validation import check_positive
 from repro.privacy.accountant import BudgetAccountant, _check_delta
+from repro.privacy.cost import NoiseCost, amplified_pair
 from repro.privacy.noise import gaussian_sigma
 
 __all__ = [
     "DEFAULT_ALPHA_GRID",
     "gaussian_rdp_curve",
     "laplace_rdp_curve",
+    "subsampled_gaussian_rdp_curve",
     "compose_rdp_curves",
     "rdp_to_approx_dp",
     "release_rdp_curve",
+    "noise_cost_rdp_curve",
     "releases_per_budget",
     "RDPAccountant",
 ]
@@ -163,8 +179,97 @@ def release_rdp_curve(epsilon, delta, alphas=None):
     return gaussian_rdp_curve(gaussian_sigma(1.0, epsilon, delta), alphas)
 
 
+def subsampled_gaussian_rdp_curve(noise_multiplier, sample_rate, alphas=None):
+    """RDP curve of the Sampled Gaussian Mechanism (Bernoulli rate ``q``).
+
+    Mironov, Talwar & Zhang 2019 ("Rényi Differential Privacy of the
+    Sampled Gaussian Mechanism"), integer-order bound:
+
+        eps(alpha) = log( sum_{k=0}^{alpha} C(alpha, k)
+                          (1-q)^{alpha-k} q^k e^{(k^2-k)/(2 sigma^2)} )
+                     / (alpha - 1)
+
+    evaluated in log space (``gammaln`` binomials + ``logsumexp``) so
+    large orders cannot overflow. Fractional grid orders are bounded by
+    the value at ``ceil(alpha)`` — Rényi divergence is non-decreasing in
+    the order, so that is a sound (slightly loose) upper bound — and the
+    whole curve is capped at the *unsampled* Gaussian curve, which is
+    itself always a valid bound for the subsampled mechanism
+    (quasi-convexity of Rényi divergence in the mixture argument). At
+    ``q = 1`` this reproduces :func:`gaussian_rdp_curve` exactly.
+    """
+    noise_multiplier = check_positive(noise_multiplier, "noise_multiplier")
+    sample_rate = float(sample_rate)
+    if not 0.0 < sample_rate <= 1.0:
+        raise PrivacyBudgetError(
+            f"sample_rate must be in (0, 1], got {sample_rate}"
+        )
+    alphas = _as_alphas(alphas)
+    unsampled = gaussian_rdp_curve(noise_multiplier, alphas)
+    if sample_rate == 1.0:
+        return unsampled
+    log_q = np.log(sample_rate)
+    log_1mq = np.log1p(-sample_rate)
+    inv_two_sigma_sq = 1.0 / (2.0 * noise_multiplier * noise_multiplier)
+    orders = np.ceil(alphas).astype(np.int64)
+    bound_by_order = {}
+    for order in np.unique(orders):
+        k = np.arange(order + 1, dtype=np.float64)
+        log_binom = gammaln(order + 1.0) - gammaln(k + 1.0) - gammaln(order - k + 1.0)
+        log_terms = (
+            log_binom
+            + k * log_q
+            + (order - k) * log_1mq
+            + (k * k - k) * inv_two_sigma_sq
+        )
+        bound_by_order[int(order)] = float(logsumexp(log_terms)) / (order - 1.0)
+    sampled = np.array(
+        [bound_by_order[int(order)] for order in orders], dtype=np.float64
+    )
+    return np.minimum(sampled, unsampled)
+
+
+def noise_cost_rdp_curve(cost, alphas=None):
+    """The RDP curve a typed :class:`NoiseCost` declares.
+
+    Unlike :func:`release_rdp_curve` (the legacy inference from a bare
+    pair), the family is dispatched structurally:
+
+    * ``laplace`` — :func:`laplace_rdp_curve` at scale ratio ``1/eps``.
+    * ``gaussian`` / ``discrete_gaussian`` — :func:`gaussian_rdp_curve`
+      at the analytically calibrated sigma (the discrete Gaussian
+      satisfies the same concentrated-DP guarantee as the continuous one
+      at equal sigma; Canonne–Kamath–Steinke 2020).
+    * ``subsampled_gaussian`` — :func:`subsampled_gaussian_rdp_curve` at
+      the *base* mechanism's sigma and the declared sample rate.
+
+    The Laplace/Gaussian branches use the exact expressions of
+    :func:`release_rdp_curve`, so typed and scalar releases of the same
+    guarantee compose bit-identically.
+    """
+    if not isinstance(cost, NoiseCost):
+        raise PrivacyBudgetError(
+            f"noise_cost_rdp_curve needs a NoiseCost, got {cost!r}"
+        )
+    if cost.family == "laplace":
+        return laplace_rdp_curve(1.0 / cost.epsilon, alphas)
+    if cost.family in ("gaussian", "discrete_gaussian"):
+        return gaussian_rdp_curve(
+            gaussian_sigma(1.0, cost.epsilon, cost.delta), alphas
+        )
+    # subsampled_gaussian: the (epsilon, delta) on the cost describe the
+    # base (unsampled) release; sigma is re-derived with the same default
+    # calibration the Gaussian branch uses.
+    return subsampled_gaussian_rdp_curve(
+        gaussian_sigma(1.0, cost.epsilon, cost.delta),
+        cost.sample_rate,
+        alphas,
+    )
+
+
 def releases_per_budget(
-    epsilon, delta, total_epsilon, total_delta, model="rdp", alphas=None
+    epsilon, delta, total_epsilon, total_delta, model="rdp", alphas=None,
+    sample_rate=1.0,
 ):
     """How many identical (epsilon, delta) releases fit one budget.
 
@@ -176,6 +281,14 @@ def releases_per_budget(
       ``min(floor(E/eps), floor(D/delta))``.
     * ``model="rdp"`` — largest ``k`` whose k-fold composed curve converts
       to at most ``total_epsilon`` at ``total_delta``.
+
+    ``sample_rate`` < 1 prices each release as a *subsampled* release of
+    the same base (epsilon, delta) guarantee served from a Bernoulli
+    sample at rate q: the additive models charge the amplified pair
+    ``(log(1 + q(e^eps - 1)), q delta)``, the RDP model composes
+    :func:`subsampled_gaussian_rdp_curve` (which requires ``delta > 0`` —
+    the subsampled family is Gaussian). At the default ``sample_rate=1``
+    every code path is bit-identical to the historical behaviour.
 
     Counts are analytic (no ledger is mutated) and include the
     accountants' boundary-dust slack, so an exactly divisible budget
@@ -191,9 +304,17 @@ def releases_per_budget(
     delta = _check_delta(delta)
     total_epsilon = check_positive(total_epsilon, "total_epsilon")
     total_delta = _check_delta(total_delta, "total_delta")
+    sample_rate = float(sample_rate)
+    if not 0.0 < sample_rate <= 1.0:
+        raise PrivacyBudgetError(
+            f"sample_rate must be in (0, 1], got {sample_rate}"
+        )
     # One alias vocabulary for every accounting entry point: the same
     # resolver make_accountant (and the engine's accountant= string) uses.
     resolved = _resolve_model(model, total_delta)
+    if resolved in ("pure", "basic"):
+        # amplified_pair is the identity at sample_rate == 1 (same floats).
+        epsilon, delta = amplified_pair(epsilon, delta, sample_rate)
     if resolved == "pure":
         if delta > 0.0:
             return 0
@@ -208,7 +329,23 @@ def releases_per_budget(
     if total_delta <= 0.0:
         raise PrivacyBudgetError("RDP accounting needs total_delta > 0")
     alphas = _as_alphas(alphas)
-    cost = release_rdp_curve(epsilon, delta, alphas)
+    if sample_rate < 1.0:
+        if delta <= 0.0:
+            raise PrivacyBudgetError(
+                "subsampled RDP accounting needs a per-release delta > 0 "
+                "(the subsampled family is Gaussian)"
+            )
+        cost = noise_cost_rdp_curve(
+            NoiseCost(
+                family="subsampled_gaussian",
+                epsilon=epsilon,
+                delta=delta,
+                sample_rate=sample_rate,
+            ),
+            alphas,
+        )
+    else:
+        cost = release_rdp_curve(epsilon, delta, alphas)
     # Mirror the ledger's admission slack so a budget sitting exactly on a
     # k-fold boundary counts the same quota the accountant would admit.
     slack = 1e-12 * max(1.0, total_epsilon)
@@ -294,15 +431,19 @@ class RDPAccountant(BudgetAccountant):
         """The accumulated (composed) RDP curve of all committed releases."""
         return self._curve
 
-    def _cost_curve(self, epsilon, delta):
-        key = (epsilon, delta)
-        curve = self._cost_cache.get(key)
+    def _cost_curve(self, cost):
+        # ``cost`` is a validated (epsilon, delta) tuple or a NoiseCost —
+        # both hashable, so both memoize; a typed cost and its scalar twin
+        # get distinct entries but (for Laplace/Gaussian) identical curves.
+        curve = self._cost_cache.get(cost)
         if curve is None:
             if len(self._cost_cache) >= 1024:
                 self._cost_cache.clear()
-            curve = self._cost_cache[key] = self._frozen(
-                release_rdp_curve(epsilon, delta, self._alphas)
-            )
+            if isinstance(cost, NoiseCost):
+                curve = noise_cost_rdp_curve(cost, self._alphas)
+            else:
+                curve = release_rdp_curve(cost[0], cost[1], self._alphas)
+            curve = self._cost_cache[cost] = self._frozen(curve)
         return curve
 
     def _realized_epsilon(self, curve, spent_any):
@@ -343,27 +484,30 @@ class RDPAccountant(BudgetAccountant):
             self._total_delta if spent_any else 0.0,
         )
 
-    def _fits_state(self, epsilon, delta, state):
+    def _fits_state(self, cost, state):
         curve, spent_any = state
         # No re-arm after exhaustion: every valid cost has epsilon > 0, so
         # once the realized guarantee reaches the total nothing more fits
         # (mirrors the scalar accountants' boundary semantics).
         if self._realized_epsilon(curve, spent_any) >= self._total_epsilon:
             return False
-        composed = curve + self._cost_curve(epsilon, delta)
+        composed = curve + self._cost_curve(cost)
         return (
             self._realized_epsilon(composed, True)
             <= self._total_epsilon + self._eps_slack
         )
 
-    def _commit_state(self, epsilon, delta, state):
+    def _commit_state(self, cost, state):
         curve, _ = state
-        return (self._frozen(curve + self._cost_curve(epsilon, delta)), True)
+        return (self._frozen(curve + self._cost_curve(cost)), True)
 
     def _validate_cost(self, epsilon, delta):
         # Per-release delta is a *calibration* parameter under RDP (it
         # selects the Gaussian sigma), not a draw against total_delta, so
         # any delta in [0, 1) is acceptable — including values above the
-        # budget's conversion target.
+        # budget's conversion target. Typed costs reach this through their
+        # charged pair (BudgetAccountant._validate): the one shared rule
+        # for what a release *claims*, even though the RDP ledger then
+        # composes the family curve rather than summing the pair.
         epsilon = check_positive(epsilon, "epsilon")
         return epsilon, _check_delta(delta)

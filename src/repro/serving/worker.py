@@ -159,6 +159,11 @@ def _release_payload(release):
         "epsilon": release.epsilon,
         "delta": release.delta,
         "expected_error": release.expected_error,
+        # The typed NoiseCost record charged for this release (family,
+        # base (epsilon, delta), noise magnitude, sample rate, and the
+        # amplified "charged" pair for subsampled releases) — what a
+        # client audits against its own budget expectations.
+        "cost": release.metadata.get("cost"),
         "realized": release.metadata.get("realized"),
         "deduplicated": bool(release.metadata.get("deduplicated")),
     }

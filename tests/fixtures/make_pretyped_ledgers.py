@@ -1,0 +1,61 @@
+"""Regenerate the committed pre-typed (format-1) fixture ledgers.
+
+These fixtures pin the on-disk compatibility contract of the typed-cost
+migration: ledgers written by the scalar-cost release (meta ``format: 1``,
+every journaled cost an ``[epsilon, delta]`` list) must replay
+bit-identically under the typed reader. Run from the repo root:
+
+    PYTHONPATH=src python tests/fixtures/make_pretyped_ledgers.py
+
+The spend sequence below is what ``tests/test_cost.py`` replays; if you
+change it, update the pinned expected totals there.
+"""
+
+import os
+import sys
+
+import repro.privacy.ledger as ledger_mod
+from repro.privacy.accountant import make_accountant
+from repro.privacy.ledger import open_ledger
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT = os.path.join(HERE, "ledgers")
+
+#: The deterministic scalar spend sequence, identical for every fixture
+#: (pure-DP ledgers use only the delta=0 spends' epsilons).
+SPENDS = {
+    "pure": [(0.3, 0.0), (0.25, 0.0), (0.2, 0.0), (0.1, 0.0)],
+    "basic": [(0.3, 1e-7), (0.25, 0.0), (0.2, 2e-7), (0.1, 0.0)],
+    "rdp": [(0.3, 1e-7), (0.25, 0.0), (0.2, 2e-7), (0.1, 0.0)],
+}
+BUDGETS = {"pure": (4.0, 0.0), "basic": (4.0, 1e-5), "rdp": (4.0, 1e-5)}
+
+
+def main():
+    os.makedirs(OUT, exist_ok=True)
+    # Write authentic format-1 streams: the pre-typed release declared
+    # format 1 in its meta header and journaled costs as [eps, delta]
+    # lists — which scalar spends still encode as, so pinning the version
+    # constant is the only difference from today's writer.
+    ledger_mod.LEDGER_FORMAT_VERSION = 1
+    for model in ("pure", "basic", "rdp"):
+        total_epsilon, total_delta = BUDGETS[model]
+        for suffix in ("journal", "db"):
+            path = os.path.join(OUT, f"pretyped_{model}.{suffix}")
+            if os.path.exists(path):
+                os.remove(path)
+            inner = make_accountant(total_epsilon, total_delta, model=model)
+            durable = open_ledger(path, inner)
+            spends = SPENDS[model]
+            durable.spend(*spends[0])
+            durable.spend(*spends[1])
+            durable.spend_many(spends[2:])
+            print(
+                f"{os.path.basename(path):24s} spent_epsilon="
+                f"{durable.spent_epsilon!r} spent_delta={durable.spent_delta!r}"
+            )
+            durable.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Tier-1 smoke for the committed subsampled-capacity baseline.
+
+The subsampled-Gaussian benchmark counts are exact float arithmetic, so
+unlike the hardware-bound perf baselines they can be verified on every
+run: the committed baseline must match what the current amplified RDP
+arithmetic predicts, and ``check_regression.py`` must accept the baseline
+against itself and reject a doctored regression.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.privacy.rdp import releases_per_budget
+
+_BENCHMARKS = os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks")
+BASELINE = os.path.abspath(
+    os.path.join(_BENCHMARKS, "baselines", "BENCH_accounting_subsampled_pr10.json")
+)
+
+
+def _load_check_regression():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", os.path.join(_BENCHMARKS, "check_regression.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_baseline_counts_match_amplified_arithmetic():
+    cells = json.loads(open(BASELINE).read())["cells"]
+    assert cells, "committed subsampled baseline is empty"
+    for cell in cells:
+        _, budget_tag = cell["workload"].rsplit("-E", 1)
+        budget_epsilon, budget_delta = budget_tag.split("-D")
+        predicted = releases_per_budget(
+            cell["epsilon"], _base_delta(cell),
+            float(budget_epsilon), float(budget_delta),
+            model="rdp", sample_rate=cell["sample_rate"],
+        )
+        assert abs(cell["releases"] - predicted) <= 1, (cell, predicted)
+        assert cell["releases"] > cell["unsampled_releases"]
+
+
+def _base_delta(cell):
+    # The committed grid pins per-release deltas by budget shape.
+    return 1e-7 if cell["epsilon"] == 0.5 else 1e-8
+
+
+def test_check_regression_accepts_baseline_against_itself(tmp_path):
+    check = _load_check_regression()
+    code, lines = check.compare(
+        BASELINE, BASELINE, threshold=0.2, time_field="epsilon_per_release"
+    )
+    assert code == 0
+    assert lines[-1] == "ok: within the regression budget"
+
+
+def test_check_regression_rejects_doctored_capacity(tmp_path):
+    check = _load_check_regression()
+    report = json.loads(open(BASELINE).read())
+    for cell in report["cells"]:
+        cell["releases"] = max(1, cell["releases"] // 2)
+        cell["epsilon_per_release"] *= 2.0  # half the capacity: a regression
+    doctored = tmp_path / "doctored.json"
+    doctored.write_text(json.dumps(report))
+    code, lines = check.compare(
+        BASELINE, str(doctored), threshold=0.2, time_field="epsilon_per_release"
+    )
+    assert code == 1
+    assert any("REGRESSION" in line for line in lines)
+
+
+def test_check_regression_reports_missing_overlap(tmp_path):
+    check = _load_check_regression()
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"description": "", "cells": []}))
+    code, lines = check.compare(
+        BASELINE, str(empty), threshold=0.2, time_field="epsilon_per_release"
+    )
+    assert code == 2
+    assert lines == ["no matching cells between the two reports"]
